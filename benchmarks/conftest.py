@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through
+``repro.experiments`` and prints its rows.  The ``bench_config`` fixture
+selects a bounded configuration so the whole suite completes in minutes on
+a laptop CPU; export ``REPRO_PROFILE=full`` to run the paper-scale profile
+instead (hours).  Trained models and simulated races are cached inside
+``repro.experiments.common`` for the lifetime of the pytest process, so
+benchmarks that share a model zoo (Table V/VI, Fig. 2/8/9) only pay the
+training cost once.
+
+Each regenerated table is printed to the terminal (outside pytest's output
+capture, so it is visible in a plain ``pytest benchmarks/ --benchmark-only``
+run) and also written to ``benchmarks/results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import full_config, quick_config
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_ACTIVE_CAPSYS = None
+
+
+def _bench_profile():
+    if os.environ.get("REPRO_PROFILE", "quick").lower() == "full":
+        return full_config()
+    # bounded benchmark profile: small enough to finish the full suite quickly,
+    # large enough that the qualitative shape of each table/figure holds
+    return quick_config().with_overrides(
+        epochs=12,
+        max_train_windows=2500,
+        origin_stride=8,
+        n_samples=20,
+        ml_origin_stride=5,
+        ml_max_instances=6000,
+        rf_estimators=30,
+        gbm_estimators=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return _bench_profile()
+
+
+@pytest.fixture(autouse=True)
+def _expose_capsys(capsys):
+    """Let ``run_and_print`` emit tables outside pytest's output capture."""
+    global _ACTIVE_CAPSYS
+    _ACTIVE_CAPSYS = capsys
+    yield
+    _ACTIVE_CAPSYS = None
+
+
+def run_and_print(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark, print and persist its table."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    text = result.to_text()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    filename = result.experiment_id.lower().replace(" ", "").replace(".", "") + ".txt"
+    (RESULTS_DIR / filename).write_text(text + "\n", encoding="utf-8")
+    if _ACTIVE_CAPSYS is not None:
+        with _ACTIVE_CAPSYS.disabled():
+            print()
+            print(text)
+    else:  # pragma: no cover - plain invocation outside pytest
+        print()
+        print(text)
+    return result

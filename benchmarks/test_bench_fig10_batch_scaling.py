@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 10 — training speed vs batch size."""
+
+from repro.experiments import fig10 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig10(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

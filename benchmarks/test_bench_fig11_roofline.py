@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 11 — roofline chart of the LSTM kernels."""
+
+from repro.experiments import fig11 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig11(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

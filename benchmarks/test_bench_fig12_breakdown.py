@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 12 — CPU+VE operation breakdown."""
+
+from repro.experiments import fig12 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig12(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 1 — telemetry example."""
+
+from repro.experiments import fig1 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig1(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig. 2 — baseline forecasts around a pit stop.
+
+Produces the rolling two-lap-ahead forecast curves (observed, median, 90%
+quantile) of SVM, RandomForest, ARIMA and DeepAR for a car whose rank moves
+through a pit cycle, mirroring the paper's qualitative comparison of the
+baselines' failure modes.
+"""
+
+from repro.experiments import fig2
+
+from conftest import run_and_print
+
+
+def test_bench_fig2_baseline_curves(benchmark, bench_config):
+    result = run_and_print(benchmark, fig2, bench_config)
+    assert {row["model"] for row in result.rows} == {"SVM", "RandomForest", "ARIMA", "DeepAR"}
+    assert "observed" in result.series and "lap" in result.series
+    assert len(result.series["observed"]) > 10

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 3 — pit-stop factor taxonomy."""
+
+from repro.experiments import fig3 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig3(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

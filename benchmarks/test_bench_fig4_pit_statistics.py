@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 4 — pit stop statistics."""
+
+from repro.experiments import fig4 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig4(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

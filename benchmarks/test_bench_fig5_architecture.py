@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 5 — RankNet architecture."""
+
+from repro.experiments import fig5 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig5(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 6 — per-race data distribution."""
+
+from repro.experiments import fig6 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_fig6(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

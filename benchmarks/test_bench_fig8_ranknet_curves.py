@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig. 8 — RankNet / Transformer forecast curves.
+
+Same rolling two-lap forecast window as Fig. 2, but for the proposed models
+(RankNet-Oracle/MLP and their Transformer-backbone counterparts).
+"""
+
+from repro.experiments import fig8
+
+from conftest import run_and_print
+
+
+def test_bench_fig8_ranknet_curves(benchmark, bench_config):
+    result = run_and_print(benchmark, fig8, bench_config)
+    models = {row["model"] for row in result.rows}
+    assert models == {"Transformer-Oracle", "Transformer-MLP", "RankNet-Oracle", "RankNet-MLP"}
+    for row in result.rows:
+        assert row["window_mae"] >= 0.0
+        assert 0.0 <= row["coverage_q10_q90"] <= 1.0

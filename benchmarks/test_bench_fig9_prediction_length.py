@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 9 — impact of the prediction length.
+
+Sweeps the forecast horizon and reports each model's MAE improvement over
+CurRank.  Under the bounded profile a subset of models and horizons is
+used; the full profile sweeps 2-8 laps for all six models.  Expected shape:
+the RankNet variants keep a positive improvement as the horizon grows.
+"""
+
+import os
+
+from repro.experiments import fig9
+from repro.experiments.prediction_length import DEFAULT_FIG9_MODELS
+
+from conftest import run_and_print
+
+
+def test_bench_fig9_prediction_length(benchmark, bench_config):
+    if os.environ.get("REPRO_PROFILE", "quick").lower() == "full":
+        models = DEFAULT_FIG9_MODELS
+        lengths = (2, 4, 6, 8)
+    else:
+        models = ["RankNet-Oracle", "RankNet-MLP", "XGBoost", "RandomForest"]
+        lengths = (2, 4, 6)
+    result = run_and_print(
+        benchmark, fig9, bench_config, models=models, prediction_lengths=lengths
+    )
+    assert [row["prediction_length"] for row in result.rows] == list(lengths)
+    # CurRank's own error grows with the horizon
+    currank = [row["currank_mae"] for row in result.rows]
+    assert currank[-1] > currank[0]

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table II — dataset summary."""
+
+from repro.experiments import table2 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_table2(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table III — model capability matrix."""
+
+from repro.experiments import table3 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_table3(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

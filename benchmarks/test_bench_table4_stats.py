@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table IV — dataset statistics and hyper-parameters."""
+
+from repro.experiments import table4 as experiment
+
+from conftest import run_and_print
+
+
+def test_bench_table4(benchmark, bench_config):
+    result = run_and_print(benchmark, experiment, bench_config)
+    assert result.rows

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Table VII — generalisation to other races.
+
+Under the bounded benchmark profile only two representative models
+(RankNet-MLP and RandomForest) and two events (Indy500, Texas) are used;
+run with ``REPRO_PROFILE=full`` for the complete table.  Expected shape:
+RankNet-MLP keeps a positive MAE improvement over CurRank on unseen
+events, the RandomForest transfers poorly.
+"""
+
+import os
+
+from repro.experiments import table7
+from repro.experiments.generalization import DEFAULT_TABLE7_MODELS
+
+from conftest import run_and_print
+
+
+def test_bench_table7_generalization(benchmark, bench_config):
+    if os.environ.get("REPRO_PROFILE", "quick").lower() == "full":
+        models = DEFAULT_TABLE7_MODELS
+        events = None
+    else:
+        models = ["RankNet-MLP", "RandomForest"]
+        events = ["Indy500", "Texas"]
+    result = run_and_print(benchmark, table7, bench_config, models=models, events=events)
+    assert result.rows
+    for row in result.rows:
+        assert any(key.endswith("_by_indy500") for key in row)
+        assert any(key.endswith("_by_same_event") for key in row)

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Rank Position Forecasting in Car Racing" (IPDPS 2021).
+
+Sub-packages
+------------
+``repro.nn``
+    NumPy deep-learning framework (LSTM/Transformer encoder-decoders,
+    Gaussian likelihood heads, ADAM, training loop).
+``repro.simulation``
+    Stochastic IndyCar race simulator producing the per-lap telemetry the
+    paper's models consume (substitute for the proprietary dataset).
+``repro.data``
+    Feature engineering (Table I), sliding-window datasets, stint
+    extraction, scalers and batch loaders.
+``repro.models``
+    CurRank, ARIMA, RandomForest/SVM/XGBoost, DeepAR and the RankNet
+    family (Oracle / MLP / Joint, LSTM or Transformer backbones).
+``repro.evaluation``
+    MAE / Top1Acc / SignAcc / quantile-risk metrics and the TaskA / TaskB
+    evaluators.
+``repro.profiling``
+    Training-efficiency substrate: kernel benchmarks, roofline model,
+    analytic device models (CPU / GPU / cuDNN / Vector Engine).
+``repro.experiments``
+    One module per table and figure of the paper, plus a CLI runner.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "simulation",
+    "data",
+    "models",
+    "evaluation",
+    "profiling",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Feature engineering and dataset construction for the forecasting models."""
+
+from .features import (
+    CarFeatureSeries,
+    accumulate_age,
+    build_car_features,
+    build_race_features,
+    caution_laps_since_pit,
+    leader_pit_count,
+    shift_forward,
+    total_pit_count,
+)
+from .loader import BatchLoader
+from .scaling import MeanScaler, StandardScaler
+from .schema import (
+    ALL_COVARIATES,
+    BASE_COVARIATES,
+    CONTEXT_COVARIATES,
+    SHIFT_COVARIATES,
+    FeatureSpec,
+    TARGET_RANK,
+)
+from .stints import Stint, extract_stints, next_pit_targets, pit_statistics, stint_rank_changes
+from .windows import WindowDataset, extract_window, make_windows
+
+__all__ = [
+    "CarFeatureSeries",
+    "accumulate_age",
+    "build_car_features",
+    "build_race_features",
+    "caution_laps_since_pit",
+    "leader_pit_count",
+    "shift_forward",
+    "total_pit_count",
+    "BatchLoader",
+    "MeanScaler",
+    "StandardScaler",
+    "ALL_COVARIATES",
+    "BASE_COVARIATES",
+    "CONTEXT_COVARIATES",
+    "SHIFT_COVARIATES",
+    "FeatureSpec",
+    "TARGET_RANK",
+    "Stint",
+    "extract_stints",
+    "next_pit_targets",
+    "pit_statistics",
+    "stint_rank_changes",
+    "WindowDataset",
+    "extract_window",
+    "make_windows",
+]

@@ -1,0 +1,206 @@
+"""Per-car feature engineering (Table I plus the Fig. 7 context/shift features).
+
+The entry point is :func:`build_race_features`, which converts one
+:class:`repro.simulation.RaceTelemetry` into a list of
+:class:`CarFeatureSeries` — one aligned set of target and covariate arrays
+per car.  All transformations are pure NumPy on lap-indexed arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..simulation.telemetry import CarLaps, RaceTelemetry
+from .schema import ALL_COVARIATES
+
+__all__ = [
+    "CarFeatureSeries",
+    "accumulate_age",
+    "caution_laps_since_pit",
+    "leader_pit_count",
+    "total_pit_count",
+    "shift_forward",
+    "build_car_features",
+    "build_race_features",
+]
+
+
+@dataclass
+class CarFeatureSeries:
+    """Aligned per-lap arrays for one car in one race."""
+
+    race_id: str
+    event: str
+    year: int
+    car_id: int
+    laps: np.ndarray
+    rank: np.ndarray
+    lap_time: np.ndarray
+    time_behind_leader: np.ndarray
+    covariates: np.ndarray  # (num_laps, len(ALL_COVARIATES))
+
+    def __len__(self) -> int:
+        return int(self.laps.size)
+
+    def covariate(self, name: str) -> np.ndarray:
+        return self.covariates[:, ALL_COVARIATES.index(name)]
+
+    @property
+    def is_pit(self) -> np.ndarray:
+        return self.covariate("lap_status") > 0.5
+
+    @property
+    def is_caution(self) -> np.ndarray:
+        return self.covariate("track_status") > 0.5
+
+
+# ----------------------------------------------------------------------
+# elementary transforms
+# ----------------------------------------------------------------------
+def accumulate_age(pit_flags: np.ndarray) -> np.ndarray:
+    """Laps since the previous pit stop (``PitAge`` in Table I).
+
+    The counter is 0 on the pit lap itself and increases by one on every
+    following lap; before the first stop it counts laps since the start.
+    """
+    pit_flags = np.asarray(pit_flags, dtype=bool)
+    age = np.zeros(pit_flags.size, dtype=np.float64)
+    counter = 0.0
+    for i, is_pit in enumerate(pit_flags):
+        if is_pit:
+            counter = 0.0
+        age[i] = counter
+        counter += 1.0
+    return age
+
+
+def caution_laps_since_pit(pit_flags: np.ndarray, caution_flags: np.ndarray) -> np.ndarray:
+    """Count of caution laps since the car's last pit stop (``CautionLaps``)."""
+    pit_flags = np.asarray(pit_flags, dtype=bool)
+    caution_flags = np.asarray(caution_flags, dtype=bool)
+    if pit_flags.shape != caution_flags.shape:
+        raise ValueError("pit and caution flags must have the same shape")
+    out = np.zeros(pit_flags.size, dtype=np.float64)
+    counter = 0.0
+    for i in range(pit_flags.size):
+        if pit_flags[i]:
+            counter = 0.0
+        out[i] = counter
+        if caution_flags[i]:
+            counter += 1.0
+    return out
+
+
+def total_pit_count(race: RaceTelemetry) -> Dict[int, float]:
+    """Number of cars pitting on each lap (``TotalPitCount``)."""
+    counts: Dict[int, float] = {}
+    for lap in np.unique(race.lap):
+        mask = race.lap == lap
+        counts[int(lap)] = float(np.count_nonzero(race.is_pit[mask]))
+    return counts
+
+
+def leader_pit_count(race: RaceTelemetry, lookback: int = 2, top_k: int = 10) -> Dict[int, float]:
+    """Number of *leading* cars pitting on each lap (``LeaderPitCount``).
+
+    "Leading" is judged by the rank position ``lookback`` laps earlier
+    (Fig. 7 step 3 uses lap A-2), restricted to the top ``top_k`` cars.
+    """
+    counts: Dict[int, float] = {}
+    for lap in np.unique(race.lap):
+        lap = int(lap)
+        ref_lap = lap - lookback
+        mask = race.lap == lap
+        pitting = set(race.car_id[mask][race.is_pit[mask]].tolist())
+        if not pitting or ref_lap < 1:
+            counts[lap] = 0.0
+            continue
+        ranks_ref = race.ranks_at_lap(ref_lap)
+        leaders = {car for car, rank in ranks_ref.items() if rank <= top_k}
+        counts[lap] = float(len(pitting & leaders))
+    return counts
+
+
+def shift_forward(values: np.ndarray, lag: int, fill: float = 0.0) -> np.ndarray:
+    """Shift a series so position ``i`` holds the value at ``i + lag``.
+
+    Used for the "shift features" of Fig. 7 step 4 (e.g. the race status two
+    laps into the future); the tail is padded with ``fill``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if lag == 0:
+        return values.copy()
+    out = np.full(values.shape, fill, dtype=np.float64)
+    if lag < values.size:
+        out[:-lag] = values[lag:]
+    return out
+
+
+# ----------------------------------------------------------------------
+# per-car / per-race builders
+# ----------------------------------------------------------------------
+def build_car_features(
+    race: RaceTelemetry,
+    car_laps: CarLaps,
+    total_pits: Optional[Dict[int, float]] = None,
+    leader_pits: Optional[Dict[int, float]] = None,
+    shift_lag: int = 2,
+) -> CarFeatureSeries:
+    """Build the full covariate matrix for one car."""
+    total_pits = total_pits if total_pits is not None else total_pit_count(race)
+    leader_pits = leader_pits if leader_pits is not None else leader_pit_count(race)
+
+    pit = car_laps.is_pit.astype(np.float64)
+    caution = car_laps.is_caution.astype(np.float64)
+    pit_age = accumulate_age(car_laps.is_pit)
+    caution_laps = caution_laps_since_pit(car_laps.is_pit, car_laps.is_caution)
+    tp = np.array([total_pits.get(int(lap), 0.0) for lap in car_laps.laps])
+    lp = np.array([leader_pits.get(int(lap), 0.0) for lap in car_laps.laps])
+
+    columns = {
+        "track_status": caution,
+        "lap_status": pit,
+        "caution_laps": caution_laps,
+        "pit_age": pit_age,
+        "leader_pit_count": lp,
+        "total_pit_count": tp,
+        "shift_track_status": shift_forward(caution, shift_lag),
+        "shift_lap_status": shift_forward(pit, shift_lag),
+        "shift_total_pit_count": shift_forward(tp, shift_lag),
+    }
+    covariates = np.column_stack([columns[name] for name in ALL_COVARIATES])
+    return CarFeatureSeries(
+        race_id=race.race_id,
+        event=race.event,
+        year=race.year,
+        car_id=car_laps.car_id,
+        laps=car_laps.laps.astype(np.int64),
+        rank=car_laps.rank.astype(np.float64),
+        lap_time=car_laps.lap_time.astype(np.float64),
+        time_behind_leader=car_laps.time_behind_leader.astype(np.float64),
+        covariates=covariates,
+    )
+
+
+def build_race_features(
+    race: RaceTelemetry, shift_lag: int = 2, min_laps: int = 10
+) -> List[CarFeatureSeries]:
+    """Feature series for every car in a race with at least ``min_laps`` laps."""
+    total_pits = total_pit_count(race)
+    leader_pits = leader_pit_count(race)
+    series = []
+    for car in race.car_ids():
+        cl = race.car_laps(car)
+        if len(cl) < min_laps:
+            continue
+        series.append(
+            build_car_features(
+                race, cl, total_pits=total_pits, leader_pits=leader_pits, shift_lag=shift_lag
+            )
+        )
+    return series

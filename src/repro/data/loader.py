@@ -1,0 +1,69 @@
+"""Mini-batch iteration over :class:`repro.data.windows.WindowDataset`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from .schema import FeatureSpec
+from .windows import WindowDataset
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Yields dict batches ready for the deep models / :class:`repro.nn.Trainer`.
+
+    Each batch contains
+
+    * ``target`` — ``(B, L0 + k)`` rank values,
+    * ``covariates`` — ``(B, L0 + k, F)`` covariates selected by ``spec``,
+    * ``car_index`` — ``(B,)`` embedding indices,
+    * ``weight`` — ``(B,)`` per-instance loss weights.
+    """
+
+    def __init__(
+        self,
+        dataset: WindowDataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        spec: Optional[FeatureSpec] = None,
+        rng: np.random.Generator | int | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.spec = spec or FeatureSpec()
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.drop_last = bool(drop_last)
+        self._covariates = dataset.select_covariates(self.spec)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Dict[str, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.size < self.batch_size:
+                break
+            yield {
+                "target": self.dataset.target[idx],
+                "covariates": self._covariates[idx],
+                "car_index": self.dataset.car_index[idx],
+                "weight": self.dataset.weight[idx],
+            }
+
+    def batches(self) -> Iterator[Dict[str, np.ndarray]]:
+        """Alias so the loader can be passed as ``Trainer.fit(loader.batches)``."""
+        return iter(self)

@@ -1,0 +1,70 @@
+"""Feature scaling utilities."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MeanScaler"]
+
+
+class StandardScaler:
+    """Per-feature standardisation ``(x - mean) / std`` over the last axis."""
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = float(eps)
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(-1, x.shape[-1]) if x.ndim > 1 else x.reshape(-1, 1)
+        self.mean_ = flat.mean(axis=0)
+        self.std_ = flat.std(axis=0)
+        self.std_ = np.where(self.std_ < self.eps, 1.0, self.std_)
+        return self
+
+    def _check(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fit before use")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return (x - self.mean_[0]) / self.std_[0]
+        return (x - self.mean_) / self.std_
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return x * self.std_[0] + self.mean_[0]
+        return x * self.std_ + self.mean_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class MeanScaler:
+    """DeepAR-style per-instance mean scaling of the target series.
+
+    Each window is divided by the mean absolute value of its encoder part
+    (plus one), which keeps series of different magnitude comparable without
+    leaking future information.
+    """
+
+    def __init__(self, offset: float = 1.0) -> None:
+        self.offset = float(offset)
+
+    def scale_factors(self, encoder_target: np.ndarray) -> np.ndarray:
+        """``(N,)`` scale factor per window from its encoder span ``(N, L0)``."""
+        encoder_target = np.asarray(encoder_target, dtype=np.float64)
+        return np.abs(encoder_target).mean(axis=-1) + self.offset
+
+    def scale(self, target: np.ndarray, factors: np.ndarray) -> np.ndarray:
+        return target / factors[..., None]
+
+    def unscale(self, target: np.ndarray, factors: np.ndarray) -> np.ndarray:
+        return target * factors[..., None]

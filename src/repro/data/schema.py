@@ -1,0 +1,94 @@
+"""Feature schema (Table I of the paper).
+
+The RankNet model consumes two groups of per-lap variables:
+
+* **race status** ``X_i`` — covariates describing the state of the race:
+  ``TrackStatus`` (caution lap or not), ``LapStatus`` (pit lap or not),
+  ``CautionLaps`` (caution laps since the car's last pit stop) and
+  ``PitAge`` (laps since the last pit stop); the model-optimisation steps of
+  Fig. 7 add race-level context features (``LeaderPitCount``,
+  ``TotalPitCount``) and shifted ("future") copies of the status features;
+* **rank** ``Z_i`` — the target series: ``Rank``, plus auxiliary series
+  ``LapTime`` and ``TimeBehindLeader``.
+
+This module centralises the feature names and their column order so the
+feature builder, the window datasets and the deep models stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = [
+    "TARGET_RANK",
+    "TARGET_LAPTIME",
+    "BASE_COVARIATES",
+    "CONTEXT_COVARIATES",
+    "SHIFT_COVARIATES",
+    "ALL_COVARIATES",
+    "FeatureSpec",
+    "covariate_indices",
+]
+
+# target series (Z in Table I)
+TARGET_RANK = "rank"
+TARGET_LAPTIME = "lap_time"
+TARGET_TIME_BEHIND_LEADER = "time_behind_leader"
+
+# race-status covariates (X in Table I)
+BASE_COVARIATES: List[str] = [
+    "track_status",   # 1 when the lap runs under caution
+    "lap_status",     # 1 when the car crosses the line in the pit lane
+    "caution_laps",   # caution laps since the last pit stop
+    "pit_age",        # laps since the last pit stop
+]
+
+# race-level context features added in Fig. 7 step 3
+CONTEXT_COVARIATES: List[str] = [
+    "leader_pit_count",  # leading cars (by rank two laps earlier) pitting this lap
+    "total_pit_count",   # cars pitting this lap
+]
+
+# shifted ("future") status features added in Fig. 7 step 4
+SHIFT_COVARIATES: List[str] = [
+    "shift_track_status",
+    "shift_lap_status",
+    "shift_total_pit_count",
+]
+
+ALL_COVARIATES: List[str] = BASE_COVARIATES + CONTEXT_COVARIATES + SHIFT_COVARIATES
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Selects which covariate groups a model consumes.
+
+    ``use_context``/``use_shift`` mirror the optimisation steps of Fig. 7;
+    ``use_race_status=False`` reproduces the plain DeepAR baseline (no
+    TrackStatus / LapStatus covariates).
+    """
+
+    use_race_status: bool = True
+    use_context: bool = True
+    use_shift: bool = True
+    shift_lag: int = 2
+
+    def covariate_names(self) -> List[str]:
+        names: List[str] = []
+        if self.use_race_status:
+            names.extend(BASE_COVARIATES)
+        if self.use_context:
+            names.extend(CONTEXT_COVARIATES)
+        if self.use_shift:
+            names.extend(SHIFT_COVARIATES)
+        return names
+
+    @property
+    def num_covariates(self) -> int:
+        return len(self.covariate_names())
+
+
+def covariate_indices(names: List[str]) -> Tuple[int, ...]:
+    """Column indices of ``names`` inside the full covariate matrix."""
+    return tuple(ALL_COVARIATES.index(n) for n in names)

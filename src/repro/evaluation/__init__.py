@@ -1,0 +1,25 @@
+"""Evaluation harness: metrics, lap sets, TaskA (short term) and TaskB (stints)."""
+
+from .lapsets import LapSet, classify_window, windows_by_lapset
+from .metrics import mae, quantile_risk, sign_accuracy, top1_accuracy
+from .report import format_metric, format_table
+from .taska import ForecastRecord, ShortTermEvaluator, TaskAResult
+from .taskb import StintEvaluator, StintForecastRecord, TaskBResult
+
+__all__ = [
+    "LapSet",
+    "classify_window",
+    "windows_by_lapset",
+    "mae",
+    "quantile_risk",
+    "sign_accuracy",
+    "top1_accuracy",
+    "format_metric",
+    "format_table",
+    "ForecastRecord",
+    "ShortTermEvaluator",
+    "TaskAResult",
+    "StintEvaluator",
+    "StintForecastRecord",
+    "TaskBResult",
+]

@@ -1,0 +1,61 @@
+"""Lap-set classification for Table V (All / Normal / PitStop-covered laps).
+
+Table V breaks the short-term results down by where the forecast window
+falls: *PitStop Covered Laps* are windows "where pit stop occurs at least
+once in one lap distance" (a stop by the forecast car inside or immediately
+around the window); *Normal Laps* are windows with neither pits nor caution
+laps nearby; *All Laps* is the union.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+
+__all__ = ["LapSet", "classify_window", "windows_by_lapset"]
+
+
+class LapSet(str, Enum):
+    ALL = "all"
+    NORMAL = "normal"
+    PIT_COVERED = "pit_covered"
+
+
+def classify_window(
+    series: CarFeatureSeries, origin: int, horizon: int, margin: int = 1
+) -> LapSet:
+    """Classify the forecast window starting after ``origin``.
+
+    The window is *pit-covered* when the car pits anywhere in
+    ``[origin - margin, origin + horizon]``; otherwise, it is *normal* when
+    it also contains no caution laps; windows under caution but without a
+    pit fall back to ``ALL`` only (they are excluded from the normal set but
+    are not pit-covered).
+    """
+    lo = max(origin - margin, 0)
+    hi = min(origin + horizon, len(series) - 1)
+    window_pit = bool(series.is_pit[lo : hi + 1].any())
+    if window_pit:
+        return LapSet.PIT_COVERED
+    window_caution = bool(series.is_caution[lo : hi + 1].any())
+    if not window_caution:
+        return LapSet.NORMAL
+    return LapSet.ALL
+
+
+def windows_by_lapset(
+    series: CarFeatureSeries, origins: List[int], horizon: int, margin: int = 1
+) -> dict:
+    """Map each lap-set name to the origins that fall into it."""
+    result = {LapSet.ALL: list(origins), LapSet.NORMAL: [], LapSet.PIT_COVERED: []}
+    for origin in origins:
+        kind = classify_window(series, origin, horizon, margin=margin)
+        if kind is LapSet.NORMAL:
+            result[LapSet.NORMAL].append(origin)
+        elif kind is LapSet.PIT_COVERED:
+            result[LapSet.PIT_COVERED].append(origin)
+    return result

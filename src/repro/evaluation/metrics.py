@@ -1,0 +1,75 @@
+"""Forecast accuracy metrics (§IV-D of the paper).
+
+* ``mae`` — mean absolute error of the point forecast;
+* ``top1_accuracy`` — fraction of laps where the predicted leader (the car
+  forecast to have rank 1) is the true leader (TaskA);
+* ``sign_accuracy`` — fraction of stints where the *sign* of the predicted
+  rank change matches the sign of the true change (TaskB);
+* ``quantile_risk`` — the ρ-risk of Seeger et al.: for a quantile forecast
+  Ẑρ of the true value Z, the loss is ``2 (Ẑρ − Z) (1[Z < Ẑρ] − ρ)``,
+  normalised by ``Σ Z`` over the evaluation set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["mae", "top1_accuracy", "sign_accuracy", "quantile_risk"]
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if predictions.size == 0:
+        return float("nan")
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def top1_accuracy(predicted_leaders: Sequence[int], true_leaders: Sequence[int]) -> float:
+    predicted_leaders = np.asarray(predicted_leaders)
+    true_leaders = np.asarray(true_leaders)
+    if predicted_leaders.shape != true_leaders.shape:
+        raise ValueError("leader arrays must have the same shape")
+    if predicted_leaders.size == 0:
+        return float("nan")
+    return float(np.mean(predicted_leaders == true_leaders))
+
+
+def sign_accuracy(predicted_changes: np.ndarray, true_changes: np.ndarray) -> float:
+    """Accuracy of the *direction* of the rank change (gain / loss / no change)."""
+    predicted_changes = np.asarray(predicted_changes, dtype=np.float64)
+    true_changes = np.asarray(true_changes, dtype=np.float64)
+    if predicted_changes.shape != true_changes.shape:
+        raise ValueError("change arrays must have the same shape")
+    if predicted_changes.size == 0:
+        return float("nan")
+    # a prediction within +-0.5 of zero counts as "no change"
+    pred_sign = np.sign(np.where(np.abs(predicted_changes) < 0.5, 0.0, predicted_changes))
+    true_sign = np.sign(true_changes)
+    return float(np.mean(pred_sign == true_sign))
+
+
+def quantile_risk(quantile_forecasts: np.ndarray, targets: np.ndarray, rho: float) -> float:
+    """ρ-risk normalised by the sum of the targets.
+
+    ``quantile_forecasts`` holds the ρ-quantile of each predictive
+    distribution (e.g. the empirical quantile of the Monte-Carlo samples).
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError("rho must be in (0, 1)")
+    q = np.asarray(quantile_forecasts, dtype=np.float64)
+    z = np.asarray(targets, dtype=np.float64)
+    if q.shape != z.shape:
+        raise ValueError("quantile forecasts and targets must have the same shape")
+    if q.size == 0:
+        return float("nan")
+    indicator = (z < q).astype(np.float64)
+    loss = 2.0 * (q - z) * (indicator - rho)
+    denom = float(np.abs(z).sum())
+    if denom <= 0:
+        denom = 1.0
+    return float(loss.sum() / denom)

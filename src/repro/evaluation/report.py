@@ -1,0 +1,56 @@
+"""Plain-text table formatting for the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_metric"]
+
+
+def format_metric(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    try:
+        if value != value:  # NaN
+            return "nan"
+        if float(value).is_integer() and abs(value) >= 1000:
+            return str(int(value))
+        return f"{float(value):.{digits}f}"
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append(
+            [
+                format_metric(row.get(c), digits) if isinstance(row.get(c), (int, float)) and not isinstance(row.get(c), bool)
+                else str(row.get(c, "-"))
+                for c in columns
+            ]
+        )
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(r.ljust(w) for r, w in zip(rendered[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

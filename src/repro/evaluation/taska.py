@@ -1,0 +1,156 @@
+"""TaskA — short-term rank position forecasting (Table V, Fig. 9).
+
+For every forecast origin in the test races, every car's rank is forecast
+``horizon`` laps ahead; the evaluator aggregates
+
+* MAE and the 50%/90% quantile risks over all (car, origin, step) triples,
+* Top1Acc: for each (origin, step) the car with the lowest forecast rank is
+  the predicted leader, compared with the true leader of that lap,
+
+separately for the All / Normal / PitStop-covered lap sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..models.base import RankForecaster
+from .lapsets import LapSet, classify_window
+from .metrics import mae, quantile_risk, top1_accuracy
+
+__all__ = ["ForecastRecord", "TaskAResult", "ShortTermEvaluator"]
+
+
+@dataclass
+class ForecastRecord:
+    """One evaluated (car, origin) forecast."""
+
+    race_id: str
+    car_id: int
+    origin: int
+    lapset: LapSet
+    point: np.ndarray      # (horizon,)
+    q50: np.ndarray        # (horizon,)
+    q90: np.ndarray        # (horizon,)
+    target: np.ndarray     # (horizon,)
+
+
+@dataclass
+class TaskAResult:
+    """Aggregated TaskA metrics per lap set."""
+
+    horizon: int
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    num_windows: Dict[str, int] = field(default_factory=dict)
+
+    def metric(self, lapset: str, name: str) -> float:
+        return self.metrics[lapset][name]
+
+    def as_row(self, lapset: str = "all") -> Dict[str, float]:
+        return dict(self.metrics[lapset])
+
+
+class ShortTermEvaluator:
+    """Runs TaskA for one model over a collection of test series."""
+
+    def __init__(
+        self,
+        horizon: int = 2,
+        n_samples: int = 100,
+        origin_stride: int = 1,
+        min_history: int = 10,
+        margin: int = 1,
+    ) -> None:
+        self.horizon = int(horizon)
+        self.n_samples = int(n_samples)
+        self.origin_stride = int(origin_stride)
+        self.min_history = int(min_history)
+        self.margin = int(margin)
+
+    # ------------------------------------------------------------------
+    def _origins(self, series: CarFeatureSeries) -> List[int]:
+        last = len(series) - self.horizon - 1
+        return list(range(self.min_history, last + 1, self.origin_stride))
+
+    def collect(
+        self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
+    ) -> List[ForecastRecord]:
+        """Produce one :class:`ForecastRecord` per (car, origin)."""
+        records: List[ForecastRecord] = []
+        for series in test_series:
+            for origin in self._origins(series):
+                forecast = model.forecast(
+                    series, origin, self.horizon, n_samples=self.n_samples
+                )
+                target = series.rank[origin + 1 : origin + 1 + self.horizon]
+                records.append(
+                    ForecastRecord(
+                        race_id=series.race_id,
+                        car_id=series.car_id,
+                        origin=origin,
+                        lapset=classify_window(series, origin, self.horizon, self.margin),
+                        point=forecast.point(),
+                        q50=forecast.quantile(0.5),
+                        q90=forecast.quantile(0.9),
+                        target=np.asarray(target, dtype=np.float64),
+                    )
+                )
+        return records
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _leader_pairs(records: List[ForecastRecord]) -> tuple:
+        """Predicted vs true leader for every (race, origin, step)."""
+        predicted: List[int] = []
+        true: List[int] = []
+        by_key: Dict[tuple, List[ForecastRecord]] = {}
+        for rec in records:
+            by_key.setdefault((rec.race_id, rec.origin), []).append(rec)
+        for (_, _), recs in sorted(by_key.items()):
+            horizon = recs[0].point.shape[0]
+            for step in range(horizon):
+                cars = [r.car_id for r in recs]
+                pred_ranks = np.array([r.point[step] for r in recs])
+                true_ranks = np.array([r.target[step] for r in recs])
+                predicted.append(cars[int(np.argmin(pred_ranks))])
+                true.append(cars[int(np.argmin(true_ranks))])
+        return np.array(predicted), np.array(true)
+
+    def aggregate(self, records: List[ForecastRecord]) -> TaskAResult:
+        result = TaskAResult(horizon=self.horizon)
+        subsets = {
+            LapSet.ALL.value: records,
+            LapSet.NORMAL.value: [r for r in records if r.lapset is LapSet.NORMAL],
+            LapSet.PIT_COVERED.value: [r for r in records if r.lapset is LapSet.PIT_COVERED],
+        }
+        for name, recs in subsets.items():
+            result.num_windows[name] = len(recs)
+            if not recs:
+                result.metrics[name] = {
+                    "top1_acc": float("nan"),
+                    "mae": float("nan"),
+                    "risk50": float("nan"),
+                    "risk90": float("nan"),
+                }
+                continue
+            points = np.concatenate([r.point for r in recs])
+            targets = np.concatenate([r.target for r in recs])
+            q50 = np.concatenate([r.q50 for r in recs])
+            q90 = np.concatenate([r.q90 for r in recs])
+            pred_leader, true_leader = self._leader_pairs(recs)
+            result.metrics[name] = {
+                "top1_acc": top1_accuracy(pred_leader, true_leader),
+                "mae": mae(points, targets),
+                "risk50": quantile_risk(q50, targets, 0.5),
+                "risk90": quantile_risk(q90, targets, 0.9),
+            }
+        return result
+
+    def evaluate(
+        self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
+    ) -> TaskAResult:
+        return self.aggregate(self.collect(model, test_series))

@@ -1,0 +1,124 @@
+"""TaskB — rank-position change between consecutive pit stops (Table VI).
+
+For every stint of a test car (the laps between two consecutive pit stops),
+the model forecasts from the lap of the first stop to the lap of the next
+one; the quantity of interest is the *change of rank position* across the
+stint.  Metrics: SignAcc (direction of the change), MAE of the change, and
+the 50%/90% quantile risks of the change distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..data.stints import Stint, extract_stints
+from ..models.base import RankForecaster
+from .metrics import mae, quantile_risk, sign_accuracy
+
+__all__ = ["StintForecastRecord", "TaskBResult", "StintEvaluator"]
+
+
+@dataclass
+class StintForecastRecord:
+    """One evaluated stint forecast."""
+
+    race_id: str
+    car_id: int
+    origin: int
+    horizon: int
+    true_change: float
+    point_change: float
+    q50_change: float
+    q90_change: float
+
+
+@dataclass
+class TaskBResult:
+    metrics: Dict[str, float] = field(default_factory=dict)
+    num_stints: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        return dict(self.metrics)
+
+
+class StintEvaluator:
+    """Runs TaskB for one model over a collection of test series."""
+
+    def __init__(
+        self,
+        n_samples: int = 100,
+        min_stint_length: int = 3,
+        max_stint_length: int = 45,
+        min_history: int = 10,
+    ) -> None:
+        self.n_samples = int(n_samples)
+        self.min_stint_length = int(min_stint_length)
+        self.max_stint_length = int(max_stint_length)
+        self.min_history = int(min_history)
+
+    # ------------------------------------------------------------------
+    def stint_tasks(self, series: CarFeatureSeries) -> List[Stint]:
+        """Stints usable as forecast tasks (enough history, bounded horizon)."""
+        tasks = []
+        for stint in extract_stints(series):
+            if stint.start_index - 1 < self.min_history:
+                continue
+            if not self.min_stint_length <= stint.length <= self.max_stint_length:
+                continue
+            tasks.append(stint)
+        return tasks
+
+    def collect(
+        self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
+    ) -> List[StintForecastRecord]:
+        records: List[StintForecastRecord] = []
+        for series in test_series:
+            for stint in self.stint_tasks(series):
+                origin = stint.start_index - 1  # the pit lap that started the stint
+                horizon = stint.end_index - origin
+                forecast = model.forecast(series, origin, horizon, n_samples=self.n_samples)
+                current = float(series.rank[origin])
+                true_change = float(series.rank[stint.end_index] - current)
+                change_samples = forecast.samples[:, -1] - current
+                records.append(
+                    StintForecastRecord(
+                        race_id=series.race_id,
+                        car_id=series.car_id,
+                        origin=origin,
+                        horizon=horizon,
+                        true_change=true_change,
+                        point_change=float(np.median(change_samples)),
+                        q50_change=float(np.quantile(change_samples, 0.5)),
+                        q90_change=float(np.quantile(change_samples, 0.9)),
+                    )
+                )
+        return records
+
+    def aggregate(self, records: List[StintForecastRecord]) -> TaskBResult:
+        if not records:
+            return TaskBResult(metrics={
+                "sign_acc": float("nan"), "mae": float("nan"),
+                "risk50": float("nan"), "risk90": float("nan"),
+            }, num_stints=0)
+        true = np.array([r.true_change for r in records])
+        point = np.array([r.point_change for r in records])
+        q50 = np.array([r.q50_change for r in records])
+        q90 = np.array([r.q90_change for r in records])
+        return TaskBResult(
+            metrics={
+                "sign_acc": sign_accuracy(point, true),
+                "mae": mae(point, true),
+                "risk50": quantile_risk(q50, true, 0.5),
+                "risk90": quantile_risk(q90, true, 0.9),
+            },
+            num_stints=len(records),
+        )
+
+    def evaluate(
+        self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
+    ) -> TaskBResult:
+        return self.aggregate(self.collect(model, test_series))

@@ -1,0 +1,55 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .ablation import OPTIMIZATION_STEPS, fig7
+from .common import MODEL_BUILDERS, build_model, clear_caches, get_dataset, get_features, split_features, train_model
+from .config import ExperimentConfig, active_config, full_config, quick_config
+from .data_stats import fig1, fig4, fig6, table2, table4
+from .efficiency import fig10, fig11, fig12
+from .forecast_curves import fig2, fig8, forecast_curve
+from .generalization import table7
+from .main_results import TABLE5_MODELS, table5, table6
+from .prediction_length import fig9
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .result import ExperimentResult
+from .static_tables import fig3, fig5, table1, table3, table8
+
+__all__ = [
+    "OPTIMIZATION_STEPS",
+    "fig7",
+    "MODEL_BUILDERS",
+    "build_model",
+    "clear_caches",
+    "get_dataset",
+    "get_features",
+    "split_features",
+    "train_model",
+    "ExperimentConfig",
+    "active_config",
+    "full_config",
+    "quick_config",
+    "fig1",
+    "fig4",
+    "fig6",
+    "table2",
+    "table4",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig2",
+    "fig8",
+    "forecast_curve",
+    "table7",
+    "TABLE5_MODELS",
+    "table5",
+    "table6",
+    "fig9",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "ExperimentResult",
+    "fig3",
+    "fig5",
+    "table1",
+    "table3",
+    "table8",
+]

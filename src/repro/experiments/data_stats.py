@@ -1,0 +1,175 @@
+"""Dataset-statistics experiments: Table II, Table IV, Fig. 1, Fig. 4, Fig. 6.
+
+These experiments only need the simulated telemetry (no model training):
+the dataset inventory, the windowed-dataset statistics, an example
+rank/lap-time trajectory, the pit-stop analysis and the per-race data
+distribution scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.stints import pit_statistics
+from ..data.windows import make_windows
+from .common import get_dataset, get_features, split_features
+from .config import ExperimentConfig, active_config
+from .result import ExperimentResult
+
+__all__ = ["table2", "table4", "fig1", "fig4", "fig6"]
+
+
+def table2(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Table II — summary of the (simulated) data sets."""
+    config = config or active_config()
+    dataset = get_dataset(config)
+    rows = []
+    for summary in dataset.summary_rows():
+        rows.append(
+            {
+                "event": summary["event"],
+                "years": ",".join(str(y) for y in summary["years"]),
+                "track_length_mi": summary["track_length_mi"],
+                "track_shape": summary["track_shape"],
+                "total_laps": "/".join(str(l) for l in summary["total_laps"]),
+                "participants": "-".join(str(p) for p in summary["participants"]),
+                "records": summary["records"],
+                "usage": f"{summary['train_races']} train / {summary['validation_races']} val / {summary['test_races']} test",
+            }
+        )
+    return ExperimentResult("Table II", "Summary of the data sets", rows)
+
+
+def table4(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Table IV — dataset statistics and model hyper-parameters."""
+    config = config or active_config()
+    dataset = get_dataset(config)
+    indy_split = dataset.split("Indy500")
+    indy_train, _, _ = split_features(indy_split, config)
+    all_train = []
+    for event in config.events:
+        train, _, _ = split_features(dataset.split(event), config)
+        all_train.extend(train)
+    indy_windows = make_windows(
+        indy_train, encoder_length=config.encoder_length, decoder_length=config.decoder_length
+    )
+    all_windows = make_windows(
+        all_train, encoder_length=config.encoder_length, decoder_length=config.decoder_length
+    )
+    rows = [
+        {"parameter": "# of time series (Indy500 / all)", "value": f"{len(indy_train)} / {len(all_train)}"},
+        {"parameter": "# of training examples (Indy500 / all)", "value": f"{len(indy_windows)} / {len(all_windows)}"},
+        {"parameter": "granularity", "value": "lap"},
+        {"parameter": "encoder length", "value": config.encoder_length},
+        {"parameter": "decoder length", "value": config.decoder_length},
+        {"parameter": "loss weight (rank-change instances)", "value": config.rank_change_weight},
+        {"parameter": "batch size", "value": config.batch_size},
+        {"parameter": "optimizer", "value": "ADAM"},
+        {"parameter": "learning rate", "value": config.learning_rate},
+        {"parameter": "LR decay factor", "value": 0.5},
+        {"parameter": "# of LSTM layers", "value": config.num_layers},
+        {"parameter": "# of LSTM nodes", "value": config.hidden_dim},
+    ]
+    return ExperimentResult("Table IV", "Dataset statistics and model parameters", rows)
+
+
+def fig1(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Fig. 1 — telemetry example and the winner's rank / lap-time sequence."""
+    config = config or active_config()
+    dataset = get_dataset(config)
+    race = dataset.split("Indy500").validation[0] if dataset.split("Indy500").validation else dataset.split("Indy500").train[-1]
+    winner = race.winner()
+    laps = race.car_laps(winner)
+    # (a) a few raw records mid-race
+    lap_examples = race.to_records()
+    rows = [
+        {
+            "rank": r.rank, "car_id": r.car_id, "lap": r.lap,
+            "lap_time": round(r.lap_time, 3),
+            "time_behind_leader": round(r.time_behind_leader, 3),
+            "lap_status": r.lap_status, "track_status": r.track_status,
+        }
+        for r in lap_examples
+        if r.lap == 31
+    ][:8]
+    series = {
+        "winner_rank": laps.rank.astype(float).tolist(),
+        "winner_lap_time": laps.lap_time.tolist(),
+        "winner_pit_laps": laps.laps[laps.is_pit].astype(float).tolist(),
+        "winner_caution_laps": laps.laps[laps.is_caution].astype(float).tolist(),
+    }
+    notes = (
+        f"race={race.race_id}, winner=car {winner}, pits={laps.num_pits}, "
+        f"caution laps={int(laps.is_caution.sum())}"
+    )
+    return ExperimentResult("Fig. 1", "Telemetry example (records of lap 31; winner trajectory)",
+                            rows, series=series, notes=notes)
+
+
+def fig4(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Fig. 4 — pit-stop statistics: stint distributions, pit laps, rank changes.
+
+    As in §III-A of the paper, the analysis uses the Indy500 races (the
+    2.5-mile oval with the ~50-lap fuel window).
+    """
+    config = config or active_config()
+    dataset = get_dataset(config)
+    all_series = []
+    for race in dataset.split("Indy500").all_races():
+        all_series.extend(get_features(race, config.decoder_length))
+    stats = pit_statistics(all_series)
+    rows = []
+    for kind in ("normal", "caution"):
+        stints = stats[kind]["stint_lengths"]
+        changes = stats[kind]["rank_changes"]
+        pit_laps = stats[kind]["pit_laps"]
+        rows.append(
+            {
+                "pit_type": kind,
+                "num_pits": int(stints.size),
+                "stint_mean": float(stints.mean()) if stints.size else float("nan"),
+                "stint_std": float(stints.std()) if stints.size else float("nan"),
+                "stint_max": int(stints.max()) if stints.size else 0,
+                "rank_change_mean": float(changes.mean()) if changes.size else float("nan"),
+                "rank_change_std": float(changes.std()) if changes.size else float("nan"),
+                "pit_lap_spread": float(pit_laps.std()) if pit_laps.size else float("nan"),
+            }
+        )
+    # histogram series for the four panels
+    max_stint = 55
+    series = {}
+    for kind in ("normal", "caution"):
+        stints = stats[kind]["stint_lengths"]
+        hist, _ = np.histogram(stints, bins=np.arange(0, max_stint + 2))
+        series[f"{kind}_stint_hist"] = (hist / max(hist.sum(), 1)).tolist()
+        series[f"{kind}_stint_cdf"] = (np.cumsum(hist) / max(hist.sum(), 1)).tolist()
+        changes = stats[kind]["rank_changes"]
+        chist, _ = np.histogram(changes, bins=np.arange(-10, 31))
+        series[f"{kind}_rank_change_hist"] = (chist / max(chist.sum(), 1)).tolist()
+    notes = (
+        "Expected shape (paper Fig. 4): normal-pit stints form a bell curve bounded by the "
+        "fuel window; caution pits are more dispersed and cost fewer positions."
+    )
+    return ExperimentResult("Fig. 4", "Statistics and analysis of pit stops", rows, series=series, notes=notes)
+
+
+def fig6(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Fig. 6 — per-race PitLapsRatio vs RankChangesRatio scatter."""
+    config = config or active_config()
+    dataset = get_dataset(config)
+    rows = []
+    for event in config.events:
+        for race in dataset.split(event).all_races():
+            rows.append(
+                {
+                    "event": event,
+                    "year": race.year,
+                    "pit_laps_ratio": race.pit_lap_ratio(),
+                    "rank_changes_ratio": race.rank_changes_ratio(),
+                    "caution_laps_ratio": race.caution_lap_ratio(),
+                }
+            )
+    notes = "Indy500 should sit in the upper-right region (most dynamic event), as in the paper."
+    return ExperimentResult("Fig. 6", "Data distribution of the IndyCar dataset", rows, notes=notes)

@@ -1,0 +1,118 @@
+"""Forecast-curve experiments: Fig. 2 (baselines) and Fig. 8 (RankNet family).
+
+Both figures show two-lap-ahead forecasts for one car over the lap range
+around a pit stop (laps 26-56 in the paper): the observed rank, the
+forecast median and the 90% quantile band.  We regenerate the same series
+for the simulated Indy500 test race.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..models.base import RankForecaster
+from .common import get_dataset, split_features, train_model
+from .config import ExperimentConfig, active_config
+from .result import ExperimentResult
+
+__all__ = ["fig2", "fig8", "forecast_curve"]
+
+FIG2_MODELS = ["SVM", "RandomForest", "ARIMA", "DeepAR"]
+FIG8_MODELS = ["Transformer-Oracle", "Transformer-MLP", "RankNet-Oracle", "RankNet-MLP"]
+
+
+def _pick_interesting_car(test_series: Sequence[CarFeatureSeries], lap_lo: int, lap_hi: int):
+    """Pick the car with the largest rank movement inside the window (a pit cycle)."""
+    best, best_score = None, -1.0
+    for series in test_series:
+        if len(series) <= lap_hi:
+            continue
+        window = series.rank[lap_lo:lap_hi]
+        score = float(window.max() - window.min())
+        if series.is_pit[lap_lo:lap_hi].any() and score > best_score:
+            best, best_score = series, score
+    return best if best is not None else test_series[0]
+
+
+def forecast_curve(
+    model: RankForecaster,
+    series: CarFeatureSeries,
+    lap_lo: int,
+    lap_hi: int,
+    horizon: int,
+    n_samples: int,
+) -> Dict[str, List[float]]:
+    """Rolling ``horizon``-lap-ahead forecasts over the lap window."""
+    observed, median, q90, q10, laps = [], [], [], [], []
+    for origin in range(lap_lo, lap_hi):
+        if origin + horizon >= len(series):
+            break
+        fc = model.forecast(series, origin, horizon, n_samples=n_samples)
+        target_idx = origin + horizon
+        laps.append(float(series.laps[target_idx]))
+        observed.append(float(series.rank[target_idx]))
+        median.append(float(fc.point()[-1]))
+        q90.append(float(fc.quantile(0.9)[-1]))
+        q10.append(float(fc.quantile(0.1)[-1]))
+    return {"lap": laps, "observed": observed, "median": median, "q90": q90, "q10": q10}
+
+
+def _curve_experiment(
+    experiment_id: str,
+    title: str,
+    model_names: Sequence[str],
+    config: ExperimentConfig,
+    lap_lo: int = 26,
+    lap_hi: int = 56,
+) -> ExperimentResult:
+    dataset = get_dataset(config)
+    train, val, test = split_features(dataset.split("Indy500"), config)
+    series = _pick_interesting_car(test, lap_lo, lap_hi)
+    rows: List[dict] = []
+    all_series: Dict[str, List[float]] = {}
+    for name in model_names:
+        model = train_model(name, config, train, val, cache_tag="indy500")
+        curve = forecast_curve(
+            model, series, lap_lo, lap_hi, config.decoder_length, config.n_samples
+        )
+        all_series[f"{name}_median"] = curve["median"]
+        all_series[f"{name}_q90"] = curve["q90"]
+        if "observed" not in all_series:
+            all_series["lap"] = curve["lap"]
+            all_series["observed"] = curve["observed"]
+        err = np.abs(np.array(curve["median"]) - np.array(curve["observed"]))
+        rows.append(
+            {
+                "model": name,
+                "car_id": series.car_id,
+                "window_mae": float(err.mean()),
+                "window_max_error": float(err.max()),
+                "coverage_q10_q90": float(
+                    np.mean(
+                        (np.array(curve["observed"]) <= np.array(curve["q90"]))
+                        & (np.array(curve["observed"]) >= np.array(curve["q10"]))
+                    )
+                ),
+            }
+        )
+    notes = f"series: two-lap-ahead forecasts for car {series.car_id} of {series.race_id}, laps {lap_lo}-{lap_hi}."
+    return ExperimentResult(experiment_id, title, rows, series=all_series, notes=notes)
+
+
+def fig2(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Fig. 2 — baseline forecasts around a pit stop."""
+    config = config or active_config()
+    return _curve_experiment(
+        "Fig. 2", "Two-lap forecasts around a pit stop (baselines)", FIG2_MODELS, config
+    )
+
+
+def fig8(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Fig. 8 — RankNet / Transformer forecasts around a pit stop."""
+    config = config or active_config()
+    return _curve_experiment(
+        "Fig. 8", "Two-lap forecasts around a pit stop (RankNet family)", FIG8_MODELS, config
+    )

@@ -1,0 +1,79 @@
+"""Table VII — generalisation to unseen races / events.
+
+For each test race of the other events (Texas, Pocono, Iowa, plus the
+Indy500 test year itself), the table reports the MAE improvement over
+CurRank on the pit-stop-covered laps, for models trained on Indy500 data
+(left half of the paper's table) and models trained on the same event
+(right half).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..evaluation import LapSet, ShortTermEvaluator
+from .common import get_dataset, split_features, train_model
+from .config import ExperimentConfig, active_config
+from .result import ExperimentResult
+
+__all__ = ["table7", "DEFAULT_TABLE7_MODELS"]
+
+#: models compared in Table VII
+DEFAULT_TABLE7_MODELS = ["RankNet-MLP", "RandomForest", "RankNet-Joint", "Transformer-MLP"]
+
+
+def _mae_improvement_over_currank(
+    model, test_series, evaluator: ShortTermEvaluator
+) -> float:
+    """Relative MAE improvement over CurRank on pit-covered windows."""
+    from ..models import CurRankForecaster
+
+    result = evaluator.evaluate(model, test_series)
+    baseline = evaluator.evaluate(CurRankForecaster(), test_series)
+    model_mae = result.metrics[LapSet.PIT_COVERED.value]["mae"]
+    base_mae = baseline.metrics[LapSet.PIT_COVERED.value]["mae"]
+    if base_mae != base_mae or base_mae <= 0:  # NaN or degenerate
+        return float("nan")
+    return float((base_mae - model_mae) / base_mae)
+
+
+def table7(
+    config: Optional[ExperimentConfig] = None,
+    models: Optional[Sequence[str]] = None,
+    events: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Table VII — two-lap forecasting on other races, trained on Indy500 vs same event."""
+    config = config or active_config()
+    models = list(models) if models is not None else list(DEFAULT_TABLE7_MODELS)
+    events = list(events) if events is not None else [e for e in config.events]
+    dataset = get_dataset(config)
+    evaluator = ShortTermEvaluator(
+        horizon=config.decoder_length,
+        n_samples=config.n_samples,
+        origin_stride=config.origin_stride,
+        min_history=config.min_history,
+    )
+    indy_train, indy_val, _ = split_features(dataset.split("Indy500"), config)
+
+    rows: List[Dict[str, object]] = []
+    for event in events:
+        split = dataset.split(event)
+        event_train, event_val, event_test = split_features(split, config)
+        if not event_test:
+            continue
+        for test_race_year in sorted({s.year for s in event_test}):
+            race_series = [s for s in event_test if s.year == test_race_year]
+            row: Dict[str, object] = {"dataset": f"{event}-{test_race_year}"}
+            for name in models:
+                cross = train_model(name, config, indy_train, indy_val, cache_tag="indy500")
+                row[f"{name}_by_indy500"] = _mae_improvement_over_currank(cross, race_series, evaluator)
+                same = train_model(name, config, event_train, event_val, cache_tag=f"event:{event}")
+                row[f"{name}_by_same_event"] = _mae_improvement_over_currank(same, race_series, evaluator)
+            rows.append(row)
+    notes = (
+        "Values are relative MAE improvements over CurRank on pit-covered laps "
+        "(positive = better than the naive baseline).  Expected shape (paper Table VII): "
+        "RankNet-MLP keeps a positive improvement even on unseen events, while RandomForest "
+        "degrades badly when transferred from Indy500."
+    )
+    return ExperimentResult("Table VII", "Two-lap forecasting on other races", rows, notes=notes)

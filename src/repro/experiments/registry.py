@@ -1,0 +1,53 @@
+"""Registry mapping experiment ids to their regeneration functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .ablation import fig7
+from .config import ExperimentConfig
+from .data_stats import fig1, fig4, fig6, table2, table4
+from .efficiency import fig10, fig11, fig12
+from .forecast_curves import fig2, fig8
+from .generalization import table7
+from .main_results import table5, table6
+from .prediction_length import fig9
+from .result import ExperimentResult
+from .static_tables import fig3, fig5, table1, table3, table8
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, config: Optional[ExperimentConfig] = None, **kwargs) -> ExperimentResult:
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}") from exc
+    return fn(config, **kwargs) if config is not None else fn(**kwargs)

@@ -1,0 +1,36 @@
+"""Common result container returned by every experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..evaluation.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows (and optional named series) regenerating one table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, Sequence[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self, digits: int = 3) -> str:
+        parts = [format_table(self.rows, title=f"{self.experiment_id}: {self.title}", digits=digits)]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key_value: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise KeyError(f"no row with {key_column}={key_value!r}")

@@ -1,0 +1,44 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner table5
+    python -m repro.experiments.runner fig9 --profile full
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import full_config, quick_config
+from .registry import list_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's tables and figures")
+    parser.add_argument("experiment", help="experiment id (e.g. table5, fig9) or 'all'")
+    parser.add_argument("--profile", choices=["quick", "full"], default="quick",
+                        help="experiment scale (default: quick)")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(list_experiments()))
+        return 0
+
+    config = full_config() if args.profile == "full" else quick_config()
+    names = list_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, config)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

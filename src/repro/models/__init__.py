@@ -1,0 +1,72 @@
+"""Forecasting models: baselines and the RankNet family.
+
+The models follow the inventory of Table III in the paper:
+
+==================  ==============  ===========  ======================
+Model               Representation  Uncertainty  PitModel
+==================  ==============  ===========  ======================
+CurRank             no              no           no
+RandomForest        no              no           no
+SVM                 no              no           no
+XGBoost             no              no           no
+ARIMA               no              yes          no
+DeepAR              yes             yes          no
+RankNet-Joint       yes             yes          joint training
+RankNet-MLP         yes             yes          decomposed (MLP)
+RankNet-Oracle      yes             yes          ground truth
+Transformer-*       yes             yes          oracle / MLP
+==================  ==============  ===========  ======================
+"""
+
+from .arima import ArimaForecaster, ArimaModel
+from .base import ProbabilisticForecast, RankForecaster, clip_rank
+from .currank import CurRankForecaster
+from .deep import (
+    DeepARForecaster,
+    DeepForecasterBase,
+    PitModelMLP,
+    RankNetForecaster,
+    RankSeqModel,
+    TransformerForecaster,
+    TransformerSeqModel,
+    plan_future_covariates,
+)
+from .ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    PointwiseMLForecaster,
+    RandomForestForecaster,
+    RandomForestRegressor,
+    SVR,
+    SVRForecaster,
+    XGBoostForecaster,
+    build_pointwise_features,
+    rbf_kernel,
+)
+
+__all__ = [
+    "ArimaForecaster",
+    "ArimaModel",
+    "ProbabilisticForecast",
+    "RankForecaster",
+    "clip_rank",
+    "CurRankForecaster",
+    "DeepARForecaster",
+    "DeepForecasterBase",
+    "PitModelMLP",
+    "RankNetForecaster",
+    "RankSeqModel",
+    "TransformerForecaster",
+    "TransformerSeqModel",
+    "plan_future_covariates",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "PointwiseMLForecaster",
+    "RandomForestForecaster",
+    "RandomForestRegressor",
+    "SVR",
+    "SVRForecaster",
+    "XGBoostForecaster",
+    "build_pointwise_features",
+    "rbf_kernel",
+]

@@ -1,0 +1,111 @@
+"""Common forecaster interface and forecast containers.
+
+Every model in this package — the naive CurRank baseline, the statistical
+and machine-learning regressors, DeepAR and the RankNet variants — exposes
+the same two operations so the evaluation harness (TaskA, TaskB) and the
+benchmark suite can treat them uniformly:
+
+* ``fit(train_series, val_series)`` — learn from a list of
+  :class:`repro.data.CarFeatureSeries`;
+* ``forecast(series, origin, horizon, n_samples)`` — produce a Monte-Carlo
+  sample matrix of the car's rank for the ``horizon`` laps following lap
+  index ``origin`` of ``series``.
+
+Point forecasts are taken as the median of the samples (as in the paper,
+which draws 100 samples and sorts them); deterministic models simply return
+identical samples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+
+__all__ = ["ProbabilisticForecast", "RankForecaster", "clip_rank"]
+
+
+def clip_rank(values: np.ndarray, num_cars: int = 33) -> np.ndarray:
+    """Clip forecasts into the physically valid rank range ``[1, num_cars]``."""
+    return np.clip(values, 1.0, float(num_cars))
+
+
+@dataclass
+class ProbabilisticForecast:
+    """Monte-Carlo forecast of one car's rank over ``horizon`` future laps."""
+
+    samples: np.ndarray  # (n_samples, horizon)
+    origin: int
+    race_id: str = ""
+    car_id: int = -1
+
+    def __post_init__(self) -> None:
+        self.samples = np.atleast_2d(np.asarray(self.samples, dtype=np.float64))
+
+    @property
+    def horizon(self) -> int:
+        return int(self.samples.shape[1])
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.samples.shape[0])
+
+    def median(self) -> np.ndarray:
+        return np.median(self.samples, axis=0)
+
+    def mean(self) -> np.ndarray:
+        return self.samples.mean(axis=0)
+
+    def quantile(self, q: float) -> np.ndarray:
+        return np.quantile(self.samples, q, axis=0)
+
+    def point(self) -> np.ndarray:
+        """Point forecast used for MAE / accuracy metrics (the median)."""
+        return self.median()
+
+
+class RankForecaster(abc.ABC):
+    """Abstract base class of all rank-position forecasters."""
+
+    #: human-readable name used in result tables
+    name: str = "forecaster"
+    #: whether the model outputs a genuine predictive distribution
+    supports_uncertainty: bool = False
+    #: whether the model uses (or predicts) the race-status covariates
+    uses_race_status: bool = False
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        train_series: Sequence[CarFeatureSeries],
+        val_series: Optional[Sequence[CarFeatureSeries]] = None,
+    ) -> "RankForecaster":
+        """Train the model on a collection of per-car series."""
+
+    @abc.abstractmethod
+    def forecast(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        n_samples: int = 100,
+    ) -> ProbabilisticForecast:
+        """Forecast ``horizon`` laps after lap index ``origin`` of ``series``."""
+
+    # ------------------------------------------------------------------
+    def forecast_many(
+        self,
+        series: CarFeatureSeries,
+        origins: Sequence[int],
+        horizon: int,
+        n_samples: int = 100,
+    ) -> List[ProbabilisticForecast]:
+        """Forecasts for several origins of the same series (convenience)."""
+        return [self.forecast(series, int(o), horizon, n_samples=n_samples) for o in origins]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r})"

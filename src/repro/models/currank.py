@@ -1,0 +1,49 @@
+"""CurRank — the naive persistence baseline.
+
+CurRank assumes the rank positions will not change in the future: the
+forecast for every future lap is the currently observed rank.  Despite its
+simplicity it is a strong baseline for short horizons (Table V: 73% Top1Acc
+and 1.16 MAE on Indy500-2019 two-lap forecasting) because ranks rarely move
+outside of pit windows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from .base import ProbabilisticForecast, RankForecaster
+
+__all__ = ["CurRankForecaster"]
+
+
+class CurRankForecaster(RankForecaster):
+    """Persistence forecaster: future rank equals the last observed rank."""
+
+    name = "CurRank"
+    supports_uncertainty = False
+    uses_race_status = False
+
+    def fit(
+        self,
+        train_series: Sequence[CarFeatureSeries],
+        val_series: Optional[Sequence[CarFeatureSeries]] = None,
+    ) -> "CurRankForecaster":
+        return self
+
+    def forecast(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        n_samples: int = 100,
+    ) -> ProbabilisticForecast:
+        if origin < 0 or origin >= len(series):
+            raise IndexError(f"origin {origin} out of range for series of length {len(series)}")
+        current = float(series.rank[origin])
+        samples = np.full((n_samples, horizon), current, dtype=np.float64)
+        return ProbabilisticForecast(
+            samples=samples, origin=origin, race_id=series.race_id, car_id=series.car_id
+        )

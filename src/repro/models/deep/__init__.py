@@ -1,0 +1,22 @@
+"""Deep probabilistic forecasters: DeepAR, RankNet (LSTM) and Transformer."""
+
+from .pitmodel import PitModelMLP, plan_future_covariates
+from .rankmodel import RankSeqModel
+from .ranknet import (
+    DeepARForecaster,
+    DeepForecasterBase,
+    RankNetForecaster,
+    TransformerForecaster,
+)
+from .transformer import TransformerSeqModel
+
+__all__ = [
+    "PitModelMLP",
+    "plan_future_covariates",
+    "RankSeqModel",
+    "DeepARForecaster",
+    "DeepForecasterBase",
+    "RankNetForecaster",
+    "TransformerForecaster",
+    "TransformerSeqModel",
+]

@@ -1,0 +1,239 @@
+"""DeepAR-style autoregressive LSTM encoder-decoder (the RankModel).
+
+This is the sequence backbone shared by the DeepAR baseline and every
+RankNet variant (Fig. 5(c)).  At each lap the network receives the previous
+(scaled) target value and the current covariates, updates a stacked-LSTM
+state and emits the parameters of a Gaussian predictive distribution:
+
+    h_t           = LSTM(h_{t-1}, [z_{t-1}, x_t])
+    (mu_t, sig_t) = GaussianOutput(h_t)
+
+Training (Algorithm 1) maximises the log-likelihood of the observed targets
+over the decoder steps with optional per-instance weights; forecasting
+(Algorithm 2) feeds Monte-Carlo samples back into the recurrence.
+
+Targets may be multivariate (``target_dim > 1``): the RankNet-Joint ablation
+models ``[Rank, LapStatus, TrackStatus]`` jointly with one Gaussian head per
+dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...data.scaling import MeanScaler
+from ...nn import GaussianOutput, Module, StackedLSTM
+from ...nn.losses import gaussian_nll
+
+__all__ = ["RankSeqModel"]
+
+
+class RankSeqModel(Module):
+    """Probabilistic LSTM encoder-decoder over rank windows."""
+
+    def __init__(
+        self,
+        num_covariates: int,
+        hidden_dim: int = 40,
+        num_layers: int = 2,
+        target_dim: int = 1,
+        encoder_length: int = 60,
+        decoder_length: int = 2,
+        dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if target_dim < 1:
+            raise ValueError("target_dim must be >= 1")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.num_covariates = int(num_covariates)
+        self.hidden_dim = int(hidden_dim)
+        self.num_layers = int(num_layers)
+        self.target_dim = int(target_dim)
+        self.encoder_length = int(encoder_length)
+        self.decoder_length = int(decoder_length)
+        self.input_dim = self.target_dim + self.num_covariates
+        self.lstm = StackedLSTM(
+            input_dim=self.input_dim,
+            hidden_dim=hidden_dim,
+            num_layers=num_layers,
+            dropout=dropout,
+            rng=rng,
+        )
+        self.heads = [GaussianOutput(hidden_dim, rng=rng, name=f"head.{d}") for d in range(target_dim)]
+        self.scaler = MeanScaler()
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _prepare_targets(self, target: np.ndarray) -> np.ndarray:
+        """Ensure targets have shape ``(B, T, target_dim)``."""
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim == 2:
+            target = target[..., None]
+        if target.shape[-1] != self.target_dim:
+            raise ValueError(
+                f"expected target_dim={self.target_dim}, got {target.shape[-1]}"
+            )
+        return target
+
+    def _scale_factors(self, target: np.ndarray) -> np.ndarray:
+        """Per-window, per-dimension scale from the encoder span: ``(B, target_dim)``."""
+        enc = target[:, : self.encoder_length, :]
+        return np.abs(enc).mean(axis=1) + 1.0
+
+    # ------------------------------------------------------------------
+    # training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _forward_loss(
+        self, batch: Dict[str, np.ndarray], with_backward: bool
+    ) -> float:
+        target = self._prepare_targets(batch["target"])
+        covariates = np.asarray(batch["covariates"], dtype=np.float64)
+        weight = np.asarray(batch.get("weight", np.ones(target.shape[0])), dtype=np.float64)
+        batch_size, total_len, _ = target.shape
+        if covariates.shape[-1] != self.num_covariates:
+            raise ValueError(
+                f"expected {self.num_covariates} covariates, got {covariates.shape[-1]}"
+            )
+        scale = self._scale_factors(target)  # (B, D)
+        z = target / scale[:, None, :]
+
+        states = self.lstm.zero_state(batch_size)
+        decoder_start = total_len - self.decoder_length
+        step_params: List[tuple] = []  # (t, mu (B,D), sigma (B,D))
+        for t in range(1, total_len):
+            x_t = np.concatenate([z[:, t - 1, :], covariates[:, t, :]], axis=1)
+            h_t, states = self.lstm.step(x_t, states)
+            if t >= decoder_start:
+                mus = np.empty((batch_size, self.target_dim))
+                sigmas = np.empty((batch_size, self.target_dim))
+                for d, head in enumerate(self.heads):
+                    params = head.forward(h_t)
+                    mus[:, d] = params.mu
+                    sigmas[:, d] = params.sigma
+                step_params.append((t, mus, sigmas))
+
+        # loss over decoder steps, averaged over (instances x steps x dims)
+        total_loss = 0.0
+        grads: Dict[int, tuple] = {}
+        n_terms = len(step_params) * self.target_dim
+        for t, mus, sigmas in step_params:
+            d_mu = np.zeros_like(mus)
+            d_sigma = np.zeros_like(sigmas)
+            for d in range(self.target_dim):
+                loss, g_mu, g_sigma = gaussian_nll(
+                    z[:, t, d], mus[:, d], sigmas[:, d], weights=weight
+                )
+                total_loss += loss / n_terms
+                d_mu[:, d] = g_mu / n_terms
+                d_sigma[:, d] = g_sigma / n_terms
+            grads[t] = (d_mu, d_sigma)
+
+        if not with_backward:
+            self.lstm.clear_cache()
+            for head in self.heads:
+                head.clear_cache()
+            return float(total_loss)
+
+        # ------------------------------------------------------------------
+        # backward pass: heads (reverse order), then BPTT through the stack
+        # ------------------------------------------------------------------
+        dh_by_step: Dict[int, np.ndarray] = {}
+        for t, _, _ in reversed(step_params):
+            d_mu, d_sigma = grads[t]
+            dh = np.zeros((batch_size, self.hidden_dim))
+            for d in reversed(range(self.target_dim)):
+                dh += self.heads[d].backward(d_mu[:, d], d_sigma[:, d])
+            dh_by_step[t] = dh
+
+        dstates = None
+        for t in reversed(range(1, total_len)):
+            dh_top = dh_by_step.get(t, np.zeros((batch_size, self.hidden_dim)))
+            _, dstates = self.lstm.step_backward(dh_top, dstates)
+        return float(total_loss)
+
+    def loss_and_backward(self, batch: Dict[str, np.ndarray]) -> float:
+        return self._forward_loss(batch, with_backward=True)
+
+    def validation_loss(self, batch: Dict[str, np.ndarray]) -> float:
+        return self._forward_loss(batch, with_backward=False)
+
+    # ------------------------------------------------------------------
+    # forecasting (Algorithm 2)
+    # ------------------------------------------------------------------
+    def forecast_samples(
+        self,
+        history_target: np.ndarray,
+        history_covariates: np.ndarray,
+        future_covariates: np.ndarray,
+        n_samples: int = 100,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Draw ``n_samples`` Monte-Carlo trajectories of the future target.
+
+        Parameters
+        ----------
+        history_target:
+            ``(L0,)`` or ``(L0, target_dim)`` observed targets.
+        history_covariates:
+            ``(L0, num_covariates)`` covariates aligned with the history.
+        future_covariates:
+            ``(H, num_covariates)`` covariates for the forecast horizon.
+
+        Returns
+        -------
+        samples:
+            ``(n_samples, H)`` trajectories of the *first* target dimension
+            (the rank), on the original scale.
+        """
+        rng = rng or self.rng
+        history_target = np.asarray(history_target, dtype=np.float64)
+        if history_target.ndim == 1:
+            history_target = history_target[:, None]
+        history_covariates = np.asarray(history_covariates, dtype=np.float64)
+        future_covariates = np.asarray(future_covariates, dtype=np.float64)
+        horizon = future_covariates.shape[0]
+        l0 = history_target.shape[0]
+        if history_covariates.shape[0] != l0:
+            raise ValueError("history covariates misaligned with history target")
+
+        was_training = self.training
+        self.eval()
+        scale = np.abs(history_target).mean(axis=0) + 1.0  # (D,)
+        z_hist = history_target / scale  # (L0, D)
+
+        # replicate across samples: batch dimension = n_samples
+        z_prev = np.tile(z_hist[0][None, :], (n_samples, 1))
+        states = self.lstm.zero_state(n_samples)
+        # warm up through the history (teacher forcing on observed values)
+        for t in range(1, l0):
+            x_t = np.concatenate(
+                [np.tile(z_hist[t - 1][None, :], (n_samples, 1)),
+                 np.tile(history_covariates[t][None, :], (n_samples, 1))],
+                axis=1,
+            )
+            _, states = self.lstm.step(x_t, states)
+        self.lstm.clear_cache()
+
+        samples = np.empty((n_samples, horizon), dtype=np.float64)
+        z_prev = np.tile(z_hist[-1][None, :], (n_samples, 1))
+        for h in range(horizon):
+            x_t = np.concatenate(
+                [z_prev, np.tile(future_covariates[h][None, :], (n_samples, 1))], axis=1
+            )
+            h_t, states = self.lstm.step(x_t, states)
+            z_next = np.empty((n_samples, self.target_dim))
+            for d, head in enumerate(self.heads):
+                params = head.forward(h_t)
+                draw = params.mu + params.sigma * rng.standard_normal(n_samples)
+                z_next[:, d] = draw
+                head.clear_cache()
+            self.lstm.clear_cache()
+            samples[:, h] = z_next[:, 0] * scale[0]
+            z_prev = z_next
+        self.train(was_training)
+        return samples

@@ -1,0 +1,461 @@
+"""RankNet, DeepAR and Transformer forecaster wrappers.
+
+This module glues the sequence backbones (:class:`RankSeqModel`,
+:class:`TransformerSeqModel`) and the :class:`PitModelMLP` into the common
+:class:`repro.models.base.RankForecaster` interface, implementing the three
+RankNet variants compared in the paper (Table III):
+
+* **RankNet-Oracle** — the RankModel receives the *true* future race status
+  as covariates (upper bound on what the decomposition can achieve);
+* **RankNet-MLP** — the proposed model: a separate probabilistic PitModel
+  forecasts the future pit stops, and the sampled race-status plan is fed to
+  the RankModel (cause-effect decomposition);
+* **RankNet-Joint** — no decomposition: rank, LapStatus and TrackStatus are
+  modelled jointly as a multivariate target (the ablation that fails due to
+  the sparsity of the pit/caution events);
+
+plus the plain **DeepAR** baseline (no race-status covariates at all) and
+the Transformer-backboned versions of Oracle / MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...data.features import CarFeatureSeries
+from ...data.loader import BatchLoader
+from ...data.schema import ALL_COVARIATES, FeatureSpec
+from ...data.windows import make_windows
+from ...nn import Adam, Trainer, TrainingHistory
+from ..base import ProbabilisticForecast, RankForecaster, clip_rank
+from .pitmodel import PitModelMLP
+from .rankmodel import RankSeqModel
+from .transformer import TransformerSeqModel
+
+__all__ = [
+    "DeepForecasterBase",
+    "DeepARForecaster",
+    "RankNetForecaster",
+    "TransformerForecaster",
+]
+
+
+class DeepForecasterBase(RankForecaster):
+    """Shared training / forecasting logic of the deep sequence forecasters."""
+
+    supports_uncertainty = True
+
+    def __init__(
+        self,
+        feature_spec: Optional[FeatureSpec] = None,
+        encoder_length: int = 60,
+        decoder_length: int = 2,
+        hidden_dim: int = 40,
+        num_layers: int = 2,
+        epochs: int = 15,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        rank_change_weight: float = 9.0,
+        max_train_windows: int = 4000,
+        window_stride: int = 1,
+        target_dim: int = 1,
+        seed: int = 0,
+        name: str = "DeepForecaster",
+    ) -> None:
+        self.feature_spec = feature_spec or FeatureSpec()
+        self.encoder_length = int(encoder_length)
+        self.decoder_length = int(decoder_length)
+        self.hidden_dim = int(hidden_dim)
+        self.num_layers = int(num_layers)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.rank_change_weight = float(rank_change_weight)
+        self.max_train_windows = int(max_train_windows)
+        self.window_stride = int(window_stride)
+        self.target_dim = int(target_dim)
+        self.seed = int(seed)
+        self.name = name
+        self.rng = np.random.default_rng(seed)
+        self.model = None
+        self.history_: Optional[TrainingHistory] = None
+        self.uses_race_status = self.feature_spec.num_covariates > 0
+
+    # ------------------------------------------------------------------
+    # model construction (overridden by the Transformer variant)
+    # ------------------------------------------------------------------
+    def _build_model(self, num_covariates: int):
+        return RankSeqModel(
+            num_covariates=num_covariates,
+            hidden_dim=self.hidden_dim,
+            num_layers=self.num_layers,
+            target_dim=self.target_dim,
+            encoder_length=self.encoder_length,
+            decoder_length=self.decoder_length,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    # dataset assembly
+    # ------------------------------------------------------------------
+    def _make_batches(self, series_list: Sequence[CarFeatureSeries], shuffle: bool):
+        dataset = make_windows(
+            series_list,
+            encoder_length=self.encoder_length,
+            decoder_length=self.decoder_length,
+            stride=self.window_stride,
+            rank_change_loss_weight=self.rank_change_weight,
+        )
+        if len(dataset) > self.max_train_windows:
+            idx = self.rng.choice(len(dataset), size=self.max_train_windows, replace=False)
+            dataset = dataset.subset(np.sort(idx))
+        loader = BatchLoader(
+            dataset,
+            batch_size=self.batch_size,
+            shuffle=shuffle,
+            spec=self.feature_spec,
+            rng=self.rng,
+        )
+        return dataset, loader
+
+    def _augment_batch(self, batch: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Hook for variants that need to reshape the batch (e.g. Joint)."""
+        return batch
+
+    def _wrap_loader(self, loader: BatchLoader):
+        def batches():
+            for batch in loader:
+                yield self._augment_batch(batch)
+
+        return batches
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_series: Sequence[CarFeatureSeries],
+        val_series: Optional[Sequence[CarFeatureSeries]] = None,
+    ) -> "DeepForecasterBase":
+        _, train_loader = self._make_batches(train_series, shuffle=True)
+        val_loader = None
+        if val_series:
+            _, val_loader = self._make_batches(val_series, shuffle=False)
+        self.model = self._build_model(self.feature_spec.num_covariates)
+        trainer = Trainer(
+            self.model,
+            optimizer=Adam(self.model.parameters(), lr=self.lr),
+            max_epochs=self.epochs,
+            lr_patience=10,
+            early_stopping_patience=max(self.epochs, 10),
+        )
+        self.history_ = trainer.fit(
+            self._wrap_loader(train_loader),
+            self._wrap_loader(val_loader) if val_loader is not None else None,
+        )
+        self._post_fit(train_series)
+        return self
+
+    def _post_fit(self, train_series: Sequence[CarFeatureSeries]) -> None:
+        """Hook for variants that train auxiliary models (e.g. the PitModel)."""
+
+    def fine_tune(
+        self,
+        train_series: Sequence[CarFeatureSeries],
+        val_series: Optional[Sequence[CarFeatureSeries]] = None,
+        epochs: int = 5,
+        lr: Optional[float] = None,
+    ) -> "DeepForecasterBase":
+        """Continue training the fitted model on new data (transfer learning).
+
+        The paper lists transfer learning across events as future work; this
+        implements the simplest form — warm-starting from the already-trained
+        weights and running a few additional epochs at a (typically lower)
+        learning rate on the new event's races.
+        """
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before fine-tuning")
+        _, train_loader = self._make_batches(train_series, shuffle=True)
+        val_loader = None
+        if val_series:
+            _, val_loader = self._make_batches(val_series, shuffle=False)
+        trainer = Trainer(
+            self.model,
+            optimizer=Adam(self.model.parameters(), lr=lr if lr is not None else self.lr * 0.3),
+            max_epochs=int(epochs),
+            lr_patience=max(int(epochs), 1),
+            early_stopping_patience=max(int(epochs), 1),
+        )
+        self.history_ = trainer.fit(
+            self._wrap_loader(train_loader),
+            self._wrap_loader(val_loader) if val_loader is not None else None,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # forecasting
+    # ------------------------------------------------------------------
+    def _history_target(self, series: CarFeatureSeries, origin: int) -> np.ndarray:
+        start = max(0, origin + 1 - self.encoder_length)
+        return series.rank[start : origin + 1]
+
+    def _history_covariates(self, series: CarFeatureSeries, origin: int) -> np.ndarray:
+        start = max(0, origin + 1 - self.encoder_length)
+        cov = self._select(series.covariates[start : origin + 1])
+        return cov
+
+    def _select(self, covariates: np.ndarray) -> np.ndarray:
+        names = self.feature_spec.covariate_names()
+        if not names:
+            return np.zeros(covariates.shape[:-1] + (0,), dtype=np.float64)
+        idx = [ALL_COVARIATES.index(n) for n in names]
+        return covariates[..., idx]
+
+    def _future_covariates(
+        self, series: CarFeatureSeries, origin: int, horizon: int
+    ) -> np.ndarray:
+        """Default: covariates unknown in the future -> zeros."""
+        return np.zeros((horizon, self.feature_spec.num_covariates), dtype=np.float64)
+
+    def forecast(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        n_samples: int = 100,
+    ) -> ProbabilisticForecast:
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before forecasting")
+        if origin < 1 or origin >= len(series):
+            raise IndexError(f"origin {origin} out of range")
+        history_target = self._history_target(series, origin)
+        history_cov = self._history_covariates(series, origin)
+        future_cov = self._future_covariates(series, origin, horizon)
+        samples = self.model.forecast_samples(
+            self._target_history_matrix(series, origin, history_target),
+            history_cov,
+            future_cov,
+            n_samples=n_samples,
+            rng=self.rng,
+        )
+        samples = clip_rank(samples)
+        return ProbabilisticForecast(
+            samples=samples, origin=origin, race_id=series.race_id, car_id=series.car_id
+        )
+
+    def _target_history_matrix(
+        self, series: CarFeatureSeries, origin: int, history_target: np.ndarray
+    ) -> np.ndarray:
+        """Univariate by default; the Joint variant overrides this."""
+        return history_target
+
+
+class DeepARForecaster(DeepForecasterBase):
+    """DeepAR baseline: the same backbone with no race-status covariates."""
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("name", "DeepAR")
+        super().__init__(
+            feature_spec=FeatureSpec(use_race_status=False, use_context=False, use_shift=False),
+            **kwargs,
+        )
+        self.uses_race_status = False
+
+
+class RankNetForecaster(DeepForecasterBase):
+    """RankNet with the LSTM backbone (variants: oracle / mlp / joint)."""
+
+    VARIANTS = ("oracle", "mlp", "joint")
+
+    def __init__(
+        self,
+        variant: str = "mlp",
+        pit_model: Optional[PitModelMLP] = None,
+        pit_plans_per_forecast: int = 5,
+        feature_spec: Optional[FeatureSpec] = None,
+        **kwargs,
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}, got {variant!r}")
+        self.variant = variant
+        if variant == "joint":
+            # joint training models [rank, lap_status, track_status] with no covariates
+            feature_spec = FeatureSpec(use_race_status=False, use_context=False, use_shift=False)
+            kwargs.setdefault("target_dim", 3)
+        else:
+            feature_spec = feature_spec or FeatureSpec()
+        kwargs.setdefault("name", f"RankNet-{variant.upper() if variant == 'mlp' else variant.capitalize()}")
+        super().__init__(feature_spec=feature_spec, **kwargs)
+        self.pit_model = pit_model
+        self.pit_plans_per_forecast = int(pit_plans_per_forecast)
+        self.uses_race_status = True
+
+    # -- joint variant: build the multivariate target from the full covariates
+    def _make_batches(self, series_list, shuffle):
+        dataset = make_windows(
+            series_list,
+            encoder_length=self.encoder_length,
+            decoder_length=self.decoder_length,
+            stride=self.window_stride,
+            rank_change_loss_weight=self.rank_change_weight,
+        )
+        if len(dataset) > self.max_train_windows:
+            idx = self.rng.choice(len(dataset), size=self.max_train_windows, replace=False)
+            dataset = dataset.subset(np.sort(idx))
+        loader = BatchLoader(
+            dataset,
+            batch_size=self.batch_size,
+            shuffle=shuffle,
+            spec=self.feature_spec,
+            rng=self.rng,
+        )
+        if self.variant == "joint":
+            track_idx = ALL_COVARIATES.index("track_status")
+            lap_idx = ALL_COVARIATES.index("lap_status")
+            full_cov = dataset.covariates
+            base_loader = loader
+
+            def batches_with_joint():
+                for batch, rows in _iter_with_indices(base_loader, dataset):
+                    target = np.stack(
+                        [
+                            batch["target"],
+                            full_cov[rows][:, :, lap_idx],
+                            full_cov[rows][:, :, track_idx],
+                        ],
+                        axis=-1,
+                    )
+                    yield {**batch, "target": target}
+
+            loader = _JointLoaderProxy(base_loader, batches_with_joint)
+        return dataset, loader
+
+    def _post_fit(self, train_series: Sequence[CarFeatureSeries]) -> None:
+        if self.variant == "mlp" and self.pit_model is None:
+            self.pit_model = PitModelMLP(seed=self.seed)
+            self.pit_model.fit(list(train_series))
+
+    def _target_history_matrix(self, series, origin, history_target):
+        if self.variant != "joint":
+            return history_target
+        start = max(0, origin + 1 - self.encoder_length)
+        lap = series.covariate("lap_status")[start : origin + 1]
+        track = series.covariate("track_status")[start : origin + 1]
+        return np.column_stack([history_target, lap, track])
+
+    def _future_covariates(self, series, origin, horizon):
+        if self.variant == "joint":
+            return np.zeros((horizon, 0), dtype=np.float64)
+        if self.variant == "oracle":
+            end = min(origin + horizon, len(series) - 1)
+            cov = series.covariates[origin + 1 : end + 1]
+            if cov.shape[0] < horizon:  # pad when the race ends inside the horizon
+                pad = np.zeros((horizon - cov.shape[0], cov.shape[1]))
+                cov = np.vstack([cov, pad])
+            return self._select(cov)
+        # mlp variant: sample a pit-stop plan
+        if self.pit_model is None:
+            raise RuntimeError("RankNet-MLP requires a fitted PitModel")
+        plan = self.pit_model.plan_covariates(series, origin, horizon, rng=self.rng)
+        return self._select(plan)
+
+    def forecast(self, series, origin, horizon, n_samples: int = 100):
+        if self.variant != "mlp" or self.pit_plans_per_forecast <= 1:
+            return super().forecast(series, origin, horizon, n_samples=n_samples)
+        # MLP variant: average over several sampled pit-stop plans so the
+        # uncertainty of the PitModel propagates into the rank forecast
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before forecasting")
+        plans = self.pit_plans_per_forecast
+        per_plan = max(n_samples // plans, 1)
+        history_target = self._history_target(series, origin)
+        history_cov = self._history_covariates(series, origin)
+        chunks: List[np.ndarray] = []
+        for _ in range(plans):
+            future_cov = self._select(
+                self.pit_model.plan_covariates(series, origin, horizon, rng=self.rng)
+            )
+            chunk = self.model.forecast_samples(
+                history_target, history_cov, future_cov, n_samples=per_plan, rng=self.rng
+            )
+            chunks.append(chunk)
+        samples = clip_rank(np.vstack(chunks))
+        return ProbabilisticForecast(
+            samples=samples, origin=origin, race_id=series.race_id, car_id=series.car_id
+        )
+
+
+class _JointLoaderProxy:
+    """Wraps a loader so iteration yields joint (multivariate-target) batches."""
+
+    def __init__(self, loader: BatchLoader, batches_fn) -> None:
+        self._loader = loader
+        self._batches_fn = batches_fn
+
+    def __iter__(self):
+        return iter(self._batches_fn())
+
+    def __len__(self):
+        return len(self._loader)
+
+
+def _iter_with_indices(loader: BatchLoader, dataset):
+    """Iterate a loader re-deriving the row indices of each batch.
+
+    The loader shuffles internally; to attach extra columns per batch we
+    re-implement its iteration order using the same RNG stream would be
+    fragile, so instead we iterate the dataset directly in fixed-size chunks
+    (shuffling is handled by re-shuffling indices here).
+    """
+    n = len(dataset)
+    order = np.arange(n)
+    if loader.shuffle:
+        loader.rng.shuffle(order)
+    cov = dataset.select_covariates(loader.spec)
+    for start in range(0, n, loader.batch_size):
+        rows = order[start : start + loader.batch_size]
+        batch = {
+            "target": dataset.target[rows],
+            "covariates": cov[rows],
+            "car_index": dataset.car_index[rows],
+            "weight": dataset.weight[rows],
+        }
+        yield batch, rows
+
+
+class TransformerForecaster(RankNetForecaster):
+    """RankNet with a Transformer backbone (oracle or mlp covariate handling)."""
+
+    def __init__(
+        self,
+        variant: str = "mlp",
+        d_model: int = 32,
+        num_heads: int = 8,
+        d_ff: int = 64,
+        num_encoder_layers: int = 2,
+        num_decoder_layers: int = 1,
+        **kwargs,
+    ) -> None:
+        if variant == "joint":
+            raise ValueError("the Transformer implementation supports 'oracle' and 'mlp' only")
+        kwargs.setdefault("name", f"Transformer-{'MLP' if variant == 'mlp' else variant.capitalize()}")
+        super().__init__(variant=variant, **kwargs)
+        self.d_model = int(d_model)
+        self.num_heads = int(num_heads)
+        self.d_ff = int(d_ff)
+        self.num_encoder_layers = int(num_encoder_layers)
+        self.num_decoder_layers = int(num_decoder_layers)
+
+    def _build_model(self, num_covariates: int):
+        return TransformerSeqModel(
+            num_covariates=num_covariates,
+            d_model=self.d_model,
+            num_heads=self.num_heads,
+            d_ff=self.d_ff,
+            num_encoder_layers=self.num_encoder_layers,
+            num_decoder_layers=self.num_decoder_layers,
+            target_dim=self.target_dim,
+            encoder_length=self.encoder_length,
+            decoder_length=self.decoder_length,
+            rng=self.rng,
+        )

@@ -1,0 +1,26 @@
+"""From-scratch classical ML regressors and their forecaster wrappers."""
+
+from .forest import RandomForestRegressor
+from .gbm import GradientBoostingRegressor
+from .pointwise import (
+    PointwiseMLForecaster,
+    RandomForestForecaster,
+    SVRForecaster,
+    XGBoostForecaster,
+    build_pointwise_features,
+)
+from .svr import SVR, rbf_kernel
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "PointwiseMLForecaster",
+    "RandomForestForecaster",
+    "SVRForecaster",
+    "XGBoostForecaster",
+    "build_pointwise_features",
+    "SVR",
+    "rbf_kernel",
+    "DecisionTreeRegressor",
+]

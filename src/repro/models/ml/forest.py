@@ -1,0 +1,69 @@
+"""Random forest regressor (bagged CART trees with feature sub-sampling)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 3,
+        max_features: float = 0.7,
+        bootstrap: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.trees_: List[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit a forest on an empty dataset")
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                idx = self.rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=self.rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest must be fit before predicting")
+        preds = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
+        return preds.mean(axis=0)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Across-tree standard deviation (a rough epistemic spread)."""
+        if not self.trees_:
+            raise RuntimeError("forest must be fit before predicting")
+        preds = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
+        return preds.std(axis=0)

@@ -1,0 +1,110 @@
+"""Gradient-boosted regression trees (the "XGBoost" baseline of the paper).
+
+Classical stage-wise boosting with squared-error loss: each stage fits a
+shallow CART tree to the current residuals and is added with a shrinkage
+factor.  Supports early stopping on a validation split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor:
+    """Shrinkage-regularised boosted trees for regression."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        early_stopping_rounds: Optional[int] = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.early_stopping_rounds = early_stopping_rounds
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.init_: float = 0.0
+        self.trees_: List[DecisionTreeRegressor] = []
+        self.train_scores_: List[float] = []
+        self.val_scores_: List[float] = []
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        eval_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.init_ = float(y.mean())
+        self.trees_ = []
+        self.train_scores_ = []
+        self.val_scores_ = []
+        pred = np.full(n, self.init_)
+        if eval_set is not None:
+            X_val, y_val = eval_set
+            val_pred = np.full(X_val.shape[0], self.init_)
+        best_val = np.inf
+        rounds_since_best = 0
+        for _ in range(self.n_estimators):
+            residual = y - pred
+            if self.subsample < 1.0:
+                idx = self.rng.choice(n, size=max(1, int(self.subsample * n)), replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=self.rng,
+            )
+            tree.fit(X[idx], residual[idx])
+            update = tree.predict(X)
+            pred = pred + self.learning_rate * update
+            self.trees_.append(tree)
+            self.train_scores_.append(float(np.mean((y - pred) ** 2)))
+            if eval_set is not None:
+                val_pred = val_pred + self.learning_rate * tree.predict(X_val)
+                val_mse = float(np.mean((y_val - val_pred) ** 2))
+                self.val_scores_.append(val_mse)
+                if self.early_stopping_rounds is not None:
+                    if val_mse < best_val - 1e-12:
+                        best_val = val_mse
+                        rounds_since_best = 0
+                    else:
+                        rounds_since_best += 1
+                        if rounds_since_best >= self.early_stopping_rounds:
+                            break
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("model must be fit before predicting")
+        X = np.asarray(X, dtype=np.float64)
+        pred = np.full(X.shape[0], self.init_)
+        for tree in self.trees_:
+            pred += self.learning_rate * tree.predict(X)
+        return pred
+
+    @property
+    def n_trees_(self) -> int:
+        return len(self.trees_)

@@ -1,0 +1,188 @@
+"""Point-wise ML baselines (RandomForest / SVM / XGBoost).
+
+Following the approach of Tulabandhula & Rudin (refs. [30], [31] in the
+paper), the classical ML baselines do not model the whole sequence; they
+regress the *change of rank position* over a forecast horizon from features
+of the observed history:
+
+    rank(t + h) - rank(t)  ~  g(features(t), h)
+
+One regressor is shared across horizons (the horizon is a feature), which
+lets the same fitted model serve both the 2-lap task (Table V) and the
+variable-length stint task (Table VI).  The forecast is deterministic; the
+"samples" of the returned :class:`ProbabilisticForecast` are identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...data.features import CarFeatureSeries
+from ..base import ProbabilisticForecast, RankForecaster, clip_rank
+from .forest import RandomForestRegressor
+from .gbm import GradientBoostingRegressor
+from .svr import SVR
+
+__all__ = [
+    "build_pointwise_features",
+    "PointwiseMLForecaster",
+    "RandomForestForecaster",
+    "SVRForecaster",
+    "XGBoostForecaster",
+]
+
+#: horizons sampled when building the training set (covers the 2-lap task
+#: and typical stint lengths)
+DEFAULT_TRAIN_HORIZONS = (1, 2, 3, 5, 8, 13, 21, 34)
+
+
+def build_pointwise_features(series: CarFeatureSeries, origin: int, horizon: int) -> np.ndarray:
+    """Feature vector describing the history of ``series`` up to ``origin``."""
+    rank = series.rank
+    r0 = rank[origin]
+    lag1 = rank[origin - 1] if origin >= 1 else r0
+    lag2 = rank[origin - 2] if origin >= 2 else lag1
+    lag5 = rank[origin - 5] if origin >= 5 else rank[0]
+    return np.array(
+        [
+            r0,
+            r0 - lag1,
+            r0 - lag2,
+            r0 - lag5,
+            series.covariate("pit_age")[origin],
+            series.covariate("caution_laps")[origin],
+            series.covariate("track_status")[origin],
+            series.covariate("lap_status")[origin],
+            series.covariate("total_pit_count")[origin],
+            series.time_behind_leader[origin],
+            float(horizon),
+        ],
+        dtype=np.float64,
+    )
+
+
+class PointwiseMLForecaster(RankForecaster):
+    """Wraps a point regressor of rank change into the forecaster interface."""
+
+    supports_uncertainty = False
+    uses_race_status = False
+
+    def __init__(
+        self,
+        regressor,
+        name: str = "ML",
+        train_horizons: Sequence[int] = DEFAULT_TRAIN_HORIZONS,
+        origin_stride: int = 2,
+        min_history: int = 10,
+        max_instances: int = 20000,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.regressor = regressor
+        self.name = name
+        self.train_horizons = tuple(int(h) for h in train_horizons)
+        self.origin_stride = int(origin_stride)
+        self.min_history = int(min_history)
+        self.max_instances = int(max_instances)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.fitted_ = False
+
+    # ------------------------------------------------------------------
+    def _build_training_set(
+        self, series_list: Sequence[CarFeatureSeries]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        feats: List[np.ndarray] = []
+        targets: List[float] = []
+        for series in series_list:
+            n = len(series)
+            for origin in range(self.min_history, n - 1, self.origin_stride):
+                for h in self.train_horizons:
+                    if origin + h >= n:
+                        continue
+                    feats.append(build_pointwise_features(series, origin, h))
+                    targets.append(float(series.rank[origin + h] - series.rank[origin]))
+        if not feats:
+            raise ValueError("no training instances could be built")
+        X = np.stack(feats)
+        y = np.array(targets)
+        if X.shape[0] > self.max_instances:
+            idx = self.rng.choice(X.shape[0], size=self.max_instances, replace=False)
+            X, y = X[idx], y[idx]
+        return X, y
+
+    def fit(
+        self,
+        train_series: Sequence[CarFeatureSeries],
+        val_series: Optional[Sequence[CarFeatureSeries]] = None,
+    ) -> "PointwiseMLForecaster":
+        X, y = self._build_training_set(train_series)
+        self.regressor.fit(X, y)
+        self.fitted_ = True
+        return self
+
+    def forecast(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        n_samples: int = 100,
+    ) -> ProbabilisticForecast:
+        if not self.fitted_:
+            raise RuntimeError(f"{self.name} must be fit before forecasting")
+        if origin < 0 or origin >= len(series):
+            raise IndexError(f"origin {origin} out of range")
+        current = float(series.rank[origin])
+        X = np.stack(
+            [build_pointwise_features(series, origin, h) for h in range(1, horizon + 1)]
+        )
+        change = self.regressor.predict(X)
+        point = clip_rank(current + change)
+        samples = np.tile(point[None, :], (n_samples, 1))
+        return ProbabilisticForecast(
+            samples=samples, origin=origin, race_id=series.race_id, car_id=series.car_id
+        )
+
+
+class RandomForestForecaster(PointwiseMLForecaster):
+    """RandomForest baseline of Table V / VI."""
+
+    def __init__(self, n_estimators: int = 40, max_depth: int = 10, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            RandomForestRegressor(
+                n_estimators=n_estimators, max_depth=max_depth, rng=seed
+            ),
+            name="RandomForest",
+            rng=seed,
+            **kwargs,
+        )
+
+
+class SVRForecaster(PointwiseMLForecaster):
+    """SVM (epsilon-SVR) baseline of Table V / VI."""
+
+    def __init__(self, C: float = 2.0, epsilon: float = 0.3, seed: int = 0, **kwargs) -> None:
+        super().__init__(
+            SVR(C=C, epsilon=epsilon, rng=seed),
+            name="SVM",
+            rng=seed,
+            **kwargs,
+        )
+
+
+class XGBoostForecaster(PointwiseMLForecaster):
+    """Gradient-boosted-trees baseline (the paper's XGBoost entry)."""
+
+    def __init__(
+        self, n_estimators: int = 120, learning_rate: float = 0.1, max_depth: int = 4,
+        seed: int = 0, **kwargs,
+    ) -> None:
+        super().__init__(
+            GradientBoostingRegressor(
+                n_estimators=n_estimators, learning_rate=learning_rate,
+                max_depth=max_depth, rng=seed,
+            ),
+            name="XGBoost",
+            rng=seed,
+            **kwargs,
+        )

@@ -1,0 +1,64 @@
+"""Numerical gradient checking utilities used by the test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["numerical_gradient", "check_parameter_gradients", "relative_error"]
+
+
+def relative_error(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> float:
+    """Max element-wise relative error between two gradient arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.maximum(np.abs(a) + np.abs(b), eps)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def numerical_gradient(
+    fn: Callable[[], float], array: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array`` (in place perturbation)."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        f_plus = fn()
+        array[idx] = original - eps
+        f_minus = fn()
+        array[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def check_parameter_gradients(
+    loss_fn: Callable[[], float],
+    parameters: Sequence[Parameter],
+    analytic_grads: Sequence[np.ndarray],
+    eps: float = 1e-6,
+    tol: float = 1e-4,
+) -> float:
+    """Compare analytic parameter gradients against central differences.
+
+    ``loss_fn`` must recompute the loss from scratch (no cached state) using
+    the current parameter values.  Returns the worst relative error and
+    raises ``AssertionError`` if it exceeds ``tol``.
+    """
+    worst = 0.0
+    for param, analytic in zip(parameters, analytic_grads):
+        numeric = numerical_gradient(loss_fn, param.data, eps=eps)
+        err = relative_error(analytic, numeric)
+        worst = max(worst, err)
+        if err > tol:
+            raise AssertionError(
+                f"gradient check failed for {param.name or 'parameter'}: "
+                f"relative error {err:.3e} > tol {tol:.1e}"
+            )
+    return worst

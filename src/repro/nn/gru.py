@@ -1,0 +1,210 @@
+"""GRU cell and stacked GRU (alternative recurrent backbone).
+
+The paper's RankModel uses stacked LSTM cells; a GRU backbone is a common
+lighter-weight alternative (fewer parameters, one state vector instead of
+two).  The cell follows the standard formulation
+
+    r_t = sigmoid(W_r [x_t, h_{t-1}] + b_r)        (reset gate)
+    u_t = sigmoid(W_u [x_t, h_{t-1}] + b_u)        (update gate)
+    n_t = tanh(W_n x_t + r_t * (U_n h_{t-1}) + b_n)
+    h_t = (1 - u_t) * n_t + u_t * h_{t-1}
+
+and exposes the same step / step-backward API as
+:class:`repro.nn.recurrent.LSTMCell`, so the two backbones are
+interchangeable inside unrolled models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import initializers as init
+from .activations import sigmoid
+from .module import Module, Parameter
+
+__all__ = ["GRUCell", "StackedGRU"]
+
+
+class GRUCell(Module):
+    """A single GRU cell operating on one time step."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | int | None = None,
+        name: str = "gru_cell",
+    ) -> None:
+        super().__init__()
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        # gate order in the fused matrices: [reset, update]
+        self.w_x_gates = Parameter(
+            init.xavier_uniform((input_dim, 2 * hidden_dim), rng=rng), f"{name}.w_x_gates"
+        )
+        self.w_h_gates = Parameter(
+            init.orthogonal((hidden_dim, 2 * hidden_dim), rng=rng), f"{name}.w_h_gates"
+        )
+        self.b_gates = Parameter(init.zeros((2 * hidden_dim,)), f"{name}.b_gates")
+        self.w_x_cand = Parameter(
+            init.xavier_uniform((input_dim, hidden_dim), rng=rng), f"{name}.w_x_cand"
+        )
+        self.w_h_cand = Parameter(
+            init.orthogonal((hidden_dim, hidden_dim), rng=rng), f"{name}.w_h_cand"
+        )
+        self.b_cand = Parameter(init.zeros((hidden_dim,)), f"{name}.b_cand")
+        self._cache: List[tuple] = []
+
+    def zero_state(self, batch_size: int) -> np.ndarray:
+        return np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, h_prev: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        gates = x @ self.w_x_gates.data + h_prev @ self.w_h_gates.data + self.b_gates.data
+        hd = self.hidden_dim
+        r = sigmoid(gates[:, :hd])
+        u = sigmoid(gates[:, hd:])
+        h_proj = h_prev @ self.w_h_cand.data
+        n = np.tanh(x @ self.w_x_cand.data + r * h_proj + self.b_cand.data)
+        h = (1.0 - u) * n + u * h_prev
+        self._cache.append((x, h_prev, r, u, n, h_proj))
+        return h
+
+    def step_backward(self, dh: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward for the most recent step: returns ``(dx, dh_prev)``."""
+        if not self._cache:
+            raise RuntimeError("step_backward called more times than step")
+        x, h_prev, r, u, n, h_proj = self._cache.pop()
+        dh = np.asarray(dh, dtype=np.float64)
+
+        d_u = dh * (h_prev - n)
+        d_n = dh * (1.0 - u)
+        dh_prev = dh * u
+
+        d_n_pre = d_n * (1.0 - n * n)
+        self.w_x_cand.grad += x.T @ d_n_pre
+        self.b_cand.grad += d_n_pre.sum(axis=0)
+        d_r = d_n_pre * h_proj
+        d_h_proj = d_n_pre * r
+        self.w_h_cand.grad += h_prev.T @ d_h_proj
+        dh_prev += d_h_proj @ self.w_h_cand.data.T
+        dx = d_n_pre @ self.w_x_cand.data.T
+
+        d_r_pre = d_r * r * (1.0 - r)
+        d_u_pre = d_u * u * (1.0 - u)
+        d_gates = np.concatenate([d_r_pre, d_u_pre], axis=1)
+        self.w_x_gates.grad += x.T @ d_gates
+        self.w_h_gates.grad += h_prev.T @ d_gates
+        self.b_gates.grad += d_gates.sum(axis=0)
+        dx += d_gates @ self.w_x_gates.data.T
+        dh_prev += d_gates @ self.w_h_gates.data.T
+        return dx, dh_prev
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # convenience full-sequence helpers -------------------------------
+    def forward(self, x: np.ndarray, h0: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else self.zero_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            h = self.step(x[:, t, :], h)
+            outputs[:, t, :] = h
+        return outputs, h
+
+    def backward(self, d_outputs: np.ndarray) -> np.ndarray:
+        d_outputs = np.asarray(d_outputs, dtype=np.float64)
+        batch, steps, _ = d_outputs.shape
+        dh_next = np.zeros((batch, self.hidden_dim))
+        dx = np.empty((batch, steps, self.input_dim), dtype=np.float64)
+        for t in reversed(range(steps)):
+            dxt, dh_next = self.step_backward(d_outputs[:, t, :] + dh_next)
+            dx[:, t, :] = dxt
+        return dx
+
+
+class StackedGRU(Module):
+    """A stack of GRU layers with the same step API as :class:`StackedLSTM`.
+
+    States are per-layer hidden vectors (no cell state); to stay drop-in
+    compatible with code written for the LSTM stack, ``step`` accepts and
+    returns a list of ``(h, h)`` pairs when ``lstm_compatible_states`` is
+    enabled.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 2,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.num_layers = int(num_layers)
+        self.cells = [
+            GRUCell(input_dim if layer == 0 else hidden_dim, hidden_dim, rng=rng, name=f"gru.{layer}")
+            for layer in range(num_layers)
+        ]
+
+    def zero_state(self, batch_size: int) -> List[np.ndarray]:
+        return [cell.zero_state(batch_size) for cell in self.cells]
+
+    def step(self, x: np.ndarray, states: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[np.ndarray]]:
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        h = np.asarray(x, dtype=np.float64)
+        new_states: List[np.ndarray] = []
+        for layer, cell in enumerate(self.cells):
+            h = cell.step(h, states[layer])
+            new_states.append(h)
+        return h, new_states
+
+    def step_backward(
+        self, dh_top: np.ndarray, dstates: Optional[Sequence[np.ndarray]] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        batch = np.asarray(dh_top).shape[0]
+        if dstates is None:
+            dstates = [np.zeros((batch, self.hidden_dim)) for _ in range(self.num_layers)]
+        dprev: List[np.ndarray] = [None] * self.num_layers  # type: ignore
+        d_from_above = np.asarray(dh_top, dtype=np.float64)
+        for layer in reversed(range(self.num_layers)):
+            dx_layer, dh_prev = self.cells[layer].step_backward(d_from_above + dstates[layer])
+            dprev[layer] = dh_prev
+            d_from_above = dx_layer
+        return d_from_above, dprev
+
+    def forward(self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None):
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        states = list(states) if states is not None else self.zero_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            h, states = self.step(x[:, t, :], states)
+            outputs[:, t, :] = h
+        return outputs, states
+
+    def backward(self, d_outputs: np.ndarray) -> np.ndarray:
+        d_outputs = np.asarray(d_outputs, dtype=np.float64)
+        batch, steps, _ = d_outputs.shape
+        dstates = None
+        dx = np.empty((batch, steps, self.input_dim), dtype=np.float64)
+        for t in reversed(range(steps)):
+            dxt, dstates = self.step_backward(d_outputs[:, t, :], dstates)
+            dx[:, t, :] = dxt
+        return dx
+
+    def clear_cache(self) -> None:
+        for cell in self.cells:
+            cell.clear_cache()

@@ -1,0 +1,98 @@
+"""Weight initialization schemes used throughout the framework."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "zeros",
+    "ones",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "orthogonal",
+    "lstm_bias",
+]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def uniform(shape, scale: float = 0.05, rng=None) -> np.ndarray:
+    return _rng(rng).uniform(-scale, scale, size=shape)
+
+
+def normal(shape, std: float = 0.05, rng=None) -> np.ndarray:
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(shape, rng=None) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng=None) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def he_uniform(shape, rng=None) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, rng=None) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def orthogonal(shape, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Orthogonal initialization (used for recurrent weight matrices)."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal init requires at least a 2-D shape")
+    rows, cols = shape[0], int(np.prod(shape[1:]))
+    flat = _rng(rng).normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    q = q[:rows, :cols] if rows >= cols else q[:cols, :rows].T
+    return gain * q.reshape(shape)
+
+
+def lstm_bias(hidden_size: int, forget_bias: float = 1.0) -> np.ndarray:
+    """LSTM bias with the forget gate initialised to ``forget_bias``.
+
+    Gate order is ``[input, forget, cell, output]`` to match
+    :class:`repro.nn.recurrent.LSTMCell`.
+    """
+    b = np.zeros(4 * hidden_size, dtype=np.float64)
+    b[hidden_size : 2 * hidden_size] = forget_bias
+    return b

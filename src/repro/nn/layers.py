@@ -1,0 +1,238 @@
+"""Feed-forward building blocks: Dense, Embedding, Dropout, LayerNorm, MLP.
+
+All layers cache their forward intermediates on an internal stack so the
+same layer instance can be applied multiple times inside one computation
+(e.g. a shared projection applied at every decoder time step); ``backward``
+must then be called once per ``forward`` call, in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import initializers as init
+from .activations import Activation, get_activation
+from .module import Module, Parameter
+
+__all__ = ["Dense", "Embedding", "Dropout", "LayerNorm", "Sequential", "MLP"]
+
+
+class Dense(Module):
+    """Fully connected layer ``y = act(x @ W + b)``.
+
+    Supports inputs of shape ``(..., in_dim)``; leading dimensions are
+    flattened for the matrix product and restored on output.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Optional[str] = None,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+        name: str = "dense",
+    ) -> None:
+        super().__init__()
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.activation: Activation = get_activation(activation)
+        self.weight = Parameter(init.xavier_uniform((in_dim, out_dim), rng=rng), f"{name}.weight")
+        self.bias = Parameter(init.zeros((out_dim,)), f"{name}.bias") if bias else None
+        self._cache: List[tuple] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(f"expected last dim {self.in_dim}, got {x.shape}")
+        flat = x.reshape(-1, self.in_dim)
+        pre = flat @ self.weight.data
+        if self.bias is not None:
+            pre = pre + self.bias.data
+        out = self.activation(pre)
+        self._cache.append((flat, pre, out, x.shape))
+        return out.reshape(*x.shape[:-1], self.out_dim)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient."""
+        if not self._cache:
+            raise RuntimeError("backward called more times than forward")
+        flat, pre, out, x_shape = self._cache.pop()
+        grad = np.asarray(grad_out, dtype=np.float64).reshape(-1, self.out_dim)
+        grad_pre = grad * self.activation.grad(pre, out)
+        self.weight.grad += flat.T @ grad_pre
+        if self.bias is not None:
+            self.bias.grad += grad_pre.sum(axis=0)
+        grad_x = grad_pre @ self.weight.data.T
+        return grad_x.reshape(x_shape)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | int | None = None,
+        name: str = "embedding",
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), std=0.1, rng=rng),
+            f"{name}.weight",
+        )
+        self._cache: List[np.ndarray] = []
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids must be in [0, {self.num_embeddings}), got "
+                f"range [{ids.min()}, {ids.max()}]"
+            )
+        self._cache.append(ids)
+        return self.weight.data[ids]
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if not self._cache:
+            raise RuntimeError("backward called more times than forward")
+        ids = self._cache.pop()
+        flat_ids = ids.reshape(-1)
+        flat_grad = np.asarray(grad_out, dtype=np.float64).reshape(-1, self.embedding_dim)
+        np.add.at(self.weight.grad, flat_ids, flat_grad)
+        return None
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._cache: List[Optional[np.ndarray]] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._cache.append(None)
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        self._cache.append(mask)
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called more times than forward")
+        mask = self._cache.pop()
+        if mask is None:
+            return grad_out
+        return grad_out * mask
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "layernorm") -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.eps = float(eps)
+        self.gamma = Parameter(init.ones((dim,)), f"{name}.gamma")
+        self.beta = Parameter(init.zeros((dim,)), f"{name}.beta")
+        self._cache: List[tuple] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache.append((x_hat, inv_std))
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError("backward called more times than forward")
+        x_hat, inv_std = self._cache.pop()
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        d_xhat = grad_out * self.gamma.data
+        n = self.dim
+        grad_x = (
+            d_xhat
+            - d_xhat.mean(axis=-1, keepdims=True)
+            - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return grad_x
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class Sequential(Module):
+    """Chains layers that implement ``forward``/``backward``."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class MLP(Sequential):
+    """Multi-layer perceptron with a configurable hidden activation."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dims: Sequence[int],
+        out_dim: int,
+        activation: str = "relu",
+        out_activation: Optional[str] = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        layers: List[Module] = []
+        prev = in_dim
+        for i, h in enumerate(hidden_dims):
+            layers.append(Dense(prev, h, activation=activation, rng=rng, name=f"mlp.{i}"))
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=rng))
+            prev = h
+        layers.append(Dense(prev, out_dim, activation=out_activation, rng=rng, name="mlp.out"))
+        super().__init__(layers)
+        self.in_dim = in_dim
+        self.out_dim = out_dim

@@ -1,0 +1,153 @@
+"""Parameter and Module base classes for the NumPy neural-network framework.
+
+The framework follows a layer-oriented, manual-backpropagation design:
+
+* every :class:`Parameter` holds a dense ``data`` array and an accumulated
+  ``grad`` array of the same shape;
+* every :class:`Module` owns parameters and/or sub-modules and exposes
+  ``forward`` / ``backward`` methods.  ``forward`` pushes whatever it needs
+  for the backward pass onto an internal cache stack, and ``backward`` pops
+  it, which makes modules safely re-usable inside unrolled recurrent
+  computations (backward must simply be called in reverse call order).
+
+The design intentionally avoids a tape-based autodiff engine: the models in
+this repository (DeepAR-style LSTM encoder-decoders, MLPs, Transformers)
+have static architectures, so explicit backward methods keep the hot loops
+vectorised NumPy calls with no per-op Python graph bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient accumulator."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`named_parameters` discover them
+    recursively (lists and dicts of modules/parameters are supported).
+    """
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    # parameter / submodule discovery
+    # ------------------------------------------------------------------
+    def _children(self) -> Iterator[Tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{key}.{i}", item
+            elif isinstance(value, dict):
+                for k, item in value.items():
+                    if isinstance(item, Module):
+                        yield f"{key}.{k}", item
+
+    def _own_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{key}.{i}", item
+            elif isinstance(value, dict):
+                for k, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{key}.{k}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._own_parameters():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # training state
+    # ------------------------------------------------------------------
+    def train(self, flag: bool = True) -> "Module":
+        self.training = flag
+        for _, child in self._children():
+            child.train(flag)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------
+    # forward protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,127 @@
+"""Gradient-based optimizers (SGD with momentum, ADAM) and gradient clipping.
+
+The paper trains RankNet with ADAM at learning rate 1e-3 with a
+reduce-on-plateau decay of factor 0.5 (Table IV); both pieces are provided
+here (decay lives in :mod:`repro.nn.schedulers`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for monitoring exploding
+    gradients in the recurrent models).
+    """
+    total = 0.0
+    for p in parameters:
+        total += float(np.sum(p.grad * p.grad))
+    norm = float(np.sqrt(total))
+    if max_norm > 0.0 and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in parameters:
+            p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base class holding a parameter list and the current learning rate."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum > 0.0:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v - self.lr * grad
+                self._velocity[id(p)] = v
+                p.data += v
+            else:
+                p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """ADAM optimizer (Kingma & Ba, 2014)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias_c1 = 1.0 - self.beta1 ** self._t
+        bias_c2 = 1.0 - self.beta2 ** self._t
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / bias_c1
+            v_hat = v / bias_c2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

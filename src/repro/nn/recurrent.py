@@ -1,0 +1,306 @@
+"""Recurrent layers: LSTM cell, single-layer LSTM, and stacked LSTM.
+
+The cells expose a *step* API (one time step at a time) because the
+DeepAR-style decoders in this repository interleave sampling with the
+recurrence; full-sequence helpers are provided on top of the step API for
+the encoder side and for tests.
+
+Gate layout in all weight matrices is ``[input, forget, cell, output]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import initializers as init
+from .activations import sigmoid
+from .module import Module, Parameter
+
+__all__ = ["LSTMState", "LSTMCell", "StackedLSTM"]
+
+# (hidden, cell) pair for one layer
+LSTMState = Tuple[np.ndarray, np.ndarray]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell operating on one time step.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimension of the per-step input vector.
+    hidden_dim:
+        Dimension of the hidden and cell states.
+    forget_bias:
+        Initial value of the forget-gate bias (helps gradient flow early in
+        training).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        forget_bias: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+        name: str = "lstm_cell",
+    ) -> None:
+        super().__init__()
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.w_x = Parameter(
+            init.xavier_uniform((input_dim, 4 * hidden_dim), rng=rng), f"{name}.w_x"
+        )
+        self.w_h = Parameter(
+            init.orthogonal((hidden_dim, 4 * hidden_dim), rng=rng), f"{name}.w_h"
+        )
+        self.bias = Parameter(init.lstm_bias(hidden_dim, forget_bias), f"{name}.bias")
+        self._cache: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def zero_state(self, batch_size: int) -> LSTMState:
+        h = np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
+        c = np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
+        return h, c
+
+    def step(self, x: np.ndarray, state: LSTMState) -> Tuple[np.ndarray, LSTMState]:
+        """Run one time step; returns the new hidden state and state pair."""
+        h_prev, c_prev = state
+        x = np.asarray(x, dtype=np.float64)
+        gates = x @ self.w_x.data + h_prev @ self.w_h.data + self.bias.data
+        hd = self.hidden_dim
+        i = sigmoid(gates[:, 0 * hd : 1 * hd])
+        f = sigmoid(gates[:, 1 * hd : 2 * hd])
+        g = np.tanh(gates[:, 2 * hd : 3 * hd])
+        o = sigmoid(gates[:, 3 * hd : 4 * hd])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        self._cache.append((x, h_prev, c_prev, i, f, g, o, tanh_c))
+        return h, (h, c)
+
+    def step_backward(
+        self, dh: np.ndarray, dc: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward pass for the most recent cached step.
+
+        Parameters
+        ----------
+        dh:
+            Gradient w.r.t. the hidden output of the step (including any
+            gradient flowing back from the *next* time step's recurrence).
+        dc:
+            Gradient w.r.t. the cell state flowing back from the next step.
+
+        Returns
+        -------
+        (dx, dh_prev, dc_prev)
+        """
+        if not self._cache:
+            raise RuntimeError("step_backward called more times than step")
+        x, h_prev, c_prev, i, f, g, o, tanh_c = self._cache.pop()
+        dh = np.asarray(dh, dtype=np.float64)
+        if dc is None:
+            dc = np.zeros_like(dh)
+        d_o = dh * tanh_c
+        dc_total = dc + dh * o * (1.0 - tanh_c * tanh_c)
+        d_i = dc_total * g
+        d_f = dc_total * c_prev
+        d_g = dc_total * i
+        dc_prev = dc_total * f
+        # back through gate non-linearities
+        dg_i = d_i * i * (1.0 - i)
+        dg_f = d_f * f * (1.0 - f)
+        dg_g = d_g * (1.0 - g * g)
+        dg_o = d_o * o * (1.0 - o)
+        dgates = np.concatenate([dg_i, dg_f, dg_g, dg_o], axis=1)
+        self.w_x.grad += x.T @ dgates
+        self.w_h.grad += h_prev.T @ dgates
+        self.bias.grad += dgates.sum(axis=0)
+        dx = dgates @ self.w_x.data.T
+        dh_prev = dgates @ self.w_h.data.T
+        return dx, dh_prev, dc_prev
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # convenience full-sequence helpers -------------------------------
+    def forward(self, x: np.ndarray, state: Optional[LSTMState] = None) -> Tuple[np.ndarray, LSTMState]:
+        """Run a full ``(batch, time, input_dim)`` sequence."""
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        if state is None:
+            state = self.zero_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            h, state = self.step(x[:, t, :], state)
+            outputs[:, t, :] = h
+        return outputs, state
+
+    def backward(
+        self,
+        d_outputs: np.ndarray,
+        d_state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Backward through a full sequence processed with :meth:`forward`."""
+        d_outputs = np.asarray(d_outputs, dtype=np.float64)
+        batch, steps, _ = d_outputs.shape
+        if d_state is None:
+            dh_next = np.zeros((batch, self.hidden_dim))
+            dc_next = np.zeros((batch, self.hidden_dim))
+        else:
+            dh_next, dc_next = d_state
+        dx = np.empty((batch, steps, self.input_dim), dtype=np.float64)
+        for t in reversed(range(steps)):
+            dxt, dh_next, dc_next = self.step_backward(d_outputs[:, t, :] + dh_next, dc_next)
+            dx[:, t, :] = dxt
+        return dx
+
+
+class StackedLSTM(Module):
+    """A stack of LSTM layers with an optional inter-layer dropout.
+
+    This mirrors the GluonTS DeepAR default used in the paper (two stacked
+    LSTM layers with 40 units each, parameters shared between encoder and
+    decoder).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 2,
+        dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.num_layers = int(num_layers)
+        self.dropout_rate = float(dropout)
+        self.rng = rng
+        self.cells = [
+            LSTMCell(
+                input_dim if layer == 0 else hidden_dim,
+                hidden_dim,
+                rng=rng,
+                name=f"lstm.{layer}",
+            )
+            for layer in range(num_layers)
+        ]
+        self._dropout_cache: List[List[Optional[np.ndarray]]] = []
+
+    # ------------------------------------------------------------------
+    def zero_state(self, batch_size: int) -> List[LSTMState]:
+        return [cell.zero_state(batch_size) for cell in self.cells]
+
+    def step(
+        self, x: np.ndarray, states: Sequence[LSTMState]
+    ) -> Tuple[np.ndarray, List[LSTMState]]:
+        """Advance the whole stack by one time step."""
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        new_states: List[LSTMState] = []
+        masks: List[Optional[np.ndarray]] = []
+        h = np.asarray(x, dtype=np.float64)
+        for layer, cell in enumerate(self.cells):
+            h, state = cell.step(h, states[layer])
+            new_states.append(state)
+            if (
+                self.training
+                and self.dropout_rate > 0.0
+                and layer < self.num_layers - 1
+            ):
+                keep = 1.0 - self.dropout_rate
+                mask = (self.rng.random(h.shape) < keep).astype(np.float64) / keep
+                h = h * mask
+                masks.append(mask)
+            else:
+                masks.append(None)
+        self._dropout_cache.append(masks)
+        return h, new_states
+
+    def step_backward(
+        self,
+        dh_top: np.ndarray,
+        dstates: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+        """Backward for the most recent :meth:`step` call.
+
+        Parameters
+        ----------
+        dh_top:
+            Gradient w.r.t. the top-layer hidden output of the step.
+        dstates:
+            Per-layer ``(dh, dc)`` gradients flowing back from the next time
+            step (or ``None`` at the last step).
+
+        Returns
+        -------
+        (dx, dprev_states) where ``dprev_states`` is a list of per-layer
+        ``(dh_prev, dc_prev)`` to be passed to the previous step.
+        """
+        if not self._dropout_cache:
+            raise RuntimeError("step_backward called more times than step")
+        masks = self._dropout_cache.pop()
+        batch = np.asarray(dh_top).shape[0]
+        if dstates is None:
+            dstates = [
+                (
+                    np.zeros((batch, self.hidden_dim)),
+                    np.zeros((batch, self.hidden_dim)),
+                )
+                for _ in range(self.num_layers)
+            ]
+        dprev_states: List[Tuple[np.ndarray, np.ndarray]] = [None] * self.num_layers  # type: ignore
+        d_from_above = np.asarray(dh_top, dtype=np.float64)
+        for layer in reversed(range(self.num_layers)):
+            cell = self.cells[layer]
+            if masks[layer] is not None:
+                d_from_above = d_from_above * masks[layer]
+            dh = d_from_above + dstates[layer][0]
+            dc = dstates[layer][1]
+            dx_layer, dh_prev, dc_prev = cell.step_backward(dh, dc)
+            dprev_states[layer] = (dh_prev, dc_prev)
+            d_from_above = dx_layer
+        return d_from_above, dprev_states
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, x: np.ndarray, states: Optional[Sequence[LSTMState]] = None
+    ) -> Tuple[np.ndarray, List[LSTMState]]:
+        """Run a full ``(batch, time, input_dim)`` sequence through the stack."""
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        if states is None:
+            states = self.zero_state(batch)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            h, states = self.step(x[:, t, :], states)
+            outputs[:, t, :] = h
+        return outputs, list(states)
+
+    def backward(
+        self,
+        d_outputs: np.ndarray,
+        d_final_states: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Backward through a full sequence processed with :meth:`forward`."""
+        d_outputs = np.asarray(d_outputs, dtype=np.float64)
+        batch, steps, _ = d_outputs.shape
+        dstates = list(d_final_states) if d_final_states is not None else None
+        dx = np.empty((batch, steps, self.input_dim), dtype=np.float64)
+        for t in reversed(range(steps)):
+            dxt, dstates = self.step_backward(d_outputs[:, t, :], dstates)
+            dx[:, t, :] = dxt
+        return dx
+
+    def clear_cache(self) -> None:
+        self._dropout_cache.clear()
+        for cell in self.cells:
+            cell.clear_cache()

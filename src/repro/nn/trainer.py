@@ -1,0 +1,156 @@
+"""Generic mini-batch training loop implementing Algorithm 1 of the paper.
+
+The :class:`Trainer` works with any model exposing
+
+* ``loss_and_backward(batch) -> float`` — compute the training loss for a
+  batch, back-propagate into parameter ``grad`` buffers; and
+* ``validation_loss(batch) -> float`` — forward-only loss for validation.
+
+Training follows the recipe in Table IV / §IV-C: ADAM optimiser, mini-batch
+updates, reduce-on-plateau learning-rate decay and early stopping on the
+validation loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .module import Module
+from .optimizers import Adam, Optimizer, clip_grad_norm
+from .schedulers import EarlyStopping, ReduceLROnPlateau
+
+__all__ = ["TrainableModel", "TrainingHistory", "Trainer"]
+
+
+class TrainableModel(Protocol):
+    """Structural protocol for models usable with :class:`Trainer`."""
+
+    def loss_and_backward(self, batch: Dict[str, np.ndarray]) -> float: ...
+
+    def validation_loss(self, batch: Dict[str, np.ndarray]) -> float: ...
+
+    def parameters(self): ...
+
+    def zero_grad(self) -> None: ...
+
+    def train(self, flag: bool = True): ...
+
+    def eval(self): ...
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of the training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    grad_norm: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_loss: float = float("inf")
+    stopped_early: bool = False
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Mini-batch trainer with validation-driven LR decay and early stopping."""
+
+    def __init__(
+        self,
+        model: TrainableModel,
+        optimizer: Optional[Optimizer] = None,
+        lr: float = 1e-3,
+        max_epochs: int = 50,
+        clip_norm: float = 10.0,
+        lr_decay_factor: float = 0.5,
+        lr_patience: int = 10,
+        early_stopping_patience: int = 20,
+        min_lr: float = 1e-5,
+        restore_best: bool = True,
+        verbose: bool = False,
+        callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        self.max_epochs = int(max_epochs)
+        self.clip_norm = float(clip_norm)
+        self.scheduler = ReduceLROnPlateau(
+            self.optimizer, factor=lr_decay_factor, patience=lr_patience, min_lr=min_lr
+        )
+        self.early_stopping = EarlyStopping(patience=early_stopping_patience)
+        self.restore_best = bool(restore_best)
+        self.verbose = bool(verbose)
+        self.callback = callback
+
+    def fit(
+        self,
+        train_batches: Callable[[], Iterable[Dict[str, np.ndarray]]],
+        val_batches: Optional[Callable[[], Iterable[Dict[str, np.ndarray]]]] = None,
+    ) -> TrainingHistory:
+        """Train the model.
+
+        Parameters
+        ----------
+        train_batches, val_batches:
+            Zero-argument callables returning a fresh iterable of batches
+            (dicts of arrays) for each epoch, e.g. a bound method of a
+            :class:`repro.data.loader.BatchLoader`.
+        """
+        history = TrainingHistory()
+        best_state: Optional[Dict[str, np.ndarray]] = None
+
+        for epoch in range(self.max_epochs):
+            self.model.train(True)
+            epoch_losses: List[float] = []
+            epoch_norms: List[float] = []
+            for batch in train_batches():
+                self.model.zero_grad()
+                loss = self.model.loss_and_backward(batch)
+                norm = clip_grad_norm(self.optimizer.parameters, self.clip_norm)
+                self.optimizer.step()
+                epoch_losses.append(float(loss))
+                epoch_norms.append(norm)
+            train_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+
+            if val_batches is not None:
+                self.model.eval()
+                val_losses = [
+                    float(self.model.validation_loss(batch)) for batch in val_batches()
+                ]
+                val_loss = float(np.mean(val_losses)) if val_losses else train_loss
+            else:
+                val_loss = train_loss
+
+            history.train_loss.append(train_loss)
+            history.val_loss.append(val_loss)
+            history.grad_norm.append(float(np.mean(epoch_norms)) if epoch_norms else 0.0)
+            history.learning_rate.append(self.optimizer.lr)
+
+            if val_loss < history.best_val_loss:
+                history.best_val_loss = val_loss
+                history.best_epoch = epoch
+                if self.restore_best and isinstance(self.model, Module):
+                    best_state = self.model.state_dict()
+
+            self.scheduler.step(val_loss)
+            if self.callback is not None:
+                self.callback(epoch, history)
+            if self.verbose:  # pragma: no cover - logging only
+                print(
+                    f"epoch {epoch:3d}  train={train_loss:.4f}  val={val_loss:.4f}  "
+                    f"lr={self.optimizer.lr:.2e}"
+                )
+            if self.early_stopping.step(val_loss):
+                history.stopped_early = True
+                break
+
+        if self.restore_best and best_state is not None and isinstance(self.model, Module):
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history

@@ -1,0 +1,50 @@
+"""Training-efficiency substrate: kernel benchmarks, roofline, device models."""
+
+from .batchscaling import (
+    BatchScalingPoint,
+    device_training_speed,
+    lstm_flops_per_sample,
+    measure_cpu_training_speed,
+)
+from .breakdown import BreakdownEntry, cpu_kernel_shares, hybrid_breakdown, offload_fraction_for_batch
+from .devices import DEVICES, DeviceModel, TABLE8_SPECS
+from .kernels import (
+    KernelMeasurement,
+    KernelSpec,
+    LSTM_KERNELS,
+    benchmark_kernels,
+    kernel_workload,
+)
+from .roofline import (
+    DEFAULT_PLATFORM,
+    RooflinePlatform,
+    RooflinePoint,
+    analytic_intensities,
+    attainable_gflops,
+    roofline_points,
+)
+
+__all__ = [
+    "BatchScalingPoint",
+    "device_training_speed",
+    "lstm_flops_per_sample",
+    "measure_cpu_training_speed",
+    "BreakdownEntry",
+    "cpu_kernel_shares",
+    "hybrid_breakdown",
+    "offload_fraction_for_batch",
+    "DEVICES",
+    "DeviceModel",
+    "TABLE8_SPECS",
+    "KernelMeasurement",
+    "KernelSpec",
+    "LSTM_KERNELS",
+    "benchmark_kernels",
+    "kernel_workload",
+    "DEFAULT_PLATFORM",
+    "RooflinePlatform",
+    "RooflinePoint",
+    "analytic_intensities",
+    "attainable_gflops",
+    "roofline_points",
+]

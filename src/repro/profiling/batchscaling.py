@@ -1,0 +1,110 @@
+"""Training-speed scaling with batch size (Fig. 10).
+
+Two complementary sources:
+
+* :func:`measure_cpu_training_speed` actually times RankNet's forward +
+  backward pass on this machine's CPU at several batch sizes (µs/sample);
+* :func:`device_training_speed` evaluates the analytic device models of
+  :mod:`repro.profiling.devices` for CPU / GPU / GPU-cuDNN / VE so the full
+  four-series figure can be regenerated without the hardware.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.deep.rankmodel import RankSeqModel
+from .devices import DEVICES, DeviceModel
+
+__all__ = ["BatchScalingPoint", "measure_cpu_training_speed", "device_training_speed", "lstm_flops_per_sample"]
+
+
+@dataclass
+class BatchScalingPoint:
+    device: str
+    batch_size: int
+    us_per_sample: float
+    source: str  # "measured" | "model"
+
+
+def lstm_flops_per_sample(
+    input_dim: int = 12, hidden_dim: int = 40, num_layers: int = 2, seq_len: int = 62
+) -> float:
+    """Approximate FLOPs per training sample (forward + backward ~ 3x forward)."""
+    per_step = 0.0
+    in_dim = input_dim
+    for _ in range(num_layers):
+        per_step += 2.0 * (in_dim + hidden_dim) * 4 * hidden_dim  # gate GEMMs
+        per_step += 10.0 * 4 * hidden_dim                          # element-wise
+        in_dim = hidden_dim
+    return 3.0 * per_step * seq_len
+
+
+def measure_cpu_training_speed(
+    batch_sizes: Sequence[int] = (32, 64, 128, 256, 640),
+    num_covariates: int = 9,
+    hidden_dim: int = 40,
+    seq_len: int = 32,
+    decoder_length: int = 2,
+    repeats: int = 2,
+    seed: int = 0,
+) -> List[BatchScalingPoint]:
+    """Time one optimisation step of the LSTM RankModel per batch size."""
+    rng = np.random.default_rng(seed)
+    points: List[BatchScalingPoint] = []
+    model = RankSeqModel(
+        num_covariates=num_covariates,
+        hidden_dim=hidden_dim,
+        encoder_length=seq_len - decoder_length,
+        decoder_length=decoder_length,
+        rng=rng,
+    )
+    for batch in batch_sizes:
+        batch = int(batch)
+        batch_data = {
+            "target": rng.uniform(1, 33, size=(batch, seq_len)),
+            "covariates": rng.normal(size=(batch, seq_len, num_covariates)),
+            "weight": np.ones(batch),
+        }
+        model.zero_grad()
+        model.loss_and_backward(batch_data)  # warm up
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            model.zero_grad()
+            model.loss_and_backward(batch_data)
+        elapsed = time.perf_counter() - t0
+        points.append(
+            BatchScalingPoint(
+                device="CPU (measured)",
+                batch_size=batch,
+                us_per_sample=elapsed / repeats / batch * 1e6,
+                source="measured",
+            )
+        )
+    return points
+
+
+def device_training_speed(
+    batch_sizes: Sequence[int] = (32, 64, 128, 256, 640, 1600, 3200),
+    devices: Optional[Dict[str, DeviceModel]] = None,
+    seq_len: int = 62,
+) -> List[BatchScalingPoint]:
+    """Evaluate the analytic device models over the Fig. 10 batch-size sweep."""
+    devices = devices or DEVICES
+    flops = lstm_flops_per_sample(seq_len=seq_len)
+    points: List[BatchScalingPoint] = []
+    for name, device in devices.items():
+        for batch in batch_sizes:
+            points.append(
+                BatchScalingPoint(
+                    device=name,
+                    batch_size=int(batch),
+                    us_per_sample=device.us_per_sample(int(batch), flops / seq_len, steps_per_sample=seq_len),
+                    source="model",
+                )
+            )
+    return points

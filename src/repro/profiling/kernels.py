@@ -1,0 +1,156 @@
+"""LSTM kernel micro-benchmarks (§IV-J of the paper).
+
+The paper identifies the kernel operations of an LSTM cell — matrix
+multiplication (MatMul), element-wise product (Mul), Add, Sigmoid and Tanh —
+and shows that MatMul alone accounts for about half of the training wall
+time on CPU, with the five kernels together above 75%.  This module times
+exactly those kernels at the shapes RankNet uses (``batch_size x feature``
+inputs against ``feature x 4*hidden`` weights) and reports both the wall
+time and the arithmetic-intensity quantities needed for the roofline chart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn.activations import sigmoid
+
+__all__ = ["KernelSpec", "KernelMeasurement", "LSTM_KERNELS", "kernel_workload", "benchmark_kernels"]
+
+#: the kernel names highlighted in Fig. 11 / Fig. 12
+LSTM_KERNELS = ("MatMul", "Mul", "Add", "Sigmoid", "Tanh")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Shape description of one LSTM training step."""
+
+    batch_size: int
+    input_dim: int = 40
+    hidden_dim: int = 40
+
+    @property
+    def gate_dim(self) -> int:
+        return 4 * self.hidden_dim
+
+
+@dataclass
+class KernelMeasurement:
+    """Timing and work counters for one kernel at one batch size."""
+
+    kernel: str
+    batch_size: int
+    flops: float
+    bytes: float
+    seconds: float
+    repeats: int
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Operations per byte (the x-axis of the roofline chart)."""
+        return self.flops / self.bytes if self.bytes else float("inf")
+
+    @property
+    def gflops(self) -> float:
+        """Achieved giga-operations per second (the y-axis of the roofline chart)."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.flops * self.repeats / self.seconds / 1e9
+
+    @property
+    def us_per_call(self) -> float:
+        return self.seconds / self.repeats * 1e6
+
+
+def kernel_workload(kernel: str, spec: KernelSpec) -> Dict[str, float]:
+    """FLOPs and bytes moved for one invocation of ``kernel`` at ``spec``.
+
+    MatMul is the concatenated-gate GEMM ``(B, I+H) @ (I+H, 4H)``; the
+    element-wise kernels operate on ``(B, 4H)`` (gate activations) or
+    ``(B, H)`` (cell state updates) — we use the gate-sized arrays, matching
+    the dominant calls inside an LSTM cell.
+    """
+    b = spec.batch_size
+    k = spec.input_dim + spec.hidden_dim
+    n = spec.gate_dim
+    if kernel == "MatMul":
+        flops = 2.0 * b * k * n
+        bytes_moved = 8.0 * (b * k + k * n + b * n)
+    elif kernel in ("Mul", "Add"):
+        flops = 1.0 * b * n
+        bytes_moved = 8.0 * 3 * b * n
+    elif kernel in ("Sigmoid", "Tanh"):
+        # transcendental: count ~10 ops per element (exp + divisions)
+        flops = 10.0 * b * n
+        bytes_moved = 8.0 * 2 * b * n
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {LSTM_KERNELS}")
+    return {"flops": flops, "bytes": bytes_moved}
+
+
+def _run_kernel(kernel: str, spec: KernelSpec, rng: np.random.Generator):
+    b = spec.batch_size
+    k = spec.input_dim + spec.hidden_dim
+    n = spec.gate_dim
+    if kernel == "MatMul":
+        x = rng.standard_normal((b, k))
+        w = rng.standard_normal((k, n))
+        return lambda: x @ w
+    a = rng.standard_normal((b, n))
+    c = rng.standard_normal((b, n))
+    if kernel == "Mul":
+        return lambda: a * c
+    if kernel == "Add":
+        return lambda: a + c
+    if kernel == "Sigmoid":
+        # plain logistic kernel (what an optimised framework kernel computes);
+        # the numerically-hardened repro.nn.activations.sigmoid is not used
+        # here because its masking would distort the micro-benchmark
+        return lambda: 1.0 / (1.0 + np.exp(-a))
+    if kernel == "Tanh":
+        return lambda: np.tanh(a)
+    raise ValueError(f"unknown kernel {kernel!r}")
+
+
+def benchmark_kernels(
+    batch_sizes: Sequence[int] = (32, 3200),
+    kernels: Sequence[str] = LSTM_KERNELS,
+    input_dim: int = 40,
+    hidden_dim: int = 40,
+    min_repeats: int = 5,
+    target_seconds: float = 0.05,
+    seed: int = 0,
+) -> List[KernelMeasurement]:
+    """Measure each kernel at each batch size on the local CPU."""
+    rng = np.random.default_rng(seed)
+    results: List[KernelMeasurement] = []
+    for batch in batch_sizes:
+        spec = KernelSpec(batch_size=int(batch), input_dim=input_dim, hidden_dim=hidden_dim)
+        for kernel in kernels:
+            work = kernel_workload(kernel, spec)
+            fn = _run_kernel(kernel, spec, rng)
+            fn()  # warm up
+            # choose a repeat count that gives a stable measurement
+            t0 = time.perf_counter()
+            fn()
+            single = max(time.perf_counter() - t0, 1e-7)
+            repeats = max(min_repeats, int(target_seconds / single))
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            elapsed = time.perf_counter() - t0
+            results.append(
+                KernelMeasurement(
+                    kernel=kernel,
+                    batch_size=int(batch),
+                    flops=work["flops"],
+                    bytes=work["bytes"],
+                    seconds=elapsed,
+                    repeats=repeats,
+                )
+            )
+    return results

@@ -1,0 +1,117 @@
+"""Roofline model of the RankNet LSTM kernels (Fig. 11).
+
+The roofline chart plots, for each kernel, its *arithmetic intensity*
+(operations per byte moved) against its achieved throughput, bounded above
+by the platform's compute peaks and by each memory level's bandwidth times
+the intensity.  The paper uses the chart to explain why large-batch
+training is faster: the batch-32 kernels sit far down the memory-bound
+slopes, while at batch 3200 the same kernels move up and to the right
+(higher intensity for the GEMM, much higher achieved GOPS for every
+kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .kernels import KernelMeasurement, KernelSpec, LSTM_KERNELS, kernel_workload
+
+__all__ = ["RooflinePlatform", "RooflinePoint", "DEFAULT_PLATFORM", "roofline_points", "attainable_gflops"]
+
+
+@dataclass(frozen=True)
+class RooflinePlatform:
+    """Compute peaks and bandwidths defining the roofline envelope."""
+
+    name: str
+    scalar_peak_gflops: float
+    vector_peak_gflops: float
+    bandwidths_gbs: Dict[str, float]  # e.g. {"DRAM": 60, "L3": 250, "L2": 800}
+
+    def rooflines(self, intensities: Sequence[float]) -> Dict[str, np.ndarray]:
+        """Attainable GFLOP/s for each memory level over a grid of intensities."""
+        x = np.asarray(list(intensities), dtype=np.float64)
+        out: Dict[str, np.ndarray] = {}
+        for level, bw in self.bandwidths_gbs.items():
+            out[level] = np.minimum(self.vector_peak_gflops, bw * x)
+        return out
+
+
+#: A Xeon-class platform consistent with the CPU row of Table VIII.
+DEFAULT_PLATFORM = RooflinePlatform(
+    name="Intel Xeon E5-2670 v3",
+    scalar_peak_gflops=37.0,
+    vector_peak_gflops=590.0,
+    bandwidths_gbs={"DRAM": 68.0, "L3": 250.0, "L2": 850.0},
+)
+
+
+def attainable_gflops(platform: RooflinePlatform, intensity: float, level: str = "DRAM") -> float:
+    """Roofline bound for a kernel of the given arithmetic intensity."""
+    bw = platform.bandwidths_gbs[level]
+    return float(min(platform.vector_peak_gflops, bw * intensity))
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel plotted on the roofline chart."""
+
+    kernel: str
+    batch_size: int
+    arithmetic_intensity: float
+    achieved_gflops: float
+    bound_gflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved throughput as a fraction of the roofline bound."""
+        if self.bound_gflops <= 0:
+            return 0.0
+        return min(self.achieved_gflops / self.bound_gflops, 1.0)
+
+
+def roofline_points(
+    measurements: Sequence[KernelMeasurement],
+    platform: RooflinePlatform = DEFAULT_PLATFORM,
+    level: str = "DRAM",
+) -> List[RooflinePoint]:
+    """Convert kernel measurements into roofline chart points."""
+    points: List[RooflinePoint] = []
+    for m in measurements:
+        ai = m.arithmetic_intensity
+        points.append(
+            RooflinePoint(
+                kernel=m.kernel,
+                batch_size=m.batch_size,
+                arithmetic_intensity=ai,
+                achieved_gflops=m.gflops,
+                bound_gflops=attainable_gflops(platform, ai, level=level),
+            )
+        )
+    return points
+
+
+def analytic_intensities(batch_sizes: Sequence[int], input_dim: int = 40, hidden_dim: int = 40) -> List[dict]:
+    """Model-predicted arithmetic intensity per kernel and batch size.
+
+    Useful to show the *why* of Fig. 11 without timing anything: the GEMM's
+    intensity grows with the batch size (the weight matrix is reused across
+    the batch) while the element-wise kernels stay at a constant, low
+    intensity.
+    """
+    rows = []
+    for batch in batch_sizes:
+        spec = KernelSpec(batch_size=int(batch), input_dim=input_dim, hidden_dim=hidden_dim)
+        for kernel in LSTM_KERNELS:
+            work = kernel_workload(kernel, spec)
+            rows.append(
+                {
+                    "kernel": kernel,
+                    "batch_size": int(batch),
+                    "arithmetic_intensity": work["flops"] / work["bytes"],
+                }
+            )
+    return rows

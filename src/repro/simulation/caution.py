@@ -1,0 +1,81 @@
+"""Caution (yellow flag) and retirement generator.
+
+Anomaly events — crashes and serious mechanical failures — trigger a full
+course yellow: the field slows down behind a safety car, gaps compress and
+overtaking is forbidden until the green flag.  The paper reports that pit
+and caution laps together are rare (<5% of laps are pit laps; Fig. 6 shows
+pit-lap ratios of 10–40% per race *including* the caution-window stops) but
+have an outsized impact on rank dynamics.
+
+:class:`CautionGenerator` produces, lap by lap:
+
+* whether a new caution period starts (Poisson-like per-lap hazard, higher
+  on faster/denser tracks),
+* how long the caution lasts (clean-up time),
+* and which car (if any) retires as the cause of the caution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .track import TrackSpec
+
+__all__ = ["CautionEvent", "CautionGenerator"]
+
+
+@dataclass
+class CautionEvent:
+    """A caution period triggered at ``start_lap`` lasting ``duration`` laps."""
+
+    start_lap: int
+    duration: int
+    retired_car: Optional[int] = None
+
+    @property
+    def end_lap(self) -> int:
+        return self.start_lap + self.duration - 1
+
+
+class CautionGenerator:
+    """Stochastic generator of caution periods and retirements."""
+
+    def __init__(
+        self,
+        track: TrackSpec,
+        rng: np.random.Generator,
+        hazard_per_lap: float = 0.018,
+        mean_duration: float = 6.0,
+        retirement_prob: float = 0.55,
+    ) -> None:
+        self.track = track
+        self.rng = rng
+        # denser fields crash a little more often
+        self.hazard_per_lap = hazard_per_lap * (track.num_cars / 25.0)
+        self.mean_duration = float(mean_duration)
+        self.retirement_prob = float(retirement_prob)
+
+    def maybe_start_caution(
+        self, lap: int, active_cars: Sequence[int]
+    ) -> Optional[CautionEvent]:
+        """Return a new caution event starting at ``lap`` or ``None``.
+
+        Cautions do not start during the opening laps (the field is still
+        sorting itself out from the rolling start in a controlled way) nor
+        on the final lap.
+        """
+        if lap < 5 or lap >= self.track.total_laps:
+            return None
+        if self.rng.random() >= self.hazard_per_lap:
+            return None
+        duration = int(np.clip(self.rng.poisson(self.mean_duration) + 2, 3, 15))
+        retired: Optional[int] = None
+        if active_cars and self.rng.random() < self.retirement_prob:
+            # back-markers are slightly more likely to be involved
+            weights = np.linspace(0.8, 1.2, num=len(active_cars))
+            weights = weights / weights.sum()
+            retired = int(self.rng.choice(np.asarray(active_cars), p=weights))
+        return CautionEvent(start_lap=lap, duration=duration, retired_car=retired)

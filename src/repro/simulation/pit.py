@@ -1,0 +1,144 @@
+"""Pit-stop decision model (Fig. 3 of the paper).
+
+The paper groups the causes of pit stops into three categories:
+
+* **resource constraints** — fuel tank volume and tire wear bound the stint
+  length (no car runs more than ~50 laps at Indy500 before pitting, Fig. 4a);
+* **anomaly events** — yellow flags change the strategy: pitting while the
+  field circulates slowly behind the pace car is cheap, so teams take
+  opportunistic "caution pits" (the dataset contains roughly as many caution
+  pits as normal pits: 777 vs 763);
+* **human strategies** — teams choose where inside the fuel window to stop
+  based on track position, risk appetite and the unfolding race.
+
+:class:`PitStrategy` reproduces those mechanisms:  each car receives a
+per-stint *target* lap drawn around its preferred position inside the fuel
+window; the probability of pitting ramps up steeply as the car approaches
+the end of the window; a caution lap multiplies the pit probability once the
+car is deep enough into its stint; and a small per-lap probability of an
+unscheduled stop (debris, slow puncture, penalty) produces the short-stint
+tail observed in Fig. 4(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .driver import DriverProfile
+from .track import TrackSpec
+
+__all__ = ["PitDecision", "PitStrategy"]
+
+
+@dataclass(frozen=True)
+class PitDecision:
+    """Outcome of a per-lap pit-stop decision."""
+
+    pit: bool
+    reason: str = "none"  # none | window | caution | unscheduled
+
+
+class PitStrategy:
+    """Stochastic pit-stop policy for a single car."""
+
+    def __init__(
+        self,
+        driver: DriverProfile,
+        track: TrackSpec,
+        rng: np.random.Generator,
+        unscheduled_prob: float = 0.0020,
+        caution_pit_scale: float = 0.55,
+    ) -> None:
+        self.driver = driver
+        self.track = track
+        self.rng = rng
+        self.window = track.fuel_window_laps
+        self.unscheduled_prob = float(unscheduled_prob)
+        # fraction of the fuel window after which a caution triggers an
+        # opportunistic stop with high probability
+        self.caution_pit_threshold = caution_pit_scale * self.window
+        self._target = self._draw_target()
+
+    # ------------------------------------------------------------------
+    def _draw_target(self) -> int:
+        """Draw the intended stint length for the next stint.
+
+        Aggressive teams stop earlier (fresh tires), conservative teams
+        stretch fuel; both stay inside the physical window.  The result is
+        the bell-shaped "normal pit" stint distribution of Fig. 4(a).
+        """
+        frac = 0.72 + 0.2 * (1.0 - self.driver.aggression)
+        mean = frac * self.window
+        target = self.rng.normal(mean, 0.06 * self.window)
+        return int(np.clip(round(target), 8, self.window))
+
+    def reset_stint(self) -> None:
+        """Called right after a pit stop to plan the next stint."""
+        self._target = self._draw_target()
+
+    @property
+    def target_stint(self) -> int:
+        return self._target
+
+    # ------------------------------------------------------------------
+    def decide(self, pit_age: int, caution: bool, laps_remaining: int) -> PitDecision:
+        """Decide whether to pit on the current lap.
+
+        Parameters
+        ----------
+        pit_age:
+            Number of laps since the previous pit stop (the current stint
+            length so far).
+        caution:
+            Whether the current lap runs under yellow flag.
+        laps_remaining:
+            Laps to the finish; nobody pits when the remaining distance fits
+            in the fuel left (end-of-race stretch).
+        """
+        if pit_age < 1:
+            return PitDecision(False)
+        # fuel to the end -> stay out
+        if laps_remaining <= max(self.window - pit_age, 0) and laps_remaining <= self.window // 2:
+            return PitDecision(False)
+        # hard resource constraint: cannot exceed the fuel window
+        if pit_age >= self.window:
+            return PitDecision(True, "window")
+        # unscheduled stop (mechanical niggle, puncture, penalty)
+        if self.rng.random() < self.unscheduled_prob and pit_age >= 3:
+            return PitDecision(True, "unscheduled")
+        if caution:
+            # opportunistic caution pit once sufficiently deep into the stint
+            depth = pit_age / self.window
+            if pit_age >= self.caution_pit_threshold:
+                prob = 0.85
+            elif depth > 0.25:
+                prob = 0.25 + 0.5 * self.driver.aggression * depth
+            else:
+                prob = 0.02
+            if self.rng.random() < prob:
+                return PitDecision(True, "caution")
+            return PitDecision(False)
+        # normal green-flag strategy: ramp up around the per-stint target
+        if pit_age >= self._target:
+            return PitDecision(True, "window")
+        gap = self._target - pit_age
+        if gap <= 2 and self.rng.random() < 0.35:
+            return PitDecision(True, "window")
+        return PitDecision(False)
+
+    # ------------------------------------------------------------------
+    def service_time(self, caution: bool) -> float:
+        """Total time lost to a pit stop relative to staying on track.
+
+        The loss combines the pit-lane transit (speed-limited) and the
+        stationary service, scaled by pit-crew quality.  Pitting under
+        caution is much cheaper in *track position* because the field is
+        circulating slowly; we model this with a reduced effective loss.
+        """
+        stationary = self.rng.normal(8.0, 1.0) * self.driver.pit_crew
+        loss = self.track.pit_lane_loss_s + max(stationary, 4.0)
+        if caution:
+            loss *= 0.45
+        return float(loss)

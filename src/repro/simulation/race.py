@@ -1,0 +1,229 @@
+"""Lap-by-lap race engine.
+
+The engine advances all running cars one lap at a time, accumulating each
+car's elapsed time and deriving the rank positions exactly the way the real
+timing system does (Table I / Fig. 1(a)): the rank of car *i* at lap *L* is
+its position in the order of elapsed times among the cars that completed
+lap *L*.
+
+The per-lap model captures the causal structure the forecasting models have
+to learn:
+
+* on green laps a car's lap time is its package pace plus noise plus a
+  small traffic penalty that grows with its current position;
+* on caution laps everybody follows the pace car, the field compresses and
+  overtaking stops (ranks freeze apart from pitting cars);
+* a pit stop adds the pit-lane loss to the lap time, which temporarily drops
+  the car down the order — the dominant source of rank changes;
+* cars can retire (mechanical failure or the crash that triggered a
+  caution), which removes their trajectory from the remainder of the race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .caution import CautionEvent, CautionGenerator
+from .driver import DriverProfile, generate_field
+from .pit import PitStrategy
+from .telemetry import LapRecord, RaceTelemetry
+from .track import TrackSpec, track_for_year
+
+__all__ = ["RaceSimulator", "simulate_race"]
+
+
+@dataclass
+class _CarState:
+    driver: DriverProfile
+    strategy: PitStrategy
+    elapsed: float = 0.0
+    pit_age: int = 0
+    caution_laps_since_pit: int = 0
+    running: bool = True
+    retired_on_lap: Optional[int] = None
+
+
+class RaceSimulator:
+    """Simulates a single race and returns its :class:`RaceTelemetry`."""
+
+    def __init__(
+        self,
+        track: TrackSpec,
+        event: str = "Indy500",
+        year: int = 2018,
+        drivers: Optional[Sequence[DriverProfile]] = None,
+        seed: int | np.random.Generator | None = None,
+        caution_generator: Optional[CautionGenerator] = None,
+        traffic_penalty_s: float = 0.035,
+        follow_gap_s: float = 0.45,
+        base_overtake_prob: float = 0.10,
+    ) -> None:
+        self.track = track
+        self.event = event
+        self.year = int(year)
+        self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.drivers = list(drivers) if drivers is not None else generate_field(track.num_cars, self.rng)
+        self.caution_generator = caution_generator or CautionGenerator(track, self.rng)
+        self.traffic_penalty_s = float(traffic_penalty_s)
+        # overtaking model: a car that catches the one ahead usually has to
+        # follow in its wake (dirty air); passes only succeed occasionally,
+        # more often when the pace advantage is large.  This is what keeps
+        # rank positions sticky outside of pit windows.
+        self.follow_gap_s = float(follow_gap_s)
+        self.base_overtake_prob = float(base_overtake_prob)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RaceTelemetry:
+        track = self.track
+        rng = self.rng
+        states: Dict[int, _CarState] = {}
+        # starting grid: order cars by (noisy) qualifying pace
+        quali = sorted(
+            self.drivers, key=lambda d: d.skill + rng.normal(0.0, 0.004)
+        )
+        for pos, driver in enumerate(quali):
+            strategy = PitStrategy(driver, track, rng)
+            state = _CarState(driver=driver, strategy=strategy)
+            # rolling start: grid spacing of ~0.35 s per position
+            state.elapsed = 0.35 * pos + rng.normal(0.0, 0.05)
+            states[driver.car_id] = state
+
+        records: List[LapRecord] = []
+        active_caution: Optional[CautionEvent] = None
+        prev_order: List[int] = [d.car_id for d in quali]
+
+        for lap in range(1, track.total_laps + 1):
+            running_cars = [cid for cid, s in states.items() if s.running]
+            if len(running_cars) < 2:
+                break
+
+            # --- caution management -----------------------------------
+            if active_caution is not None and lap > active_caution.end_lap:
+                active_caution = None
+            if active_caution is None:
+                event = self.caution_generator.maybe_start_caution(lap, running_cars)
+                if event is not None:
+                    active_caution = event
+                    if event.retired_car is not None and states[event.retired_car].running:
+                        states[event.retired_car].running = False
+                        states[event.retired_car].retired_on_lap = lap
+                        running_cars = [c for c in running_cars if c != event.retired_car]
+            caution = active_caution is not None
+
+            # --- per-car lap simulation --------------------------------
+            lap_info: Dict[int, dict] = {}
+            leader_prev_elapsed = min(states[c].elapsed for c in running_cars)
+            # elapsed time (after this lap) of the nearest non-pitting car
+            # ahead in the running order; used by the overtaking model
+            ahead_clear_elapsed: Optional[float] = None
+            for pos_idx, car_id in enumerate(self._order(prev_order, running_cars)):
+                state = states[car_id]
+                driver = state.driver
+                laps_remaining = track.total_laps - lap
+                decision = state.strategy.decide(state.pit_age, caution, laps_remaining)
+                is_pit = bool(decision.pit)
+
+                base = driver.expected_lap_time(track.base_lap_time_s)
+                noise = rng.normal(0.0, driver.consistency * track.base_lap_time_s)
+                if caution:
+                    # everyone trundles behind the pace car; the pack closes up
+                    target_gap = 1.4 * pos_idx
+                    target_elapsed = leader_prev_elapsed + track.caution_lap_time_s + target_gap
+                    lap_time = target_elapsed - state.elapsed
+                    min_lap = 0.97 * base
+                    max_lap = track.caution_lap_time_s * 1.6
+                    lap_time = float(np.clip(lap_time, min_lap, max_lap))
+                    lap_time += abs(rng.normal(0.0, 0.2))
+                else:
+                    traffic = self.traffic_penalty_s * pos_idx * track.base_lap_time_s / 50.0
+                    lap_time = base + noise + traffic
+                if is_pit:
+                    lap_time += state.strategy.service_time(caution)
+
+                new_elapsed = state.elapsed + lap_time
+                if (
+                    not caution
+                    and not is_pit
+                    and ahead_clear_elapsed is not None
+                    and new_elapsed < ahead_clear_elapsed + self.follow_gap_s
+                ):
+                    # the car has caught the one ahead: attempt an overtake,
+                    # otherwise it is stuck in dirty air right behind it
+                    advantage = ahead_clear_elapsed + self.follow_gap_s - new_elapsed
+                    overtake_prob = min(
+                        0.85, self.base_overtake_prob + 0.10 * advantage
+                    )
+                    if rng.random() >= overtake_prob:
+                        new_elapsed = ahead_clear_elapsed + self.follow_gap_s + abs(
+                            rng.normal(0.0, 0.05)
+                        )
+                        lap_time = new_elapsed - state.elapsed
+                if not is_pit:
+                    ahead_clear_elapsed = new_elapsed
+                lap_info[car_id] = {
+                    "lap_time": lap_time,
+                    "is_pit": is_pit,
+                    "new_elapsed": new_elapsed,
+                }
+
+            # --- advance elapsed time, apply retirement ----------------
+            for car_id, info in lap_info.items():
+                state = states[car_id]
+                state.elapsed = info["new_elapsed"]
+                if info["is_pit"]:
+                    state.pit_age = 0
+                    state.caution_laps_since_pit = 0
+                    state.strategy.reset_stint()
+                else:
+                    state.pit_age += 1
+                    if caution:
+                        state.caution_laps_since_pit += 1
+                # silent mechanical retirement (no caution)
+                if state.running and rng.random() > state.driver.reliability:
+                    state.running = False
+                    state.retired_on_lap = lap
+
+            # --- ranking ------------------------------------------------
+            completers = [c for c in lap_info]
+            order = sorted(completers, key=lambda c: states[c].elapsed)
+            leader_elapsed = states[order[0]].elapsed
+            for rank_pos, car_id in enumerate(order, start=1):
+                state = states[car_id]
+                records.append(
+                    LapRecord(
+                        car_id=car_id,
+                        lap=lap,
+                        rank=rank_pos,
+                        lap_time=float(lap_info[car_id]["lap_time"]),
+                        elapsed_time=float(state.elapsed),
+                        time_behind_leader=float(state.elapsed - leader_elapsed),
+                        is_pit=bool(lap_info[car_id]["is_pit"]),
+                        is_caution=caution,
+                    )
+                )
+            prev_order = order
+
+        return RaceTelemetry(event=self.event, year=self.year, track=track, records=records)
+
+    @staticmethod
+    def _order(prev_order: Sequence[int], running_cars: Sequence[int]) -> List[int]:
+        """Previous-lap running order restricted to the cars still running."""
+        running = set(running_cars)
+        ordered = [c for c in prev_order if c in running]
+        missing = [c for c in running_cars if c not in set(ordered)]
+        return ordered + missing
+
+
+def simulate_race(
+    event: str,
+    year: int,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> RaceTelemetry:
+    """Convenience wrapper: simulate one season of ``event``."""
+    track = track_for_year(event, year)
+    sim = RaceSimulator(track=track, event=event, year=year, seed=seed, **kwargs)
+    return sim.run()

@@ -1,0 +1,135 @@
+"""Multi-season dataset generation (Table II of the paper).
+
+The paper's dataset consists of 25 superspeedway races from four events
+between 2013 and 2019, split into training / validation / test sets by
+season.  :func:`generate_event_dataset` simulates the seasons of one event
+with deterministic per-season seeds (so every module sees the same data) and
+:func:`generate_dataset` produces the full Table II inventory together with
+the standard splits used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .race import simulate_race
+from .telemetry import RaceTelemetry
+from .track import EVENT_YEARS, track_for_year
+
+__all__ = ["DatasetSplit", "RacingDataset", "generate_event_dataset", "generate_dataset"]
+
+# Seasons used for testing (everything earlier is training); Indy500-2018 is
+# the validation year in the paper.
+TEST_YEARS: Dict[str, List[int]] = {
+    "Indy500": [2019],
+    "Iowa": [2019],
+    "Pocono": [2018],
+    "Texas": [2018, 2019],
+}
+VALIDATION_YEARS: Dict[str, List[int]] = {
+    "Indy500": [2018],
+    "Iowa": [],
+    "Pocono": [],
+    "Texas": [],
+}
+
+
+def _season_seed(event: str, year: int, base_seed: int) -> int:
+    """Deterministic per-race seed derived from the event name and season."""
+    h = np.uint64(base_seed)
+    for ch in f"{event}-{year}":
+        h = np.uint64((int(h) * 1000003 + ord(ch)) % (2**63 - 1))
+    return int(h)
+
+
+@dataclass
+class DatasetSplit:
+    """Train / validation / test partition of a set of races."""
+
+    train: List[RaceTelemetry] = field(default_factory=list)
+    validation: List[RaceTelemetry] = field(default_factory=list)
+    test: List[RaceTelemetry] = field(default_factory=list)
+
+    def all_races(self) -> List[RaceTelemetry]:
+        return self.train + self.validation + self.test
+
+
+@dataclass
+class RacingDataset:
+    """The full simulated IndyCar dataset, organised per event."""
+
+    events: Dict[str, DatasetSplit]
+
+    def split(self, event: str) -> DatasetSplit:
+        try:
+            return self.events[event]
+        except KeyError as exc:
+            raise KeyError(f"unknown event {event!r}") from exc
+
+    def all_races(self) -> List[RaceTelemetry]:
+        races: List[RaceTelemetry] = []
+        for split in self.events.values():
+            races.extend(split.all_races())
+        return races
+
+    def summary_rows(self) -> List[dict]:
+        """Per-event rows mirroring Table II."""
+        rows = []
+        for event, split in sorted(self.events.items()):
+            races = split.all_races()
+            if not races:
+                continue
+            track = races[0].track
+            rows.append(
+                {
+                    "event": event,
+                    "years": sorted(r.year for r in races),
+                    "track_length_mi": track.length_miles,
+                    "track_shape": track.shape,
+                    "total_laps": sorted({r.num_laps for r in races}),
+                    "participants": sorted({len(r.car_ids()) for r in races}),
+                    "records": sum(len(r) for r in races),
+                    "train_races": len(split.train),
+                    "validation_races": len(split.validation),
+                    "test_races": len(split.test),
+                }
+            )
+        return rows
+
+
+def generate_event_dataset(
+    event: str,
+    years: Optional[Sequence[int]] = None,
+    base_seed: int = 2021,
+) -> DatasetSplit:
+    """Simulate every requested season of ``event`` and split it by year."""
+    years = list(years) if years is not None else EVENT_YEARS[event]
+    split = DatasetSplit()
+    for year in years:
+        race = simulate_race(event, year, seed=_season_seed(event, year, base_seed))
+        if year in TEST_YEARS.get(event, []):
+            split.test.append(race)
+        elif year in VALIDATION_YEARS.get(event, []):
+            split.validation.append(race)
+        else:
+            split.train.append(race)
+    return split
+
+
+def generate_dataset(
+    events: Optional[Sequence[str]] = None,
+    base_seed: int = 2021,
+    years_per_event: Optional[Dict[str, Sequence[int]]] = None,
+) -> RacingDataset:
+    """Simulate the full multi-event dataset of Table II."""
+    events = list(events) if events is not None else sorted(EVENT_YEARS)
+    result: Dict[str, DatasetSplit] = {}
+    for event in events:
+        years = None
+        if years_per_event is not None and event in years_per_event:
+            years = years_per_event[event]
+        result[event] = generate_event_dataset(event, years=years, base_seed=base_seed)
+    return RacingDataset(events=result)

@@ -1,0 +1,264 @@
+"""Race telemetry container and the on-disk log format.
+
+The real IndyCar timing & scoring system broadcasts per-section records over
+a local network; the paper consumes per-lap records with the columns shown
+in Fig. 1(a): ``Rank, CarId, Lap, LapTime, TimeBehindLeader, LapStatus,
+TrackStatus``.  :class:`RaceTelemetry` stores exactly those columns (plus
+the cumulative elapsed time) in a columnar layout convenient for the NumPy
+feature pipeline, and provides the CSV-style log reader/writer used by the
+examples and tests.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .track import TrackSpec, track_for_year
+
+__all__ = ["LapRecord", "CarLaps", "RaceTelemetry"]
+
+LAP_STATUS_NORMAL = "T"
+LAP_STATUS_PIT = "P"
+TRACK_STATUS_GREEN = "G"
+TRACK_STATUS_YELLOW = "Y"
+
+
+@dataclass(frozen=True)
+class LapRecord:
+    """One car crossing the start/finish line (possibly in the pit lane)."""
+
+    car_id: int
+    lap: int
+    rank: int
+    lap_time: float
+    elapsed_time: float
+    time_behind_leader: float
+    is_pit: bool
+    is_caution: bool
+
+    @property
+    def lap_status(self) -> str:
+        return LAP_STATUS_PIT if self.is_pit else LAP_STATUS_NORMAL
+
+    @property
+    def track_status(self) -> str:
+        return TRACK_STATUS_YELLOW if self.is_caution else TRACK_STATUS_GREEN
+
+
+@dataclass
+class CarLaps:
+    """Per-car, lap-ordered view of a race used by the data pipeline."""
+
+    car_id: int
+    laps: np.ndarray
+    rank: np.ndarray
+    lap_time: np.ndarray
+    time_behind_leader: np.ndarray
+    is_pit: np.ndarray
+    is_caution: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.laps.size)
+
+    @property
+    def num_pits(self) -> int:
+        return int(self.is_pit.sum())
+
+    def pit_laps(self) -> np.ndarray:
+        return self.laps[self.is_pit]
+
+
+class RaceTelemetry:
+    """Columnar store of every lap record of one race."""
+
+    _CSV_HEADER = "rank,car_id,lap,lap_time,elapsed_time,time_behind_leader,lap_status,track_status"
+
+    def __init__(
+        self,
+        event: str,
+        year: int,
+        track: TrackSpec,
+        records: Sequence[LapRecord],
+    ) -> None:
+        self.event = event
+        self.year = int(year)
+        self.track = track
+        records = sorted(records, key=lambda r: (r.lap, r.rank))
+        self.car_id = np.array([r.car_id for r in records], dtype=np.int64)
+        self.lap = np.array([r.lap for r in records], dtype=np.int64)
+        self.rank = np.array([r.rank for r in records], dtype=np.int64)
+        self.lap_time = np.array([r.lap_time for r in records], dtype=np.float64)
+        self.elapsed_time = np.array([r.elapsed_time for r in records], dtype=np.float64)
+        self.time_behind_leader = np.array(
+            [r.time_behind_leader for r in records], dtype=np.float64
+        )
+        self.is_pit = np.array([r.is_pit for r in records], dtype=bool)
+        self.is_caution = np.array([r.is_caution for r in records], dtype=bool)
+        self._car_cache: Dict[int, CarLaps] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.car_id.size)
+
+    @property
+    def race_id(self) -> str:
+        return f"{self.event}-{self.year}"
+
+    def car_ids(self) -> List[int]:
+        return sorted(int(c) for c in np.unique(self.car_id))
+
+    @property
+    def num_laps(self) -> int:
+        return int(self.lap.max()) if len(self) else 0
+
+    def car_laps(self, car_id: int) -> CarLaps:
+        """Lap-ordered per-car arrays (cached)."""
+        if car_id not in self._car_cache:
+            mask = self.car_id == car_id
+            if not mask.any():
+                raise KeyError(f"car {car_id} not present in {self.race_id}")
+            order = np.argsort(self.lap[mask])
+            self._car_cache[car_id] = CarLaps(
+                car_id=car_id,
+                laps=self.lap[mask][order],
+                rank=self.rank[mask][order],
+                lap_time=self.lap_time[mask][order],
+                time_behind_leader=self.time_behind_leader[mask][order],
+                is_pit=self.is_pit[mask][order],
+                is_caution=self.is_caution[mask][order],
+            )
+        return self._car_cache[car_id]
+
+    def winner(self) -> int:
+        """Car id with rank 1 on the final lap."""
+        final_lap = self.num_laps
+        mask = (self.lap == final_lap) & (self.rank == 1)
+        if not mask.any():
+            raise RuntimeError("race has no final-lap leader")
+        return int(self.car_id[mask][0])
+
+    def finishers(self) -> List[int]:
+        """Cars that completed the full race distance."""
+        final_lap = self.num_laps
+        return sorted(int(c) for c in np.unique(self.car_id[self.lap == final_lap]))
+
+    def ranks_at_lap(self, lap: int) -> Dict[int, int]:
+        mask = self.lap == lap
+        return {int(c): int(r) for c, r in zip(self.car_id[mask], self.rank[mask])}
+
+    # ------------------------------------------------------------------
+    # dataset-level statistics (Fig. 6)
+    # ------------------------------------------------------------------
+    def pit_lap_ratio(self) -> float:
+        """Fraction of laps on which at least one car pits."""
+        pit_laps = np.unique(self.lap[self.is_pit])
+        return float(len(pit_laps) / max(self.num_laps, 1))
+
+    def rank_changes_ratio(self) -> float:
+        """Fraction of (car, lap) transitions where the rank changed."""
+        changes = 0
+        total = 0
+        for car in self.car_ids():
+            ranks = self.car_laps(car).rank
+            if ranks.size < 2:
+                continue
+            diff = np.diff(ranks)
+            changes += int(np.count_nonzero(diff))
+            total += diff.size
+        return float(changes / total) if total else 0.0
+
+    def caution_lap_ratio(self) -> float:
+        caution_laps = np.unique(self.lap[self.is_caution])
+        return float(len(caution_laps) / max(self.num_laps, 1))
+
+    # ------------------------------------------------------------------
+    # record / log-format conversion
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[LapRecord]:
+        return [
+            LapRecord(
+                car_id=int(self.car_id[i]),
+                lap=int(self.lap[i]),
+                rank=int(self.rank[i]),
+                lap_time=float(self.lap_time[i]),
+                elapsed_time=float(self.elapsed_time[i]),
+                time_behind_leader=float(self.time_behind_leader[i]),
+                is_pit=bool(self.is_pit[i]),
+                is_caution=bool(self.is_caution[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def to_csv(self) -> str:
+        """Serialise to the textual log format (Fig. 1(a) column layout)."""
+        lines = [self._CSV_HEADER]
+        for r in self.to_records():
+            lines.append(
+                f"{r.rank},{r.car_id},{r.lap},{r.lap_time:.4f},{r.elapsed_time:.4f},"
+                f"{r.time_behind_leader:.4f},{r.lap_status},{r.track_status}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"# event={self.event} year={self.year}\n")
+            fh.write(self.to_csv())
+
+    @classmethod
+    def from_csv(
+        cls, text: str, event: str, year: int, track: Optional[TrackSpec] = None
+    ) -> "RaceTelemetry":
+        track = track or track_for_year(event, year)
+        records: List[LapRecord] = []
+        reader = io.StringIO(text)
+        header = None
+        for line in reader:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if header is None:
+                header = line
+                if header != cls._CSV_HEADER:
+                    raise ValueError(f"unexpected log header: {header!r}")
+                continue
+            rank, car_id, lap, lap_time, elapsed, tbl, lap_status, track_status = line.split(",")
+            records.append(
+                LapRecord(
+                    car_id=int(car_id),
+                    lap=int(lap),
+                    rank=int(rank),
+                    lap_time=float(lap_time),
+                    elapsed_time=float(elapsed),
+                    time_behind_leader=float(tbl),
+                    is_pit=lap_status == LAP_STATUS_PIT,
+                    is_caution=track_status == TRACK_STATUS_YELLOW,
+                )
+            )
+        return cls(event=event, year=year, track=track, records=records)
+
+    @classmethod
+    def load(cls, path: str) -> "RaceTelemetry":
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline().strip()
+            rest = fh.read()
+        event, year = "Unknown", 0
+        if first.startswith("#"):
+            meta = dict(item.split("=") for item in first[1:].split())
+            event = meta.get("event", event)
+            year = int(meta.get("year", 0))
+            text = rest
+        else:
+            text = first + "\n" + rest
+        return cls.from_csv(text, event=event, year=year)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RaceTelemetry({self.race_id}, cars={len(self.car_ids())}, "
+            f"laps={self.num_laps}, records={len(self)})"
+        )

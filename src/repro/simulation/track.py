@@ -1,0 +1,123 @@
+"""Track catalogue for the simulated IndyCar superspeedway events.
+
+The events, lap counts, track lengths and average speeds follow Table II of
+the paper.  A couple of events changed their race distance between seasons
+(Iowa ran 300 laps in 2019, Pocono ran 200 laps in 2018, Texas 248 laps from
+2018); :func:`track_for_year` applies those per-season overrides so that the
+generated dataset matches the shape of the real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+__all__ = ["TrackSpec", "TRACKS", "EVENT_YEARS", "track_for_year", "list_events"]
+
+
+@dataclass(frozen=True)
+class TrackSpec:
+    """Static description of a race track / event configuration."""
+
+    name: str
+    length_miles: float
+    shape: str
+    total_laps: int
+    avg_speed_mph: float
+    num_cars: int
+    pit_lane_loss_s: float
+    caution_speed_factor: float = 2.0
+
+    @property
+    def base_lap_time_s(self) -> float:
+        """Green-flag lap time implied by the average speed (seconds)."""
+        return self.length_miles / self.avg_speed_mph * 3600.0
+
+    @property
+    def caution_lap_time_s(self) -> float:
+        """Lap time behind the pace car."""
+        return self.base_lap_time_s * self.caution_speed_factor
+
+    @property
+    def fuel_window_laps(self) -> int:
+        """Maximum green-flag stint length permitted by the fuel tank / tires.
+
+        The paper observes (§III-A, Fig. 4) that no car runs more than ~50
+        laps on the 2.5-mile Indy500 oval before pitting; shorter tracks
+        allow proportionally more laps for the same fuel load.
+        """
+        return int(round(50 * 2.5 / self.length_miles))
+
+
+# Event catalogue (Table II).  ``num_cars`` is the typical field size.
+TRACKS: Dict[str, TrackSpec] = {
+    "Indy500": TrackSpec(
+        name="Indy500",
+        length_miles=2.5,
+        shape="oval",
+        total_laps=200,
+        avg_speed_mph=175.0,
+        num_cars=33,
+        pit_lane_loss_s=46.0,
+    ),
+    "Iowa": TrackSpec(
+        name="Iowa",
+        length_miles=0.894,
+        shape="oval",
+        total_laps=250,
+        avg_speed_mph=135.0,
+        num_cars=22,
+        pit_lane_loss_s=28.0,
+    ),
+    "Pocono": TrackSpec(
+        name="Pocono",
+        length_miles=2.5,
+        shape="triangle",
+        total_laps=160,
+        avg_speed_mph=135.0,
+        num_cars=22,
+        pit_lane_loss_s=44.0,
+    ),
+    "Texas": TrackSpec(
+        name="Texas",
+        length_miles=1.455,
+        shape="oval",
+        total_laps=228,
+        avg_speed_mph=153.0,
+        num_cars=22,
+        pit_lane_loss_s=34.0,
+    ),
+}
+
+# Seasons present in the paper's dataset (Table II usage column).
+EVENT_YEARS: Dict[str, List[int]] = {
+    "Indy500": [2013, 2014, 2015, 2016, 2017, 2018, 2019],
+    "Iowa": [2013, 2015, 2016, 2017, 2018, 2019],
+    "Pocono": [2013, 2015, 2016, 2017, 2018],
+    "Texas": [2013, 2014, 2015, 2016, 2017, 2018, 2019],
+}
+
+# (event, year) -> total laps override
+_LAP_OVERRIDES: Dict[Tuple[str, int], int] = {
+    ("Iowa", 2019): 300,
+    ("Pocono", 2018): 200,
+    ("Texas", 2018): 248,
+    ("Texas", 2019): 248,
+}
+
+
+def list_events() -> List[str]:
+    """Names of the supported events."""
+    return sorted(TRACKS)
+
+
+def track_for_year(event: str, year: int) -> TrackSpec:
+    """Track specification for a given event season, with per-year overrides."""
+    try:
+        spec = TRACKS[event]
+    except KeyError as exc:
+        raise KeyError(f"unknown event {event!r}; known events: {list_events()}") from exc
+    laps = _LAP_OVERRIDES.get((event, year))
+    if laps is not None:
+        spec = replace(spec, total_laps=laps)
+    return spec

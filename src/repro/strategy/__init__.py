@@ -1,0 +1,17 @@
+"""Pit-strategy optimisation on top of the probabilistic rank forecasters.
+
+This sub-package implements the application the paper's conclusion points
+to ("RankNet is promising to be used as a tool to investigate and optimize
+the pit stop strategy"): counterfactual covariate plans for candidate
+strategies and a Monte-Carlo evaluator that ranks them.
+"""
+
+from .optimizer import PitStrategyOptimizer, StrategyOutcome
+from .plans import build_strategy_plan, candidate_single_stop_plans
+
+__all__ = [
+    "PitStrategyOptimizer",
+    "StrategyOutcome",
+    "build_strategy_plan",
+    "candidate_single_stop_plans",
+]

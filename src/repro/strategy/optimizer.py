@@ -1,0 +1,121 @@
+"""Pit-strategy evaluation on top of a trained rank forecaster.
+
+Given a forecaster that conditions on the future race status (RankNet with
+oracle-style covariate input), :class:`PitStrategyOptimizer` evaluates a set
+of candidate strategies ("pit in k laps") by Monte-Carlo forecasting the
+car's rank under each counterfactual covariate plan and ranking the
+candidates by their expected rank at the end of the window (ties broken by
+the probability of gaining positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..models.deep.ranknet import DeepForecasterBase
+from .plans import candidate_single_stop_plans
+
+__all__ = ["StrategyOutcome", "PitStrategyOptimizer"]
+
+
+@dataclass
+class StrategyOutcome:
+    """Forecasted consequence of one candidate strategy."""
+
+    pit_in_laps: int
+    expected_final_rank: float
+    median_final_rank: float
+    p_gain: float       # probability of finishing the window ahead of the current rank
+    p_lose: float
+    rank_samples_std: float
+
+    def as_row(self) -> dict:
+        return {
+            "pit_in_laps": self.pit_in_laps,
+            "expected_final_rank": self.expected_final_rank,
+            "median_final_rank": self.median_final_rank,
+            "p_gain": self.p_gain,
+            "p_lose": self.p_lose,
+            "uncertainty": self.rank_samples_std,
+        }
+
+
+class PitStrategyOptimizer:
+    """Evaluates and ranks candidate pit strategies for one car."""
+
+    def __init__(
+        self,
+        forecaster: DeepForecasterBase,
+        n_samples: int = 100,
+    ) -> None:
+        if not isinstance(forecaster, DeepForecasterBase):
+            raise TypeError("the strategy optimizer needs a covariate-conditioned deep forecaster")
+        if forecaster.model is None:
+            raise ValueError("the forecaster must be fitted before strategy optimisation")
+        if forecaster.feature_spec.num_covariates == 0:
+            raise ValueError(
+                "the forecaster does not condition on race-status covariates; "
+                "use a RankNet oracle/mlp variant"
+            )
+        self.forecaster = forecaster
+        self.n_samples = int(n_samples)
+
+    # ------------------------------------------------------------------
+    def evaluate_plan(
+        self, series: CarFeatureSeries, origin: int, plan: np.ndarray
+    ) -> np.ndarray:
+        """Rank samples ``(n_samples, horizon)`` under one covariate plan."""
+        fc = self.forecaster
+        history_target = fc._history_target(series, origin)
+        history_cov = fc._history_covariates(series, origin)
+        future_cov = fc._select(plan)
+        samples = fc.model.forecast_samples(
+            history_target, history_cov, future_cov, n_samples=self.n_samples, rng=fc.rng
+        )
+        return np.clip(samples, 1.0, 33.0)
+
+    def evaluate(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        earliest: int = 1,
+        latest: Optional[int] = None,
+        step: int = 1,
+    ) -> List[StrategyOutcome]:
+        """Evaluate every "pit in k laps" candidate inside the horizon."""
+        current_rank = float(series.rank[origin])
+        outcomes: List[StrategyOutcome] = []
+        for candidate in candidate_single_stop_plans(
+            series, origin, horizon, earliest=earliest, latest=latest, step=step
+        ):
+            samples = self.evaluate_plan(series, origin, candidate["plan"])
+            final = samples[:, -1]
+            outcomes.append(
+                StrategyOutcome(
+                    pit_in_laps=candidate["pit_in_laps"],
+                    expected_final_rank=float(final.mean()),
+                    median_final_rank=float(np.median(final)),
+                    p_gain=float(np.mean(final < current_rank - 0.5)),
+                    p_lose=float(np.mean(final > current_rank + 0.5)),
+                    rank_samples_std=float(final.std()),
+                )
+            )
+        return outcomes
+
+    def best(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        horizon: int,
+        **kwargs,
+    ) -> StrategyOutcome:
+        """The candidate with the best (lowest) expected final rank."""
+        outcomes = self.evaluate(series, origin, horizon, **kwargs)
+        if not outcomes:
+            raise ValueError("no candidate strategies inside the horizon")
+        return min(outcomes, key=lambda o: (o.expected_final_rank, -o.p_gain))

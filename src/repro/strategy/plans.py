@@ -1,0 +1,100 @@
+"""Candidate pit-strategy plans expressed as future race-status covariates.
+
+The paper's conclusion highlights that a probabilistic rank forecaster
+"enables racing strategy optimizations": because RankNet conditions on the
+future race status, a strategist can ask *what happens to my rank if I pit
+in k laps instead of now?* by swapping the planned ``LapStatus`` sequence
+and re-running the forecast.  This module builds those counterfactual
+covariate plans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..data.schema import ALL_COVARIATES
+
+__all__ = ["build_strategy_plan", "candidate_single_stop_plans"]
+
+
+def build_strategy_plan(
+    series: CarFeatureSeries,
+    origin: int,
+    horizon: int,
+    pit_offsets: Sequence[int],
+    assume_caution_free: bool = True,
+    shift_lag: int = 2,
+) -> np.ndarray:
+    """Future covariate plan with pit stops at the given lap offsets.
+
+    Parameters
+    ----------
+    pit_offsets:
+        1-based offsets from ``origin`` at which the car will pit (e.g.
+        ``[5]`` means "pit in five laps").  Offsets outside ``1..horizon``
+        are ignored.
+    assume_caution_free:
+        Future ``TrackStatus`` is set to green (the same assumption as
+        Algorithm 2 in the paper).
+
+    Returns
+    -------
+    ``(horizon, len(ALL_COVARIATES))`` covariate matrix.
+    """
+    if origin < 0 or origin >= len(series):
+        raise IndexError(f"origin {origin} out of range")
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    idx = {name: ALL_COVARIATES.index(name) for name in ALL_COVARIATES}
+    plan = np.zeros((horizon, len(ALL_COVARIATES)), dtype=np.float64)
+
+    lap_status = np.zeros(horizon)
+    for off in pit_offsets:
+        off = int(off)
+        if 1 <= off <= horizon:
+            lap_status[off - 1] = 1.0
+
+    pit_age = float(series.covariate("pit_age")[origin])
+    caution_laps = float(series.covariate("caution_laps")[origin])
+    age = pit_age
+    for h in range(horizon):
+        if lap_status[h] > 0.5:
+            age = 0.0
+        else:
+            age += 1.0
+        plan[h, idx["lap_status"]] = lap_status[h]
+        plan[h, idx["track_status"]] = 0.0 if assume_caution_free else float(
+            series.covariate("track_status")[min(origin + 1 + h, len(series) - 1)]
+        )
+        plan[h, idx["pit_age"]] = age
+        plan[h, idx["caution_laps"]] = 0.0 if lap_status[: h + 1].any() else caution_laps
+    for h in range(horizon):
+        src = h + shift_lag
+        if src < horizon:
+            plan[h, idx["shift_lap_status"]] = lap_status[src]
+    return plan
+
+
+def candidate_single_stop_plans(
+    series: CarFeatureSeries,
+    origin: int,
+    horizon: int,
+    earliest: int = 1,
+    latest: int | None = None,
+    step: int = 1,
+) -> List[dict]:
+    """Enumerate "pit in k laps" candidates within the forecast horizon."""
+    latest = latest if latest is not None else horizon
+    latest = min(latest, horizon)
+    candidates: List[dict] = []
+    for k in range(max(earliest, 1), latest + 1, max(step, 1)):
+        candidates.append(
+            {
+                "pit_in_laps": k,
+                "plan": build_strategy_plan(series, origin, horizon, [k]),
+            }
+        )
+    return candidates

@@ -1,0 +1,145 @@
+"""Tests for the feature engineering (Table I + Fig. 7 features)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ALL_COVARIATES,
+    FeatureSpec,
+    accumulate_age,
+    build_race_features,
+    caution_laps_since_pit,
+    leader_pit_count,
+    shift_forward,
+    total_pit_count,
+)
+from repro.simulation import simulate_race
+
+
+@pytest.fixture(scope="module")
+def race():
+    return simulate_race("Indy500", 2018, seed=21)
+
+
+@pytest.fixture(scope="module")
+def series_list(race):
+    return build_race_features(race)
+
+
+def test_accumulate_age_resets_on_pit():
+    pits = np.array([0, 0, 0, 1, 0, 0, 1, 0], dtype=bool)
+    age = accumulate_age(pits)
+    np.testing.assert_array_equal(age, [0, 1, 2, 0, 1, 2, 0, 1])
+
+
+def test_accumulate_age_without_pits_counts_from_start():
+    age = accumulate_age(np.zeros(5, dtype=bool))
+    np.testing.assert_array_equal(age, [0, 1, 2, 3, 4])
+
+
+def test_caution_laps_since_pit_counts_only_caution_laps():
+    pits = np.array([0, 0, 0, 1, 0, 0, 0], dtype=bool)
+    caution = np.array([1, 1, 0, 0, 1, 0, 1], dtype=bool)
+    out = caution_laps_since_pit(pits, caution)
+    np.testing.assert_array_equal(out, [0, 1, 2, 0, 0, 1, 1])
+
+
+def test_caution_laps_since_pit_shape_mismatch():
+    with pytest.raises(ValueError):
+        caution_laps_since_pit(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+def test_shift_forward_behaviour():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    np.testing.assert_array_equal(shift_forward(x, 2), [3.0, 4.0, 0.0, 0.0])
+    np.testing.assert_array_equal(shift_forward(x, 0), x)
+    np.testing.assert_array_equal(shift_forward(x, 10, fill=-1), [-1, -1, -1, -1])
+    with pytest.raises(ValueError):
+        shift_forward(x, -1)
+
+
+def test_total_pit_count_matches_manual_count(race):
+    counts = total_pit_count(race)
+    lap = int(np.unique(race.lap[race.is_pit])[0])
+    manual = int(np.count_nonzero(race.is_pit[race.lap == lap]))
+    assert counts[lap] == manual
+    assert all(v >= 0 for v in counts.values())
+
+
+def test_leader_pit_count_bounded_by_total(race):
+    leaders = leader_pit_count(race, top_k=10)
+    totals = total_pit_count(race)
+    for lap, count in leaders.items():
+        assert 0 <= count <= min(totals[lap], 10)
+
+
+def test_build_race_features_covers_all_cars_with_enough_laps(race, series_list):
+    expected = [c for c in race.car_ids() if len(race.car_laps(c)) >= 10]
+    assert [s.car_id for s in series_list] == expected
+    for s in series_list[:3]:
+        assert s.covariates.shape == (len(s), len(ALL_COVARIATES))
+        assert s.rank.shape == s.lap_time.shape == s.laps.shape
+
+
+def test_feature_columns_consistent_with_telemetry(race, series_list):
+    s = series_list[0]
+    cl = race.car_laps(s.car_id)
+    np.testing.assert_array_equal(s.covariate("lap_status") > 0.5, cl.is_pit)
+    np.testing.assert_array_equal(s.covariate("track_status") > 0.5, cl.is_caution)
+    np.testing.assert_array_equal(s.rank, cl.rank.astype(float))
+
+
+def test_pit_age_zero_on_pit_laps(series_list):
+    for s in series_list[:5]:
+        pit_age = s.covariate("pit_age")
+        assert np.all(pit_age[s.is_pit] == 0.0)
+        assert np.all(pit_age >= 0.0)
+        # pit age never exceeds the race length
+        assert pit_age.max() < len(s)
+
+
+def test_shift_features_look_into_the_future(series_list):
+    s = series_list[0]
+    lag = 2
+    shifted = s.covariate("shift_lap_status")
+    plain = s.covariate("lap_status")
+    np.testing.assert_array_equal(shifted[:-lag], plain[lag:])
+    np.testing.assert_array_equal(shifted[-lag:], 0.0)
+
+
+def test_feature_spec_selects_groups():
+    full = FeatureSpec()
+    assert full.num_covariates == len(ALL_COVARIATES)
+    no_status = FeatureSpec(use_race_status=False, use_context=False, use_shift=False)
+    assert no_status.covariate_names() == []
+    base_only = FeatureSpec(use_context=False, use_shift=False)
+    assert base_only.covariate_names() == ["track_status", "lap_status", "caution_laps", "pit_age"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+def test_property_pit_age_resets_and_increments(flags):
+    pits = np.array(flags, dtype=bool)
+    age = accumulate_age(pits)
+    for i in range(len(age)):
+        if pits[i]:
+            assert age[i] == 0
+        elif i > 0:
+            assert age[i] == age[i - 1] + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=40),
+    st.lists(st.booleans(), min_size=1, max_size=40),
+)
+def test_property_caution_laps_bounded_by_pit_age(pits, cautions):
+    n = min(len(pits), len(cautions))
+    pits = np.array(pits[:n], dtype=bool)
+    cautions = np.array(cautions[:n], dtype=bool)
+    caution_count = caution_laps_since_pit(pits, cautions)
+    pit_age = accumulate_age(pits)
+    assert np.all(caution_count <= pit_age + 1e-9)
+    assert np.all(caution_count >= 0)

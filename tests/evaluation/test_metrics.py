@@ -1,0 +1,119 @@
+"""Tests for the evaluation metrics and lap-set classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import build_race_features
+from repro.evaluation import (
+    LapSet,
+    classify_window,
+    format_table,
+    mae,
+    quantile_risk,
+    sign_accuracy,
+    top1_accuracy,
+    windows_by_lapset,
+)
+from repro.simulation import RaceSimulator, track_for_year
+
+
+def test_mae_basic_and_validation():
+    assert mae(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == pytest.approx(1.0)
+    assert np.isnan(mae(np.array([]), np.array([])))
+    with pytest.raises(ValueError):
+        mae(np.zeros(2), np.zeros(3))
+
+
+def test_top1_accuracy():
+    assert top1_accuracy([1, 2, 3, 4], [1, 2, 3, 5]) == pytest.approx(0.75)
+    assert np.isnan(top1_accuracy([], []))
+    with pytest.raises(ValueError):
+        top1_accuracy([1], [1, 2])
+
+
+def test_sign_accuracy_treats_small_changes_as_zero():
+    pred = np.array([0.2, 3.0, -2.0, 0.0])
+    true = np.array([0.0, 5.0, 1.0, 0.0])
+    # 0.2 -> sign 0 matches 0; 3 matches +; -2 vs +1 mismatch; 0 matches 0
+    assert sign_accuracy(pred, true) == pytest.approx(0.75)
+
+
+def test_quantile_risk_properties():
+    targets = np.array([10.0, 20.0, 30.0])
+    # perfect forecasts have zero risk
+    assert quantile_risk(targets, targets, 0.5) == pytest.approx(0.0)
+    # under-prediction is penalised more for high quantiles
+    under = targets - 5.0
+    risk_50 = quantile_risk(under, targets, 0.5)
+    risk_90 = quantile_risk(under, targets, 0.9)
+    assert risk_90 > risk_50 > 0.0
+    with pytest.raises(ValueError):
+        quantile_risk(targets, targets, 1.5)
+    with pytest.raises(ValueError):
+        quantile_risk(targets[:2], targets, 0.5)
+
+
+def test_quantile_risk_matches_manual_computation():
+    q = np.array([3.0])
+    z = np.array([5.0])
+    # z >= q -> indicator 0, loss = 2*(3-5)*(0-0.9) = 3.6, normalised by 5
+    assert quantile_risk(q, z, 0.9) == pytest.approx(3.6 / 5.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=1, max_value=33), min_size=2, max_size=20),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+def test_property_quantile_risk_nonnegative_at_true_quantile(values, rho):
+    z = np.array(values)
+    # risk of forecasting the true values is zero; any constant shift is >= 0
+    assert quantile_risk(z, z, rho) == pytest.approx(0.0)
+    assert quantile_risk(z + 1.0, z, rho) >= 0.0
+    assert quantile_risk(z - 1.0, z, rho) >= 0.0
+
+
+def test_format_table_renders_rows():
+    rows = [{"model": "CurRank", "mae": 1.16}, {"model": "RankNet", "mae": 0.94}]
+    text = format_table(rows, title="Table V")
+    assert "Table V" in text
+    assert "CurRank" in text and "RankNet" in text
+    assert "1.160" in text
+    assert format_table([]) == "(empty)"
+
+
+# ----------------------------------------------------------------------
+# lap sets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def series():
+    from dataclasses import replace
+
+    track = replace(track_for_year("Indy500", 2018), total_laps=100, num_cars=12)
+    race = RaceSimulator(track, event="Indy500", year=2018, seed=17).run()
+    return build_race_features(race)[0]
+
+
+def test_classify_window_pit_and_normal(series):
+    pit_idx = np.where(series.is_pit)[0]
+    pit_idx = pit_idx[(pit_idx > 5) & (pit_idx < len(series) - 5)]
+    assert pit_idx.size > 0
+    assert classify_window(series, int(pit_idx[0]) - 1, 2) is LapSet.PIT_COVERED
+    clean = [
+        i
+        for i in range(5, len(series) - 5)
+        if not series.is_pit[i - 1 : i + 3].any() and not series.is_caution[i - 1 : i + 3].any()
+    ]
+    assert clean
+    assert classify_window(series, clean[0], 2) is LapSet.NORMAL
+
+
+def test_windows_by_lapset_partitions(series):
+    origins = list(range(10, len(series) - 3))
+    groups = windows_by_lapset(series, origins, horizon=2)
+    assert set(groups[LapSet.ALL]) == set(origins)
+    assert set(groups[LapSet.NORMAL]).isdisjoint(groups[LapSet.PIT_COVERED])
+    assert len(groups[LapSet.NORMAL]) + len(groups[LapSet.PIT_COVERED]) <= len(origins)
+    assert len(groups[LapSet.PIT_COVERED]) > 0

@@ -1,0 +1,105 @@
+"""Tests for the TaskA and TaskB evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_race_features
+from repro.evaluation import ShortTermEvaluator, StintEvaluator
+from repro.models import CurRankForecaster, ProbabilisticForecast, RankForecaster
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="module")
+def series_list():
+    from dataclasses import replace
+
+    track = replace(track_for_year("Indy500", 2018), total_laps=110, num_cars=14)
+    race = RaceSimulator(track, event="Indy500", year=2019, seed=23).run()
+    return build_race_features(race)
+
+
+class OracleForecaster(RankForecaster):
+    """Cheating forecaster that returns the true future ranks (for testing)."""
+
+    name = "OracleCheat"
+    supports_uncertainty = True
+
+    def fit(self, train_series, val_series=None):
+        return self
+
+    def forecast(self, series, origin, horizon, n_samples=100):
+        future = series.rank[origin + 1 : origin + 1 + horizon].astype(float)
+        if future.size < horizon:
+            future = np.concatenate([future, np.full(horizon - future.size, future[-1] if future.size else 1.0)])
+        samples = np.tile(future[None, :], (n_samples, 1))
+        return ProbabilisticForecast(samples=samples, origin=origin,
+                                     race_id=series.race_id, car_id=series.car_id)
+
+
+def test_taska_oracle_scores_perfectly(series_list):
+    evaluator = ShortTermEvaluator(horizon=2, n_samples=5, origin_stride=10)
+    result = evaluator.evaluate(OracleForecaster(), series_list)
+    assert result.metric("all", "mae") == pytest.approx(0.0, abs=1e-12)
+    assert result.metric("all", "top1_acc") == pytest.approx(1.0)
+    assert result.metric("all", "risk50") == pytest.approx(0.0, abs=1e-12)
+    assert result.metric("all", "risk90") == pytest.approx(0.0, abs=1e-12)
+
+
+def test_taska_currank_strong_on_normal_weak_on_pit_windows(series_list):
+    evaluator = ShortTermEvaluator(horizon=2, n_samples=5, origin_stride=4)
+    result = evaluator.evaluate(CurRankForecaster(), series_list)
+    assert result.num_windows["all"] > result.num_windows["pit_covered"] > 0
+    assert result.metric("normal", "mae") < result.metric("pit_covered", "mae")
+    assert result.metric("all", "top1_acc") > 0.5
+    # CurRank is deterministic so both risks coincide
+    assert result.metric("all", "risk50") == pytest.approx(result.metric("all", "risk90"))
+
+
+def test_taska_result_row_interface(series_list):
+    evaluator = ShortTermEvaluator(horizon=2, n_samples=3, origin_stride=20)
+    result = evaluator.evaluate(CurRankForecaster(), series_list[:3])
+    row = result.as_row("all")
+    assert set(row) == {"top1_acc", "mae", "risk50", "risk90"}
+
+
+def test_taska_handles_horizon_longer_than_two(series_list):
+    evaluator = ShortTermEvaluator(horizon=6, n_samples=3, origin_stride=25)
+    result = evaluator.evaluate(CurRankForecaster(), series_list[:4])
+    assert result.horizon == 6
+    assert np.isfinite(result.metric("all", "mae"))
+
+
+# ----------------------------------------------------------------------
+# TaskB
+# ----------------------------------------------------------------------
+def test_taskb_oracle_scores_perfectly(series_list):
+    evaluator = StintEvaluator(n_samples=5)
+    result = evaluator.evaluate(OracleForecaster(), series_list)
+    assert result.num_stints > 0
+    assert result.metrics["mae"] == pytest.approx(0.0, abs=1e-12)
+    assert result.metrics["sign_acc"] == pytest.approx(1.0)
+
+
+def test_taskb_currank_cannot_predict_changes(series_list):
+    evaluator = StintEvaluator(n_samples=5)
+    oracle = evaluator.evaluate(OracleForecaster(), series_list)
+    currank = evaluator.evaluate(CurRankForecaster(), series_list)
+    assert currank.num_stints == oracle.num_stints
+    # CurRank predicts zero change everywhere: it only gets the no-change stints right
+    assert currank.metrics["sign_acc"] < 0.7
+    assert currank.metrics["mae"] > oracle.metrics["mae"]
+
+
+def test_taskb_stint_tasks_respect_bounds(series_list):
+    evaluator = StintEvaluator(min_stint_length=3, max_stint_length=45, min_history=10)
+    for series in series_list[:5]:
+        for stint in evaluator.stint_tasks(series):
+            assert 3 <= stint.length <= 45
+            assert stint.start_index - 1 >= 10
+
+
+def test_taskb_empty_records_give_nan():
+    evaluator = StintEvaluator()
+    result = evaluator.aggregate([])
+    assert result.num_stints == 0
+    assert np.isnan(result.metrics["mae"])

@@ -1,0 +1,176 @@
+"""Tests for the experiment harness (configs, registry, light experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    active_config,
+    clear_caches,
+    full_config,
+    list_experiments,
+    quick_config,
+    run_experiment,
+)
+from repro.experiments import common
+from repro.experiments.runner import main as runner_main
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """A configuration small enough for unit tests."""
+    return quick_config().with_overrides(
+        events=("Indy500",),
+        years_per_event={"Indy500": [2017, 2018, 2019]},
+        encoder_length=12,
+        epochs=1,
+        n_samples=5,
+        origin_stride=40,
+        max_train_windows=200,
+        ml_origin_stride=15,
+        ml_max_instances=800,
+        rf_estimators=3,
+        gbm_estimators=5,
+        hidden_dim=8,
+    )
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_config_profiles():
+    quick = quick_config()
+    full = full_config()
+    assert quick.profile == "quick" and full.profile == "full"
+    assert full.encoder_length == 60 and full.n_samples == 100
+    assert quick.encoder_length < full.encoder_length
+    override = quick.with_overrides(epochs=3)
+    assert override.epochs == 3 and quick.epochs != 3
+
+
+def test_active_config_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "full")
+    assert active_config().profile == "full"
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+    assert active_config().profile == "quick"
+
+
+def test_registry_lists_all_tables_and_figures():
+    names = list_experiments()
+    assert {f"table{i}" for i in range(1, 9)} <= set(names)
+    assert {f"fig{i}" for i in range(1, 13)} <= set(names)
+    assert len(names) == 20
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_static_experiments_have_expected_rows(tiny_config):
+    t1 = run_experiment("table1", tiny_config)
+    assert isinstance(t1, ExperimentResult)
+    assert any(row["feature"] == "TrackStatus" for row in t1.rows)
+    t3 = run_experiment("table3", tiny_config)
+    assert t3.row_for("model", "RankNet-MLP")["pit_model"].startswith("Y")
+    t8 = run_experiment("table8", tiny_config)
+    assert len(t8.rows) == 3
+    f3 = run_experiment("fig3", tiny_config)
+    assert len(f3.rows) == 3
+    f5 = run_experiment("fig5", tiny_config)
+    assert any("Parameters" in str(row["component"]) for row in f5.rows)
+
+
+def test_dataset_experiments(tiny_config):
+    t2 = run_experiment("table2", tiny_config)
+    assert [row["event"] for row in t2.rows] == ["Indy500"]
+    assert t2.rows[0]["records"] > 1000
+
+    t4 = run_experiment("table4", tiny_config)
+    params = {row["parameter"]: row["value"] for row in t4.rows}
+    assert params["encoder length"] == 12
+    assert params["optimizer"] == "ADAM"
+
+    f1 = run_experiment("fig1", tiny_config)
+    assert "winner_rank" in f1.series
+    assert len(f1.series["winner_rank"]) > 50
+
+    f4 = run_experiment("fig4", tiny_config)
+    kinds = {row["pit_type"] for row in f4.rows}
+    assert kinds == {"normal", "caution"}
+    assert "normal_stint_cdf" in f4.series
+
+    f6 = run_experiment("fig6", tiny_config)
+    assert len(f6.rows) == 3
+    for row in f6.rows:
+        assert 0.0 <= row["pit_laps_ratio"] <= 1.0
+        assert 0.0 <= row["rank_changes_ratio"] <= 1.0
+
+
+def test_profiling_experiments(tiny_config):
+    f10 = run_experiment("fig10", tiny_config, batch_sizes=(32, 128), measure_cpu=False)
+    devices = {row["device"] for row in f10.rows}
+    assert {"CPU", "GPU", "GPU cuDNN", "VE"} == devices
+    f11 = run_experiment("fig11", tiny_config, batch_sizes=(32, 64))
+    assert len(f11.rows) == 10
+    f12 = run_experiment("fig12", tiny_config, batch_sizes=(32, 64))
+    assert len(f12.rows) == 12
+    shares = [row["share_pct"] for row in f12.rows if row["batch_size"] == 32]
+    assert abs(sum(shares) - 100.0) < 1.0
+
+
+def test_table5_with_light_models(tiny_config):
+    result = run_experiment("table5", tiny_config, models=["CurRank", "ARIMA"])
+    assert [row["model"] for row in result.rows] == ["CurRank", "ARIMA"]
+    for row in result.rows:
+        assert np.isfinite(row["all_mae"])
+        assert 0.0 <= row["all_top1acc"] <= 1.0
+    text = result.to_text()
+    assert "Table V" in text and "CurRank" in text
+
+
+def test_table6_with_light_models(tiny_config):
+    result = run_experiment("table6", tiny_config, models=["CurRank"])
+    row = result.rows[0]
+    assert row["num_stints"] > 0
+    assert np.isfinite(row["mae"])
+
+
+def test_model_zoo_builders(tiny_config):
+    for name in ("CurRank", "ARIMA", "RandomForest", "SVM", "XGBoost",
+                 "DeepAR", "RankNet-MLP", "RankNet-Oracle", "RankNet-Joint",
+                 "Transformer-MLP", "Transformer-Oracle"):
+        model = common.build_model(name, tiny_config)
+        assert model is not None
+    with pytest.raises(KeyError):
+        common.build_model("NotAModel", tiny_config)
+
+
+def test_train_model_is_cached(tiny_config):
+    dataset = common.get_dataset(tiny_config)
+    train, val, test = common.split_features(dataset.split("Indy500"), tiny_config)
+    a = common.train_model("CurRank", tiny_config, train, cache_tag="x")
+    b = common.train_model("CurRank", tiny_config, train, cache_tag="x")
+    assert a is b
+    c = common.train_model("CurRank", tiny_config, train, cache_tag="y")
+    assert c is not a
+
+
+def test_runner_cli_list_and_static(capsys):
+    assert runner_main(["table1", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out
+    assert runner_main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "RankNet-MLP" in out
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult("T", "title", rows=[{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}])
+    assert result.column("a") == [1, 3]
+    assert result.row_for("a", 3)["b"] == 4.0
+    with pytest.raises(KeyError):
+        result.row_for("a", 99)
+    assert "title" in result.to_text()

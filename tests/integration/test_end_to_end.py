@@ -1,0 +1,128 @@
+"""End-to-end integration tests across all subsystems.
+
+These tests run the full pipeline — simulate races, engineer features,
+train models, forecast, evaluate — on deliberately tiny configurations so
+they finish quickly while still exercising every cross-module seam.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, FeatureSpec, build_race_features, make_windows
+from repro.evaluation import ShortTermEvaluator, StintEvaluator
+from repro.models import (
+    CurRankForecaster,
+    DeepARForecaster,
+    RankNetForecaster,
+    XGBoostForecaster,
+)
+from repro.nn import Trainer
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="module")
+def pipeline_data():
+    track = replace(track_for_year("Indy500", 2018), total_laps=110, num_cars=16)
+    train_races = [
+        RaceSimulator(track, event="Indy500", year=2016 + i, seed=40 + i).run() for i in range(2)
+    ]
+    test_race = RaceSimulator(track, event="Indy500", year=2019, seed=99).run()
+    train = [s for race in train_races for s in build_race_features(race)]
+    test = build_race_features(test_race)
+    return train, test
+
+
+def test_full_pipeline_ranknet_trains_and_tracks_the_baseline(pipeline_data):
+    """End-to-end sanity of the full pipeline at toy scale.
+
+    At this deliberately tiny scale (two short training races, 12 epochs)
+    the deep model cannot be expected to *beat* the persistence baseline —
+    that comparison is the job of the benchmark harness (Table V) at the
+    quick/full profiles.  Here we assert the pipeline learns something
+    sensible: its forecasts are well inside the valid rank range, its
+    pit-window error stays within a modest factor of CurRank's, and an
+    untrained copy of the same model is clearly worse.
+    """
+    train, test = pipeline_data
+    model = RankNetForecaster(
+        variant="oracle", encoder_length=20, decoder_length=2, hidden_dim=24,
+        epochs=12, lr=3e-3, max_train_windows=1500, seed=3,
+    )
+    model.fit(train)
+    evaluator = ShortTermEvaluator(horizon=2, n_samples=20, origin_stride=6)
+    ranknet = evaluator.evaluate(model, test)
+    currank = evaluator.evaluate(CurRankForecaster(), test)
+    assert ranknet.metric("pit_covered", "mae") < currank.metric("pit_covered", "mae") * 1.8
+    assert ranknet.metric("all", "mae") < 3.0
+
+    untrained = RankNetForecaster(
+        variant="oracle", encoder_length=20, decoder_length=2, hidden_dim=24,
+        epochs=0, max_train_windows=1500, seed=3,
+    )
+    untrained.fit(train[:2])
+    untrained_result = evaluator.evaluate(untrained, test[:4])
+    trained_result = evaluator.evaluate(model, test[:4])
+    assert trained_result.metric("all", "mae") < untrained_result.metric("all", "mae")
+
+
+def test_full_pipeline_taskb_deep_model_predicts_change_direction(pipeline_data):
+    train, test = pipeline_data
+    model = RankNetForecaster(
+        variant="oracle", encoder_length=20, decoder_length=2, hidden_dim=24,
+        epochs=12, lr=3e-3, max_train_windows=1500, seed=4,
+    )
+    model.fit(train)
+    evaluator = StintEvaluator(n_samples=20)
+    deep = evaluator.evaluate(model, test)
+    naive = evaluator.evaluate(CurRankForecaster(), test)
+    assert deep.num_stints == naive.num_stints > 0
+    assert deep.metrics["sign_acc"] >= naive.metrics["sign_acc"]
+
+
+def test_full_pipeline_ml_baseline_runs(pipeline_data):
+    train, test = pipeline_data
+    model = XGBoostForecaster(n_estimators=15, origin_stride=6, max_instances=2000)
+    model.fit(train)
+    result = ShortTermEvaluator(horizon=2, n_samples=5, origin_stride=10).evaluate(model, test)
+    assert np.isfinite(result.metric("all", "mae"))
+
+
+def test_full_pipeline_deepar_without_covariates(pipeline_data):
+    train, test = pipeline_data
+    model = DeepARForecaster(
+        encoder_length=20, decoder_length=2, hidden_dim=16, epochs=5, lr=3e-3,
+        max_train_windows=800, seed=5,
+    )
+    model.fit(train)
+    fc = model.forecast(test[0], origin=40, horizon=2, n_samples=15)
+    assert fc.samples.shape == (15, 2)
+    assert np.all(fc.samples >= 1.0)
+
+
+def test_windows_loader_trainer_roundtrip(pipeline_data):
+    """The generic Trainer drives the RankSeqModel through the BatchLoader."""
+    from repro.models import RankSeqModel
+
+    train, _ = pipeline_data
+    ds = make_windows(train[:8], encoder_length=15, decoder_length=2)
+    loader = BatchLoader(ds, batch_size=32, shuffle=True, spec=FeatureSpec(), rng=0)
+    model = RankSeqModel(num_covariates=9, hidden_dim=12, encoder_length=15, decoder_length=2, rng=0)
+    trainer = Trainer(model, lr=3e-3, max_epochs=3)
+    history = trainer.fit(loader.batches, loader.batches)
+    assert history.num_epochs == 3
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_forecast_reproducibility_same_seed(pipeline_data):
+    train, test = pipeline_data
+    def build():
+        m = RankNetForecaster(variant="oracle", encoder_length=15, decoder_length=2,
+                              hidden_dim=12, epochs=2, max_train_windows=400, seed=11)
+        m.fit(train[:6])
+        return m.forecast(test[0], origin=40, horizon=2, n_samples=10).samples
+
+    a = build()
+    b = build()
+    np.testing.assert_allclose(a, b)

@@ -1,0 +1,113 @@
+"""Tests for the CurRank and ARIMA baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_race_features
+from repro.models import ArimaForecaster, CurRankForecaster
+from repro.models.arima import _difference, _lag_matrix
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="module")
+def series():
+    from dataclasses import replace
+
+    track = replace(track_for_year("Indy500", 2018), total_laps=120, num_cars=16)
+    race = RaceSimulator(track, event="Indy500", year=2018, seed=5).run()
+    return build_race_features(race)
+
+
+def test_currank_repeats_last_observed_rank(series):
+    model = CurRankForecaster().fit(series)
+    s = series[0]
+    fc = model.forecast(s, origin=50, horizon=4, n_samples=10)
+    assert fc.samples.shape == (10, 4)
+    np.testing.assert_allclose(fc.point(), s.rank[50])
+    np.testing.assert_allclose(fc.quantile(0.9), s.rank[50])
+    assert fc.race_id == s.race_id and fc.car_id == s.car_id
+
+
+def test_currank_origin_out_of_range(series):
+    model = CurRankForecaster().fit(series)
+    with pytest.raises(IndexError):
+        model.forecast(series[0], origin=10_000, horizon=2)
+
+
+def test_probabilistic_forecast_statistics():
+    from repro.models import ProbabilisticForecast
+
+    samples = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    fc = ProbabilisticForecast(samples=samples, origin=0)
+    np.testing.assert_allclose(fc.median(), [3.0, 4.0])
+    np.testing.assert_allclose(fc.mean(), [3.0, 4.0])
+    assert fc.horizon == 2 and fc.n_samples == 3
+    np.testing.assert_allclose(fc.quantile(1.0), [5.0, 6.0])
+
+
+# ----------------------------------------------------------------------
+# ARIMA internals
+# ----------------------------------------------------------------------
+def test_difference_and_lag_matrix_helpers():
+    x = np.array([1.0, 3.0, 6.0, 10.0])
+    np.testing.assert_allclose(_difference(x, 1), [2.0, 3.0, 4.0])
+    np.testing.assert_allclose(_difference(x, 0), x)
+    X, y = _lag_matrix(np.array([1.0, 2.0, 3.0, 4.0, 5.0]), lags=2)
+    np.testing.assert_allclose(y, [3.0, 4.0, 5.0])
+    np.testing.assert_allclose(X[:, 0], [2.0, 3.0, 4.0])  # lag 1
+    np.testing.assert_allclose(X[:, 1], [1.0, 2.0, 3.0])  # lag 2
+    with pytest.raises(ValueError):
+        _lag_matrix(x, 0)
+
+
+def test_arima_recovers_ar1_dynamics():
+    rng = np.random.default_rng(0)
+    phi = 0.8
+    n = 400
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = phi * x[t - 1] + rng.normal(0, 0.5)
+    model = ArimaForecaster(order=(1, 0, 0)).fit_series(x)
+    assert model.ar[0] == pytest.approx(phi, abs=0.1)
+    mean, std = model.forecast(5)
+    assert mean.shape == (5,) and std.shape == (5,)
+    # AR(1) forecasts decay toward the mean and uncertainty grows
+    assert abs(mean[4]) <= abs(mean[0]) + 1e-9
+    assert np.all(np.diff(std) >= -1e-12)
+
+
+def test_arima_forecast_interval_widens_with_horizon(series):
+    model = ArimaForecaster(order=(2, 1, 1), seed=1).fit(series)
+    s = series[1]
+    fc = model.forecast(s, origin=60, horizon=8, n_samples=400)
+    assert fc.samples.shape == (400, 8)
+    spread_first = fc.quantile(0.9)[0] - fc.quantile(0.1)[0]
+    spread_last = fc.quantile(0.9)[-1] - fc.quantile(0.1)[-1]
+    assert spread_last >= spread_first - 1e-6
+
+
+def test_arima_forecasts_stay_in_valid_rank_range(series):
+    model = ArimaForecaster(seed=2).fit(series)
+    for s in series[:4]:
+        fc = model.forecast(s, origin=40, horizon=4, n_samples=50)
+        assert fc.samples.min() >= 1.0
+        assert fc.samples.max() <= 33.0
+
+
+def test_arima_short_history_falls_back_gracefully(series):
+    model = ArimaForecaster(order=(2, 1, 1), min_history=12, seed=3).fit(series)
+    s = series[2]
+    fc = model.forecast(s, origin=3, horizon=2, n_samples=20)
+    assert fc.samples.shape == (20, 2)
+    assert np.all(np.isfinite(fc.samples))
+
+
+def test_arima_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        ArimaForecaster(order=(-1, 0, 0))
+
+
+def test_arima_origin_bounds(series):
+    model = ArimaForecaster().fit(series)
+    with pytest.raises(IndexError):
+        model.forecast(series[0], origin=0, horizon=2)

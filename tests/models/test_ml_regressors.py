@@ -1,0 +1,247 @@
+"""Tests for the from-scratch ML regressors and their forecaster wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_race_features
+from repro.models import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestForecaster,
+    RandomForestRegressor,
+    SVR,
+    SVRForecaster,
+    XGBoostForecaster,
+    build_pointwise_features,
+    rbf_kernel,
+)
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="module")
+def small_series():
+    from dataclasses import replace
+
+    track = replace(track_for_year("Indy500", 2018), total_laps=100, num_cars=14)
+    race = RaceSimulator(track, event="Indy500", year=2017, seed=9).run()
+    return build_race_features(race)
+
+
+def _piecewise_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 2))
+    y = np.where(X[:, 0] > 0.3, 3.0, -1.0) + 0.5 * X[:, 1] + rng.normal(0, 0.05, n)
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# decision tree
+# ----------------------------------------------------------------------
+def test_tree_fits_piecewise_constant_function():
+    X, y = _piecewise_data()
+    tree = DecisionTreeRegressor(max_depth=4, rng=0).fit(X, y)
+    pred = tree.predict(X)
+    assert np.mean(np.abs(pred - y)) < 0.5
+    assert tree.depth() <= 4
+    assert tree.num_leaves() >= 2
+
+
+def test_tree_respects_max_depth_and_leaf_size():
+    X, y = _piecewise_data(300)
+    shallow = DecisionTreeRegressor(max_depth=1, rng=0).fit(X, y)
+    assert shallow.depth() <= 1
+    assert shallow.num_leaves() <= 2
+    chunky = DecisionTreeRegressor(max_depth=10, min_samples_leaf=100, rng=0).fit(X, y)
+    assert chunky.num_leaves() <= 4
+
+
+def test_tree_predicts_mean_for_constant_target():
+    X = np.random.default_rng(1).normal(size=(50, 3))
+    y = np.full(50, 7.0)
+    tree = DecisionTreeRegressor(rng=0).fit(X, y)
+    np.testing.assert_allclose(tree.predict(X), 7.0)
+    assert tree.num_leaves() == 1
+
+
+def test_tree_input_validation():
+    tree = DecisionTreeRegressor()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((5,)), np.zeros(5))
+    with pytest.raises(RuntimeError):
+        DecisionTreeRegressor().predict(np.zeros((2, 2)))
+    fitted = DecisionTreeRegressor(rng=0).fit(np.zeros((10, 2)), np.arange(10.0))
+    with pytest.raises(ValueError):
+        fitted.predict(np.zeros((2, 3)))
+
+
+def test_tree_interpolates_smooth_function_better_with_depth():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(-3, 3, size=(500, 1))
+    y = np.sin(X[:, 0])
+    shallow = DecisionTreeRegressor(max_depth=2, rng=0).fit(X, y)
+    deep = DecisionTreeRegressor(max_depth=8, rng=0).fit(X, y)
+    err_shallow = np.mean((shallow.predict(X) - y) ** 2)
+    err_deep = np.mean((deep.predict(X) - y) ** 2)
+    assert err_deep < err_shallow
+
+
+# ----------------------------------------------------------------------
+# random forest / boosting
+# ----------------------------------------------------------------------
+def test_forest_beats_or_matches_single_tree_on_noise():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(400, 4))
+    y = X[:, 0] - 2 * X[:, 1] + rng.normal(0, 0.5, 400)
+    X_test = rng.normal(size=(200, 4))
+    y_test = X_test[:, 0] - 2 * X_test[:, 1]
+    tree = DecisionTreeRegressor(max_depth=8, rng=0).fit(X, y)
+    forest = RandomForestRegressor(n_estimators=20, max_depth=8, rng=0).fit(X, y)
+    err_tree = np.mean((tree.predict(X_test) - y_test) ** 2)
+    err_forest = np.mean((forest.predict(X_test) - y_test) ** 2)
+    assert err_forest <= err_tree * 1.05
+
+
+def test_forest_predict_std_nonnegative():
+    X, y = _piecewise_data(200)
+    forest = RandomForestRegressor(n_estimators=10, rng=0).fit(X, y)
+    std = forest.predict_std(X[:20])
+    assert np.all(std >= 0.0)
+
+
+def test_forest_validation():
+    with pytest.raises(ValueError):
+        RandomForestRegressor(n_estimators=0)
+    with pytest.raises(RuntimeError):
+        RandomForestRegressor(rng=0).predict(np.zeros((2, 2)))
+
+
+def test_gbm_training_loss_decreases_with_more_trees():
+    X, y = _piecewise_data(300, seed=4)
+    gbm = GradientBoostingRegressor(n_estimators=40, learning_rate=0.2, rng=0).fit(X, y)
+    assert gbm.n_trees_ == 40
+    assert gbm.train_scores_[-1] < gbm.train_scores_[0]
+    assert np.mean(np.abs(gbm.predict(X) - y)) < 0.5
+
+
+def test_gbm_early_stopping_halts_before_budget():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(200, 3))
+    y = rng.normal(size=200)  # pure noise: validation stops improving quickly
+    X_val = rng.normal(size=(100, 3))
+    y_val = rng.normal(size=100)
+    gbm = GradientBoostingRegressor(
+        n_estimators=200, learning_rate=0.3, early_stopping_rounds=5, rng=0
+    ).fit(X, y, eval_set=(X_val, y_val))
+    assert gbm.n_trees_ < 200
+
+
+def test_gbm_parameter_validation():
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(subsample=1.5)
+    with pytest.raises(RuntimeError):
+        GradientBoostingRegressor().predict(np.zeros((1, 1)))
+
+
+# ----------------------------------------------------------------------
+# SVR
+# ----------------------------------------------------------------------
+def test_rbf_kernel_properties():
+    rng = np.random.default_rng(6)
+    X = rng.normal(size=(10, 3))
+    K = rbf_kernel(X, X, gamma=0.5)
+    np.testing.assert_allclose(np.diag(K), 1.0)
+    np.testing.assert_allclose(K, K.T)
+    assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+
+def test_svr_fits_nonlinear_function():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(400, 3))
+    y = 2 * X[:, 0] - X[:, 1] + 0.5 * np.sin(3 * X[:, 2])
+    svr = SVR(C=2.0, epsilon=0.05, rng=0).fit(X, y)
+    pred = svr.predict(X)
+    assert np.mean(np.abs(pred - y)) < 0.4
+    assert 0.0 < svr.support_fraction <= 1.0
+
+
+def test_svr_linear_kernel_recovers_linear_model():
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(200, 2))
+    y = 3 * X[:, 0] - X[:, 1]
+    svr = SVR(kernel="linear", C=5.0, epsilon=0.01, rng=0).fit(X, y)
+    assert np.mean(np.abs(svr.predict(X) - y)) < 0.3
+
+
+def test_svr_subsamples_large_training_sets():
+    rng = np.random.default_rng(9)
+    X = rng.normal(size=(500, 2))
+    y = X[:, 0]
+    svr = SVR(max_train_size=100, rng=0).fit(X, y)
+    assert svr.X_.shape[0] == 100
+
+
+def test_svr_validation():
+    with pytest.raises(ValueError):
+        SVR(C=0.0)
+    with pytest.raises(ValueError):
+        SVR(epsilon=-1)
+    with pytest.raises(ValueError):
+        SVR(kernel="poly")
+    with pytest.raises(RuntimeError):
+        SVR().predict(np.zeros((1, 1)))
+
+
+# ----------------------------------------------------------------------
+# pointwise forecaster wrappers
+# ----------------------------------------------------------------------
+def test_pointwise_features_vector_layout(small_series):
+    s = small_series[0]
+    feats = build_pointwise_features(s, origin=30, horizon=5)
+    assert feats.shape == (11,)
+    assert feats[0] == s.rank[30]
+    assert feats[-1] == 5.0
+
+
+def test_ml_forecasters_fit_and_forecast(small_series):
+    train, test = small_series[:8], small_series[8:10]
+    for forecaster in (
+        RandomForestForecaster(n_estimators=5, max_depth=5, origin_stride=6, max_instances=1500),
+        XGBoostForecaster(n_estimators=10, origin_stride=6, max_instances=1500),
+        SVRForecaster(origin_stride=6, max_instances=800),
+    ):
+        forecaster.fit(train)
+        fc = forecaster.forecast(test[0], origin=40, horizon=3, n_samples=7)
+        assert fc.samples.shape == (7, 3)
+        # deterministic point models: all samples identical
+        np.testing.assert_allclose(fc.samples[0], fc.samples[-1])
+        assert np.all(fc.samples >= 1.0) and np.all(fc.samples <= 33.0)
+
+
+def test_ml_forecaster_requires_fit(small_series):
+    model = RandomForestForecaster(n_estimators=2)
+    with pytest.raises(RuntimeError):
+        model.forecast(small_series[0], origin=30, horizon=2)
+
+
+def test_ml_forecaster_short_horizon_predictions_stay_near_current_rank(small_series):
+    """Rank changes over one lap are small, and a fitted tree ensemble should
+    have learned that: its 1-lap-ahead forecasts stay close to the current
+    rank on average, while long-horizon forecasts are allowed to move more."""
+    model = XGBoostForecaster(n_estimators=40, origin_stride=3, max_instances=6000)
+    model.fit(small_series)
+    s = small_series[0]
+    origins = range(20, len(s) - 25, 7)
+    short_moves, long_moves = [], []
+    for origin in origins:
+        fc = model.forecast(s, origin, 20).point()
+        short_moves.append(abs(fc[0] - s.rank[origin]))
+        long_moves.append(abs(fc[-1] - s.rank[origin]))
+    assert np.mean(short_moves) < 3.0
+    assert np.mean(long_moves) >= np.mean(short_moves) - 0.5
+    # predictions respond to the horizon feature (not constant across h)
+    fc = model.forecast(s, 40, 20).point()
+    assert np.std(fc) > 0.0

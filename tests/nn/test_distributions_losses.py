@@ -1,0 +1,155 @@
+"""Tests for the Gaussian output head and the loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import GaussianOutput, gaussian_nll, gaussian_quantile, gaussian_sample
+from repro.nn.gradcheck import numerical_gradient, relative_error
+from repro.nn.losses import mae_loss, mse_loss, quantile_loss
+
+TOL = 1e-5
+
+
+def test_gaussian_output_sigma_always_positive():
+    rng = np.random.default_rng(0)
+    head = GaussianOutput(8, rng=rng)
+    h = rng.normal(size=(100, 8)) * 10.0
+    params = head.forward(h)
+    assert np.all(params.sigma > 0.0)
+    assert params.mu.shape == (100,)
+    assert params.sigma.shape == (100,)
+
+
+def test_gaussian_output_backward_shape_and_nonzero():
+    rng = np.random.default_rng(1)
+    head = GaussianOutput(6, rng=rng)
+    h = rng.normal(size=(4, 6))
+    params = head.forward(h)
+    dh = head.backward(np.ones_like(params.mu), np.ones_like(params.sigma))
+    assert dh.shape == h.shape
+    assert not np.allclose(dh, 0.0)
+
+
+def test_gaussian_head_end_to_end_gradient_through_nll():
+    rng = np.random.default_rng(2)
+    head = GaussianOutput(5, rng=rng)
+    h = rng.normal(size=(3, 5))
+    z = rng.normal(size=(3,))
+
+    params = head.forward(h)
+    loss, d_mu, d_sigma = gaussian_nll(z, params.mu, params.sigma)
+    analytic_dh = head.backward(d_mu, d_sigma)
+
+    def loss_fn():
+        p = head.forward(h)
+        head.clear_cache()
+        l, _, _ = gaussian_nll(z, p.mu, p.sigma)
+        return l
+
+    numeric_dh = numerical_gradient(loss_fn, h)
+    assert relative_error(analytic_dh, numeric_dh) < 1e-4
+
+
+def test_gaussian_nll_gradients_match_numeric():
+    rng = np.random.default_rng(3)
+    z = rng.normal(size=(6,))
+    mu = rng.normal(size=(6,))
+    sigma = np.abs(rng.normal(size=(6,))) + 0.5
+    loss, d_mu, d_sigma = gaussian_nll(z, mu, sigma)
+
+    num_mu = numerical_gradient(lambda: gaussian_nll(z, mu, sigma)[0], mu)
+    num_sigma = numerical_gradient(lambda: gaussian_nll(z, mu, sigma)[0], sigma)
+    assert relative_error(d_mu, num_mu) < TOL
+    assert relative_error(d_sigma, num_sigma) < TOL
+
+
+def test_gaussian_nll_weighted_instances_count_more():
+    z = np.array([0.0, 0.0])
+    mu = np.array([1.0, 1.0])
+    sigma = np.array([1.0, 1.0])
+    base, d_mu, _ = gaussian_nll(z, mu, sigma)
+    weighted, d_mu_w, _ = gaussian_nll(z, mu, sigma, weights=np.array([9.0, 1.0]))
+    # equal errors -> weighting does not change the mean loss
+    assert weighted == pytest.approx(base)
+    # but the gradient concentrates on the up-weighted instance
+    assert abs(d_mu_w[0]) > abs(d_mu_w[1])
+
+
+def test_gaussian_nll_mask_ignores_positions():
+    z = np.array([0.0, 100.0])
+    mu = np.array([0.0, 0.0])
+    sigma = np.array([1.0, 1.0])
+    loss, d_mu, _ = gaussian_nll(z, mu, sigma, mask=np.array([1.0, 0.0]))
+    assert loss == pytest.approx(0.5 * np.log(2 * np.pi))
+    assert d_mu[1] == 0.0
+
+
+def test_gaussian_nll_is_minimised_at_true_parameters():
+    rng = np.random.default_rng(4)
+    z = rng.normal(loc=2.0, scale=1.5, size=5000)
+    mu_grid = np.linspace(0, 4, 41)
+    losses = [gaussian_nll(z, np.full_like(z, m), np.full_like(z, 1.5))[0] for m in mu_grid]
+    assert abs(mu_grid[int(np.argmin(losses))] - 2.0) < 0.15
+
+
+def test_gaussian_sample_statistics():
+    rng = np.random.default_rng(5)
+    mu = np.array([1.0, -2.0])
+    sigma = np.array([0.5, 2.0])
+    samples = gaussian_sample(mu, sigma, rng, n_samples=20000)
+    assert samples.shape == (20000, 2)
+    np.testing.assert_allclose(samples.mean(axis=0), mu, atol=0.05)
+    np.testing.assert_allclose(samples.std(axis=0), sigma, rtol=0.05)
+
+
+def test_gaussian_quantile_median_and_symmetry():
+    mu = np.array([3.0])
+    sigma = np.array([2.0])
+    np.testing.assert_allclose(gaussian_quantile(mu, sigma, 0.5), mu)
+    lo = gaussian_quantile(mu, sigma, 0.1)
+    hi = gaussian_quantile(mu, sigma, 0.9)
+    np.testing.assert_allclose(hi - mu, mu - lo, rtol=1e-10)
+
+
+def test_mse_and_mae_losses_and_gradients():
+    pred = np.array([1.0, 2.0, 3.0])
+    target = np.array([1.0, 0.0, 6.0])
+    mse, dmse = mse_loss(pred, target)
+    assert mse == pytest.approx((0 + 4 + 9) / 3)
+    num = numerical_gradient(lambda: mse_loss(pred, target)[0], pred)
+    assert relative_error(dmse, num) < TOL
+
+    mae, dmae = mae_loss(pred, target)
+    assert mae == pytest.approx((0 + 2 + 3) / 3)
+
+
+def test_quantile_loss_gradient_and_asymmetry():
+    pred = np.array([0.0, 0.0])
+    target = np.array([1.0, -2.0])
+    loss_med, grad = quantile_loss(pred, target, 0.5)
+    assert loss_med == pytest.approx(0.75)
+    loss_hi, _ = quantile_loss(pred, target, 0.9)
+    # q=0.9 penalises under-prediction (target above pred) more
+    assert loss_hi != pytest.approx(loss_med)
+    num = numerical_gradient(lambda: quantile_loss(pred, target, 0.9)[0], pred)
+    _, analytic = quantile_loss(pred, target, 0.9)
+    assert relative_error(analytic, num) < TOL
+
+
+def test_quantile_loss_invalid_quantile():
+    with pytest.raises(ValueError):
+        quantile_loss(np.zeros(2), np.zeros(2), 1.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=-5, max_value=5),
+    st.floats(min_value=0.2, max_value=3.0),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+def test_gaussian_quantile_is_monotone_in_q(mu, sigma, q):
+    lo = gaussian_quantile(np.array([mu]), np.array([sigma]), max(q - 0.04, 0.01))
+    hi = gaussian_quantile(np.array([mu]), np.array([sigma]), min(q + 0.04, 0.99))
+    assert hi >= lo

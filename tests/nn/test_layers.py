@@ -1,0 +1,210 @@
+"""Gradient checks and behaviour tests for feed-forward layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Dropout, Embedding, LayerNorm, MLP, Sequential
+from repro.nn.gradcheck import numerical_gradient, relative_error
+
+RNG = np.random.default_rng(1234)
+TOL = 1e-5
+
+
+def _check_input_grad(layer, x, loss_weights=None):
+    """Numerically verify the layer's input gradient for loss = sum(w * out)."""
+    out = layer.forward(x)
+    w = loss_weights if loss_weights is not None else np.ones_like(out)
+    analytic = layer.backward(w)
+
+    def loss():
+        return float(np.sum(w * layer_forward_nocache(layer, x)))
+
+    numeric = numerical_gradient(loss, x)
+    assert relative_error(analytic, numeric) < 1e-4
+
+
+def layer_forward_nocache(layer, x):
+    y = layer.forward(x)
+    # pop the cache entry we just created so caches do not grow
+    if hasattr(layer, "_cache") and layer._cache:
+        layer._cache.pop()
+    return y
+
+
+@pytest.mark.parametrize("activation", [None, "tanh", "relu", "sigmoid", "softplus"])
+def test_dense_input_gradient(activation):
+    layer = Dense(5, 4, activation=activation, rng=RNG)
+    x = RNG.normal(size=(3, 5))
+    x[np.abs(x) < 1e-3] = 0.3
+    _check_input_grad(layer, x)
+
+
+def test_dense_parameter_gradients():
+    layer = Dense(4, 3, activation="tanh", rng=RNG)
+    x = RNG.normal(size=(6, 4))
+    w = RNG.normal(size=(6, 3))
+
+    out = layer.forward(x)
+    layer.backward(w)
+    analytic_w = layer.weight.grad.copy()
+    analytic_b = layer.bias.grad.copy()
+
+    def loss():
+        return float(np.sum(w * layer_forward_nocache(layer, x)))
+
+    num_w = numerical_gradient(loss, layer.weight.data)
+    num_b = numerical_gradient(loss, layer.bias.data)
+    assert relative_error(analytic_w, num_w) < TOL
+    assert relative_error(analytic_b, num_b) < TOL
+
+
+def test_dense_handles_3d_inputs():
+    layer = Dense(4, 2, rng=RNG)
+    x = RNG.normal(size=(2, 7, 4))
+    out = layer.forward(x)
+    assert out.shape == (2, 7, 2)
+    grad = layer.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_dense_rejects_wrong_input_dim():
+    layer = Dense(4, 2, rng=RNG)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((3, 5)))
+
+
+def test_dense_backward_without_forward_raises():
+    layer = Dense(2, 2, rng=RNG)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 2)))
+
+
+def test_dense_reuse_accumulates_multiple_caches():
+    layer = Dense(3, 3, rng=RNG)
+    x1, x2 = RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))
+    layer.forward(x1)
+    layer.forward(x2)
+    layer.backward(np.ones((2, 3)))  # corresponds to x2
+    g1 = layer.backward(np.ones((2, 3)))  # corresponds to x1
+    assert g1.shape == x1.shape
+    assert len(layer._cache) == 0
+
+
+def test_embedding_lookup_and_gradient_accumulation():
+    emb = Embedding(10, 4, rng=RNG)
+    ids = np.array([1, 3, 3, 7])
+    out = emb.forward(ids)
+    assert out.shape == (4, 4)
+    np.testing.assert_allclose(out[1], out[2])
+    emb.backward(np.ones((4, 4)))
+    # id 3 appears twice -> gradient accumulated twice
+    np.testing.assert_allclose(emb.weight.grad[3], 2.0)
+    np.testing.assert_allclose(emb.weight.grad[1], 1.0)
+    np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+def test_embedding_rejects_out_of_range_ids():
+    emb = Embedding(5, 2, rng=RNG)
+    with pytest.raises(IndexError):
+        emb.forward(np.array([5]))
+    with pytest.raises(IndexError):
+        emb.forward(np.array([-1]))
+
+
+def test_dropout_eval_mode_is_identity():
+    drop = Dropout(0.5, rng=RNG)
+    drop.eval()
+    x = RNG.normal(size=(10, 10))
+    np.testing.assert_array_equal(drop.forward(x), x)
+    np.testing.assert_array_equal(drop.backward(x), x)
+
+
+def test_dropout_train_mode_preserves_expectation():
+    drop = Dropout(0.3, rng=np.random.default_rng(0))
+    x = np.ones((200, 200))
+    out = drop.forward(x)
+    # inverted dropout keeps E[out] == x
+    assert out.mean() == pytest.approx(1.0, abs=0.02)
+    zero_fraction = np.mean(out == 0.0)
+    assert zero_fraction == pytest.approx(0.3, abs=0.02)
+
+
+def test_dropout_backward_uses_same_mask():
+    drop = Dropout(0.5, rng=np.random.default_rng(0))
+    x = np.ones((50, 50))
+    out = drop.forward(x)
+    grad = drop.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+
+def test_dropout_invalid_rate():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_layernorm_output_statistics():
+    ln = LayerNorm(16)
+    x = RNG.normal(loc=3.0, scale=5.0, size=(8, 16))
+    out = ln.forward(x)
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_layernorm_input_gradient():
+    ln = LayerNorm(6)
+    x = RNG.normal(size=(4, 6))
+    w = RNG.normal(size=(4, 6))
+    _check_input_grad(ln, x, w)
+
+
+def test_layernorm_parameter_gradients():
+    ln = LayerNorm(5)
+    x = RNG.normal(size=(3, 5))
+    w = RNG.normal(size=(3, 5))
+    ln.forward(x)
+    analytic = None
+    ln.zero_grad()
+    ln._cache.clear()
+    ln.forward(x)
+    ln.backward(w)
+    analytic_gamma = ln.gamma.grad.copy()
+    analytic_beta = ln.beta.grad.copy()
+
+    def loss():
+        return float(np.sum(w * layer_forward_nocache(ln, x)))
+
+    assert relative_error(analytic_gamma, numerical_gradient(loss, ln.gamma.data)) < TOL
+    assert relative_error(analytic_beta, numerical_gradient(loss, ln.beta.data)) < TOL
+
+
+def test_sequential_and_mlp_backward_chain():
+    mlp = MLP(4, [8, 8], 2, activation="tanh", rng=RNG)
+    x = RNG.normal(size=(5, 4))
+    out = mlp.forward(x)
+    assert out.shape == (5, 2)
+    grad = mlp.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_mlp_input_gradient_matches_numeric():
+    mlp = MLP(3, [6], 2, activation="tanh", rng=RNG)
+    x = RNG.normal(size=(2, 3))
+    w = RNG.normal(size=(2, 2))
+    out = mlp.forward(x)
+    analytic = mlp.backward(w)
+
+    def loss():
+        y = mlp.forward(x)
+        for layer in mlp.layers:
+            if hasattr(layer, "_cache") and layer._cache:
+                layer._cache.pop()
+        return float(np.sum(w * y))
+
+    numeric = numerical_gradient(loss, x)
+    assert relative_error(analytic, numeric) < 1e-4
+
+
+def test_sequential_indexing():
+    seq = Sequential([Dense(2, 3, rng=RNG), Dense(3, 1, rng=RNG)])
+    assert len(seq) == 2
+    assert seq[0].out_dim == 3

@@ -1,0 +1,95 @@
+"""Tests for Parameter/Module bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, MLP, Module, Parameter, StackedLSTM
+
+
+class Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Dense(3, 4, rng=0, name="fc1")
+        self.fc2 = Dense(4, 2, rng=1, name="fc2")
+        self.extra = Parameter(np.zeros((2, 2)), "extra")
+        self.blocks = [Dense(2, 2, rng=2, name="b0"), Dense(2, 2, rng=3, name="b1")]
+
+
+def test_named_parameters_discovers_attributes_lists_and_own_params():
+    model = Composite()
+    names = dict(model.named_parameters())
+    assert "fc1.weight" in names and "fc1.bias" in names
+    assert "fc2.weight" in names
+    assert "extra" in names
+    assert "blocks.0.weight" in names and "blocks.1.weight" in names
+    # 4 dense layers (fc1, fc2, blocks.0, blocks.1) => weight+bias each, plus `extra`
+    assert len(names) == 2 * 4 + 1
+
+
+def test_num_parameters_counts_scalars():
+    model = Dense(3, 4, rng=0)
+    assert model.num_parameters() == 3 * 4 + 4
+
+
+def test_zero_grad_resets_all_gradients():
+    model = Composite()
+    for p in model.parameters():
+        p.grad += 1.0
+    model.zero_grad()
+    assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+
+def test_state_dict_round_trip_restores_values():
+    model = Composite()
+    state = model.state_dict()
+    for p in model.parameters():
+        p.data += 5.0
+    model.load_state_dict(state)
+    for name, p in model.named_parameters():
+        np.testing.assert_allclose(p.data, state[name])
+
+
+def test_load_state_dict_rejects_missing_and_unexpected_keys():
+    model = Dense(2, 2, rng=0)
+    state = model.state_dict()
+    bad = dict(state)
+    bad.pop("weight")
+    with pytest.raises(KeyError):
+        model.load_state_dict(bad)
+    bad = dict(state)
+    bad["unknown"] = np.zeros(1)
+    with pytest.raises(KeyError):
+        model.load_state_dict(bad)
+
+
+def test_load_state_dict_rejects_shape_mismatch():
+    model = Dense(2, 2, rng=0)
+    state = model.state_dict()
+    state["weight"] = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_train_eval_propagates_to_children():
+    model = Composite()
+    model.eval()
+    assert not model.training
+    assert not model.fc1.training
+    assert not model.blocks[1].training
+    model.train()
+    assert model.blocks[0].training
+
+
+def test_state_dict_is_a_copy_not_a_view():
+    model = Dense(2, 2, rng=0)
+    state = model.state_dict()
+    model.weight.data[0, 0] = 123.0
+    assert state["weight"][0, 0] != 123.0
+
+
+def test_mlp_and_stacked_lstm_parameter_counts():
+    mlp = MLP(4, [8], 2, rng=0)
+    assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+    lstm = StackedLSTM(input_dim=3, hidden_dim=5, num_layers=2, rng=0)
+    expected = (3 * 20 + 5 * 20 + 20) + (5 * 20 + 5 * 20 + 20)
+    assert lstm.num_parameters() == expected

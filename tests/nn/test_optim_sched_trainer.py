@@ -1,0 +1,233 @@
+"""Tests for optimizers, schedulers, initializers and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    EarlyStopping,
+    Module,
+    Parameter,
+    ReduceLROnPlateau,
+    SGD,
+    StepDecay,
+    Trainer,
+    clip_grad_norm,
+    mse_loss,
+)
+from repro.nn import initializers as init
+
+
+# ----------------------------------------------------------------------
+# initializers
+# ----------------------------------------------------------------------
+def test_orthogonal_initializer_produces_orthonormal_columns():
+    w = init.orthogonal((6, 6), rng=0)
+    np.testing.assert_allclose(w @ w.T, np.eye(6), atol=1e-10)
+
+
+def test_orthogonal_rectangular_shapes():
+    w = init.orthogonal((8, 4), rng=0)
+    np.testing.assert_allclose(w.T @ w, np.eye(4), atol=1e-10)
+    w2 = init.orthogonal((4, 8), rng=0)
+    np.testing.assert_allclose(w2 @ w2.T, np.eye(4), atol=1e-10)
+
+
+def test_orthogonal_requires_2d():
+    with pytest.raises(ValueError):
+        init.orthogonal((5,))
+
+
+def test_xavier_bounds_and_he_scale():
+    w = init.xavier_uniform((100, 200), rng=0)
+    limit = np.sqrt(6.0 / 300)
+    assert np.all(np.abs(w) <= limit)
+    h = init.he_normal((1000, 50), rng=0)
+    assert h.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+
+def test_lstm_bias_layout():
+    b = init.lstm_bias(3, forget_bias=2.0)
+    np.testing.assert_allclose(b[3:6], 2.0)
+    np.testing.assert_allclose(b[:3], 0.0)
+    np.testing.assert_allclose(b[6:], 0.0)
+
+
+# ----------------------------------------------------------------------
+# optimizers
+# ----------------------------------------------------------------------
+def _quadratic_problem():
+    """min ||x - target||^2 with a single parameter vector."""
+    target = np.array([1.0, -2.0, 3.0])
+    p = Parameter(np.zeros(3), "x")
+
+    def compute_grad():
+        p.zero_grad()
+        p.grad += 2.0 * (p.data - target)
+        return float(np.sum((p.data - target) ** 2))
+
+    return p, target, compute_grad
+
+
+@pytest.mark.parametrize(
+    "make_opt",
+    [
+        lambda p: SGD([p], lr=0.1),
+        lambda p: SGD([p], lr=0.05, momentum=0.9),
+        lambda p: Adam([p], lr=0.2),
+    ],
+)
+def test_optimizers_converge_on_quadratic(make_opt):
+    p, target, compute_grad = _quadratic_problem()
+    opt = make_opt(p)
+    for _ in range(200):
+        compute_grad()
+        opt.step()
+    np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+
+def test_adam_weight_decay_shrinks_weights():
+    p = Parameter(np.ones(4) * 10.0)
+    opt = Adam([p], lr=0.1, weight_decay=0.5)
+    for _ in range(50):
+        p.zero_grad()  # zero data gradient, only decay acts
+        opt.step()
+    assert np.all(np.abs(p.data) < 10.0)
+
+
+def test_optimizer_rejects_empty_parameter_list():
+    with pytest.raises(ValueError):
+        Adam([], lr=0.1)
+
+
+def test_clip_grad_norm_scales_down_but_not_up():
+    p = Parameter(np.zeros(4))
+    p.grad += np.array([3.0, 4.0, 0.0, 0.0])  # norm 5
+    norm = clip_grad_norm([p], max_norm=1.0)
+    assert norm == pytest.approx(5.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+    p.grad[:] = np.array([0.1, 0.0, 0.0, 0.0])
+    clip_grad_norm([p], max_norm=1.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+def test_step_decay_halves_lr_on_schedule():
+    p = Parameter(np.zeros(1))
+    opt = SGD([p], lr=1.0)
+    sched = StepDecay(opt, step_size=2, gamma=0.5)
+    lrs = [sched.step() for _ in range(4)]
+    assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+
+def test_reduce_on_plateau_waits_for_patience():
+    p = Parameter(np.zeros(1))
+    opt = Adam([p], lr=1e-3)
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=2, min_lr=1e-5)
+    sched.step(1.0)
+    sched.step(0.9)  # improvement
+    assert opt.lr == pytest.approx(1e-3)
+    sched.step(0.95)
+    sched.step(0.95)
+    assert opt.lr == pytest.approx(1e-3)  # patience not yet exceeded
+    sched.step(0.95)
+    assert opt.lr == pytest.approx(5e-4)
+
+
+def test_reduce_on_plateau_respects_min_lr():
+    p = Parameter(np.zeros(1))
+    opt = Adam([p], lr=4e-5)
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-5)
+    for _ in range(10):
+        sched.step(1.0)
+    assert opt.lr == pytest.approx(1e-5)
+    assert sched.at_min_lr
+
+
+def test_early_stopping_triggers_after_patience():
+    es = EarlyStopping(patience=3)
+    assert not es.step(1.0)
+    assert not es.step(0.5)
+    assert not es.step(0.6)
+    assert not es.step(0.6)
+    assert es.step(0.6)  # third bad epoch
+    assert es.best == pytest.approx(0.5)
+    assert es.best_epoch == 1
+
+
+# ----------------------------------------------------------------------
+# trainer
+# ----------------------------------------------------------------------
+class TinyRegressor(Module):
+    """Minimal TrainableModel fitting y = Wx + b."""
+
+    def __init__(self, rng=0):
+        super().__init__()
+        self.fc = Dense(2, 1, rng=rng)
+
+    def loss_and_backward(self, batch):
+        pred = self.fc.forward(batch["x"])[:, 0]
+        loss, grad = mse_loss(pred, batch["y"])
+        self.fc.backward(grad[:, None])
+        return loss
+
+    def validation_loss(self, batch):
+        pred = self.fc.forward(batch["x"])[:, 0]
+        self.fc._cache.pop()
+        return mse_loss(pred, batch["y"])[0]
+
+
+def _toy_batches(seed=0, n=128, batch_size=32):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 0.5
+
+    def batches():
+        for i in range(0, n, batch_size):
+            yield {"x": x[i : i + batch_size], "y": y[i : i + batch_size]}
+
+    return batches
+
+
+def test_trainer_fits_linear_model_and_records_history():
+    model = TinyRegressor(rng=0)
+    trainer = Trainer(model, lr=0.05, max_epochs=60, early_stopping_patience=60)
+    history = trainer.fit(_toy_batches(0), _toy_batches(1))
+    assert history.num_epochs > 5
+    assert history.val_loss[-1] < 0.05
+    assert history.best_val_loss <= min(history.val_loss) + 1e-12
+    assert len(history.learning_rate) == history.num_epochs
+    np.testing.assert_allclose(model.fc.weight.data[:, 0], [3.0, -2.0], atol=0.1)
+    np.testing.assert_allclose(model.fc.bias.data, [0.5], atol=0.1)
+
+
+def test_trainer_early_stops_on_flat_validation():
+    model = TinyRegressor(rng=1)
+
+    def constant_val():
+        yield {"x": np.zeros((4, 2)), "y": np.zeros(4)}
+
+    trainer = Trainer(
+        model, lr=0.0, max_epochs=50, early_stopping_patience=3, restore_best=False
+    )
+    history = trainer.fit(_toy_batches(2), constant_val)
+    assert history.stopped_early
+    assert history.num_epochs <= 6
+
+
+def test_trainer_restores_best_parameters():
+    model = TinyRegressor(rng=2)
+    seen_states = []
+
+    def callback(epoch, history):
+        seen_states.append(model.state_dict())
+
+    trainer = Trainer(model, lr=0.05, max_epochs=15, callback=callback)
+    history = trainer.fit(_toy_batches(3), _toy_batches(4))
+    best = history.best_epoch
+    np.testing.assert_allclose(
+        model.fc.weight.data, seen_states[best]["fc.weight"], rtol=1e-12
+    )

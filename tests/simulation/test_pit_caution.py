@@ -1,0 +1,120 @@
+"""Tests for the pit-stop strategy and caution generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import CautionGenerator, DriverProfile, PitStrategy, TRACKS
+
+
+def _driver(aggression=0.5, pit_crew=1.0):
+    return DriverProfile(
+        car_id=5,
+        skill=0.0,
+        consistency=0.003,
+        pit_crew=pit_crew,
+        aggression=aggression,
+        reliability=1.0,
+    )
+
+
+def test_pit_strategy_never_exceeds_fuel_window():
+    track = TRACKS["Indy500"]
+    strat = PitStrategy(_driver(), track, np.random.default_rng(0))
+    decision = strat.decide(pit_age=track.fuel_window_laps, caution=False, laps_remaining=100)
+    assert decision.pit and decision.reason == "window"
+
+
+def test_pit_strategy_target_inside_window():
+    track = TRACKS["Indy500"]
+    rng = np.random.default_rng(1)
+    for _ in range(50):
+        strat = PitStrategy(_driver(aggression=rng.random()), track, rng)
+        assert 8 <= strat.target_stint <= track.fuel_window_laps
+
+
+def test_pit_strategy_does_not_pit_on_first_laps_of_stint():
+    track = TRACKS["Indy500"]
+    strat = PitStrategy(_driver(), track, np.random.default_rng(2))
+    for age in range(0, 5):
+        assert not strat.decide(age, caution=False, laps_remaining=150).pit or age >= 3
+
+
+def test_pit_strategy_caution_pits_more_likely_deep_in_stint():
+    track = TRACKS["Indy500"]
+    rng = np.random.default_rng(3)
+    deep, shallow = 0, 0
+    trials = 400
+    for _ in range(trials):
+        strat = PitStrategy(_driver(), track, rng)
+        if strat.decide(pit_age=int(0.7 * track.fuel_window_laps), caution=True, laps_remaining=100).pit:
+            deep += 1
+        strat2 = PitStrategy(_driver(), track, rng)
+        if strat2.decide(pit_age=4, caution=True, laps_remaining=100).pit:
+            shallow += 1
+    assert deep / trials > 0.6
+    assert shallow / trials < 0.15
+
+
+def test_pit_strategy_stays_out_when_fuel_reaches_the_finish():
+    track = TRACKS["Indy500"]
+    strat = PitStrategy(_driver(), track, np.random.default_rng(4))
+    # 10 laps to go, 15 laps of fuel left -> no stop
+    decision = strat.decide(pit_age=track.fuel_window_laps - 15, caution=False, laps_remaining=10)
+    assert not decision.pit
+
+
+def test_service_time_cheaper_under_caution_and_scales_with_crew():
+    track = TRACKS["Indy500"]
+    rng = np.random.default_rng(5)
+    strat = PitStrategy(_driver(), track, rng)
+    green = np.mean([strat.service_time(False) for _ in range(200)])
+    yellow = np.mean([strat.service_time(True) for _ in range(200)])
+    assert yellow < green
+    assert green > track.pit_lane_loss_s
+
+    slow_crew = PitStrategy(_driver(pit_crew=1.2), track, rng)
+    fast_crew = PitStrategy(_driver(pit_crew=0.85), track, rng)
+    assert np.mean([slow_crew.service_time(False) for _ in range(200)]) > np.mean(
+        [fast_crew.service_time(False) for _ in range(200)]
+    )
+
+
+def test_reset_stint_redraws_target():
+    track = TRACKS["Indy500"]
+    strat = PitStrategy(_driver(), track, np.random.default_rng(6))
+    targets = set()
+    for _ in range(20):
+        targets.add(strat.target_stint)
+        strat.reset_stint()
+    assert len(targets) > 1
+
+
+def test_caution_generator_respects_lap_bounds():
+    track = TRACKS["Indy500"]
+    gen = CautionGenerator(track, np.random.default_rng(0), hazard_per_lap=1.0)
+    assert gen.maybe_start_caution(2, [1, 2, 3]) is None
+    assert gen.maybe_start_caution(track.total_laps, [1, 2, 3]) is None
+    event = gen.maybe_start_caution(50, [1, 2, 3])
+    assert event is not None
+    assert 3 <= event.duration <= 15
+    assert event.end_lap == event.start_lap + event.duration - 1
+
+
+def test_caution_generator_hazard_rate_reasonable():
+    track = TRACKS["Indy500"]
+    gen = CautionGenerator(track, np.random.default_rng(1))
+    events = 0
+    for lap in range(5, track.total_laps):
+        if gen.maybe_start_caution(lap, list(range(1, 34))) is not None:
+            events += 1
+    # a 200-lap Indy race typically sees a handful of cautions
+    assert 1 <= events <= 15
+
+
+def test_caution_generator_retirement_comes_from_active_cars():
+    track = TRACKS["Indy500"]
+    gen = CautionGenerator(track, np.random.default_rng(2), hazard_per_lap=1.0, retirement_prob=1.0)
+    active = [4, 9, 17]
+    for _ in range(10):
+        event = gen.maybe_start_caution(60, active)
+        assert event.retired_car in active

@@ -1,0 +1,183 @@
+"""Integration-level tests and invariants of the race engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import RaceSimulator, TRACKS, simulate_race, track_for_year
+
+
+@pytest.fixture(scope="module")
+def indy_race():
+    return simulate_race("Indy500", 2018, seed=42)
+
+
+@pytest.fixture(scope="module")
+def iowa_race():
+    return simulate_race("Iowa", 2019, seed=7)
+
+
+def test_race_covers_full_distance(indy_race):
+    assert indy_race.num_laps == 200
+    assert len(indy_race.car_ids()) == 33
+
+
+def test_ranks_form_a_permutation_per_lap(indy_race):
+    for lap in range(1, indy_race.num_laps + 1):
+        ranks = sorted(indy_race.ranks_at_lap(lap).values())
+        assert ranks == list(range(1, len(ranks) + 1))
+
+
+def test_rank_consistent_with_elapsed_time(indy_race):
+    for lap in (1, 50, 120, 200):
+        mask = indy_race.lap == lap
+        elapsed = indy_race.elapsed_time[mask]
+        ranks = indy_race.rank[mask]
+        order = np.argsort(elapsed)
+        assert np.array_equal(ranks[order], np.arange(1, len(ranks) + 1))
+
+
+def test_time_behind_leader_nonnegative_and_zero_for_leader(indy_race):
+    assert np.all(indy_race.time_behind_leader >= 0.0)
+    leader_mask = indy_race.rank == 1
+    np.testing.assert_allclose(indy_race.time_behind_leader[leader_mask], 0.0)
+
+
+def test_elapsed_time_strictly_increasing_per_car(indy_race):
+    for car in indy_race.car_ids():
+        mask = indy_race.car_id == car
+        order = np.argsort(indy_race.lap[mask])
+        elapsed = indy_race.elapsed_time[mask][order]
+        assert np.all(np.diff(elapsed) > 0)
+
+
+def test_lap_times_physically_plausible(indy_race):
+    base = TRACKS["Indy500"].base_lap_time_s
+    assert indy_race.lap_time.min() > 0.8 * base
+    # even a pit stop under green should stay well under 5 minutes
+    assert indy_race.lap_time.max() < 300.0
+
+
+def test_stints_bounded_by_fuel_window(indy_race):
+    window = TRACKS["Indy500"].fuel_window_laps
+    for car in indy_race.car_ids():
+        cl = indy_race.car_laps(car)
+        pit_idx = np.where(cl.is_pit)[0]
+        last = -1
+        for idx in pit_idx:
+            assert idx - last <= window + 1
+            last = idx
+        # cars that finished the race must have pitted at least once
+        if len(cl) == indy_race.num_laps:
+            assert cl.num_pits >= 1
+
+
+def test_average_pit_count_close_to_paper(indy_race):
+    pits = [indy_race.car_laps(c).num_pits for c in indy_race.finishers()]
+    assert 3.0 <= np.mean(pits) <= 8.0  # the paper reports ~6 stops per car
+
+
+def test_pit_laps_slower_than_normal_laps(indy_race):
+    pit_mean = indy_race.lap_time[indy_race.is_pit].mean()
+    green_normal = indy_race.lap_time[~indy_race.is_pit & ~indy_race.is_caution].mean()
+    assert pit_mean > green_normal + 15.0
+
+
+def test_caution_laps_slower_than_green_laps(indy_race):
+    caution_mean = indy_race.lap_time[indy_race.is_caution & ~indy_race.is_pit].mean()
+    green_mean = indy_race.lap_time[~indy_race.is_caution & ~indy_race.is_pit].mean()
+    assert caution_mean > green_mean * 1.3
+
+
+def test_rank_changes_concentrate_on_pit_windows(indy_race):
+    """Most rank movement should happen around pit stops (the paper's premise)."""
+    pit_changes, clean_changes = [], []
+    for car in indy_race.car_ids():
+        cl = indy_race.car_laps(car)
+        for i in range(1, len(cl) - 2):
+            delta = abs(int(cl.rank[i + 2]) - int(cl.rank[i]))
+            window_has_pit = bool(cl.is_pit[i - 1 : i + 3].any())
+            (pit_changes if window_has_pit else clean_changes).append(delta)
+    assert np.mean(pit_changes) > 3.0 * np.mean(clean_changes)
+
+
+def test_caution_ranks_mostly_frozen(indy_race):
+    """Under caution, if nobody in the field pits, ranks should barely move.
+
+    (Rank changes *during* caution periods do happen, but they are caused by
+    the pit cycle — cars that stay out gain positions — not by overtaking.)
+    """
+    # laps where the track is yellow and no car pits at all
+    caution_laps = set(np.unique(indy_race.lap[indy_race.is_caution]))
+    pit_laps = set(np.unique(indy_race.lap[indy_race.is_pit]))
+    quiet_caution_laps = sorted(caution_laps - pit_laps)
+    changes = 0
+    total = 0
+    for car in indy_race.car_ids():
+        cl = indy_race.car_laps(car)
+        lap_to_idx = {int(lap): i for i, lap in enumerate(cl.laps)}
+        for lap in quiet_caution_laps:
+            i = lap_to_idx.get(lap)
+            j = lap_to_idx.get(lap + 1)
+            if i is None or j is None or not indy_race.lap[indy_race.is_caution].size:
+                continue
+            if (lap + 1) in pit_laps or (lap + 1) not in caution_laps:
+                continue
+            total += 1
+            changes += int(cl.rank[j] != cl.rank[i])
+    if total:
+        assert changes / total < 0.25
+
+
+def test_retirements_shorten_trajectories(indy_race):
+    lengths = [len(indy_race.car_laps(c)) for c in indy_race.car_ids()]
+    assert max(lengths) == indy_race.num_laps
+    # fields of 33 usually lose at least one car over 500 miles
+    assert min(lengths) <= indy_race.num_laps
+
+
+def test_determinism_same_seed_same_race():
+    a = simulate_race("Texas", 2018, seed=123)
+    b = simulate_race("Texas", 2018, seed=123)
+    np.testing.assert_array_equal(a.rank, b.rank)
+    np.testing.assert_allclose(a.lap_time, b.lap_time)
+    c = simulate_race("Texas", 2018, seed=124)
+    assert not np.array_equal(a.rank, c.rank)
+
+
+def test_iowa_shorter_track_more_laps(iowa_race):
+    assert iowa_race.num_laps == 300
+    assert len(iowa_race.car_ids()) == 22
+
+
+def test_race_simulator_accepts_custom_field():
+    from repro.simulation import generate_field
+
+    rng = np.random.default_rng(0)
+    drivers = generate_field(10, rng)
+    track = track_for_year("Texas", 2017)
+    sim = RaceSimulator(track, event="Texas", year=2017, drivers=drivers, seed=rng)
+    race = sim.run()
+    assert len(race.car_ids()) <= 10
+    assert race.num_laps > 0
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_rank_permutation_and_monotone_elapsed(seed):
+    """Property test on a short race: ranks are permutations, elapsed is monotone."""
+    track = track_for_year("Iowa", 2016)
+    # shrink the race so the property test stays fast
+    from dataclasses import replace
+
+    small = replace(track, total_laps=40, num_cars=12)
+    race = RaceSimulator(small, event="Iowa", year=2016, seed=seed).run()
+    for lap in range(1, race.num_laps + 1):
+        ranks = sorted(race.ranks_at_lap(lap).values())
+        assert ranks == list(range(1, len(ranks) + 1))
+    for car in race.car_ids():
+        cl = race.car_laps(car)
+        elapsed_diff = np.diff(cl.lap_time.cumsum())
+        assert np.all(elapsed_diff > 0)
+        assert np.all(np.diff(cl.laps) == 1)

@@ -1,0 +1,126 @@
+"""Tests for the telemetry container, log format and season generation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    RaceTelemetry,
+    generate_dataset,
+    generate_event_dataset,
+    simulate_race,
+)
+
+
+@pytest.fixture(scope="module")
+def race():
+    return simulate_race("Texas", 2017, seed=3)
+
+
+def test_car_laps_view_is_lap_ordered(race):
+    for car in race.car_ids()[:5]:
+        cl = race.car_laps(car)
+        assert np.all(np.diff(cl.laps) >= 1)
+        assert len(cl) == cl.rank.size == cl.lap_time.size
+
+
+def test_car_laps_unknown_car_raises(race):
+    with pytest.raises(KeyError):
+        race.car_laps(999)
+
+
+def test_winner_is_rank_one_on_final_lap(race):
+    winner = race.winner()
+    assert race.ranks_at_lap(race.num_laps)[winner] == 1
+
+
+def test_finishers_subset_of_car_ids(race):
+    finishers = race.finishers()
+    assert set(finishers) <= set(race.car_ids())
+    assert len(finishers) >= 2
+
+
+def test_ratios_in_unit_interval(race):
+    assert 0.0 < race.pit_lap_ratio() <= 1.0
+    assert 0.0 <= race.rank_changes_ratio() < 1.0
+    assert 0.0 <= race.caution_lap_ratio() < 1.0
+
+
+def test_csv_round_trip_preserves_all_columns(race):
+    text = race.to_csv()
+    clone = RaceTelemetry.from_csv(text, event=race.event, year=race.year, track=race.track)
+    np.testing.assert_array_equal(clone.car_id, race.car_id)
+    np.testing.assert_array_equal(clone.lap, race.lap)
+    np.testing.assert_array_equal(clone.rank, race.rank)
+    np.testing.assert_allclose(clone.lap_time, race.lap_time, atol=1e-4)
+    np.testing.assert_array_equal(clone.is_pit, race.is_pit)
+    np.testing.assert_array_equal(clone.is_caution, race.is_caution)
+
+
+def test_save_and_load_round_trip(tmp_path, race):
+    path = tmp_path / "texas2017.csv"
+    race.save(str(path))
+    loaded = RaceTelemetry.load(str(path))
+    assert loaded.event == "Texas"
+    assert loaded.year == 2017
+    assert loaded.num_laps == race.num_laps
+    np.testing.assert_array_equal(loaded.rank, race.rank)
+
+
+def test_from_csv_rejects_bad_header():
+    with pytest.raises(ValueError):
+        RaceTelemetry.from_csv("foo,bar\n1,2\n", event="Indy500", year=2018)
+
+
+def test_lap_record_status_strings(race):
+    records = race.to_records()
+    pit_records = [r for r in records if r.is_pit]
+    normal_records = [r for r in records if not r.is_pit]
+    assert pit_records and normal_records
+    assert pit_records[0].lap_status == "P"
+    assert normal_records[0].lap_status == "T"
+    caution_records = [r for r in records if r.is_caution]
+    if caution_records:
+        assert caution_records[0].track_status == "Y"
+    assert normal_records[0].track_status in {"G", "Y"}
+
+
+def test_generate_event_dataset_splits_by_year():
+    split = generate_event_dataset("Indy500", years=[2016, 2017, 2018, 2019], base_seed=5)
+    train_years = {r.year for r in split.train}
+    assert train_years == {2016, 2017}
+    assert [r.year for r in split.validation] == [2018]
+    assert [r.year for r in split.test] == [2019]
+
+
+def test_generate_event_dataset_deterministic_per_seed():
+    a = generate_event_dataset("Iowa", years=[2018], base_seed=9)
+    b = generate_event_dataset("Iowa", years=[2018], base_seed=9)
+    np.testing.assert_array_equal(a.train[0].rank, b.train[0].rank)
+    c = generate_event_dataset("Iowa", years=[2018], base_seed=10)
+    assert not np.array_equal(a.train[0].rank, c.train[0].rank)
+
+
+def test_generate_dataset_full_inventory_matches_table2():
+    dataset = generate_dataset(base_seed=11)
+    races = dataset.all_races()
+    assert len(races) == 25
+    rows = {row["event"]: row for row in dataset.summary_rows()}
+    assert rows["Indy500"]["participants"] == [33]
+    assert rows["Indy500"]["train_races"] == 5
+    assert rows["Indy500"]["validation_races"] == 1
+    assert rows["Indy500"]["test_races"] == 1
+    assert rows["Texas"]["test_races"] == 2
+    assert rows["Pocono"]["test_races"] == 1
+    # different events have different seasons simulated independently
+    indy = dataset.split("Indy500").test[0]
+    texas = dataset.split("Texas").test[0]
+    assert indy.num_laps != texas.num_laps
+
+
+def test_generate_dataset_subset_of_events():
+    dataset = generate_dataset(events=["Iowa"], years_per_event={"Iowa": [2017, 2019]}, base_seed=3)
+    assert set(dataset.events) == {"Iowa"}
+    races = dataset.all_races()
+    assert {r.year for r in races} == {2017, 2019}
+    with pytest.raises(KeyError):
+        dataset.split("Indy500")

@@ -1,0 +1,83 @@
+"""Tests for the track catalogue and the driver field generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    EVENT_YEARS,
+    TRACKS,
+    DriverProfile,
+    generate_field,
+    list_events,
+    track_for_year,
+)
+
+
+def test_catalogue_matches_table2_events():
+    assert set(list_events()) == {"Indy500", "Iowa", "Pocono", "Texas"}
+    indy = TRACKS["Indy500"]
+    assert indy.length_miles == pytest.approx(2.5)
+    assert indy.total_laps == 200
+    assert indy.num_cars == 33
+    assert TRACKS["Iowa"].length_miles == pytest.approx(0.894)
+    assert TRACKS["Texas"].total_laps == 228
+    assert TRACKS["Pocono"].shape == "triangle"
+
+
+def test_base_lap_time_consistent_with_speed():
+    indy = TRACKS["Indy500"]
+    # 2.5 miles at 175 mph ~ 51.4 s
+    assert indy.base_lap_time_s == pytest.approx(2.5 / 175.0 * 3600.0)
+    assert 45.0 < indy.base_lap_time_s < 60.0
+    assert indy.caution_lap_time_s > indy.base_lap_time_s
+
+
+def test_fuel_window_scales_with_track_length():
+    assert TRACKS["Indy500"].fuel_window_laps == 50
+    assert TRACKS["Iowa"].fuel_window_laps > TRACKS["Indy500"].fuel_window_laps
+    assert TRACKS["Texas"].fuel_window_laps > TRACKS["Indy500"].fuel_window_laps
+
+
+def test_track_for_year_applies_overrides():
+    assert track_for_year("Iowa", 2019).total_laps == 300
+    assert track_for_year("Iowa", 2018).total_laps == 250
+    assert track_for_year("Pocono", 2018).total_laps == 200
+    assert track_for_year("Texas", 2019).total_laps == 248
+    assert track_for_year("Indy500", 2019).total_laps == 200
+
+
+def test_track_for_year_unknown_event_raises():
+    with pytest.raises(KeyError):
+        track_for_year("Daytona", 2019)
+
+
+def test_event_years_cover_paper_dataset():
+    total_races = sum(len(v) for v in EVENT_YEARS.values())
+    assert total_races == 25  # Table II: 25 races
+    assert 2018 in EVENT_YEARS["Indy500"] and 2019 in EVENT_YEARS["Indy500"]
+    assert 2014 not in EVENT_YEARS["Iowa"]
+
+
+def test_generate_field_properties():
+    rng = np.random.default_rng(0)
+    field = generate_field(33, rng)
+    assert len(field) == 33
+    assert [d.car_id for d in field] == list(range(1, 34))
+    skills = np.array([d.skill for d in field])
+    assert skills.mean() == pytest.approx(0.0, abs=1e-12)
+    assert np.all(np.diff(skills) >= 0)  # sorted: car 1 fastest
+    for d in field:
+        assert d.consistency > 0
+        assert 0.8 <= d.pit_crew <= 1.25
+        assert 0.0 < d.aggression < 1.0
+        assert 0.99 <= d.reliability <= 1.0
+
+
+def test_generate_field_requires_two_cars():
+    with pytest.raises(ValueError):
+        generate_field(1, np.random.default_rng(0))
+
+
+def test_expected_lap_time_uses_skill_offset():
+    d = DriverProfile(car_id=1, skill=-0.01, consistency=0.003, pit_crew=1.0, aggression=0.5, reliability=1.0)
+    assert d.expected_lap_time(50.0) == pytest.approx(49.5)

@@ -1,0 +1,153 @@
+"""Tests for the pit-strategy optimisation module and fine-tuning support."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data import ALL_COVARIATES, build_race_features
+from repro.models import DeepARForecaster, RankNetForecaster
+from repro.simulation import RaceSimulator, track_for_year
+from repro.strategy import (
+    PitStrategyOptimizer,
+    build_strategy_plan,
+    candidate_single_stop_plans,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    track = replace(track_for_year("Indy500", 2018), total_laps=100, num_cars=14)
+    train_races = [
+        RaceSimulator(track, event="Indy500", year=2016 + i, seed=70 + i).run() for i in range(2)
+    ]
+    test_race = RaceSimulator(track, event="Indy500", year=2019, seed=77).run()
+    train = [s for race in train_races for s in build_race_features(race)]
+    test = build_race_features(test_race)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def fitted_ranknet(data):
+    train, _ = data
+    model = RankNetForecaster(
+        variant="oracle", encoder_length=20, decoder_length=2, hidden_dim=16,
+        epochs=6, lr=3e-3, max_train_windows=1000, seed=8,
+    )
+    model.fit(train)
+    return model
+
+
+# ----------------------------------------------------------------------
+# strategy plans
+# ----------------------------------------------------------------------
+def test_build_strategy_plan_places_pits_and_resets_age(data):
+    _, test = data
+    series = test[0]
+    plan = build_strategy_plan(series, origin=40, horizon=12, pit_offsets=[4, 10])
+    assert plan.shape == (12, len(ALL_COVARIATES))
+    lap_col = ALL_COVARIATES.index("lap_status")
+    age_col = ALL_COVARIATES.index("pit_age")
+    track_col = ALL_COVARIATES.index("track_status")
+    np.testing.assert_array_equal(np.where(plan[:, lap_col] > 0.5)[0], [3, 9])
+    assert plan[3, age_col] == 0.0 and plan[9, age_col] == 0.0
+    assert plan[4, age_col] == 1.0
+    np.testing.assert_allclose(plan[:, track_col], 0.0)
+
+
+def test_build_strategy_plan_ignores_out_of_range_offsets(data):
+    _, test = data
+    plan = build_strategy_plan(test[0], origin=40, horizon=5, pit_offsets=[0, 9, 3])
+    lap_col = ALL_COVARIATES.index("lap_status")
+    assert plan[:, lap_col].sum() == 1.0
+
+
+def test_build_strategy_plan_validation(data):
+    _, test = data
+    with pytest.raises(IndexError):
+        build_strategy_plan(test[0], origin=10_000, horizon=5, pit_offsets=[1])
+    with pytest.raises(ValueError):
+        build_strategy_plan(test[0], origin=10, horizon=0, pit_offsets=[1])
+
+
+def test_candidate_single_stop_plans_enumeration(data):
+    _, test = data
+    candidates = candidate_single_stop_plans(test[0], origin=30, horizon=10, earliest=2, latest=8, step=2)
+    assert [c["pit_in_laps"] for c in candidates] == [2, 4, 6, 8]
+    for c in candidates:
+        assert c["plan"].shape == (10, len(ALL_COVARIATES))
+
+
+# ----------------------------------------------------------------------
+# optimizer
+# ----------------------------------------------------------------------
+def test_strategy_optimizer_rejects_unsuitable_forecasters(data):
+    train, _ = data
+    with pytest.raises(ValueError):
+        PitStrategyOptimizer(
+            RankNetForecaster(variant="oracle", encoder_length=10, epochs=1, max_train_windows=50)
+        )
+    deepar = DeepARForecaster(encoder_length=10, decoder_length=2, hidden_dim=8,
+                              epochs=1, max_train_windows=100, seed=1)
+    deepar.fit(train[:4])
+    with pytest.raises(ValueError):
+        PitStrategyOptimizer(deepar)
+    with pytest.raises(TypeError):
+        PitStrategyOptimizer(object())  # type: ignore[arg-type]
+
+
+def test_strategy_optimizer_evaluates_candidates(data, fitted_ranknet):
+    _, test = data
+    series = test[2]
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=25)
+    outcomes = optimizer.evaluate(series, origin=45, horizon=10, earliest=2, latest=8, step=3)
+    assert [o.pit_in_laps for o in outcomes] == [2, 5, 8]
+    for o in outcomes:
+        assert 1.0 <= o.expected_final_rank <= 33.0
+        assert 0.0 <= o.p_gain <= 1.0 and 0.0 <= o.p_lose <= 1.0
+        assert o.rank_samples_std >= 0.0
+        assert set(o.as_row()) == {
+            "pit_in_laps", "expected_final_rank", "median_final_rank",
+            "p_gain", "p_lose", "uncertainty",
+        }
+
+
+def test_strategy_optimizer_best_is_minimum_expected_rank(data, fitted_ranknet):
+    _, test = data
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=20)
+    outcomes = optimizer.evaluate(test[1], origin=40, horizon=8, step=2)
+    best = optimizer.best(test[1], origin=40, horizon=8, step=2)
+    assert best.expected_final_rank == pytest.approx(
+        min(o.expected_final_rank for o in outcomes), abs=0.75
+    )
+
+
+def test_strategy_plans_change_the_forecast(data, fitted_ranknet):
+    """Different pit plans must actually produce different forecasts."""
+    _, test = data
+    series = test[2]
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=40)
+    early = optimizer.evaluate_plan(series, 45, build_strategy_plan(series, 45, 10, [1]))
+    late = optimizer.evaluate_plan(series, 45, build_strategy_plan(series, 45, 10, [10]))
+    assert early.shape == late.shape == (40, 10)
+    assert not np.allclose(early.mean(axis=0), late.mean(axis=0))
+
+
+# ----------------------------------------------------------------------
+# fine-tuning (transfer learning)
+# ----------------------------------------------------------------------
+def test_fine_tune_continues_training_and_keeps_forecasting(data, fitted_ranknet):
+    train, test = data
+    before = fitted_ranknet.model.state_dict()
+    fitted_ranknet.fine_tune(train[:6], epochs=2, lr=1e-3)
+    after = fitted_ranknet.model.state_dict()
+    changed = any(not np.allclose(before[k], after[k]) for k in before)
+    assert changed
+    fc = fitted_ranknet.forecast(test[0], origin=40, horizon=2, n_samples=10)
+    assert fc.samples.shape == (10, 2)
+
+
+def test_fine_tune_requires_fitted_model():
+    model = RankNetForecaster(variant="oracle", encoder_length=10, epochs=1, max_train_windows=50)
+    with pytest.raises(RuntimeError):
+        model.fine_tune([], epochs=1)
