@@ -1,0 +1,30 @@
+# One-command entry points shared by CI (.github/workflows/ci.yml) and
+# local development.  ``make test`` is the tier-1 verify command.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast lint format bench-smoke bench clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest tests -x -q
+
+lint:
+	ruff check src tests benchmarks examples
+	ruff format --check src tests benchmarks examples
+
+format:
+	ruff format src tests benchmarks examples
+
+bench-smoke:
+	$(PYTHON) -m repro.experiments.runner table5 --profile quick
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

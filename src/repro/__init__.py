@@ -17,14 +17,19 @@ Sub-packages
 ``repro.evaluation``
     MAE / Top1Acc / SignAcc / quantile-risk metrics and the TaskA / TaskB
     evaluators.
+``repro.serving``
+    Fleet-batched Monte-Carlo inference engine: flattens cars x samples
+    into one recurrent batch, deduplicates warm-ups and carries per-car
+    states between forecast origins.
 ``repro.profiling``
     Training-efficiency substrate: kernel benchmarks, roofline model,
-    analytic device models (CPU / GPU / cuDNN / Vector Engine).
+    analytic device models (CPU / GPU / cuDNN / Vector Engine), plus the
+    batched-vs-per-car inference breakdown.
 ``repro.experiments``
     One module per table and figure of the paper, plus a CLI runner.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -32,6 +37,7 @@ __all__ = [
     "data",
     "models",
     "evaluation",
+    "serving",
     "profiling",
     "experiments",
     "__version__",

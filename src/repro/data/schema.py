@@ -17,7 +17,7 @@ feature builder, the window datasets and the deep models stay consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 __all__ = [

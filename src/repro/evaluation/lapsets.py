@@ -12,7 +12,6 @@ from __future__ import annotations
 from enum import Enum
 from typing import List
 
-import numpy as np
 
 from ..data.features import CarFeatureSeries
 

@@ -39,7 +39,8 @@ def format_table(
     for row in rows:
         rendered.append(
             [
-                format_metric(row.get(c), digits) if isinstance(row.get(c), (int, float)) and not isinstance(row.get(c), bool)
+                format_metric(row.get(c), digits)
+                if isinstance(row.get(c), (int, float)) and not isinstance(row.get(c), bool)
                 else str(row.get(c, "-"))
                 for c in columns
             ]

@@ -13,7 +13,7 @@ separately for the All / Normal / PitStop-covered lap sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -79,26 +79,33 @@ class ShortTermEvaluator:
     def collect(
         self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
     ) -> List[ForecastRecord]:
-        """Produce one :class:`ForecastRecord` per (car, origin)."""
+        """Produce one :class:`ForecastRecord` per (car, origin).
+
+        All (car, origin) pairs are submitted as one fleet so batched
+        forecasters advance the whole field together; plain models fall
+        back to the per-forecast loop inside ``forecast_fleet``.
+        """
+        tasks = [
+            (series, origin, self.horizon)
+            for series in test_series
+            for origin in self._origins(series)
+        ]
+        forecasts = model.forecast_fleet(tasks, n_samples=self.n_samples)
         records: List[ForecastRecord] = []
-        for series in test_series:
-            for origin in self._origins(series):
-                forecast = model.forecast(
-                    series, origin, self.horizon, n_samples=self.n_samples
+        for (series, origin, _), forecast in zip(tasks, forecasts):
+            target = series.rank[origin + 1 : origin + 1 + self.horizon]
+            records.append(
+                ForecastRecord(
+                    race_id=series.race_id,
+                    car_id=series.car_id,
+                    origin=origin,
+                    lapset=classify_window(series, origin, self.horizon, self.margin),
+                    point=forecast.point(),
+                    q50=forecast.quantile(0.5),
+                    q90=forecast.quantile(0.9),
+                    target=np.asarray(target, dtype=np.float64),
                 )
-                target = series.rank[origin + 1 : origin + 1 + self.horizon]
-                records.append(
-                    ForecastRecord(
-                        race_id=series.race_id,
-                        car_id=series.car_id,
-                        origin=origin,
-                        lapset=classify_window(series, origin, self.horizon, self.margin),
-                        point=forecast.point(),
-                        q50=forecast.quantile(0.5),
-                        q90=forecast.quantile(0.9),
-                        target=np.asarray(target, dtype=np.float64),
-                    )
-                )
+            )
         return records
 
     # ------------------------------------------------------------------

@@ -75,27 +75,30 @@ class StintEvaluator:
     def collect(
         self, model: RankForecaster, test_series: Sequence[CarFeatureSeries]
     ) -> List[StintForecastRecord]:
-        records: List[StintForecastRecord] = []
+        tasks = []
         for series in test_series:
             for stint in self.stint_tasks(series):
                 origin = stint.start_index - 1  # the pit lap that started the stint
-                horizon = stint.end_index - origin
-                forecast = model.forecast(series, origin, horizon, n_samples=self.n_samples)
-                current = float(series.rank[origin])
-                true_change = float(series.rank[stint.end_index] - current)
-                change_samples = forecast.samples[:, -1] - current
-                records.append(
-                    StintForecastRecord(
-                        race_id=series.race_id,
-                        car_id=series.car_id,
-                        origin=origin,
-                        horizon=horizon,
-                        true_change=true_change,
-                        point_change=float(np.median(change_samples)),
-                        q50_change=float(np.quantile(change_samples, 0.5)),
-                        q90_change=float(np.quantile(change_samples, 0.9)),
-                    )
+                tasks.append((series, origin, stint.end_index - origin))
+        forecasts = model.forecast_fleet(tasks, n_samples=self.n_samples)
+        records: List[StintForecastRecord] = []
+        for (series, origin, horizon), forecast in zip(tasks, forecasts):
+            end_index = origin + horizon
+            current = float(series.rank[origin])
+            true_change = float(series.rank[end_index] - current)
+            change_samples = forecast.samples[:, -1] - current
+            records.append(
+                StintForecastRecord(
+                    race_id=series.race_id,
+                    car_id=series.car_id,
+                    origin=origin,
+                    horizon=horizon,
+                    true_change=true_change,
+                    point_change=float(np.median(change_samples)),
+                    q50_change=float(np.quantile(change_samples, 0.5)),
+                    q90_change=float(np.quantile(change_samples, 0.9)),
                 )
+            )
         return records
 
     def aggregate(self, records: List[StintForecastRecord]) -> TaskBResult:

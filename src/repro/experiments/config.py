@@ -19,8 +19,8 @@ models — the shape of each table/figure — is what the reproduction targets.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
 
 __all__ = ["ExperimentConfig", "quick_config", "full_config", "active_config"]
 

@@ -36,7 +36,8 @@ def table2(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
                 "total_laps": "/".join(str(l) for l in summary["total_laps"]),
                 "participants": "-".join(str(p) for p in summary["participants"]),
                 "records": summary["records"],
-                "usage": f"{summary['train_races']} train / {summary['validation_races']} val / {summary['test_races']} test",
+                "usage": f"{summary['train_races']} train / {summary['validation_races']} val"
+                f" / {summary['test_races']} test",
             }
         )
     return ExperimentResult("Table II", "Summary of the data sets", rows)
@@ -79,7 +80,8 @@ def fig1(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Fig. 1 — telemetry example and the winner's rank / lap-time sequence."""
     config = config or active_config()
     dataset = get_dataset(config)
-    race = dataset.split("Indy500").validation[0] if dataset.split("Indy500").validation else dataset.split("Indy500").train[-1]
+    split = dataset.split("Indy500")
+    race = split.validation[0] if split.validation else split.train[-1]
     winner = race.winner()
     laps = race.car_laps(winner)
     # (a) a few raw records mid-race

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..evaluation import ShortTermEvaluator
 from ..models import CurRankForecaster

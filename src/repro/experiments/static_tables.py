@@ -60,7 +60,12 @@ def table3(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         {"model": "DeepAR", "representation_learning": "Y", "uncertainty": "Y", "pit_model": "N"},
         {"model": "RankNet-Joint", "representation_learning": "Y", "uncertainty": "Y", "pit_model": "Y (joint train)"},
         {"model": "RankNet-MLP", "representation_learning": "Y", "uncertainty": "Y", "pit_model": "Y (decomposition)"},
-        {"model": "RankNet-Oracle", "representation_learning": "Y", "uncertainty": "Y", "pit_model": "Y (ground truth)"},
+        {
+            "model": "RankNet-Oracle",
+            "representation_learning": "Y",
+            "uncertainty": "Y",
+            "pit_model": "Y (ground truth)",
+        },
     ]
     return ExperimentResult("Table III", "Features of the rank position forecasting models", rows)
 

@@ -14,7 +14,7 @@ RankModel then consumes exactly like the oracle covariates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -19,19 +19,27 @@ dimension.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ...data.scaling import MeanScaler
-from ...nn import GaussianOutput, Module, StackedLSTM
+from ...nn import GaussianOutput, Module, StackedGRU, StackedLSTM
 from ...nn.losses import gaussian_nll
+from ...serving.engine import FleetForecaster
+from ...serving.requests import ForecastRequest
 
 __all__ = ["RankSeqModel"]
 
 
 class RankSeqModel(Module):
-    """Probabilistic LSTM encoder-decoder over rank windows."""
+    """Probabilistic recurrent encoder-decoder over rank windows.
+
+    ``backbone`` selects the recurrent stack: ``"lstm"`` (the paper's
+    default) or ``"gru"`` (lighter-weight, one state vector per layer).
+    Both expose the same step API, so training and the fleet inference
+    engine treat them identically.
+    """
 
     def __init__(
         self,
@@ -42,11 +50,14 @@ class RankSeqModel(Module):
         encoder_length: int = 60,
         decoder_length: int = 2,
         dropout: float = 0.0,
+        backbone: str = "lstm",
         rng: np.random.Generator | int | None = None,
     ) -> None:
         super().__init__()
         if target_dim < 1:
             raise ValueError("target_dim must be >= 1")
+        if backbone not in ("lstm", "gru"):
+            raise ValueError(f"backbone must be 'lstm' or 'gru', got {backbone!r}")
         rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.num_covariates = int(num_covariates)
         self.hidden_dim = int(hidden_dim)
@@ -54,17 +65,29 @@ class RankSeqModel(Module):
         self.target_dim = int(target_dim)
         self.encoder_length = int(encoder_length)
         self.decoder_length = int(decoder_length)
+        self.backbone = backbone
         self.input_dim = self.target_dim + self.num_covariates
-        self.lstm = StackedLSTM(
-            input_dim=self.input_dim,
-            hidden_dim=hidden_dim,
-            num_layers=num_layers,
-            dropout=dropout,
-            rng=rng,
-        )
+        if backbone == "gru":
+            if dropout > 0.0:
+                raise ValueError("the GRU stack has no inter-layer dropout; use backbone='lstm'")
+            self.lstm = StackedGRU(
+                input_dim=self.input_dim,
+                hidden_dim=hidden_dim,
+                num_layers=num_layers,
+                rng=rng,
+            )
+        else:
+            self.lstm = StackedLSTM(
+                input_dim=self.input_dim,
+                hidden_dim=hidden_dim,
+                num_layers=num_layers,
+                dropout=dropout,
+                rng=rng,
+            )
         self.heads = [GaussianOutput(hidden_dim, rng=rng, name=f"head.{d}") for d in range(target_dim)]
         self.scaler = MeanScaler()
         self.rng = rng
+        self._fleet_engine: Optional[FleetForecaster] = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -165,6 +188,12 @@ class RankSeqModel(Module):
     # ------------------------------------------------------------------
     # forecasting (Algorithm 2)
     # ------------------------------------------------------------------
+    def fleet_engine(self) -> "FleetForecaster":
+        """Lazily constructed single-model fleet engine (shared weights)."""
+        if self._fleet_engine is None:
+            self._fleet_engine = FleetForecaster(self, mode="exact")
+        return self._fleet_engine
+
     def forecast_samples(
         self,
         history_target: np.ndarray,
@@ -174,6 +203,15 @@ class RankSeqModel(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Draw ``n_samples`` Monte-Carlo trajectories of the future target.
+
+        Thin single-car wrapper over the fleet inference engine
+        (:class:`repro.serving.FleetForecaster`): warm-up runs once on a
+        single batch row (the teacher-forced state is deterministic, so it
+        is replicated across samples), then the decode loop advances all
+        ``n_samples`` trajectories together.  Forecasting many cars, plans
+        or origins at once is much faster through
+        ``fleet_engine().submit(...)`` — the results are byte-identical
+        given the same per-request RNG streams.
 
         Parameters
         ----------
@@ -190,50 +228,11 @@ class RankSeqModel(Module):
             ``(n_samples, H)`` trajectories of the *first* target dimension
             (the rank), on the original scale.
         """
-        rng = rng or self.rng
-        history_target = np.asarray(history_target, dtype=np.float64)
-        if history_target.ndim == 1:
-            history_target = history_target[:, None]
-        history_covariates = np.asarray(history_covariates, dtype=np.float64)
-        future_covariates = np.asarray(future_covariates, dtype=np.float64)
-        horizon = future_covariates.shape[0]
-        l0 = history_target.shape[0]
-        if history_covariates.shape[0] != l0:
-            raise ValueError("history covariates misaligned with history target")
-
-        was_training = self.training
-        self.eval()
-        scale = np.abs(history_target).mean(axis=0) + 1.0  # (D,)
-        z_hist = history_target / scale  # (L0, D)
-
-        # replicate across samples: batch dimension = n_samples
-        z_prev = np.tile(z_hist[0][None, :], (n_samples, 1))
-        states = self.lstm.zero_state(n_samples)
-        # warm up through the history (teacher forcing on observed values)
-        for t in range(1, l0):
-            x_t = np.concatenate(
-                [np.tile(z_hist[t - 1][None, :], (n_samples, 1)),
-                 np.tile(history_covariates[t][None, :], (n_samples, 1))],
-                axis=1,
-            )
-            _, states = self.lstm.step(x_t, states)
-        self.lstm.clear_cache()
-
-        samples = np.empty((n_samples, horizon), dtype=np.float64)
-        z_prev = np.tile(z_hist[-1][None, :], (n_samples, 1))
-        for h in range(horizon):
-            x_t = np.concatenate(
-                [z_prev, np.tile(future_covariates[h][None, :], (n_samples, 1))], axis=1
-            )
-            h_t, states = self.lstm.step(x_t, states)
-            z_next = np.empty((n_samples, self.target_dim))
-            for d, head in enumerate(self.heads):
-                params = head.forward(h_t)
-                draw = params.mu + params.sigma * rng.standard_normal(n_samples)
-                z_next[:, d] = draw
-                head.clear_cache()
-            self.lstm.clear_cache()
-            samples[:, h] = z_next[:, 0] * scale[0]
-            z_prev = z_next
-        self.train(was_training)
-        return samples
+        request = ForecastRequest(
+            history_target=history_target,
+            history_covariates=history_covariates,
+            future_covariates=future_covariates,
+            n_samples=n_samples,
+            rng=rng if rng is not None else self.rng,
+        )
+        return self.fleet_engine().submit([request])[0]

@@ -20,7 +20,7 @@ the Transformer-backboned versions of Oracle / MLP.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,8 @@ from ...data.loader import BatchLoader
 from ...data.schema import ALL_COVARIATES, FeatureSpec
 from ...data.windows import make_windows
 from ...nn import Adam, Trainer, TrainingHistory
+from ...serving.engine import FleetForecaster
+from ...serving.requests import ForecastRequest, spawn_request_rngs
 from ..base import ProbabilisticForecast, RankForecaster, clip_rank
 from .pitmodel import PitModelMLP
 from .rankmodel import RankSeqModel
@@ -62,6 +64,7 @@ class DeepForecasterBase(RankForecaster):
         window_stride: int = 1,
         target_dim: int = 1,
         seed: int = 0,
+        fleet_mode: str = "exact",
         name: str = "DeepForecaster",
     ) -> None:
         self.feature_spec = feature_spec or FeatureSpec()
@@ -77,9 +80,11 @@ class DeepForecasterBase(RankForecaster):
         self.window_stride = int(window_stride)
         self.target_dim = int(target_dim)
         self.seed = int(seed)
+        self.fleet_mode = fleet_mode
         self.name = name
         self.rng = np.random.default_rng(seed)
         self.model = None
+        self._fleet_engines: Dict[str, FleetForecaster] = {}
         self.history_: Optional[TrainingHistory] = None
         self.uses_race_status = self.feature_spec.num_covariates > 0
 
@@ -142,6 +147,9 @@ class DeepForecasterBase(RankForecaster):
         if val_series:
             _, val_loader = self._make_batches(val_series, shuffle=False)
         self.model = self._build_model(self.feature_spec.num_covariates)
+        # engines are bound to the (replaced) model instance; consumers must
+        # resolve them through fleet_engine() rather than holding references
+        self._fleet_engines = {}
         trainer = Trainer(
             self.model,
             optimizer=Adam(self.model.parameters(), lr=self.lr),
@@ -175,6 +183,9 @@ class DeepForecasterBase(RankForecaster):
         """
         if self.model is None:
             raise RuntimeError(f"{self.name} must be fit before fine-tuning")
+        # carried warm-up states predate the new weights
+        for engine in self._fleet_engines.values():
+            engine.reset_cache()
         _, train_loader = self._make_batches(train_series, shuffle=True)
         val_loader = None
         if val_series:
@@ -248,6 +259,90 @@ class DeepForecasterBase(RankForecaster):
     ) -> np.ndarray:
         """Univariate by default; the Joint variant overrides this."""
         return history_target
+
+    # ------------------------------------------------------------------
+    # fleet-batched forecasting
+    # ------------------------------------------------------------------
+    def fleet_engine(self, mode: Optional[str] = None) -> FleetForecaster:
+        """The batch scheduler all fleet forecasts of this model go through.
+
+        One engine is kept per mode and bound to the current ``self.model``:
+        re-fitting drops them (a fresh engine is built on next use) and
+        :meth:`fine_tune` resets their carried warm-up states, so consumers
+        should resolve the engine through this method on every use instead
+        of holding on to the returned instance across re-training.
+        """
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before forecasting")
+        mode = mode if mode is not None else self.fleet_mode
+        engine = self._fleet_engines.get(mode)
+        if engine is None:
+            engine = FleetForecaster(self.model, mode=mode)
+            self._fleet_engines[mode] = engine
+        return engine
+
+    def _fleet_request(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        future_covariates: np.ndarray,
+        n_samples: int,
+        rng: np.random.Generator,
+        key: Optional[tuple] = None,
+    ) -> ForecastRequest:
+        history_target = self._history_target(series, origin)
+        return ForecastRequest(
+            history_target=self._target_history_matrix(series, origin, history_target),
+            history_covariates=self._history_covariates(series, origin),
+            future_covariates=future_covariates,
+            n_samples=n_samples,
+            rng=rng,
+            key=key if key is not None else (series.race_id, series.car_id),
+            origin=int(origin),
+        )
+
+    def forecast_fleet(
+        self,
+        tasks: Sequence[Tuple[CarFeatureSeries, int, int]],
+        n_samples: int = 100,
+    ) -> List[ProbabilisticForecast]:
+        """Batched forecasting of many ``(series, origin, horizon)`` tasks.
+
+        All tasks are flattened into one submit of the fleet engine: every
+        car's Monte-Carlo trajectories advance in a single recurrent batch
+        instead of one car at a time.  Each request draws from its own
+        spawned RNG stream, so the results do not depend on how the tasks
+        are grouped or ordered inside the engine.
+        """
+        tasks = list(tasks)
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before forecasting")
+        if not tasks:
+            return []
+        for series, origin, _ in tasks:
+            if origin < 1 or origin >= len(series):
+                raise IndexError(f"origin {origin} out of range")
+        rngs = spawn_request_rngs(self.rng, len(tasks))
+        requests = [
+            self._fleet_request(
+                series,
+                int(origin),
+                self._future_covariates(series, int(origin), int(horizon)),
+                n_samples,
+                rng,
+            )
+            for (series, origin, horizon), rng in zip(tasks, rngs)
+        ]
+        results = self.fleet_engine().submit(requests)
+        return [
+            ProbabilisticForecast(
+                samples=clip_rank(samples),
+                origin=int(origin),
+                race_id=series.race_id,
+                car_id=series.car_id,
+            )
+            for (series, origin, _), samples in zip(tasks, results)
+        ]
 
 
 class DeepARForecaster(DeepForecasterBase):
@@ -362,27 +457,56 @@ class RankNetForecaster(DeepForecasterBase):
     def forecast(self, series, origin, horizon, n_samples: int = 100):
         if self.variant != "mlp" or self.pit_plans_per_forecast <= 1:
             return super().forecast(series, origin, horizon, n_samples=n_samples)
+        return self.forecast_fleet([(series, origin, horizon)], n_samples=n_samples)[0]
+
+    def forecast_fleet(
+        self,
+        tasks: Sequence[Tuple[CarFeatureSeries, int, int]],
+        n_samples: int = 100,
+    ) -> List[ProbabilisticForecast]:
+        if self.variant != "mlp" or self.pit_plans_per_forecast <= 1:
+            return super().forecast_fleet(tasks, n_samples=n_samples)
         # MLP variant: average over several sampled pit-stop plans so the
-        # uncertainty of the PitModel propagates into the rank forecast
+        # uncertainty of the PitModel propagates into the rank forecast.
+        # All plans of all tasks go to the engine in one submit; the plans
+        # of one task share their warm-up (same key + origin).
+        tasks = list(tasks)
         if self.model is None:
             raise RuntimeError(f"{self.name} must be fit before forecasting")
+        if self.pit_model is None:
+            raise RuntimeError("RankNet-MLP requires a fitted PitModel")
+        if not tasks:
+            return []
+        for series, origin, _ in tasks:
+            if origin < 1 or origin >= len(series):
+                raise IndexError(f"origin {origin} out of range")
         plans = self.pit_plans_per_forecast
         per_plan = max(n_samples // plans, 1)
-        history_target = self._history_target(series, origin)
-        history_cov = self._history_covariates(series, origin)
-        chunks: List[np.ndarray] = []
-        for _ in range(plans):
-            future_cov = self._select(
-                self.pit_model.plan_covariates(series, origin, horizon, rng=self.rng)
+        rngs = spawn_request_rngs(self.rng, len(tasks) * plans)
+        requests: List[ForecastRequest] = []
+        for i, (series, origin, horizon) in enumerate(tasks):
+            for p in range(plans):
+                future_cov = self._select(
+                    self.pit_model.plan_covariates(series, int(origin), int(horizon), rng=self.rng)
+                )
+                requests.append(
+                    self._fleet_request(
+                        series, int(origin), future_cov, per_plan, rngs[i * plans + p]
+                    )
+                )
+        results = self.fleet_engine().submit(requests)
+        forecasts: List[ProbabilisticForecast] = []
+        for i, (series, origin, _) in enumerate(tasks):
+            samples = clip_rank(np.vstack(results[i * plans : (i + 1) * plans]))
+            forecasts.append(
+                ProbabilisticForecast(
+                    samples=samples,
+                    origin=int(origin),
+                    race_id=series.race_id,
+                    car_id=series.car_id,
+                )
             )
-            chunk = self.model.forecast_samples(
-                history_target, history_cov, future_cov, n_samples=per_plan, rng=self.rng
-            )
-            chunks.append(chunk)
-        samples = clip_rank(np.vstack(chunks))
-        return ProbabilisticForecast(
-            samples=samples, origin=origin, race_id=series.race_id, car_id=series.car_id
-        )
+        return forecasts
 
 
 class _JointLoaderProxy:

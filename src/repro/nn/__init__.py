@@ -29,6 +29,16 @@ from .attention import (
 from .distributions import GaussianOutput, GaussianParams, gaussian_quantile, gaussian_sample
 from .gradcheck import check_parameter_gradients, numerical_gradient, relative_error
 from .gru import GRUCell, StackedGRU
+from .inference import (
+    GaussianHeadInference,
+    GRUStackInference,
+    LSTMStackInference,
+    concat_states,
+    recurrent_inference,
+    slice_states,
+    stable_matmul,
+    tile_states,
+)
 from .student_t import StudentTOutput, StudentTParams, student_t_nll
 from .layers import MLP, Dense, Dropout, Embedding, LayerNorm, Sequential
 from .losses import gaussian_nll, mae_loss, mse_loss, quantile_loss
@@ -63,6 +73,14 @@ __all__ = [
     "relative_error",
     "GRUCell",
     "StackedGRU",
+    "GaussianHeadInference",
+    "GRUStackInference",
+    "LSTMStackInference",
+    "concat_states",
+    "recurrent_inference",
+    "slice_states",
+    "stable_matmul",
+    "tile_states",
     "StudentTOutput",
     "StudentTParams",
     "student_t_nll",

@@ -16,7 +16,6 @@ produced through a softplus so it is always positive:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -185,6 +185,26 @@ class StackedGRU(Module):
             d_from_above = dx_layer
         return d_from_above, dprev
 
+    # ------------------------------------------------------------------
+    # batched state save / restore (mirrors ``StackedLSTM``)
+    # ------------------------------------------------------------------
+    def export_state(self, states: Sequence[np.ndarray]) -> np.ndarray:
+        """Pack per-layer hidden vectors into one ``(L, B, H)`` array."""
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        return np.stack([np.asarray(h, dtype=np.float64) for h in states])
+
+    def import_state(self, packed: np.ndarray) -> List[np.ndarray]:
+        """Inverse of :meth:`export_state`; returns fresh per-layer copies."""
+        packed = np.asarray(packed, dtype=np.float64)
+        if packed.ndim != 3 or packed.shape[0] != self.num_layers:
+            raise ValueError(
+                f"expected shape ({self.num_layers}, B, {self.hidden_dim}), got {packed.shape}"
+            )
+        if packed.shape[2] != self.hidden_dim:
+            raise ValueError(f"hidden dim mismatch: {packed.shape[2]} != {self.hidden_dim}")
+        return [packed[layer].copy() for layer in range(self.num_layers)]
+
     def forward(self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None):
         x = np.asarray(x, dtype=np.float64)
         batch, steps, _ = x.shape

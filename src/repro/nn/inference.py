@@ -1,0 +1,196 @@
+"""Inference-only kernels for the fleet-batched forecasting engine.
+
+Training uses the caching ``step``/``step_backward`` machinery of the
+recurrent stacks; Monte-Carlo forecasting needs neither gradients nor
+caches, so the serving engine runs on the fused, cache-free kernels in this
+module instead.  They read the *same* parameters as the training modules —
+no weights are copied — and add one crucial property the raw BLAS path does
+not have: **batch-size invariance**.
+
+BLAS GEMM picks different blocking (and therefore different floating-point
+summation orders) for different numbers of rows, so ``(x @ W)[i]`` is not
+bitwise reproducible across batch sizes.  The fleet engine flattens
+``cars x n_samples`` into one batch dimension, which would make a batched
+forecast differ in the last bits from the same forecast computed one car at
+a time.  :func:`stable_matmul` removes the dependence by always multiplying
+fixed-size row blocks (padding the last block with zeros), so every row's
+result only depends on the row's contents — a fleet-batched forecast is
+byte-identical to a single-request forecast given the same RNG streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .activations import sigmoid, softplus
+from .distributions import GaussianOutput
+from .gru import StackedGRU
+from .recurrent import StackedLSTM
+
+__all__ = [
+    "STABLE_CHUNK_ROWS",
+    "stable_matmul",
+    "tile_states",
+    "slice_states",
+    "concat_states",
+    "LSTMStackInference",
+    "GRUStackInference",
+    "GaussianHeadInference",
+    "recurrent_inference",
+]
+
+#: fixed GEMM row-block size; every matmul in the inference path runs on
+#: exactly this many rows so results are independent of the batch size.
+STABLE_CHUNK_ROWS = 256
+
+
+def stable_matmul(x: np.ndarray, w: np.ndarray, chunk: int = STABLE_CHUNK_ROWS) -> np.ndarray:
+    """``x @ w`` with batch-size-invariant per-row results.
+
+    The rows of ``x`` are processed in blocks of exactly ``chunk`` rows (the
+    final partial block is zero-padded), so the value computed for one row
+    depends only on that row and ``w`` — not on how many other rows happen
+    to share the batch.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    n = x.shape[0]
+    out = np.empty((n, w.shape[1]), dtype=np.float64)
+    for start in range(0, n, chunk):
+        block = x[start : start + chunk]
+        rows = block.shape[0]
+        if rows == chunk:
+            out[start : start + chunk] = block @ w
+        else:
+            padded = np.zeros((chunk, x.shape[1]), dtype=np.float64)
+            padded[:rows] = block
+            out[start : start + rows] = (padded @ w)[:rows]
+    return out
+
+
+# ----------------------------------------------------------------------
+# state utilities (work on both LSTM (h, c) pairs and GRU h arrays)
+# ----------------------------------------------------------------------
+_State = Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]
+
+
+def _map_state(state: _State, fn) -> _State:
+    if isinstance(state, tuple):
+        return tuple(fn(part) for part in state)
+    return fn(state)
+
+
+def tile_states(states: Sequence[_State], counts: Union[int, np.ndarray]) -> List[_State]:
+    """Replicate each batch row of every layer state ``counts`` times."""
+    return [_map_state(s, lambda a: np.repeat(a, counts, axis=0)) for s in states]
+
+
+def slice_states(states: Sequence[_State], index) -> List[_State]:
+    """Select batch rows (an index array or slice) from every layer state."""
+    return [_map_state(s, lambda a: np.ascontiguousarray(a[index])) for s in states]
+
+
+def concat_states(states_list: Sequence[Sequence[_State]]) -> List[_State]:
+    """Concatenate the batch dimension of several compatible state lists."""
+    if not states_list:
+        raise ValueError("need at least one state list to concatenate")
+    num_layers = len(states_list[0])
+    out: List[_State] = []
+    for layer in range(num_layers):
+        parts = [states[layer] for states in states_list]
+        if isinstance(parts[0], tuple):
+            out.append(
+                tuple(np.concatenate([p[i] for p in parts], axis=0) for i in range(len(parts[0])))
+            )
+        else:
+            out.append(np.concatenate(parts, axis=0))
+    return out
+
+
+# ----------------------------------------------------------------------
+# cache-free recurrent stacks
+# ----------------------------------------------------------------------
+class LSTMStackInference:
+    """Cache-free, dropout-free forward stepping over a :class:`StackedLSTM`.
+
+    Shares the stack's parameters by reference; safe to use concurrently
+    with training as long as steps and weight updates do not interleave.
+    """
+
+    def __init__(self, stack: StackedLSTM) -> None:
+        self.stack = stack
+
+    def zero_state(self, batch_size: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return self.stack.zero_state(batch_size)
+
+    def step(self, x: np.ndarray, states: Sequence[Tuple[np.ndarray, np.ndarray]]):
+        h = np.asarray(x, dtype=np.float64)
+        new_states: List[Tuple[np.ndarray, np.ndarray]] = []
+        for cell, (h_prev, c_prev) in zip(self.stack.cells, states):
+            gates = (
+                stable_matmul(h, cell.w_x.data)
+                + stable_matmul(h_prev, cell.w_h.data)
+                + cell.bias.data
+            )
+            hd = cell.hidden_dim
+            i = sigmoid(gates[:, 0 * hd : 1 * hd])
+            f = sigmoid(gates[:, 1 * hd : 2 * hd])
+            g = np.tanh(gates[:, 2 * hd : 3 * hd])
+            o = sigmoid(gates[:, 3 * hd : 4 * hd])
+            c = f * c_prev + i * g
+            h = o * np.tanh(c)
+            new_states.append((h, c))
+        return h, new_states
+
+
+class GRUStackInference:
+    """Cache-free forward stepping over a :class:`StackedGRU`."""
+
+    def __init__(self, stack: StackedGRU) -> None:
+        self.stack = stack
+
+    def zero_state(self, batch_size: int) -> List[np.ndarray]:
+        return self.stack.zero_state(batch_size)
+
+    def step(self, x: np.ndarray, states: Sequence[np.ndarray]):
+        h = np.asarray(x, dtype=np.float64)
+        new_states: List[np.ndarray] = []
+        for cell, h_prev in zip(self.stack.cells, states):
+            gates = (
+                stable_matmul(h, cell.w_x_gates.data)
+                + stable_matmul(h_prev, cell.w_h_gates.data)
+                + cell.b_gates.data
+            )
+            hd = cell.hidden_dim
+            r = sigmoid(gates[:, :hd])
+            u = sigmoid(gates[:, hd:])
+            h_proj = stable_matmul(h_prev, cell.w_h_cand.data)
+            n = np.tanh(stable_matmul(h, cell.w_x_cand.data) + r * h_proj + cell.b_cand.data)
+            h = (1.0 - u) * n + u * h_prev
+            new_states.append(h)
+        return h, new_states
+
+
+def recurrent_inference(stack) -> Union[LSTMStackInference, GRUStackInference]:
+    """Build the matching cache-free stepper for a recurrent stack."""
+    if isinstance(stack, StackedLSTM):
+        return LSTMStackInference(stack)
+    if isinstance(stack, StackedGRU):
+        return GRUStackInference(stack)
+    raise TypeError(f"unsupported recurrent stack: {type(stack).__name__}")
+
+
+class GaussianHeadInference:
+    """Cache-free ``(mu, sigma)`` projection sharing a head's parameters."""
+
+    def __init__(self, head: GaussianOutput) -> None:
+        self.head = head
+
+    def __call__(self, h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        head = self.head
+        mu = stable_matmul(h, head.mu_head.weight.data)[:, 0] + head.mu_head.bias.data[0]
+        pre = stable_matmul(h, head.sigma_head.weight.data)[:, 0] + head.sigma_head.bias.data[0]
+        sigma = softplus(pre) + head.sigma_floor
+        return mu, sigma

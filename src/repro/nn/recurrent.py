@@ -271,6 +271,28 @@ class StackedLSTM(Module):
         return d_from_above, dprev_states
 
     # ------------------------------------------------------------------
+    # batched state save / restore (used by the serving engine to carry
+    # warm-up states between forecast origins)
+    # ------------------------------------------------------------------
+    def export_state(self, states: Sequence[LSTMState]) -> np.ndarray:
+        """Pack per-layer ``(h, c)`` pairs into one ``(L, 2, B, H)`` array."""
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        return np.stack([np.stack([h, c]) for h, c in states])
+
+    def import_state(self, packed: np.ndarray) -> List[LSTMState]:
+        """Inverse of :meth:`export_state`; returns fresh per-layer copies."""
+        packed = np.asarray(packed, dtype=np.float64)
+        if packed.ndim != 4 or packed.shape[0] != self.num_layers or packed.shape[1] != 2:
+            raise ValueError(
+                f"expected shape ({self.num_layers}, 2, B, {self.hidden_dim}), "
+                f"got {packed.shape}"
+            )
+        if packed.shape[3] != self.hidden_dim:
+            raise ValueError(f"hidden dim mismatch: {packed.shape[3]} != {self.hidden_dim}")
+        return [(packed[layer, 0].copy(), packed[layer, 1].copy()) for layer in range(self.num_layers)]
+
+    # ------------------------------------------------------------------
     def forward(
         self, x: np.ndarray, states: Optional[Sequence[LSTMState]] = None
     ) -> Tuple[np.ndarray, List[LSTMState]]:

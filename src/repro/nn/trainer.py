@@ -14,7 +14,7 @@ validation loss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
 import numpy as np
 

@@ -8,6 +8,7 @@ from .batchscaling import (
 )
 from .breakdown import BreakdownEntry, cpu_kernel_shares, hybrid_breakdown, offload_fraction_for_batch
 from .devices import DEVICES, DeviceModel, TABLE8_SPECS
+from .inference import InferenceMeasurement, fleet_inference_breakdown
 from .kernels import (
     KernelMeasurement,
     KernelSpec,
@@ -36,6 +37,8 @@ __all__ = [
     "DEVICES",
     "DeviceModel",
     "TABLE8_SPECS",
+    "InferenceMeasurement",
+    "fleet_inference_breakdown",
     "KernelMeasurement",
     "KernelSpec",
     "LSTM_KERNELS",

@@ -19,7 +19,7 @@ reproduce the qualitative behaviour of Fig. 10 and Fig. 12:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 __all__ = ["DeviceModel", "DEVICES", "TABLE8_SPECS"]
 

@@ -17,8 +17,6 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..nn.activations import sigmoid
-
 __all__ = ["KernelSpec", "KernelMeasurement", "LSTM_KERNELS", "kernel_workload", "benchmark_kernels"]
 
 #: the kernel names highlighted in Fig. 11 / Fig. 12

@@ -1,0 +1,40 @@
+"""Fleet-batched Monte-Carlo inference engine.
+
+The evaluation loops, the RankNet variants, the pit-strategy optimizer and
+the live-race streamer all forecast *many* trajectories at once: every car
+of the field, at every forecast origin, with up to a hundred Monte-Carlo
+samples each.  The seed implementation forecast one car at a time and
+replayed the entire lap history through the recurrent stack on every call.
+
+This sub-package batches that workload:
+
+* :class:`~repro.serving.requests.ForecastRequest` describes one
+  (car, origin, horizon) forecast with its own RNG stream;
+* :class:`~repro.serving.engine.FleetForecaster` flattens
+  ``cars x n_samples`` into a single recurrent (or Transformer) batch
+  dimension, deduplicates identical warm-ups, and — in ``carry`` mode —
+  caches warm-up states per car so consecutive origins advance the state
+  incrementally instead of re-running teacher forcing from lap 0;
+* :class:`~repro.serving.cache.WarmupStateCache` holds those per-car
+  recurrent states.
+
+For the recurrent backbones (LSTM/GRU), a fleet-batched forecast is
+byte-identical to the same forecasts computed one car at a time given
+per-request RNG streams (``numpy.random.Generator.spawn``), because all
+recurrent inference runs on the batch-size-invariant kernels of
+:mod:`repro.nn.inference`.  The Transformer backend batches through the
+model's own attention kernels, which are not chunk-stabilised, so its
+results are reproducible per seed but agree across batch compositions
+only to floating-point tolerance.
+"""
+
+from .cache import WarmupStateCache
+from .engine import FleetForecaster
+from .requests import ForecastRequest, spawn_request_rngs
+
+__all__ = [
+    "FleetForecaster",
+    "ForecastRequest",
+    "WarmupStateCache",
+    "spawn_request_rngs",
+]

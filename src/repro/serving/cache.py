@@ -1,0 +1,76 @@
+"""Per-car warm-up state cache for the fleet engine's ``carry`` mode."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+__all__ = ["CachedWarmup", "WarmupStateCache"]
+
+
+@dataclass
+class CachedWarmup:
+    """Recurrent state of one car after consuming history through ``origin``.
+
+    ``scale`` is frozen when the entry is first created: carrying a
+    recurrent state across origins is only self-consistent if the target
+    scaling that produced the LSTM inputs does not change between origins.
+    """
+
+    origin: int
+    scale: np.ndarray        # (target_dim,) frozen target scale
+    packed_state: np.ndarray  # stack.export_state(...) with batch size 1
+    z_last: np.ndarray       # (target_dim,) scaled target observed at ``origin``
+
+
+class WarmupStateCache:
+    """Bounded LRU cache mapping a car key to its :class:`CachedWarmup`."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, CachedWarmup]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.carries = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[CachedWarmup]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, entry: CachedWarmup) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Optional[Hashable] = None) -> None:
+        """Drop one entry (or everything when ``key`` is ``None``)."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "carries": self.carries,
+            "evictions": self.evictions,
+        }

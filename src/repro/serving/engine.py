@@ -1,0 +1,479 @@
+"""The fleet-batched Monte-Carlo inference engine.
+
+:class:`FleetForecaster` drives a trained sequence backbone
+(:class:`~repro.models.deep.rankmodel.RankSeqModel`-style recurrent models,
+or :class:`~repro.models.deep.transformer.TransformerSeqModel`) over many
+forecast requests at once.  The model is duck-typed: a recurrent backbone
+exposes ``lstm`` (a ``StackedLSTM`` or ``StackedGRU``), ``heads``,
+``target_dim`` and ``num_covariates``; a Transformer backbone exposes
+``_encode`` / ``_decode`` instead of ``lstm``.
+
+Batching strategy
+-----------------
+* Requests are grouped by ``(history length, horizon)`` and each group is
+  flattened to a single ``sum(n_samples)``-row batch for the decode loop,
+  so one recurrent ``step`` advances every trajectory of every car at once.
+* Warm-up (teacher forcing over the observed history) runs with **one row
+  per request**, not per sample — the state is deterministic, so it is
+  computed once and replicated across the Monte-Carlo trajectories.
+* Requests sharing ``(key, origin, length)`` (e.g. the several pit-stop
+  plans of one RankNet-MLP forecast) share a single warm-up computation.
+* In ``carry`` mode the engine additionally caches each car's recurrent
+  state per origin and advances it incrementally between consecutive
+  origins instead of re-running teacher forcing from the window start.
+  The target scale is frozen per car when its cache entry is created, so
+  carried states are self-consistent; forecasts therefore match a
+  from-scratch replay *with that frozen scale* exactly, but may differ
+  slightly from ``exact`` mode (which re-scales at every origin).
+  Transformer backbones have no step-wise state and always run ``exact``.
+
+Because every recurrent matmul goes through
+:func:`repro.nn.inference.stable_matmul`, results are independent of batch
+composition: given per-request RNG streams, a fleet-batched submit is
+byte-identical to submitting each request on its own.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.inference import (
+    GaussianHeadInference,
+    recurrent_inference,
+    slice_states,
+    tile_states,
+)
+from .cache import CachedWarmup, WarmupStateCache
+from .requests import ForecastRequest
+
+__all__ = ["FleetForecaster"]
+
+_MODES = ("exact", "carry")
+
+
+def _dedupe_warmups(
+    requests: Sequence[ForecastRequest], stats: Dict[str, int]
+) -> Tuple[List[int], List[ForecastRequest]]:
+    """Map each request to a warm-up slot shared by identical warm-ups.
+
+    Requests with the same :meth:`ForecastRequest.warmup_key` (same car,
+    origin and history length — e.g. the several pit-stop plans of one
+    RankNet-MLP forecast) compute their deterministic warm-up only once.
+    """
+    slot_of: Dict[Hashable, int] = {}
+    owners: List[int] = []
+    uniques: List[ForecastRequest] = []
+    for request in requests:
+        key = request.warmup_key()
+        slot = slot_of.get(key)
+        if slot is None:
+            slot = len(uniques)
+            slot_of[key] = slot
+            uniques.append(request)
+        else:
+            stats["warmup_shared"] += 1
+        owners.append(slot)
+    stats["warmup_unique"] += len(uniques)
+    return owners, uniques
+
+
+class FleetForecaster:
+    """Batch scheduler turning forecast requests into Monte-Carlo samples.
+
+    Parameters
+    ----------
+    model:
+        A fitted sequence backbone (recurrent or Transformer, see module
+        docstring).  Parameters are shared by reference; refitting the
+        model is picked up automatically, but call :meth:`reset_cache`
+        after changing weights when running in ``carry`` mode.
+    mode:
+        ``"exact"`` recomputes the warm-up at every origin (bitwise
+        reference behaviour); ``"carry"`` advances cached per-car states
+        between consecutive origins (fastest for rolling-origin loops).
+    cache_size:
+        Maximum number of per-car state entries kept in ``carry`` mode.
+    max_batch_rows:
+        Upper bound on the flattened ``sum(n_samples)`` rows per decode
+        batch; larger groups are split (results are unaffected — the
+        kernels are batch-size invariant).
+    """
+
+    def __init__(
+        self,
+        model,
+        mode: str = "exact",
+        cache_size: int = 512,
+        max_batch_rows: int = 8192,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.model = model
+        self.mode = mode
+        self.max_batch_rows = int(max_batch_rows)
+        self.cache = WarmupStateCache(cache_size)
+        if hasattr(model, "lstm"):
+            self._backend = _RecurrentBackend(self)
+        elif hasattr(model, "_encode") and hasattr(model, "_decode"):
+            self._backend = _TransformerBackend(self)
+        else:
+            raise TypeError(
+                f"unsupported backbone {type(model).__name__}: expected a recurrent "
+                "model (with .lstm) or a Transformer model (with ._encode/._decode)"
+            )
+        self._stats: Dict[str, int] = {
+            "submits": 0,
+            "requests": 0,
+            "groups": 0,
+            "warmup_unique": 0,
+            "warmup_shared": 0,
+            "warmup_steps": 0,
+            "decode_steps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def submit(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
+        """Run every request; returns one ``(n_samples, horizon)`` array each.
+
+        Samples are trajectories of the first target dimension on the
+        original scale (same contract as ``forecast_samples``), in the
+        order the requests were submitted.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        for request in requests:
+            self._backend.validate(request)
+        self._stats["submits"] += 1
+        self._stats["requests"] += len(requests)
+
+        groups: "OrderedDict[Tuple[int, int], List[int]]" = OrderedDict()
+        for i, request in enumerate(requests):
+            groups.setdefault((request.length, request.horizon), []).append(i)
+
+        outputs: List[Optional[np.ndarray]] = [None] * len(requests)
+        for indices in groups.values():
+            for chunk in self._row_chunks(requests, indices):
+                self._stats["groups"] += 1
+                results = self._backend.run_group([requests[i] for i in chunk])
+                for i, samples in zip(chunk, results):
+                    outputs[i] = samples
+        return outputs  # type: ignore[return-value]
+
+    def _row_chunks(
+        self, requests: Sequence[ForecastRequest], indices: List[int]
+    ) -> List[List[int]]:
+        """Split one group so each chunk stays under ``max_batch_rows``."""
+        chunks: List[List[int]] = []
+        current: List[int] = []
+        rows = 0
+        for i in indices:
+            n = requests[i].n_samples
+            if current and rows + n > self.max_batch_rows:
+                chunks.append(current)
+                current, rows = [], 0
+            current.append(i)
+            rows += n
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # ------------------------------------------------------------------
+    def reset_cache(self) -> None:
+        """Drop all carried warm-up states (call after refitting weights)."""
+        self.cache.invalidate()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Engine counters merged with the state-cache statistics."""
+        merged = dict(self._stats)
+        for name, value in self.cache.stats().items():
+            merged[f"cache_{name}"] = value
+        return merged
+
+
+# ----------------------------------------------------------------------
+# recurrent backend (StackedLSTM / StackedGRU backbones)
+# ----------------------------------------------------------------------
+class _RecurrentBackend:
+    def __init__(self, engine: FleetForecaster) -> None:
+        self.engine = engine
+        self.model = engine.model
+        self.stack = recurrent_inference(self.model.lstm)
+        self.heads = [GaussianHeadInference(head) for head in self.model.heads]
+
+    # -- validation ----------------------------------------------------
+    def validate(self, request: ForecastRequest) -> None:
+        model = self.model
+        if request.target_dim != model.target_dim:
+            raise ValueError(
+                f"expected target_dim={model.target_dim}, got {request.target_dim}"
+            )
+        for covariates in (request.history_covariates, request.future_covariates):
+            if covariates.shape[-1] != model.num_covariates:
+                raise ValueError(
+                    f"expected {model.num_covariates} covariates, got {covariates.shape[-1]}"
+                )
+
+    # -- warm-up -------------------------------------------------------
+    def _full_warmup(self, uniques: Sequence[ForecastRequest]):
+        """Teacher-forced warm-up with one batch row per unique request."""
+        length = uniques[0].length
+        scales = np.stack([np.abs(u.target).mean(axis=0) + 1.0 for u in uniques])
+        z = np.stack([u.target for u in uniques]) / scales[:, None, :]
+        covariates = np.stack([u.history_covariates for u in uniques])
+        states = self.stack.zero_state(len(uniques))
+        for t in range(1, length):
+            x_t = np.concatenate([z[:, t - 1, :], covariates[:, t, :]], axis=1)
+            _, states = self.stack.step(x_t, states)
+        self.engine._stats["warmup_steps"] += max(length - 1, 0)
+        return scales, states, z[:, -1, :]
+
+    def _warmup_exact(self, requests: Sequence[ForecastRequest]):
+        owners, uniques = _dedupe_warmups(requests, self.engine._stats)
+        scales, states, z_last = self._full_warmup(uniques)
+        return owners, scales, states, z_last
+
+    def _warmup_carry(self, requests: Sequence[ForecastRequest]):
+        """Warm-up that carries cached states between consecutive origins."""
+        owners, uniques = _dedupe_warmups(requests, self.engine._stats)
+        cache = self.engine.cache
+        stack_module = self.model.lstm
+
+        # order cache-keyed slots per key by origin, so several origins of
+        # the same car inside one submit advance the state sequentially
+        rounds: List[List[int]] = []
+        keyed: "OrderedDict[Hashable, List[int]]" = OrderedDict()
+        unkeyed: List[int] = []
+        for slot, request in enumerate(uniques):
+            if request.key is not None and request.origin is not None:
+                keyed.setdefault(request.key, []).append(slot)
+            else:
+                unkeyed.append(slot)
+        for slots in keyed.values():
+            slots.sort(key=lambda s: uniques[s].origin)
+            for depth, slot in enumerate(slots):
+                while len(rounds) <= depth:
+                    rounds.append([])
+                rounds[depth].append(slot)
+        if unkeyed:
+            if not rounds:
+                rounds.append([])
+            rounds[0].extend(unkeyed)
+
+        n_slots = len(uniques)
+        target_dim = self.model.target_dim
+        scales = np.empty((n_slots, target_dim))
+        z_last = np.empty((n_slots, target_dim))
+        slot_packed: List[Optional[np.ndarray]] = [None] * n_slots
+
+        for round_slots in rounds:
+            full: List[int] = []
+            reuse: List[int] = []
+            advance: Dict[int, List[Tuple[int, CachedWarmup]]] = {}
+            for slot in round_slots:
+                request = uniques[slot]
+                # only consult the cache when the request can be positioned
+                # on the lap axis — a key without an origin is uncacheable
+                cacheable = request.key is not None and request.origin is not None
+                entry = cache.get(request.key) if cacheable else None
+                if entry is None:
+                    full.append(slot)
+                    continue
+                delta = request.origin - entry.origin
+                if delta == 0:
+                    reuse.append(slot)
+                    scales[slot] = entry.scale
+                    z_last[slot] = entry.z_last
+                    slot_packed[slot] = entry.packed_state
+                elif 0 < delta <= request.length:
+                    advance.setdefault(delta, []).append((slot, entry))
+                else:
+                    full.append(slot)  # gap too large (or origin went backwards)
+
+            if full:
+                f_scales, f_states, f_z_last = self._full_warmup([uniques[s] for s in full])
+                for row, slot in enumerate(full):
+                    scales[slot] = f_scales[row]
+                    z_last[slot] = f_z_last[row]
+                    packed = stack_module.export_state(
+                        slice_states(f_states, np.array([row]))
+                    )
+                    slot_packed[slot] = packed
+                    request = uniques[slot]
+                    if request.key is not None and request.origin is not None:
+                        cache.put(
+                            request.key,
+                            CachedWarmup(
+                                origin=request.origin,
+                                scale=f_scales[row].copy(),
+                                packed_state=packed,
+                                z_last=f_z_last[row].copy(),
+                            ),
+                        )
+
+            for delta, slot_entries in advance.items():
+                slots = [slot for slot, _ in slot_entries]
+                entries = [entry for _, entry in slot_entries]
+                frozen = np.stack([entry.scale for entry in entries])
+                z_tail = (
+                    np.stack([uniques[s].target[-delta:] for s in slots])
+                    / frozen[:, None, :]
+                )
+                cov_tail = np.stack([uniques[s].history_covariates[-delta:] for s in slots])
+                states = stack_module.import_state(
+                    np.concatenate([entry.packed_state for entry in entries], axis=-2)
+                )
+                z_prev = np.stack([entry.z_last for entry in entries])
+                for j in range(delta):
+                    x_t = np.concatenate([z_prev, cov_tail[:, j, :]], axis=1)
+                    _, states = self.stack.step(x_t, states)
+                    z_prev = z_tail[:, j, :]
+                self.engine._stats["warmup_steps"] += delta
+                cache.carries += len(slots)
+                for row, slot in enumerate(slots):
+                    request = uniques[slot]
+                    scales[slot] = frozen[row]
+                    z_last[slot] = z_prev[row]
+                    packed = stack_module.export_state(slice_states(states, np.array([row])))
+                    slot_packed[slot] = packed
+                    cache.put(
+                        request.key,
+                        CachedWarmup(
+                            origin=request.origin,
+                            scale=frozen[row].copy(),
+                            packed_state=packed,
+                            z_last=z_prev[row].copy(),
+                        ),
+                    )
+
+        packed_all = np.concatenate(slot_packed, axis=-2)
+        return owners, scales, stack_module.import_state(packed_all), z_last
+
+    # -- decode --------------------------------------------------------
+    def run_group(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
+        if self.engine.mode == "carry":
+            owners, scales, slot_states, slot_z_last = self._warmup_carry(requests)
+        else:
+            owners, scales, slot_states, slot_z_last = self._warmup_exact(requests)
+
+        owner_index = np.asarray(owners, dtype=np.int64)
+        counts = np.array([request.n_samples for request in requests], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        horizon = requests[0].horizon
+        target_dim = self.model.target_dim
+        total = int(counts.sum())
+
+        states = tile_states(slice_states(slot_states, owner_index), counts)
+        z_prev = np.repeat(slot_z_last[owner_index], counts, axis=0)
+        scale0_rows = np.repeat(scales[owner_index][:, 0], counts)
+        future = np.stack([request.future_covariates for request in requests])
+        rngs = [
+            request.rng if request.rng is not None else self.model.rng
+            for request in requests
+        ]
+
+        samples = np.empty((total, horizon), dtype=np.float64)
+        for h in range(horizon):
+            cov_rows = np.repeat(future[:, h, :], counts, axis=0)
+            x_t = np.concatenate([z_prev, cov_rows], axis=1)
+            h_t, states = self.stack.step(x_t, states)
+            z_next = np.empty((total, target_dim))
+            for d, head in enumerate(self.heads):
+                mu, sigma = head(h_t)
+                for i in range(len(requests)):
+                    rows = slice(offsets[i], offsets[i + 1])
+                    z_next[rows, d] = mu[rows] + sigma[rows] * rngs[i].standard_normal(
+                        int(counts[i])
+                    )
+            samples[:, h] = z_next[:, 0] * scale0_rows
+            z_prev = z_next
+        self.engine._stats["decode_steps"] += horizon
+        return [samples[offsets[i] : offsets[i + 1]] for i in range(len(requests))]
+
+
+# ----------------------------------------------------------------------
+# Transformer backend (memory batched across requests, no carried state)
+# ----------------------------------------------------------------------
+class _TransformerBackend:
+    def __init__(self, engine: FleetForecaster) -> None:
+        self.engine = engine
+        self.model = engine.model
+
+    def validate(self, request: ForecastRequest) -> None:
+        model = self.model
+        if request.target_dim != model.target_dim:
+            raise ValueError(
+                f"expected target_dim={model.target_dim}, got {request.target_dim}"
+            )
+        if request.length < 2:
+            raise ValueError("Transformer forecasting needs a history of at least 2 laps")
+        for covariates in (request.history_covariates, request.future_covariates):
+            if covariates.shape[-1] != model.num_covariates:
+                raise ValueError(
+                    f"expected {model.num_covariates} covariates, got {covariates.shape[-1]}"
+                )
+
+    def run_group(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
+        model = self.model
+        engine = self.engine
+        # deduplicate the (deterministic) encoder pass across identical warm-ups
+        owners, uniques = _dedupe_warmups(requests, engine._stats)
+
+        length = uniques[0].length
+        horizon = requests[0].horizon
+        target_dim = model.target_dim
+        scales = np.stack([np.abs(u.target).mean(axis=0) + 1.0 for u in uniques])
+        z = np.stack([u.target for u in uniques]) / scales[:, None, :]
+        covariates = np.stack([u.history_covariates for u in uniques])
+
+        was_training = model.training
+        model.eval()
+        try:
+            enc_tokens = np.concatenate(
+                [z[:, : length - 1, :], covariates[:, 1:length, :]], axis=2
+            )
+            memory = model._encode(enc_tokens)
+            model._clear_all_caches()
+            engine._stats["warmup_steps"] += max(length - 1, 0)
+
+            owner_index = np.asarray(owners, dtype=np.int64)
+            counts = np.array([request.n_samples for request in requests], dtype=np.int64)
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            total = int(counts.sum())
+            memory_rows = np.repeat(memory[owner_index], counts, axis=0)
+            scale0_rows = np.repeat(scales[owner_index][:, 0], counts)
+            future = np.stack([request.future_covariates for request in requests])
+            rngs = [
+                request.rng if request.rng is not None else model.rng
+                for request in requests
+            ]
+
+            samples = np.empty((total, horizon), dtype=np.float64)
+            z_generated = [np.repeat(z[owner_index][:, -1, :], counts, axis=0)]
+            for h in range(horizon):
+                tokens = []
+                for step in range(h + 1):
+                    cov_rows = np.repeat(future[:, step, :], counts, axis=0)
+                    tokens.append(np.concatenate([z_generated[step], cov_rows], axis=1))
+                dec_tokens = np.stack(tokens, axis=1)
+                dec_out = model._decode(dec_tokens, memory_rows)
+                h_last = dec_out[:, -1, :]
+                z_next = np.empty((total, target_dim))
+                for d, head in enumerate(model.heads):
+                    params = head.forward(h_last)
+                    for i in range(len(requests)):
+                        rows = slice(offsets[i], offsets[i + 1])
+                        z_next[rows, d] = params.mu[rows] + params.sigma[
+                            rows
+                        ] * rngs[i].standard_normal(int(counts[i]))
+                model._clear_all_caches()
+                samples[:, h] = z_next[:, 0] * scale0_rows
+                z_generated.append(z_next)
+            engine._stats["decode_steps"] += horizon
+        finally:
+            model.train(was_training)
+        return [samples[offsets[i] : offsets[i + 1]] for i in range(len(requests))]

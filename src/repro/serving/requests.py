@@ -1,0 +1,108 @@
+"""Forecast request descriptors consumed by the fleet engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+__all__ = ["ForecastRequest", "spawn_request_rngs"]
+
+
+@dataclass
+class ForecastRequest:
+    """One Monte-Carlo forecast task for the :class:`FleetForecaster`.
+
+    Parameters
+    ----------
+    history_target:
+        ``(L,)`` or ``(L, target_dim)`` observed targets up to and including
+        the forecast origin lap.
+    history_covariates:
+        ``(L, num_covariates)`` covariates aligned with the history.
+    future_covariates:
+        ``(H, num_covariates)`` covariates over the forecast horizon.
+    n_samples:
+        Number of Monte-Carlo trajectories to draw.
+    rng:
+        Per-request RNG stream.  Supplying independent streams (see
+        :func:`spawn_request_rngs`) makes the forecast reproducible and
+        independent of how requests are batched; when omitted the engine
+        falls back to the model's shared generator.
+    key:
+        Stable identity of the forecast subject (e.g. ``(race_id, car_id)``).
+        Requests sharing ``key`` and ``origin`` also share their warm-up
+        computation, and ``carry`` mode uses ``key`` to cache recurrent
+        state between consecutive origins.
+    origin:
+        Absolute lap index of the last history lap; required for ``carry``
+        mode so the engine knows how far to advance a cached state.
+    """
+
+    history_target: np.ndarray
+    history_covariates: np.ndarray
+    future_covariates: np.ndarray
+    n_samples: int = 100
+    rng: Optional[np.random.Generator] = None
+    key: Optional[Hashable] = None
+    origin: Optional[int] = None
+    _target: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        target = np.asarray(self.history_target, dtype=np.float64)
+        if target.ndim == 1:
+            target = target[:, None]
+        if target.ndim != 2 or target.shape[0] < 1:
+            raise ValueError(f"history_target must be (L,) or (L, D) with L >= 1, got {target.shape}")
+        self._target = target
+        self.history_covariates = np.asarray(self.history_covariates, dtype=np.float64)
+        self.future_covariates = np.asarray(self.future_covariates, dtype=np.float64)
+        if self.history_covariates.ndim != 2:
+            raise ValueError("history_covariates must be 2-D (L, C)")
+        if self.future_covariates.ndim != 2:
+            raise ValueError("future_covariates must be 2-D (H, C)")
+        if self.history_covariates.shape[0] != target.shape[0]:
+            raise ValueError(
+                "history covariates misaligned with history target: "
+                f"{self.history_covariates.shape[0]} != {target.shape[0]}"
+            )
+        self.n_samples = int(self.n_samples)
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if self.origin is not None:
+            self.origin = int(self.origin)
+
+    # ------------------------------------------------------------------
+    @property
+    def target(self) -> np.ndarray:
+        """History targets normalised to ``(L, target_dim)``."""
+        return self._target
+
+    @property
+    def length(self) -> int:
+        return int(self._target.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        return int(self.future_covariates.shape[0])
+
+    @property
+    def target_dim(self) -> int:
+        return int(self._target.shape[1])
+
+    def warmup_key(self) -> Hashable:
+        """Identity used to deduplicate warm-up computations inside a batch."""
+        if self.key is not None and self.origin is not None:
+            return (self.key, self.origin, self.length)
+        return id(self)
+
+
+def spawn_request_rngs(root: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Independent child streams for ``n`` requests (one stream per request).
+
+    Using per-request streams makes forecasts independent of batching and
+    submission order: the fleet-batched path and a per-car loop consume the
+    exact same random numbers for each request.
+    """
+    return list(root.spawn(n)) if n else []

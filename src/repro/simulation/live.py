@@ -1,0 +1,111 @@
+"""Live-race forecasting: stream fleet forecasts lap by lap from telemetry.
+
+Couples the race simulator to the serving engine: given a finished (or
+in-progress) :class:`RaceTelemetry` and a fitted deep forecaster, the
+:class:`LiveRaceForecaster` replays the race origin by origin and submits
+the whole field as one fleet batch per lap.  It runs the engine in
+``carry`` mode — between consecutive laps each car's warm-up state is
+advanced by exactly one observed lap instead of replaying the whole
+history window, which is what a real-time timing-feed deployment would do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries, build_race_features
+from ..serving.engine import FleetForecaster
+from ..serving.requests import ForecastRequest, spawn_request_rngs
+from .telemetry import RaceTelemetry
+
+__all__ = ["LiveRaceForecaster"]
+
+
+class LiveRaceForecaster:
+    """Streams per-lap fleet forecasts for every running car of a race."""
+
+    def __init__(
+        self,
+        forecaster,
+        horizon: int = 2,
+        n_samples: int = 50,
+        min_history: int = 10,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if getattr(forecaster, "model", None) is None:
+            raise ValueError("the forecaster must be fitted before live serving")
+        self.forecaster = forecaster
+        self.horizon = int(horizon)
+        self.n_samples = int(n_samples)
+        self.min_history = int(min_history)
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._own_engine: Optional[FleetForecaster] = None
+
+    @property
+    def engine(self) -> FleetForecaster:
+        """The carry-mode engine, resolved through the forecaster on every
+        access so a re-fit or fine-tune never leaves stale weights/states."""
+        if hasattr(self.forecaster, "fleet_engine"):
+            return self.forecaster.fleet_engine(mode="carry")
+        if self._own_engine is None:
+            self._own_engine = FleetForecaster(self.forecaster.model, mode="carry")
+        return self._own_engine
+
+    # ------------------------------------------------------------------
+    def _requests_at(
+        self, series_list: List[CarFeatureSeries], origin: int
+    ) -> Tuple[List[int], List[ForecastRequest]]:
+        fc = self.forecaster
+        eligible = [
+            s for s in series_list if self.min_history <= origin < len(s) - 1
+        ]
+        streams = spawn_request_rngs(self.rng, len(eligible))
+        requests = [
+            fc._fleet_request(
+                series,
+                origin,
+                fc._future_covariates(series, origin, self.horizon),
+                self.n_samples,
+                stream,
+            )
+            for series, stream in zip(eligible, streams)
+        ]
+        return [s.car_id for s in eligible], requests
+
+    def forecast_at(
+        self, series_list: List[CarFeatureSeries], origin: int
+    ) -> Dict[int, np.ndarray]:
+        """Fleet forecast for one origin: ``car_id -> (n_samples, horizon)``."""
+        car_ids, requests = self._requests_at(series_list, origin)
+        if not requests:
+            return {}
+        results = self.engine.submit(requests)
+        return {
+            car_id: np.clip(samples, 1.0, 33.0)
+            for car_id, samples in zip(car_ids, results)
+        }
+
+    def stream(
+        self,
+        race: RaceTelemetry,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        stride: int = 1,
+    ) -> Iterator[Tuple[int, Dict[int, np.ndarray]]]:
+        """Yield ``(origin, {car_id: samples})`` lap by lap over a race.
+
+        Because the engine runs in ``carry`` mode, consecutive origins only
+        cost one incremental warm-up step per car.
+        """
+        series_list = build_race_features(race)
+        if not series_list:
+            return
+        max_len = max(len(s) for s in series_list)
+        first = self.min_history if start is None else max(int(start), self.min_history)
+        last = max_len - self.horizon - 1 if stop is None else min(int(stop), max_len - 2)
+        for origin in range(first, last + 1, max(int(stride), 1)):
+            forecasts = self.forecast_at(series_list, origin)
+            if forecasts:
+                yield origin, forecasts

@@ -11,13 +11,13 @@ the standard splits used throughout the experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .race import simulate_race
 from .telemetry import RaceTelemetry
-from .track import EVENT_YEARS, track_for_year
+from .track import EVENT_YEARS
 
 __all__ = ["DatasetSplit", "RacingDataset", "generate_event_dataset", "generate_dataset"]
 

@@ -12,8 +12,8 @@ examples and tests.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -11,12 +11,13 @@ the probability of gaining positions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..data.features import CarFeatureSeries
 from ..models.deep.ranknet import DeepForecasterBase
+from ..serving.requests import ForecastRequest, spawn_request_rngs
 from .plans import candidate_single_stop_plans
 
 __all__ = ["StrategyOutcome", "PitStrategyOptimizer"]
@@ -65,17 +66,29 @@ class PitStrategyOptimizer:
         self.n_samples = int(n_samples)
 
     # ------------------------------------------------------------------
+    def _plan_request(
+        self,
+        series: CarFeatureSeries,
+        origin: int,
+        plan: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ForecastRequest:
+        fc = self.forecaster
+        return fc._fleet_request(
+            series,
+            origin,
+            fc._select(plan),
+            self.n_samples,
+            rng if rng is not None else fc.rng,
+            key=("strategy", series.race_id, series.car_id),
+        )
+
     def evaluate_plan(
         self, series: CarFeatureSeries, origin: int, plan: np.ndarray
     ) -> np.ndarray:
         """Rank samples ``(n_samples, horizon)`` under one covariate plan."""
-        fc = self.forecaster
-        history_target = fc._history_target(series, origin)
-        history_cov = fc._history_covariates(series, origin)
-        future_cov = fc._select(plan)
-        samples = fc.model.forecast_samples(
-            history_target, history_cov, future_cov, n_samples=self.n_samples, rng=fc.rng
-        )
+        engine = self.forecaster.fleet_engine()
+        samples = engine.submit([self._plan_request(series, origin, plan)])[0]
         return np.clip(samples, 1.0, 33.0)
 
     def evaluate(
@@ -87,14 +100,29 @@ class PitStrategyOptimizer:
         latest: Optional[int] = None,
         step: int = 1,
     ) -> List[StrategyOutcome]:
-        """Evaluate every "pit in k laps" candidate inside the horizon."""
+        """Evaluate every "pit in k laps" candidate inside the horizon.
+
+        All counterfactual covariate plans are submitted to the fleet
+        engine in one batch: the warm-up over the shared lap history runs
+        once and only the decode differs per candidate.
+        """
         current_rank = float(series.rank[origin])
+        candidates = list(
+            candidate_single_stop_plans(
+                series, origin, horizon, earliest=earliest, latest=latest, step=step
+            )
+        )
+        if not candidates:
+            return []
+        rngs = spawn_request_rngs(self.forecaster.rng, len(candidates))
+        requests = [
+            self._plan_request(series, origin, candidate["plan"], rng=rng)
+            for candidate, rng in zip(candidates, rngs)
+        ]
+        results = self.forecaster.fleet_engine().submit(requests)
         outcomes: List[StrategyOutcome] = []
-        for candidate in candidate_single_stop_plans(
-            series, origin, horizon, earliest=earliest, latest=latest, step=step
-        ):
-            samples = self.evaluate_plan(series, origin, candidate["plan"])
-            final = samples[:, -1]
+        for candidate, samples in zip(candidates, results):
+            final = np.clip(samples[:, -1], 1.0, 33.0)
             outcomes.append(
                 StrategyOutcome(
                     pit_in_laps=candidate["pit_in_laps"],

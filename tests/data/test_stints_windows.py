@@ -8,7 +8,6 @@ from repro.data import (
     FeatureSpec,
     MeanScaler,
     StandardScaler,
-    WindowDataset,
     build_race_features,
     extract_stints,
     extract_window,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    ExperimentConfig,
     ExperimentResult,
     active_config,
     clear_caches,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import ALL_COVARIATES, FeatureSpec, build_race_features, make_windows
+from repro.data import ALL_COVARIATES, build_race_features, make_windows
 from repro.data.loader import BatchLoader
 from repro.models import (
     DeepARForecaster,

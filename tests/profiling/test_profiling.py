@@ -161,3 +161,24 @@ def test_hybrid_breakdown_fig12_shape(measurements):
     assert by_batch[32]["Data movement"] < by_batch[512]["Data movement"] + 0.2
     rows = [e.as_row() for e in entries]
     assert all("share_pct" in r for r in rows)
+
+
+def test_fleet_inference_breakdown_rows():
+    from repro.profiling import fleet_inference_breakdown
+
+    rows = fleet_inference_breakdown(n_cars=4, n_samples=8, n_origins=2,
+                                     encoder_length=10, hidden_dim=8)
+    strategies = [m.strategy for m in rows]
+    assert strategies == ["per-car loop", "fleet-exact", "fleet-carry"]
+    for m in rows:
+        assert m.forecasts == 8
+        assert m.wall_s > 0.0
+        assert set(m.as_row()) == {"strategy", "wall_ms", "forecasts",
+                                   "forecasts_per_s", "speedup_vs_loop"}
+    loop, exact, carry = rows
+    assert loop.speedup_vs_loop == pytest.approx(1.0)
+    # no wall-clock assertions here: this is a milliseconds-scale smoke
+    # workload and CI runners are noisy — the real >=5x speedup gate lives
+    # in benchmarks/test_bench_fleet_inference.py on a full-size workload
+    assert exact.speedup_vs_loop > 0.0
+    assert carry.speedup_vs_loop > 0.0

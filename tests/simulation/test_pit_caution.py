@@ -1,7 +1,6 @@
 """Tests for the pit-stop strategy and caution generator."""
 
 import numpy as np
-import pytest
 
 from repro.simulation import CautionGenerator, DriverProfile, PitStrategy, TRACKS
 
