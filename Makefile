@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ format:
 
 bench-smoke:
 	$(PYTHON) -m repro.experiments.runner table5 --profile quick
+
+bench-train:
+	$(PYTHON) -m repro.profiling.training
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

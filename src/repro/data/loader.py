@@ -21,6 +21,19 @@ class BatchLoader:
     * ``covariates`` — ``(B, L0 + k, F)`` covariates selected by ``spec``,
     * ``car_index`` — ``(B,)`` embedding indices,
     * ``weight`` — ``(B,)`` per-instance loss weights.
+
+    Two throughput options support the fused training engine:
+
+    * ``bucket_by_length`` groups windows by their observed (un-padded)
+      history length, so every batch is homogeneous: short, left-padded
+      windows never share a batch with full windows.  Shuffling then
+      happens within each bucket and over the bucket order, so epochs stay
+      randomised.
+    * ``preallocate`` reuses persistent batch buffers across iterations
+      (``np.take(..., out=...)``) instead of allocating fresh gather copies
+      per batch.  The yielded arrays are views into those buffers — valid
+      until the next batch is drawn, which is exactly the lifetime the
+      training loop needs.
     """
 
     def __init__(
@@ -31,6 +44,8 @@ class BatchLoader:
         spec: Optional[FeatureSpec] = None,
         rng: np.random.Generator | int | None = None,
         drop_last: bool = False,
+        bucket_by_length: bool = False,
+        preallocate: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -40,29 +55,102 @@ class BatchLoader:
         self.spec = spec or FeatureSpec()
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         self.drop_last = bool(drop_last)
+        self.bucket_by_length = bool(bucket_by_length)
+        self.preallocate = bool(preallocate)
         self._covariates = dataset.select_covariates(self.spec)
+        self._history_lengths = self._observed_lengths() if self.bucket_by_length else None
+        self._buffers: Optional[Dict[str, np.ndarray]] = None
+
+    def _observed_lengths(self) -> np.ndarray:
+        """Per-window observed length (total length minus the left padding).
+
+        Windows cut near the start of a race are left-padded with zero
+        targets and zero covariates (:func:`repro.data.windows.
+        extract_window`); the first lap with any non-zero target or
+        covariate marks the start of real history.
+        """
+        target = self.dataset.target
+        observed = (target != 0.0) | self.dataset.covariates.any(axis=2)
+        total = target.shape[1]
+        first = np.where(observed.any(axis=1), observed.argmax(axis=1), total)
+        return (total - first).astype(np.int64)
 
     def __len__(self) -> int:
         n = len(self.dataset)
-        if self.drop_last:
-            return n // self.batch_size
-        return (n + self.batch_size - 1) // self.batch_size
+        if not self.bucket_by_length:
+            if self.drop_last:
+                return n // self.batch_size
+            return (n + self.batch_size - 1) // self.batch_size
+        return sum(
+            count // self.batch_size
+            if self.drop_last
+            else (count + self.batch_size - 1) // self.batch_size
+            for count in np.bincount(self._history_lengths)
+            if count
+        )
 
-    def __iter__(self) -> Iterator[Dict[str, np.ndarray]]:
+    def _batch_index_order(self) -> Iterator[np.ndarray]:
+        """Yield per-batch index arrays honouring bucketing and shuffling."""
         n = len(self.dataset)
-        order = np.arange(n)
-        if self.shuffle:
-            self.rng.shuffle(order)
-        for start in range(0, n, self.batch_size):
-            idx = order[start : start + self.batch_size]
-            if self.drop_last and idx.size < self.batch_size:
-                break
-            yield {
+        if not self.bucket_by_length:
+            order = np.arange(n)
+            if self.shuffle:
+                self.rng.shuffle(order)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                if self.drop_last and idx.size < self.batch_size:
+                    return
+                yield idx
+            return
+        lengths = self._history_lengths
+        buckets = [np.flatnonzero(lengths == value) for value in np.unique(lengths)]
+        batches = []
+        for bucket in buckets:
+            if self.shuffle:
+                self.rng.shuffle(bucket)
+            for start in range(0, bucket.size, self.batch_size):
+                idx = bucket[start : start + self.batch_size]
+                if self.drop_last and idx.size < self.batch_size:
+                    continue
+                batches.append(idx)
+        if self.shuffle and batches:
+            batch_order = self.rng.permutation(len(batches))
+            batches = [batches[i] for i in batch_order]
+        yield from batches
+
+    def _gather(self, idx: np.ndarray) -> Dict[str, np.ndarray]:
+        if not self.preallocate:
+            return {
                 "target": self.dataset.target[idx],
                 "covariates": self._covariates[idx],
                 "car_index": self.dataset.car_index[idx],
                 "weight": self.dataset.weight[idx],
             }
+        if self._buffers is None:
+            b = self.batch_size
+            self._buffers = {
+                "target": np.empty((b,) + self.dataset.target.shape[1:], dtype=np.float64),
+                "covariates": np.empty((b,) + self._covariates.shape[1:], dtype=np.float64),
+                "car_index": np.empty((b,), dtype=self.dataset.car_index.dtype),
+                "weight": np.empty((b,), dtype=np.float64),
+            }
+        rows = idx.size
+        batch: Dict[str, np.ndarray] = {}
+        sources = {
+            "target": self.dataset.target,
+            "covariates": self._covariates,
+            "car_index": self.dataset.car_index,
+            "weight": self.dataset.weight,
+        }
+        for name, source in sources.items():
+            out = self._buffers[name][:rows]
+            np.take(source, idx, axis=0, out=out)
+            batch[name] = out
+        return batch
+
+    def __iter__(self) -> Iterator[Dict[str, np.ndarray]]:
+        for idx in self._batch_index_order():
+            yield self._gather(idx)
 
     def batches(self) -> Iterator[Dict[str, np.ndarray]]:
         """Alias so the loader can be passed as ``Trainer.fit(loader.batches)``."""

@@ -21,26 +21,34 @@ import numpy as np
 from ...data.features import CarFeatureSeries
 from ...data.schema import ALL_COVARIATES
 from ...data.stints import next_pit_targets
-from ...nn import Adam, GaussianOutput, MLP, Module, clip_grad_norm
+from ...nn import Adam, GaussianParams, MLP, Module, MultiGaussianOutput, clip_grad_norm
 from ...nn.losses import gaussian_nll
 
 __all__ = ["PitModelMLP", "plan_future_covariates"]
 
 
 class _PitNet(Module):
-    """MLP trunk + Gaussian head used internally by :class:`PitModelMLP`."""
+    """MLP trunk + fused Gaussian head used internally by :class:`PitModelMLP`.
+
+    The head is a :class:`~repro.nn.layers.MultiGaussianOutput` with one
+    target dimension: mu and sigma come out of a single ``(H, 2)``
+    projection instead of two separate ``(H, 1)`` heads (same training-path
+    fusion as the sequence models).
+    """
 
     def __init__(self, in_dim: int, hidden: Sequence[int], rng: np.random.Generator) -> None:
         super().__init__()
         self.trunk = MLP(in_dim, list(hidden), hidden[-1], activation="relu",
                          out_activation="relu", rng=rng)
-        self.head = GaussianOutput(hidden[-1], rng=rng)
+        self.head = MultiGaussianOutput(hidden[-1], 1, rng=rng)
 
-    def forward(self, x: np.ndarray):
-        return self.head.forward(self.trunk.forward(x))
+    def forward(self, x: np.ndarray, with_cache: bool = True) -> GaussianParams:
+        h = self.trunk.forward(x)
+        mu, sigma = self.head.forward(h, with_cache=with_cache)
+        return GaussianParams(mu=mu[:, 0], sigma=sigma[:, 0])
 
     def backward(self, d_mu: np.ndarray, d_sigma: np.ndarray) -> None:
-        dh = self.head.backward(d_mu, d_sigma)
+        dh = self.head.backward(d_mu[:, None], d_sigma[:, None])
         self.trunk.backward(dh)
 
 
@@ -128,9 +136,8 @@ class PitModelMLP:
             raise RuntimeError("PitModel must be fit before predicting")
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         Xs = (features - self._x_mean) / self._x_std
-        params = self.net.forward(Xs)
-        # clear caches: inference only
-        self.net.head.clear_cache()
+        # inference only: the head runs cache-free, the trunk caches are dropped
+        params = self.net.forward(Xs, with_cache=False)
         for layer in self.net.trunk.layers:
             if hasattr(layer, "_cache"):
                 layer._cache.clear()

@@ -12,20 +12,30 @@ Training (Algorithm 1) maximises the log-likelihood of the observed targets
 over the decoder steps with optional per-instance weights; forecasting
 (Algorithm 2) feeds Monte-Carlo samples back into the recurrence.
 
+Training runs on the fused full-sequence engine: one
+``forward_sequence`` pass through the recurrent stack (all input
+projections batched into one GEMM per layer), one fused
+:class:`~repro.nn.layers.MultiGaussianOutput` head projection over the
+whole decoder block, one vectorised :func:`~repro.nn.losses.
+gaussian_nll_seq` evaluation, and one ``backward_sequence`` BPTT sweep.
+The original stepwise path is kept as ``_forward_loss_stepwise`` — it is
+the reference implementation the fused path is gradient-checked and
+benchmarked against (``benchmarks/test_bench_training.py``).
+
 Targets may be multivariate (``target_dim > 1``): the RankNet-Joint ablation
-models ``[Rank, LapStatus, TrackStatus]`` jointly with one Gaussian head per
-dimension.
+models ``[Rank, LapStatus, TrackStatus]`` jointly through one fused Gaussian
+head covering every dimension.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ...data.scaling import MeanScaler
-from ...nn import GaussianOutput, Module, StackedGRU, StackedLSTM
-from ...nn.losses import gaussian_nll
+from ...nn import Module, MultiGaussianOutput, StackedGRU, StackedLSTM
+from ...nn.losses import gaussian_nll_seq
 from ...serving.engine import FleetForecaster
 from ...serving.requests import ForecastRequest
 
@@ -84,7 +94,7 @@ class RankSeqModel(Module):
                 dropout=dropout,
                 rng=rng,
             )
-        self.heads = [GaussianOutput(hidden_dim, rng=rng, name=f"head.{d}") for d in range(target_dim)]
+        self.head = MultiGaussianOutput(hidden_dim, target_dim, rng=rng, name="head")
         self.scaler = MeanScaler()
         self.rng = rng
         self._fleet_engine: Optional[FleetForecaster] = None
@@ -108,70 +118,98 @@ class RankSeqModel(Module):
         enc = target[:, : self.encoder_length, :]
         return np.abs(enc).mean(axis=1) + 1.0
 
-    # ------------------------------------------------------------------
-    # training (Algorithm 1)
-    # ------------------------------------------------------------------
-    def _forward_loss(
-        self, batch: Dict[str, np.ndarray], with_backward: bool
-    ) -> float:
+    def _check_batch(self, batch: Dict[str, np.ndarray]):
         target = self._prepare_targets(batch["target"])
         covariates = np.asarray(batch["covariates"], dtype=np.float64)
         weight = np.asarray(batch.get("weight", np.ones(target.shape[0])), dtype=np.float64)
-        batch_size, total_len, _ = target.shape
         if covariates.shape[-1] != self.num_covariates:
             raise ValueError(
                 f"expected {self.num_covariates} covariates, got {covariates.shape[-1]}"
             )
+        return target, covariates, weight
+
+    # ------------------------------------------------------------------
+    # training (Algorithm 1) — fused full-sequence engine
+    # ------------------------------------------------------------------
+    def _forward_loss(
+        self, batch: Dict[str, np.ndarray], with_backward: bool
+    ) -> float:
+        """Teacher-forced loss (and BPTT) via the fused sequence path.
+
+        Forward: one ``forward_sequence`` through the stack, one fused head
+        projection over the whole decoder block, one vectorised NLL.  With
+        ``with_backward=False`` (validation) no BPTT caches are built at
+        all.  Produces the same loss and parameter gradients as
+        :meth:`_forward_loss_stepwise` to well below 1e-10.
+        """
+        target, covariates, weight = self._check_batch(batch)
+        batch_size, total_len, _ = target.shape
+        scale = self._scale_factors(target)  # (B, D)
+        z = target / scale[:, None, :]
+
+        # step t consumes [z_{t-1}, x_t]; build all T-1 inputs in one block
+        x = np.concatenate([z[:, :-1, :], covariates[:, 1:, :]], axis=2)
+        h_seq, _ = self.lstm.forward_sequence(x, with_cache=with_backward)
+
+        decoder_start = max(total_len - self.decoder_length, 1)
+        j0 = decoder_start - 1  # h_seq[:, j] is the hidden state of step t = j + 1
+        mu, sigma = self.head.forward(h_seq[:, j0:, :], with_cache=with_backward)
+        loss, d_mu, d_sigma = gaussian_nll_seq(
+            z[:, decoder_start:, :], mu, sigma, weights=weight
+        )
+        if not with_backward:
+            return float(loss)
+
+        dh_dec = self.head.backward(d_mu, d_sigma)  # (B, K, H)
+        d_outputs = np.zeros((batch_size, total_len - 1, self.hidden_dim))
+        d_outputs[:, j0:, :] = dh_dec
+        self.lstm.backward_sequence(d_outputs)
+        return float(loss)
+
+    # ------------------------------------------------------------------
+    # stepwise reference path (kept for gradient checks and benchmarks)
+    # ------------------------------------------------------------------
+    def _forward_loss_stepwise(
+        self, batch: Dict[str, np.ndarray], with_backward: bool
+    ) -> float:
+        """Original one-lap-at-a-time training path over the step API."""
+        target, covariates, weight = self._check_batch(batch)
+        batch_size, total_len, _ = target.shape
         scale = self._scale_factors(target)  # (B, D)
         z = target / scale[:, None, :]
 
         states = self.lstm.zero_state(batch_size)
         decoder_start = total_len - self.decoder_length
-        step_params: List[tuple] = []  # (t, mu (B,D), sigma (B,D))
+        step_params: Dict[int, tuple] = {}  # t -> (mu (B,D), sigma (B,D))
         for t in range(1, total_len):
             x_t = np.concatenate([z[:, t - 1, :], covariates[:, t, :]], axis=1)
             h_t, states = self.lstm.step(x_t, states)
             if t >= decoder_start:
-                mus = np.empty((batch_size, self.target_dim))
-                sigmas = np.empty((batch_size, self.target_dim))
-                for d, head in enumerate(self.heads):
-                    params = head.forward(h_t)
-                    mus[:, d] = params.mu
-                    sigmas[:, d] = params.sigma
-                step_params.append((t, mus, sigmas))
+                step_params[t] = self.head.forward(h_t)
 
         # loss over decoder steps, averaged over (instances x steps x dims)
         total_loss = 0.0
         grads: Dict[int, tuple] = {}
-        n_terms = len(step_params) * self.target_dim
-        for t, mus, sigmas in step_params:
-            d_mu = np.zeros_like(mus)
-            d_sigma = np.zeros_like(sigmas)
-            for d in range(self.target_dim):
-                loss, g_mu, g_sigma = gaussian_nll(
-                    z[:, t, d], mus[:, d], sigmas[:, d], weights=weight
-                )
-                total_loss += loss / n_terms
-                d_mu[:, d] = g_mu / n_terms
-                d_sigma[:, d] = g_sigma / n_terms
-            grads[t] = (d_mu, d_sigma)
+        steps = sorted(step_params)
+        for t in steps:
+            mus, sigmas = step_params[t]
+            z_t = z[:, t, :][:, None, :]
+            loss, d_mu, d_sigma = gaussian_nll_seq(
+                z_t, mus[:, None, :], sigmas[:, None, :], weights=weight
+            )
+            total_loss += loss / len(steps)
+            grads[t] = (d_mu[:, 0, :] / len(steps), d_sigma[:, 0, :] / len(steps))
 
         if not with_backward:
             self.lstm.clear_cache()
-            for head in self.heads:
-                head.clear_cache()
+            self.head.clear_cache()
             return float(total_loss)
 
-        # ------------------------------------------------------------------
         # backward pass: heads (reverse order), then BPTT through the stack
-        # ------------------------------------------------------------------
         dh_by_step: Dict[int, np.ndarray] = {}
-        for t, _, _ in reversed(step_params):
+        for t in reversed(steps):
             d_mu, d_sigma = grads[t]
-            dh = np.zeros((batch_size, self.hidden_dim))
-            for d in reversed(range(self.target_dim)):
-                dh += self.heads[d].backward(d_mu[:, d], d_sigma[:, d])
-            dh_by_step[t] = dh
+            dh_by_step[t] = self.head.backward(d_mu, d_sigma)
 
         dstates = None
         for t in reversed(range(1, total_len)):
@@ -183,6 +221,7 @@ class RankSeqModel(Module):
         return self._forward_loss(batch, with_backward=True)
 
     def validation_loss(self, batch: Dict[str, np.ndarray]) -> float:
+        """Forward-only loss on the cache-free path (no BPTT tensors)."""
         return self._forward_loss(batch, with_backward=False)
 
     # ------------------------------------------------------------------

@@ -33,15 +33,25 @@ from .inference import (
     GaussianHeadInference,
     GRUStackInference,
     LSTMStackInference,
+    MultiGaussianHeadInference,
     concat_states,
+    head_inference,
     recurrent_inference,
     slice_states,
     stable_matmul,
     tile_states,
 )
 from .student_t import StudentTOutput, StudentTParams, student_t_nll
-from .layers import MLP, Dense, Dropout, Embedding, LayerNorm, Sequential
-from .losses import gaussian_nll, mae_loss, mse_loss, quantile_loss
+from .layers import (
+    MLP,
+    Dense,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    MultiGaussianOutput,
+    Sequential,
+)
+from .losses import gaussian_nll, gaussian_nll_seq, mae_loss, mse_loss, quantile_loss
 from .module import Module, Parameter
 from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import LSTMCell, StackedLSTM
@@ -76,7 +86,9 @@ __all__ = [
     "GaussianHeadInference",
     "GRUStackInference",
     "LSTMStackInference",
+    "MultiGaussianHeadInference",
     "concat_states",
+    "head_inference",
     "recurrent_inference",
     "slice_states",
     "stable_matmul",
@@ -89,8 +101,10 @@ __all__ = [
     "Dropout",
     "Embedding",
     "LayerNorm",
+    "MultiGaussianOutput",
     "Sequential",
     "gaussian_nll",
+    "gaussian_nll_seq",
     "mae_loss",
     "mse_loss",
     "quantile_loss",

@@ -11,7 +11,10 @@ two).  The cell follows the standard formulation
 
 and exposes the same step / step-backward API as
 :class:`repro.nn.recurrent.LSTMCell`, so the two backbones are
-interchangeable inside unrolled models.
+interchangeable inside unrolled models.  Like the LSTM, the GRU also
+provides the fused full-sequence ``forward_sequence`` /
+``backward_sequence`` path used by teacher-forced training and the
+serving warm-up (see :mod:`repro.nn.recurrent`).
 """
 
 from __future__ import annotations
@@ -22,7 +25,9 @@ import numpy as np
 
 from . import initializers as init
 from .activations import sigmoid
+from .kernels import stable_matmul
 from .module import Module, Parameter
+from .recurrent import _sigmoid_inplace
 
 __all__ = ["GRUCell", "StackedGRU"]
 
@@ -57,6 +62,8 @@ class GRUCell(Module):
         )
         self.b_cand = Parameter(init.zeros((hidden_dim,)), f"{name}.b_cand")
         self._cache: List[tuple] = []
+        self._seq_cache: List[tuple] = []
+        self._dgates_buf: Optional[np.ndarray] = None
 
     def zero_state(self, batch_size: int) -> np.ndarray:
         return np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
@@ -95,9 +102,10 @@ class GRUCell(Module):
         dh_prev += d_h_proj @ self.w_h_cand.data.T
         dx = d_n_pre @ self.w_x_cand.data.T
 
-        d_r_pre = d_r * r * (1.0 - r)
-        d_u_pre = d_u * u * (1.0 - u)
-        d_gates = np.concatenate([d_r_pre, d_u_pre], axis=1)
+        hd = self.hidden_dim
+        d_gates = self._step_dgates(dh.shape[0])
+        d_gates[:, :hd] = d_r * r * (1.0 - r)
+        d_gates[:, hd:] = d_u * u * (1.0 - u)
         self.w_x_gates.grad += x.T @ d_gates
         self.w_h_gates.grad += h_prev.T @ d_gates
         self.b_gates.grad += d_gates.sum(axis=0)
@@ -105,8 +113,152 @@ class GRUCell(Module):
         dh_prev += d_gates @ self.w_h_gates.data.T
         return dx, dh_prev
 
+    def _step_dgates(self, batch: int) -> np.ndarray:
+        """Preallocated per-step ``(B, 2H)`` gate-gradient buffer (consumed
+        before the next step, so reuse is safe — mirrors ``LSTMCell``)."""
+        buf = self._dgates_buf
+        if buf is None or buf.shape[0] != batch:
+            buf = self._dgates_buf = np.empty((batch, 2 * self.hidden_dim), dtype=np.float64)
+        return buf
+
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._seq_cache.clear()
+
+    # fused full-sequence path -----------------------------------------
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        h0: Optional[np.ndarray] = None,
+        with_cache: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Teacher-forced pass over ``(B, T, input_dim)`` with the gate and
+        candidate input projections (+ biases) fused into two full-sequence
+        GEMMs.  Intermediates live in preallocated time-major ``(T, B, .)``
+        tensors with in-place non-linearities (mirrors
+        :meth:`repro.nn.recurrent.LSTMCell.forward_sequence`).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        hd = self.hidden_dim
+        h = h0 if h0 is not None else self.zero_state(batch)
+        if steps == 0:
+            return np.empty((batch, 0, hd), dtype=np.float64), h
+        h_init = h
+        x_tm = np.ascontiguousarray(x.transpose(1, 0, 2))
+        flat = x_tm.reshape(steps * batch, self.input_dim)
+        gates = stable_matmul(flat, self.w_x_gates.data).reshape(steps, batch, 2 * hd)
+        gates += self.b_gates.data
+        cand = stable_matmul(flat, self.w_x_cand.data).reshape(steps, batch, hd)
+        cand += self.b_cand.data
+        out_tm = np.empty((steps, batch, hd), dtype=np.float64)
+        hw = np.empty((batch, 2 * hd), dtype=np.float64)
+        if with_cache:
+            h_proj_tm = np.empty((steps, batch, hd), dtype=np.float64)
+        else:
+            hp_buf = np.empty((batch, hd), dtype=np.float64)
+        for t in range(steps):
+            ga = gates[t]  # activations overwrite the pre-activations in place
+            np.matmul(h, self.w_h_gates.data, out=hw)
+            ga += hw
+            _sigmoid_inplace(ga)  # reset + update gates together
+            hp = h_proj_tm[t] if with_cache else hp_buf
+            np.matmul(h, self.w_h_cand.data, out=hp)
+            n_t = cand[t]  # becomes the candidate activation in place
+            n_t += ga[:, :hd] * hp
+            np.tanh(n_t, out=n_t)
+            # h_new = (1 - u) * n + u * h_prev = n + u * (h_prev - n)
+            o_t = out_tm[t]
+            np.subtract(h, n_t, out=o_t)
+            o_t *= ga[:, hd:]
+            o_t += n_t
+            h = o_t
+        if with_cache:
+            self._seq_cache.append((x_tm, gates, cand, h_proj_tm, out_tm, h_init))
+        return out_tm.transpose(1, 0, 2), h
+
+    def backward_sequence(
+        self, d_outputs: np.ndarray, d_final_state: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused BPTT for the most recent :meth:`forward_sequence` call.
+
+        Gate and candidate pre-activation gradients are written into
+        preallocated ``(T, B, .)`` buffers; all parameter gradients then
+        accumulate through reshaped full-sequence GEMMs.  Returns
+        ``(dx, dh0)``.
+        """
+        if not self._seq_cache:
+            raise RuntimeError("backward_sequence called more times than forward_sequence")
+        x_tm, gates, n_tm, h_proj_tm, out_tm, h0 = self._seq_cache.pop()
+        d_out_tm = np.ascontiguousarray(
+            np.asarray(d_outputs, dtype=np.float64).transpose(1, 0, 2)
+        )
+        steps, batch, hd = d_out_tm.shape
+        dh_next = (
+            np.zeros((batch, hd), dtype=np.float64)
+            if d_final_state is None
+            else np.asarray(d_final_state, dtype=np.float64)
+        )
+        d_gates = np.empty((steps, batch, 2 * hd), dtype=np.float64)
+        d_n_pre = np.empty((steps, batch, hd), dtype=np.float64)
+        d_h_proj = np.empty((steps, batch, hd), dtype=np.float64)
+        dh = np.empty((batch, hd), dtype=np.float64)
+        dh_buf = np.empty((batch, hd), dtype=np.float64)
+        mm_buf = np.empty((batch, hd), dtype=np.float64)
+        # hoist the activation-derivative factors out of the time loop
+        # (full-tensor passes instead of per-step strided ones)
+        gderiv = np.empty_like(gates)  # sigma' = a * (1 - a) for [r, u]
+        np.subtract(1.0, gates, out=gderiv)
+        gderiv *= gates
+        one_minus_u = np.ascontiguousarray(1.0 - gates[:, :, hd:])
+        n_deriv = np.empty_like(n_tm)  # tanh' = 1 - n^2
+        np.multiply(n_tm, n_tm, out=n_deriv)
+        np.subtract(1.0, n_deriv, out=n_deriv)
+        hpn = np.empty_like(n_tm)  # h_prev - n per step
+        np.subtract(h0, n_tm[0], out=hpn[0])
+        if steps > 1:
+            np.subtract(out_tm[: steps - 1], n_tm[1:], out=hpn[1:])
+        w_h_gates_t = np.ascontiguousarray(self.w_h_gates.data.T)
+        w_h_cand_t = np.ascontiguousarray(self.w_h_cand.data.T)
+        for t in reversed(range(steps)):
+            ga = gates[t]
+            r = ga[:, :hd]
+            u = ga[:, hd:]
+            np.add(d_out_tm[t], dh_next, out=dh)
+            dnp = d_n_pre[t]
+            np.multiply(dh, one_minus_u[t], out=dnp)
+            dnp *= n_deriv[t]
+            dhp = d_h_proj[t]
+            np.multiply(dnp, r, out=dhp)
+            dg = d_gates[t]
+            np.multiply(dnp, h_proj_tm[t], out=dg[:, :hd])
+            np.multiply(dh, hpn[t], out=dg[:, hd:])
+            dg *= gderiv[t]
+            np.multiply(dh, u, out=dh_buf)
+            np.matmul(dhp, w_h_cand_t, out=mm_buf)
+            dh_buf += mm_buf
+            np.matmul(dg, w_h_gates_t, out=mm_buf)
+            dh_buf += mm_buf
+            dh_next = dh_buf
+        flat_x = x_tm.reshape(steps * batch, self.input_dim)
+        flat_gates = d_gates.reshape(steps * batch, 2 * hd)
+        flat_npre = d_n_pre.reshape(steps * batch, hd)
+        self.w_x_cand.grad += flat_x.T @ flat_npre
+        self.b_cand.grad += flat_npre.sum(axis=0)
+        # h_prev per step is [h0, out_0, ..., out_{T-2}]
+        self.w_h_cand.grad += h0.T @ d_h_proj[0]
+        self.w_h_gates.grad += h0.T @ d_gates[0]
+        if steps > 1:
+            flat_hprev = out_tm[: steps - 1].reshape((steps - 1) * batch, hd)
+            self.w_h_cand.grad += flat_hprev.T @ d_h_proj[1:].reshape((steps - 1) * batch, hd)
+            self.w_h_gates.grad += flat_hprev.T @ d_gates[1:].reshape(
+                (steps - 1) * batch, 2 * hd
+            )
+        self.w_x_gates.grad += flat_x.T @ flat_gates
+        self.b_gates.grad += flat_gates.sum(axis=0)
+        dx = flat_npre @ self.w_x_cand.data.T + flat_gates @ self.w_x_gates.data.T
+        dx_tm = dx.reshape(steps, batch, self.input_dim)
+        return dx_tm.transpose(1, 0, 2), dh_next.copy()
 
     # convenience full-sequence helpers -------------------------------
     def forward(self, x: np.ndarray, h0: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
@@ -204,6 +356,41 @@ class StackedGRU(Module):
         if packed.shape[2] != self.hidden_dim:
             raise ValueError(f"hidden dim mismatch: {packed.shape[2]} != {self.hidden_dim}")
         return [packed[layer].copy() for layer in range(self.num_layers)]
+
+    # ------------------------------------------------------------------
+    # fused full-sequence path (mirrors ``StackedLSTM``)
+    # ------------------------------------------------------------------
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        states: Optional[Sequence[np.ndarray]] = None,
+        with_cache: bool = True,
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Fused layer-major teacher-forced pass over ``(B, T, input_dim)``."""
+        x = np.asarray(x, dtype=np.float64)
+        batch = x.shape[0]
+        if states is None:
+            states = self.zero_state(batch)
+        h_seq = x
+        final_states: List[np.ndarray] = []
+        for layer, cell in enumerate(self.cells):
+            h_seq, h = cell.forward_sequence(h_seq, states[layer], with_cache=with_cache)
+            final_states.append(h)
+        return h_seq, final_states
+
+    def backward_sequence(
+        self,
+        d_outputs: np.ndarray,
+        d_final_states: Optional[Sequence[np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Fused BPTT matching :meth:`forward_sequence`; returns ``(dx, dh0s)``."""
+        grad = np.asarray(d_outputs, dtype=np.float64)
+        d_initial: List[np.ndarray] = [None] * self.num_layers  # type: ignore
+        for layer in reversed(range(self.num_layers)):
+            d_state = None if d_final_states is None else d_final_states[layer]
+            grad, d_init = self.cells[layer].backward_sequence(grad, d_state)
+            d_initial[layer] = d_init
+        return grad, d_initial
 
     def forward(self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None):
         x = np.asarray(x, dtype=np.float64)

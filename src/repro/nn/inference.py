@@ -20,13 +20,15 @@ byte-identical to a single-request forecast given the same RNG streams.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .activations import sigmoid, softplus
 from .distributions import GaussianOutput
 from .gru import StackedGRU
+from .kernels import STABLE_CHUNK_ROWS, stable_matmul
+from .layers import MultiGaussianOutput
 from .recurrent import StackedLSTM
 
 __all__ = [
@@ -38,36 +40,10 @@ __all__ = [
     "LSTMStackInference",
     "GRUStackInference",
     "GaussianHeadInference",
+    "MultiGaussianHeadInference",
     "recurrent_inference",
+    "head_inference",
 ]
-
-#: fixed GEMM row-block size; every matmul in the inference path runs on
-#: exactly this many rows so results are independent of the batch size.
-STABLE_CHUNK_ROWS = 256
-
-
-def stable_matmul(x: np.ndarray, w: np.ndarray, chunk: int = STABLE_CHUNK_ROWS) -> np.ndarray:
-    """``x @ w`` with batch-size-invariant per-row results.
-
-    The rows of ``x`` are processed in blocks of exactly ``chunk`` rows (the
-    final partial block is zero-padded), so the value computed for one row
-    depends only on that row and ``w`` — not on how many other rows happen
-    to share the batch.
-    """
-    x = np.ascontiguousarray(x, dtype=np.float64)
-    w = np.asarray(w, dtype=np.float64)
-    n = x.shape[0]
-    out = np.empty((n, w.shape[1]), dtype=np.float64)
-    for start in range(0, n, chunk):
-        block = x[start : start + chunk]
-        rows = block.shape[0]
-        if rows == chunk:
-            out[start : start + chunk] = block @ w
-        else:
-            padded = np.zeros((chunk, x.shape[1]), dtype=np.float64)
-            padded[:rows] = block
-            out[start : start + rows] = (padded @ w)[:rows]
-    return out
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +120,44 @@ class LSTMStackInference:
             new_states.append((h, c))
         return h, new_states
 
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        states: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+        """Fused teacher-forced pass over ``(B, T, input_dim)``.
+
+        Layer-major: each layer's input projections for all ``T`` steps run
+        as one fused :func:`stable_matmul`, so only the recurrent product
+        remains per-step.  Because every row of a ``stable_matmul`` result
+        depends only on that row, the outputs are **bitwise identical** to
+        stepping the sequence through :meth:`step` one lap at a time.
+        Returns the top-layer hidden sequence and the final states.
+        """
+        h_seq = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = h_seq.shape
+        if states is None:
+            states = self.zero_state(batch)
+        new_states: List[Tuple[np.ndarray, np.ndarray]] = []
+        for cell, (h, c) in zip(self.stack.cells, states):
+            hd = cell.hidden_dim
+            x_proj = stable_matmul(
+                h_seq.reshape(batch * steps, h_seq.shape[-1]), cell.w_x.data
+            ).reshape(batch, steps, 4 * hd)
+            out = np.empty((batch, steps, hd), dtype=np.float64)
+            for t in range(steps):
+                gates = x_proj[:, t, :] + stable_matmul(h, cell.w_h.data) + cell.bias.data
+                i = sigmoid(gates[:, 0 * hd : 1 * hd])
+                f = sigmoid(gates[:, 1 * hd : 2 * hd])
+                g = np.tanh(gates[:, 2 * hd : 3 * hd])
+                o = sigmoid(gates[:, 3 * hd : 4 * hd])
+                c = f * c + i * g
+                h = o * np.tanh(c)
+                out[:, t, :] = h
+            new_states.append((h, c))
+            h_seq = out
+        return h_seq, new_states
+
 
 class GRUStackInference:
     """Cache-free forward stepping over a :class:`StackedGRU`."""
@@ -172,6 +186,33 @@ class GRUStackInference:
             new_states.append(h)
         return h, new_states
 
+    def forward_sequence(
+        self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Fused teacher-forced pass (see ``LSTMStackInference.forward_sequence``)."""
+        h_seq = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = h_seq.shape
+        if states is None:
+            states = self.zero_state(batch)
+        new_states: List[np.ndarray] = []
+        for cell, h in zip(self.stack.cells, states):
+            hd = cell.hidden_dim
+            flat = h_seq.reshape(batch * steps, h_seq.shape[-1])
+            gates_x = stable_matmul(flat, cell.w_x_gates.data).reshape(batch, steps, 2 * hd)
+            cand_x = stable_matmul(flat, cell.w_x_cand.data).reshape(batch, steps, hd)
+            out = np.empty((batch, steps, hd), dtype=np.float64)
+            for t in range(steps):
+                gates = gates_x[:, t, :] + stable_matmul(h, cell.w_h_gates.data) + cell.b_gates.data
+                r = sigmoid(gates[:, :hd])
+                u = sigmoid(gates[:, hd:])
+                h_proj = stable_matmul(h, cell.w_h_cand.data)
+                n = np.tanh(cand_x[:, t, :] + r * h_proj + cell.b_cand.data)
+                h = (1.0 - u) * n + u * h
+                out[:, t, :] = h
+            new_states.append(h)
+            h_seq = out
+        return h_seq, new_states
+
 
 def recurrent_inference(stack) -> Union[LSTMStackInference, GRUStackInference]:
     """Build the matching cache-free stepper for a recurrent stack."""
@@ -194,3 +235,31 @@ class GaussianHeadInference:
         pre = stable_matmul(h, head.sigma_head.weight.data)[:, 0] + head.sigma_head.bias.data[0]
         sigma = softplus(pre) + head.sigma_floor
         return mu, sigma
+
+
+class MultiGaussianHeadInference:
+    """Cache-free ``(mu, sigma)`` projection for a fused multi-dim head.
+
+    One ``(H, 2D)`` :func:`stable_matmul` per call; returns ``(B, D)``
+    arrays covering every target dimension at once.
+    """
+
+    def __init__(self, head: MultiGaussianOutput) -> None:
+        self.head = head
+
+    def __call__(self, h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        head = self.head
+        out = stable_matmul(h, head.weight.data) + head.bias.data
+        d = head.target_dim
+        mu = out[:, :d]
+        sigma = softplus(out[:, d:]) + head.sigma_floor
+        return mu, sigma
+
+
+def head_inference(head) -> Union[GaussianHeadInference, MultiGaussianHeadInference]:
+    """Build the matching cache-free projection for a Gaussian head module."""
+    if isinstance(head, MultiGaussianOutput):
+        return MultiGaussianHeadInference(head)
+    if isinstance(head, GaussianOutput):
+        return GaussianHeadInference(head)
+    raise TypeError(f"unsupported Gaussian head: {type(head).__name__}")

@@ -1,0 +1,43 @@
+"""Shared GEMM kernels used by both the training and the serving paths.
+
+:func:`stable_matmul` lived in :mod:`repro.nn.inference` originally; it was
+moved here so the recurrent training modules can run their fused
+full-sequence input projections through the same batch-size-invariant
+kernel without importing the (higher-level) inference module.
+:mod:`repro.nn.inference` re-exports both names, so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["STABLE_CHUNK_ROWS", "stable_matmul"]
+
+#: fixed GEMM row-block size; every matmul in the inference path runs on
+#: exactly this many rows so results are independent of the batch size.
+STABLE_CHUNK_ROWS = 256
+
+
+def stable_matmul(x: np.ndarray, w: np.ndarray, chunk: int = STABLE_CHUNK_ROWS) -> np.ndarray:
+    """``x @ w`` with batch-size-invariant per-row results.
+
+    The rows of ``x`` are processed in blocks of exactly ``chunk`` rows (the
+    final partial block is zero-padded), so the value computed for one row
+    depends only on that row and ``w`` — not on how many other rows happen
+    to share the batch.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    n = x.shape[0]
+    out = np.empty((n, w.shape[1]), dtype=np.float64)
+    for start in range(0, n, chunk):
+        block = x[start : start + chunk]
+        rows = block.shape[0]
+        if rows == chunk:
+            out[start : start + chunk] = block @ w
+        else:
+            padded = np.zeros((chunk, x.shape[1]), dtype=np.float64)
+            padded[:rows] = block
+            out[start : start + rows] = (padded @ w)[:rows]
+    return out

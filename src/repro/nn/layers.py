@@ -8,15 +8,23 @@ must then be called once per ``forward`` call, in reverse order.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from . import initializers as init
-from .activations import Activation, get_activation
+from .activations import Activation, get_activation, sigmoid, softplus
 from .module import Module, Parameter
 
-__all__ = ["Dense", "Embedding", "Dropout", "LayerNorm", "Sequential", "MLP"]
+__all__ = [
+    "Dense",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "MultiGaussianOutput",
+    "Sequential",
+    "MLP",
+]
 
 
 class Dense(Module):
@@ -182,6 +190,86 @@ class LayerNorm(Module):
             - x_hat * (d_xhat * x_hat).mean(axis=-1, keepdims=True)
         ) * inv_std
         return grad_x
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+class MultiGaussianOutput(Module):
+    """Fused Gaussian likelihood head over ``target_dim`` dimensions.
+
+    Replaces ``target_dim`` separate :class:`~repro.nn.distributions.
+    GaussianOutput` heads (one ``(H, 1)`` GEMV per head per call for mu and
+    sigma each) with a single ``(H, 2*D)`` projection:
+
+        out = h @ W + b
+        mu    = out[..., :D]
+        sigma = softplus(out[..., D:]) + sigma_floor
+
+    The weight columns are initialised with the exact per-head draw
+    sequence of the separate heads (mu then sigma, head by head), so a
+    model built from the same seed carries identical parameter values.
+    Supports inputs of any shape ``(..., H)`` — in particular the fused
+    training path's ``(B, K, H)`` decoder block — and a cache-free
+    evaluation mode (``with_cache=False``).
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        target_dim: int = 1,
+        rng: np.random.Generator | int | None = None,
+        sigma_floor: float = 1e-4,
+        name: str = "gaussian_out",
+    ) -> None:
+        super().__init__()
+        if target_dim < 1:
+            raise ValueError("target_dim must be >= 1")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.hidden_dim = int(hidden_dim)
+        self.target_dim = int(target_dim)
+        self.sigma_floor = float(sigma_floor)
+        weight = np.empty((hidden_dim, 2 * target_dim), dtype=np.float64)
+        for d in range(target_dim):
+            weight[:, d : d + 1] = init.xavier_uniform((hidden_dim, 1), rng=rng)
+            weight[:, target_dim + d : target_dim + d + 1] = init.xavier_uniform(
+                (hidden_dim, 1), rng=rng
+            )
+        self.weight = Parameter(weight, f"{name}.weight")
+        self.bias = Parameter(init.zeros((2 * target_dim,)), f"{name}.bias")
+        self._cache: List[tuple] = []
+
+    def forward(
+        self, h: np.ndarray, with_cache: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``h`` is ``(..., H)``; returns ``(mu, sigma)`` of shape ``(..., D)``."""
+        h = np.asarray(h, dtype=np.float64)
+        if h.shape[-1] != self.hidden_dim:
+            raise ValueError(f"expected last dim {self.hidden_dim}, got {h.shape}")
+        flat = np.ascontiguousarray(h.reshape(-1, self.hidden_dim))
+        out = flat @ self.weight.data + self.bias.data
+        d = self.target_dim
+        mu = out[:, :d]
+        pre_sigma = out[:, d:]
+        sigma = softplus(pre_sigma) + self.sigma_floor
+        if with_cache:
+            self._cache.append((flat, pre_sigma, h.shape))
+        lead = h.shape[:-1]
+        return mu.reshape(*lead, d), sigma.reshape(*lead, d)
+
+    def backward(self, d_mu: np.ndarray, d_sigma: np.ndarray) -> np.ndarray:
+        """Gradients w.r.t. ``(mu, sigma)`` of shape ``(..., D)`` -> dh."""
+        if not self._cache:
+            raise RuntimeError("backward called more times than forward")
+        flat, pre_sigma, h_shape = self._cache.pop()
+        d = self.target_dim
+        grad = np.empty((flat.shape[0], 2 * d), dtype=np.float64)
+        grad[:, :d] = np.asarray(d_mu, dtype=np.float64).reshape(-1, d)
+        grad[:, d:] = np.asarray(d_sigma, dtype=np.float64).reshape(-1, d) * sigmoid(pre_sigma)
+        self.weight.grad += flat.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        dh = grad @ self.weight.data.T
+        return dh.reshape(h_shape)
 
     def clear_cache(self) -> None:
         self._cache.clear()

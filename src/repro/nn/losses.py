@@ -14,6 +14,7 @@ import numpy as np
 
 __all__ = [
     "gaussian_nll",
+    "gaussian_nll_seq",
     "mse_loss",
     "mae_loss",
     "quantile_loss",
@@ -63,6 +64,51 @@ def gaussian_nll(
     loss = float((w * nll).sum() / norm)
     d_mu = w * diff * inv_var / norm
     d_sigma = w * (1.0 / sigma - diff * diff / (sigma ** 3)) / norm
+    return loss, d_mu, d_sigma
+
+
+def gaussian_nll_seq(
+    z: np.ndarray,
+    mu: np.ndarray,
+    sigma: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Vectorised Gaussian NLL over a ``(B, K, D)`` decoder block.
+
+    One fused evaluation of the Algorithm 1 objective over all ``K``
+    decoder steps and ``D`` target dimensions at once, with per-instance
+    weights ``(B,)``.  Matches the stepwise training loss exactly: the loss
+    is the mean over the ``K * D`` (step, dim) terms of the weighted
+    per-term NLL, each term normalised by the weight sum over the batch.
+
+    Returns ``(loss, d_mu, d_sigma)`` with gradients of shape ``(B, K, D)``
+    already divided by the same normaliser.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if z.ndim != 3 or mu.shape != z.shape or sigma.shape != z.shape:
+        raise ValueError(
+            f"expected matching (B, K, D) arrays, got {z.shape}, {mu.shape}, {sigma.shape}"
+        )
+    batch, n_steps, n_dims = z.shape
+    if weights is None:
+        w = np.ones(batch, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (batch,):
+            raise ValueError(f"expected weights of shape ({batch},), got {w.shape}")
+    norm_w = float(w.sum())
+    if norm_w <= 0.0:
+        norm_w = 1.0
+    norm = norm_w * n_steps * n_dims
+    wb = w[:, None, None] / norm
+    diff = mu - z
+    inv_var = 1.0 / (sigma * sigma)
+    nll = 0.5 * (_LOG_2PI + 2.0 * np.log(sigma) + diff * diff * inv_var)
+    loss = float((wb * nll).sum())
+    d_mu = wb * diff * inv_var
+    d_sigma = wb * (1.0 / sigma - diff * diff / (sigma**3))
     return loss, d_mu, d_sigma
 
 

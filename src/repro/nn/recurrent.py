@@ -2,8 +2,15 @@
 
 The cells expose a *step* API (one time step at a time) because the
 DeepAR-style decoders in this repository interleave sampling with the
-recurrence; full-sequence helpers are provided on top of the step API for
-the encoder side and for tests.
+recurrence.  Teacher-forced training and encoding do not need per-step
+sampling, so the cells additionally provide a fused full-sequence path
+(``forward_sequence`` / ``backward_sequence``): the input projections of
+all ``T`` steps run as one ``(B*T, 4H)`` GEMM, the per-step caches live in
+preallocated ``(B, T, .)`` tensors instead of Python lists, the four gate
+backwards write into one preallocated ``dgates`` buffer, and the
+``w_x``/``w_h`` gradients accumulate through two reshaped batched GEMMs
+over the whole sequence.  The slower ``forward``/``backward`` helpers on
+top of the step API are kept as the stepwise reference implementation.
 
 Gate layout in all weight matrices is ``[input, forget, cell, output]``.
 """
@@ -16,12 +23,27 @@ import numpy as np
 
 from . import initializers as init
 from .activations import sigmoid
+from .kernels import stable_matmul
 from .module import Module, Parameter
 
 __all__ = ["LSTMState", "LSTMCell", "StackedLSTM"]
 
 # (hidden, cell) pair for one layer
 LSTMState = Tuple[np.ndarray, np.ndarray]
+
+
+def _sigmoid_inplace(a: np.ndarray) -> None:
+    """In-place logistic sigmoid via ``0.5 * (1 + tanh(x / 2))``.
+
+    One ufunc pass, no masking and no overflow — the fused sequence kernels
+    are Python-overhead bound at training batch sizes, so the hot loop uses
+    this instead of the allocating masked implementation in
+    :mod:`repro.nn.activations` (equal to it within ~1 ulp).
+    """
+    np.multiply(a, 0.5, out=a)
+    np.tanh(a, out=a)
+    np.multiply(a, 0.5, out=a)
+    np.add(a, 0.5, out=a)
 
 
 class LSTMCell(Module):
@@ -58,6 +80,15 @@ class LSTMCell(Module):
         )
         self.bias = Parameter(init.lstm_bias(hidden_dim, forget_bias), f"{name}.bias")
         self._cache: List[tuple] = []
+        self._seq_cache: List[tuple] = []
+        self._dgates_buf: Optional[np.ndarray] = None
+        # fused-path gate order [i, f, o, g]: the three sigmoid gates become
+        # one contiguous block so the whole gate matrix goes through a single
+        # tanh pass per step (sigmoid(x) = 0.5 + 0.5 * tanh(x / 2))
+        hd = self.hidden_dim
+        self._gate_perm = np.concatenate(
+            [np.arange(0, hd), np.arange(hd, 2 * hd), np.arange(3 * hd, 4 * hd), np.arange(2 * hd, 3 * hd)]
+        )
 
     # ------------------------------------------------------------------
     def zero_state(self, batch_size: int) -> LSTMState:
@@ -111,11 +142,12 @@ class LSTMCell(Module):
         d_g = dc_total * i
         dc_prev = dc_total * f
         # back through gate non-linearities
-        dg_i = d_i * i * (1.0 - i)
-        dg_f = d_f * f * (1.0 - f)
-        dg_g = d_g * (1.0 - g * g)
-        dg_o = d_o * o * (1.0 - o)
-        dgates = np.concatenate([dg_i, dg_f, dg_g, dg_o], axis=1)
+        hd = self.hidden_dim
+        dgates = self._step_dgates(dh.shape[0])
+        dgates[:, 0 * hd : 1 * hd] = d_i * i * (1.0 - i)
+        dgates[:, 1 * hd : 2 * hd] = d_f * f * (1.0 - f)
+        dgates[:, 2 * hd : 3 * hd] = d_g * (1.0 - g * g)
+        dgates[:, 3 * hd : 4 * hd] = d_o * o * (1.0 - o)
         self.w_x.grad += x.T @ dgates
         self.w_h.grad += h_prev.T @ dgates
         self.bias.grad += dgates.sum(axis=0)
@@ -123,8 +155,205 @@ class LSTMCell(Module):
         dh_prev = dgates @ self.w_h.data.T
         return dx, dh_prev, dc_prev
 
+    def _step_dgates(self, batch: int) -> np.ndarray:
+        """Preallocated per-step ``(B, 4H)`` gate-gradient buffer.
+
+        The buffer is consumed (matmuls, sums) before :meth:`step_backward`
+        returns, so reusing it across steps is safe and removes the
+        ``np.concatenate`` allocation from the BPTT hot loop.
+        """
+        buf = self._dgates_buf
+        if buf is None or buf.shape[0] != batch:
+            buf = self._dgates_buf = np.empty((batch, 4 * self.hidden_dim), dtype=np.float64)
+        return buf
+
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._seq_cache.clear()
+
+    # fused full-sequence path -----------------------------------------
+    def _fused_gate_weights(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Permuted ``[i, f, o, g]`` weight/bias copies with the sigmoid
+        columns pre-scaled by 1/2.
+
+        With the scaling, ``tanh`` over the whole gate block evaluates
+        ``tanh(x/2)`` for the sigmoid gates and ``tanh(x)`` for the cell
+        candidate in one pass; ``0.5 + 0.5 * tanh(x/2)`` then recovers the
+        exact sigmoid with a single cheap fix-up over the contiguous
+        sigmoid block.  The copies are tiny (``(I+H+1, 4H)``) and rebuilt
+        per call, so optimiser updates are always picked up.
+        """
+        perm = self._gate_perm
+        hd = self.hidden_dim
+        w_x_f = self.w_x.data[:, perm]
+        w_x_f[:, : 3 * hd] *= 0.5
+        w_h_f = self.w_h.data[:, perm]
+        w_h_f[:, : 3 * hd] *= 0.5
+        b_f = self.bias.data[perm]
+        b_f[: 3 * hd] *= 0.5
+        return w_x_f, w_h_f, b_f
+
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        state: Optional[LSTMState] = None,
+        with_cache: bool = True,
+    ) -> Tuple[np.ndarray, LSTMState]:
+        """Teacher-forced pass over a full ``(B, T, input_dim)`` sequence.
+
+        The input projections (and the bias) of all ``T`` steps run as a
+        single fused GEMM through :func:`repro.nn.kernels.stable_matmul`;
+        only the recurrent ``h @ w_h`` product remains per-step.  All
+        intermediates live in preallocated time-major ``(T, B, .)`` tensors
+        (contiguous per-step slices) in the fused ``[i, f, o, g]`` gate
+        order, and all four gate non-linearities collapse into one in-place
+        ``tanh`` pass plus a sigmoid fix-up (see
+        :meth:`_fused_gate_weights`).  With ``with_cache=False``
+        (evaluation) no backward tensors are retained at all.
+
+        The returned ``(B, T, H)`` output array is a transposed view of the
+        time-major buffer, so stacking layers chains without copies.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        hd = self.hidden_dim
+        if state is None:
+            h, c = self.zero_state(batch)
+        else:
+            h, c = state
+        if steps == 0:
+            return np.empty((batch, 0, hd), dtype=np.float64), (h, c)
+        w_x_f, w_h_f, b_f = self._fused_gate_weights()
+        # time-major input: per-step slices are contiguous
+        x_tm = np.ascontiguousarray(x.transpose(1, 0, 2))
+        # one (T*B, 4H) GEMM for every step's input projection (+ bias)
+        gates = stable_matmul(x_tm.reshape(steps * batch, self.input_dim), w_x_f)
+        gates = gates.reshape(steps, batch, 4 * hd)
+        gates += b_f
+        out_tm = np.empty((steps, batch, hd), dtype=np.float64)
+        hw = np.empty((batch, 4 * hd), dtype=np.float64)
+        h0, c0 = h, c
+        if with_cache:
+            cell_tm = np.empty((steps, batch, hd), dtype=np.float64)
+            tanh_c_tm = np.empty((steps, batch, hd), dtype=np.float64)
+        else:
+            cell_tm = tanh_c_tm = None
+            c_buf = np.empty((batch, hd), dtype=np.float64)
+            tanh_buf = np.empty((batch, hd), dtype=np.float64)
+        for t in range(steps):
+            ga = gates[t]  # activations overwrite the pre-activations in place
+            np.matmul(h, w_h_f, out=hw)
+            ga += hw
+            np.tanh(ga, out=ga)
+            sg = ga[:, : 3 * hd]  # [i, f, o] block: 0.5 + 0.5 * tanh(x/2)
+            sg *= 0.5
+            sg += 0.5
+            c_t = cell_tm[t] if with_cache else c_buf
+            np.multiply(ga[:, hd : 2 * hd], c, out=c_t)  # f * c_prev
+            c_t += ga[:, :hd] * ga[:, 3 * hd :]  # + i * g
+            tanh_c = tanh_c_tm[t] if with_cache else tanh_buf
+            np.tanh(c_t, out=tanh_c)
+            np.multiply(ga[:, 2 * hd : 3 * hd], tanh_c, out=out_tm[t])
+            h = out_tm[t]
+            c = c_t
+        if with_cache:
+            self._seq_cache.append((x_tm, gates, cell_tm, tanh_c_tm, out_tm, h0, c0))
+            return out_tm.transpose(1, 0, 2), (h, c)
+        return out_tm.transpose(1, 0, 2), (h, c.copy())
+
+    def backward_sequence(
+        self,
+        d_outputs: np.ndarray,
+        d_state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+        """Fused BPTT for the most recent :meth:`forward_sequence` call.
+
+        Gate gradients of every step are written into one preallocated
+        ``(T, B, 4H)`` buffer (no per-step ``np.concatenate``); the
+        ``w_x``/``w_h``/``bias`` gradients then accumulate through reshaped
+        full-sequence GEMMs instead of one small GEMM per step, and only the
+        recurrent ``dgates @ w_h.T`` product remains in the loop.
+
+        Returns ``(dx, (dh0, dc0))`` — the gradient w.r.t. the inputs and
+        the initial state.
+        """
+        if not self._seq_cache:
+            raise RuntimeError("backward_sequence called more times than forward_sequence")
+        x_tm, gates, cell_tm, tanh_c_tm, out_tm, h0, c0 = self._seq_cache.pop()
+        d_out_tm = np.ascontiguousarray(
+            np.asarray(d_outputs, dtype=np.float64).transpose(1, 0, 2)
+        )
+        steps, batch, hd = d_out_tm.shape
+        perm = self._gate_perm
+        if d_state is None:
+            dh_next = np.zeros((batch, hd), dtype=np.float64)
+            dc_next = np.zeros((batch, hd), dtype=np.float64)
+        else:
+            dh_next, dc_next = d_state
+        dgates = np.empty((steps, batch, 4 * hd), dtype=np.float64)
+        dh = np.empty((batch, hd), dtype=np.float64)
+        dc_total = np.empty((batch, hd), dtype=np.float64)
+        dh_buf = np.empty((batch, hd), dtype=np.float64)
+        dc_buf = np.empty((batch, hd), dtype=np.float64)
+        # hoist the activation-derivative factors out of the time loop:
+        # sigma' = a * (1 - a) for the [i, f, o] block, tanh' = 1 - a^2 for
+        # the candidate and the cell tanh — three full-tensor passes instead
+        # of six small strided passes per step
+        deriv = np.empty_like(gates)
+        sig_block = gates[:, :, : 3 * hd]
+        d_sig = deriv[:, :, : 3 * hd]
+        np.subtract(1.0, sig_block, out=d_sig)
+        d_sig *= sig_block
+        g_block = gates[:, :, 3 * hd :]
+        d_g = deriv[:, :, 3 * hd :]
+        np.multiply(g_block, g_block, out=d_g)
+        np.subtract(1.0, d_g, out=d_g)
+        dtanh_c = np.empty_like(tanh_c_tm)
+        np.multiply(tanh_c_tm, tanh_c_tm, out=dtanh_c)
+        np.subtract(1.0, dtanh_c, out=dtanh_c)
+        # permuted, unscaled recurrent weights for the in-loop dh product
+        w_h_perm_t = np.ascontiguousarray(self.w_h.data[:, perm].T)
+        for t in reversed(range(steps)):
+            ga = gates[t]  # [i, f, o, g] activations
+            i = ga[:, :hd]
+            f = ga[:, hd : 2 * hd]
+            o = ga[:, 2 * hd : 3 * hd]
+            g = ga[:, 3 * hd :]
+            tanh_c = tanh_c_tm[t]
+            c_prev = cell_tm[t - 1] if t > 0 else c0
+            np.add(d_out_tm[t], dh_next, out=dh)
+            # dc_total = dc_next + dh * o * (1 - tanh_c^2)
+            np.multiply(dh, o, out=dc_total)
+            dc_total *= dtanh_c[t]
+            dc_total += dc_next
+            dg = dgates[t]
+            # raw upstream gate gradients, then one fused derivative pass
+            np.multiply(dc_total, g, out=dg[:, :hd])
+            np.multiply(dc_total, c_prev, out=dg[:, hd : 2 * hd])
+            np.multiply(dh, tanh_c, out=dg[:, 2 * hd : 3 * hd])
+            np.multiply(dc_total, i, out=dg[:, 3 * hd :])
+            dg *= deriv[t]
+            np.multiply(dc_total, f, out=dc_buf)
+            dc_next = dc_buf
+            np.matmul(dg, w_h_perm_t, out=dh_buf)
+            dh_next = dh_buf
+        dgates_flat = dgates.reshape(steps * batch, 4 * hd)
+        # scatter the permuted-layout gradients back into the [i, f, g, o]
+        # parameter columns (perm is a permutation, so += is safe)
+        self.w_x.grad[:, perm] += x_tm.reshape(steps * batch, self.input_dim).T @ dgates_flat
+        # h_prev per step is [h0, out_0, ..., out_{T-2}]
+        dw_h = h0.T @ dgates[0]
+        if steps > 1:
+            dw_h += (
+                out_tm[: steps - 1].reshape((steps - 1) * batch, hd).T
+                @ dgates[1:].reshape((steps - 1) * batch, 4 * hd)
+            )
+        self.w_h.grad[:, perm] += dw_h
+        self.bias.grad[perm] += dgates_flat.sum(axis=0)
+        dx_tm = (dgates_flat @ self.w_x.data[:, perm].T).reshape(
+            steps, batch, self.input_dim
+        )
+        return dx_tm.transpose(1, 0, 2), (dh_next.copy(), dc_next.copy())
 
     # convenience full-sequence helpers -------------------------------
     def forward(self, x: np.ndarray, state: Optional[LSTMState] = None) -> Tuple[np.ndarray, LSTMState]:
@@ -194,6 +423,7 @@ class StackedLSTM(Module):
             for layer in range(num_layers)
         ]
         self._dropout_cache: List[List[Optional[np.ndarray]]] = []
+        self._seq_dropout_cache: List[Optional[np.ndarray]] = []
 
     # ------------------------------------------------------------------
     def zero_state(self, batch_size: int) -> List[LSTMState]:
@@ -293,6 +523,80 @@ class StackedLSTM(Module):
         return [(packed[layer, 0].copy(), packed[layer, 1].copy()) for layer in range(self.num_layers)]
 
     # ------------------------------------------------------------------
+    # fused full-sequence path
+    # ------------------------------------------------------------------
+    def _sequence_dropout_masks(
+        self, batch: int, steps: int
+    ) -> Optional[np.ndarray]:
+        """Inter-layer dropout masks for a fused full-sequence pass.
+
+        Drawn as one ``(T, L-1, B, H)`` block, which consumes the RNG stream
+        in exactly the order the stepwise loop does (per step, then per
+        layer), so fused and stepwise training are bit-for-bit comparable
+        under the same seed.
+        """
+        if not (self.training and self.dropout_rate > 0.0 and self.num_layers > 1):
+            return None
+        keep = 1.0 - self.dropout_rate
+        draws = self.rng.random((steps, self.num_layers - 1, batch, self.hidden_dim))
+        return (draws < keep).astype(np.float64) / keep
+
+    def forward_sequence(
+        self,
+        x: np.ndarray,
+        states: Optional[Sequence[LSTMState]] = None,
+        with_cache: bool = True,
+    ) -> Tuple[np.ndarray, List[LSTMState]]:
+        """Fused teacher-forced pass over ``(B, T, input_dim)``.
+
+        Layers are processed one after the other over the whole sequence
+        (layer-major), so every layer's input projection is a single fused
+        GEMM.  Results are identical to the time-major step loop.  With
+        ``with_cache=False`` no backward state is retained (cheap
+        validation / encoding).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        if states is None:
+            states = self.zero_state(batch)
+        masks = self._sequence_dropout_masks(batch, steps)
+        h_seq = x
+        final_states: List[LSTMState] = []
+        for layer, cell in enumerate(self.cells):
+            h_seq, state = cell.forward_sequence(h_seq, states[layer], with_cache=with_cache)
+            final_states.append(state)
+            if masks is not None and layer < self.num_layers - 1:
+                # masks[:, layer] is (T, B, H); move time behind batch
+                h_seq = h_seq * masks[:, layer].transpose(1, 0, 2)
+        if with_cache:
+            self._seq_dropout_cache.append(masks)
+        return h_seq, final_states
+
+    def backward_sequence(
+        self,
+        d_outputs: np.ndarray,
+        d_final_states: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+        """Fused BPTT matching the most recent :meth:`forward_sequence`.
+
+        Returns ``(dx, d_initial_states)``.
+        """
+        if not self._seq_dropout_cache:
+            raise RuntimeError(
+                "backward_sequence called more times than forward_sequence"
+            )
+        masks = self._seq_dropout_cache.pop()
+        grad = np.asarray(d_outputs, dtype=np.float64)
+        d_initial: List[Tuple[np.ndarray, np.ndarray]] = [None] * self.num_layers  # type: ignore
+        for layer in reversed(range(self.num_layers)):
+            if masks is not None and layer < self.num_layers - 1:
+                grad = grad * masks[:, layer].transpose(1, 0, 2)
+            d_state = None if d_final_states is None else d_final_states[layer]
+            grad, d_init = self.cells[layer].backward_sequence(grad, d_state)
+            d_initial[layer] = d_init
+        return grad, d_initial
+
+    # ------------------------------------------------------------------
     def forward(
         self, x: np.ndarray, states: Optional[Sequence[LSTMState]] = None
     ) -> Tuple[np.ndarray, List[LSTMState]]:
@@ -324,5 +628,6 @@ class StackedLSTM(Module):
 
     def clear_cache(self) -> None:
         self._dropout_cache.clear()
+        self._seq_dropout_cache.clear()
         for cell in self.cells:
             cell.clear_cache()

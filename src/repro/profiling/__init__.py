@@ -24,6 +24,7 @@ from .roofline import (
     attainable_gflops,
     roofline_points,
 )
+from .training import TrainingMeasurement, training_breakdown
 
 __all__ = [
     "BatchScalingPoint",
@@ -39,6 +40,8 @@ __all__ = [
     "TABLE8_SPECS",
     "InferenceMeasurement",
     "fleet_inference_breakdown",
+    "TrainingMeasurement",
+    "training_breakdown",
     "KernelMeasurement",
     "KernelSpec",
     "LSTM_KERNELS",

@@ -1,0 +1,161 @@
+"""Training-path breakdown: stepwise BPTT vs. the fused sequence engine.
+
+Mirrors :mod:`repro.profiling.inference` for the other half of the
+pipeline: Algorithm 1 training epochs on a synthetic Table IV-style
+workload are timed on three paths
+
+* ``stepwise`` — the original one-lap-at-a-time loop over
+  ``LSTMCell.step`` / ``step_backward`` (kept on the model as
+  ``_forward_loss_stepwise``);
+* ``fused`` — the full-sequence engine (``forward_sequence`` /
+  ``backward_sequence`` + fused Gaussian head + vectorised NLL);
+* ``fused-eval`` — the cache-free validation pass (forward only, no BPTT
+  tensors), timed against the stepwise forward for the validation-loop
+  saving.
+
+Run as a module (``python -m repro.profiling.training``) to print the
+table; the ``bench-train`` Makefile target and the CI bench-smoke job do
+exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..models.deep.rankmodel import RankSeqModel
+
+__all__ = ["TrainingMeasurement", "training_breakdown", "synthetic_batches"]
+
+
+@dataclass
+class TrainingMeasurement:
+    """Wall-clock of one training strategy over the synthetic epoch."""
+
+    strategy: str
+    wall_s: float
+    instances: int
+    speedup_vs_stepwise: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "wall_ms": round(1e3 * self.wall_s, 2),
+            "instances": self.instances,
+            "instances_per_s": round(self.instances / max(self.wall_s, 1e-12), 1),
+            "speedup_vs_stepwise": round(self.speedup_vs_stepwise, 2),
+        }
+
+
+def synthetic_batches(
+    n_batches: int,
+    batch_size: int,
+    total_len: int,
+    num_covariates: int,
+    rng: np.random.Generator,
+) -> List[Dict[str, np.ndarray]]:
+    """Random-walk rank windows shaped like the Table IV training batches."""
+    batches = []
+    for _ in range(n_batches):
+        steps = rng.normal(0.0, 0.8, size=(batch_size, total_len))
+        target = np.clip(10.0 + np.cumsum(steps, axis=1), 1.0, 33.0)
+        batches.append(
+            {
+                "target": target,
+                "covariates": rng.normal(size=(batch_size, total_len, num_covariates)),
+                "weight": np.where(rng.random(batch_size) < 0.3, 9.0, 1.0),
+            }
+        )
+    return batches
+
+
+def training_breakdown(
+    n_batches: int = 4,
+    batch_size: int = 64,
+    encoder_length: int = 60,
+    decoder_length: int = 2,
+    hidden_dim: int = 40,
+    num_layers: int = 2,
+    num_covariates: int = 9,
+    backbone: str = "lstm",
+    seed: int = 0,
+) -> List[TrainingMeasurement]:
+    """Measure the three training strategies on one synthetic epoch.
+
+    Defaults follow the Table IV configuration: a 2-layer, 40-unit LSTM
+    over 60-lap context windows with a 2-lap decoder.
+    """
+    rng = np.random.default_rng(seed)
+    total_len = encoder_length + decoder_length
+    batches = synthetic_batches(n_batches, batch_size, total_len, num_covariates, rng)
+    model = RankSeqModel(
+        num_covariates=num_covariates,
+        hidden_dim=hidden_dim,
+        num_layers=num_layers,
+        encoder_length=encoder_length,
+        decoder_length=decoder_length,
+        rng=seed,
+        backbone=backbone,
+    )
+    model.eval()
+    instances = n_batches * batch_size
+
+    def run_stepwise() -> float:
+        t0 = time.perf_counter()
+        for batch in batches:
+            model.zero_grad()
+            model._forward_loss_stepwise(batch, with_backward=True)
+        return time.perf_counter() - t0
+
+    def run_fused() -> float:
+        t0 = time.perf_counter()
+        for batch in batches:
+            model.zero_grad()
+            model.loss_and_backward(batch)
+        return time.perf_counter() - t0
+
+    def run_fused_eval() -> float:
+        t0 = time.perf_counter()
+        for batch in batches:
+            model.validation_loss(batch)
+        return time.perf_counter() - t0
+
+    # warm-up once so BLAS thread pools / allocators do not skew the timing
+    model.zero_grad()
+    model.loss_and_backward(batches[0])
+    model.zero_grad()
+
+    stepwise_s = run_stepwise()
+    timings = [
+        ("stepwise", stepwise_s),
+        ("fused", run_fused()),
+        ("fused-eval", run_fused_eval()),
+    ]
+    return [
+        TrainingMeasurement(
+            strategy=name,
+            wall_s=wall,
+            instances=instances,
+            speedup_vs_stepwise=stepwise_s / max(wall, 1e-12),
+        )
+        for name, wall in timings
+    ]
+
+
+def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
+    rows = [m.as_row() for m in training_breakdown()]
+    header = f"{'strategy':<12}{'wall_ms':>10}{'inst/s':>10}{'speedup':>9}"
+    print("Training breakdown (Table IV config: 2x40 LSTM, encoder 60, decoder 2)")
+    print(header)
+    for row in rows:
+        print(
+            f"{row['strategy']:<12}{row['wall_ms']:>10.1f}"
+            f"{row['instances_per_s']:>10.1f}{row['speedup_vs_stepwise']:>9.2f}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

@@ -4,9 +4,10 @@
 (:class:`~repro.models.deep.rankmodel.RankSeqModel`-style recurrent models,
 or :class:`~repro.models.deep.transformer.TransformerSeqModel`) over many
 forecast requests at once.  The model is duck-typed: a recurrent backbone
-exposes ``lstm`` (a ``StackedLSTM`` or ``StackedGRU``), ``heads``,
-``target_dim`` and ``num_covariates``; a Transformer backbone exposes
-``_encode`` / ``_decode`` instead of ``lstm``.
+exposes ``lstm`` (a ``StackedLSTM`` or ``StackedGRU``), a Gaussian head
+(either a fused multi-dimension ``head`` or a per-dimension ``heads``
+list), ``target_dim`` and ``num_covariates``; a Transformer backbone
+exposes ``_encode`` / ``_decode`` instead of ``lstm``.
 
 Batching strategy
 -----------------
@@ -41,7 +42,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.inference import (
-    GaussianHeadInference,
+    head_inference,
     recurrent_inference,
     slice_states,
     tile_states,
@@ -203,7 +204,13 @@ class _RecurrentBackend:
         self.engine = engine
         self.model = engine.model
         self.stack = recurrent_inference(self.model.lstm)
-        self.heads = [GaussianHeadInference(head) for head in self.model.heads]
+        # fused multi-dim head (RankSeqModel) or per-dimension head list
+        if hasattr(self.model, "head"):
+            self.head = head_inference(self.model.head)
+            self.heads = None
+        else:
+            self.head = None
+            self.heads = [head_inference(head) for head in self.model.heads]
 
     # -- validation ----------------------------------------------------
     def validate(self, request: ForecastRequest) -> None:
@@ -220,15 +227,21 @@ class _RecurrentBackend:
 
     # -- warm-up -------------------------------------------------------
     def _full_warmup(self, uniques: Sequence[ForecastRequest]):
-        """Teacher-forced warm-up with one batch row per unique request."""
+        """Teacher-forced warm-up with one batch row per unique request.
+
+        Runs on the fused ``forward_sequence`` kernels (one input-projection
+        GEMM per layer over the whole history) — bitwise identical to
+        stepping lap by lap, since every ``stable_matmul`` row depends only
+        on its own contents.
+        """
         length = uniques[0].length
         scales = np.stack([np.abs(u.target).mean(axis=0) + 1.0 for u in uniques])
         z = np.stack([u.target for u in uniques]) / scales[:, None, :]
         covariates = np.stack([u.history_covariates for u in uniques])
         states = self.stack.zero_state(len(uniques))
-        for t in range(1, length):
-            x_t = np.concatenate([z[:, t - 1, :], covariates[:, t, :]], axis=1)
-            _, states = self.stack.step(x_t, states)
+        if length > 1:
+            x = np.concatenate([z[:, :-1, :], covariates[:, 1:, :]], axis=2)
+            _, states = self.stack.forward_sequence(x, states)
         self.engine._stats["warmup_steps"] += max(length - 1, 0)
         return scales, states, z[:, -1, :]
 
@@ -328,10 +341,11 @@ class _RecurrentBackend:
                     np.concatenate([entry.packed_state for entry in entries], axis=-2)
                 )
                 z_prev = np.stack([entry.z_last for entry in entries])
-                for j in range(delta):
-                    x_t = np.concatenate([z_prev, cov_tail[:, j, :]], axis=1)
-                    _, states = self.stack.step(x_t, states)
-                    z_prev = z_tail[:, j, :]
+                # step j consumes [z_{j-1}, cov_j]; fuse the delta new laps
+                z_in = np.concatenate([z_prev[:, None, :], z_tail[:, :-1, :]], axis=1)
+                x = np.concatenate([z_in, cov_tail], axis=2)
+                _, states = self.stack.forward_sequence(x, states)
+                z_prev = z_tail[:, -1, :]
                 self.engine._stats["warmup_steps"] += delta
                 cache.carries += len(slots)
                 for row, slot in enumerate(slots):
@@ -382,13 +396,25 @@ class _RecurrentBackend:
             x_t = np.concatenate([z_prev, cov_rows], axis=1)
             h_t, states = self.stack.step(x_t, states)
             z_next = np.empty((total, target_dim))
-            for d, head in enumerate(self.heads):
-                mu, sigma = head(h_t)
-                for i in range(len(requests)):
-                    rows = slice(offsets[i], offsets[i + 1])
-                    z_next[rows, d] = mu[rows] + sigma[rows] * rngs[i].standard_normal(
-                        int(counts[i])
-                    )
+            if self.head is not None:
+                mu_all, sigma_all = self.head(h_t)  # one (H, 2D) GEMM for all dims
+                # dim-major draw order (all requests for dim 0, then dim 1,
+                # ...) matches the per-dim head path exactly, including when
+                # several requests share one RNG stream
+                for d in range(target_dim):
+                    for i in range(len(requests)):
+                        rows = slice(offsets[i], offsets[i + 1])
+                        z_next[rows, d] = mu_all[rows, d] + sigma_all[
+                            rows, d
+                        ] * rngs[i].standard_normal(int(counts[i]))
+            else:
+                for d, head in enumerate(self.heads):
+                    mu, sigma = head(h_t)
+                    for i in range(len(requests)):
+                        rows = slice(offsets[i], offsets[i + 1])
+                        z_next[rows, d] = mu[rows] + sigma[rows] * rngs[i].standard_normal(
+                            int(counts[i])
+                        )
             samples[:, h] = z_next[:, 0] * scale0_rows
             z_prev = z_next
         self.engine._stats["decode_steps"] += horizon

@@ -1,0 +1,97 @@
+"""Tests for the batch loader (bucketing and preallocated buffers)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import BatchLoader
+from repro.data.schema import ALL_COVARIATES
+from repro.data.windows import WindowDataset
+
+
+def make_dataset(n=20, enc=6, dec=2, pad_lengths=None, seed=0):
+    """Synthetic WindowDataset; ``pad_lengths[i]`` laps of zero left-padding."""
+    rng = np.random.default_rng(seed)
+    total = enc + dec
+    target = rng.uniform(1, 30, size=(n, total))
+    covariates = rng.normal(size=(n, total, len(ALL_COVARIATES)))
+    pad_lengths = pad_lengths if pad_lengths is not None else [0] * n
+    for i, pad in enumerate(pad_lengths):
+        target[i, :pad] = 0.0
+        covariates[i, :pad] = 0.0
+    return WindowDataset(
+        encoder_length=enc,
+        decoder_length=dec,
+        target=target,
+        covariates=covariates,
+        car_index=np.arange(n, dtype=np.int64),
+        weight=np.ones(n),
+        meta=[("race", i, enc - 1) for i in range(n)],
+    )
+
+
+def collect(loader):
+    return [
+        {k: np.array(v, copy=True) for k, v in batch.items()} for batch in loader
+    ]
+
+
+def test_plain_loader_covers_every_instance_once():
+    ds = make_dataset(n=10)
+    loader = BatchLoader(ds, batch_size=4, shuffle=False)
+    batches = collect(loader)
+    assert [b["target"].shape[0] for b in batches] == [4, 4, 2]
+    seen = np.concatenate([b["car_index"] for b in batches])
+    assert sorted(seen.tolist()) == list(range(10))
+
+
+def test_bucketed_loader_groups_by_observed_length():
+    pads = [0] * 8 + [3] * 5 + [5] * 4
+    ds = make_dataset(n=17, pad_lengths=pads)
+    loader = BatchLoader(ds, batch_size=4, shuffle=True, rng=0, bucket_by_length=True)
+    lengths = loader._history_lengths
+    np.testing.assert_array_equal(np.sort(np.unique(lengths)), [3, 5, 8])
+    batches = collect(loader)
+    assert len(batches) == len(loader)
+    seen = []
+    for batch in batches:
+        idx = batch["car_index"]
+        seen.extend(idx.tolist())
+        # every batch is homogeneous in observed history length
+        assert len({lengths[i] for i in idx}) == 1
+    assert sorted(seen) == list(range(17))
+
+
+def test_bucketed_loader_drop_last_drops_partial_buckets():
+    pads = [0] * 5 + [2] * 3
+    ds = make_dataset(n=8, pad_lengths=pads)
+    loader = BatchLoader(ds, batch_size=4, shuffle=False, bucket_by_length=True,
+                         drop_last=True)
+    batches = collect(loader)
+    assert len(batches) == len(loader) == 1
+    assert batches[0]["target"].shape[0] == 4
+
+
+def test_preallocated_loader_yields_identical_batches():
+    ds = make_dataset(n=11)
+    plain = collect(BatchLoader(ds, batch_size=4, shuffle=True, rng=3))
+    pre = collect(BatchLoader(ds, batch_size=4, shuffle=True, rng=3, preallocate=True))
+    assert len(plain) == len(pre)
+    for a, b in zip(plain, pre):
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+def test_preallocated_buffers_are_reused_between_batches():
+    ds = make_dataset(n=12)
+    loader = BatchLoader(ds, batch_size=4, shuffle=False, preallocate=True)
+    bases = set()
+    for batch in loader:
+        arr = batch["target"]
+        bases.add(id(arr.base if arr.base is not None else arr))
+    assert len(bases) == 1, "all batches should view one persistent buffer"
+
+
+def test_loader_rejects_bad_batch_size():
+    ds = make_dataset(n=4)
+    with pytest.raises(ValueError):
+        BatchLoader(ds, batch_size=0)

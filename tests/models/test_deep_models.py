@@ -72,7 +72,7 @@ def test_rankseq_parameter_gradient_matches_numeric():
     model.zero_grad()
     model.loss_and_backward(batch)
     checked = 0
-    for param in [model.lstm.cells[0].w_x, model.lstm.cells[1].w_h, model.heads[0].mu_head.weight]:
+    for param in [model.lstm.cells[0].w_x, model.lstm.cells[1].w_h, model.head.weight]:
         analytic = param.grad.copy()
         numeric = numerical_gradient(lambda: model.validation_loss(batch), param.data)
         assert relative_error(analytic, numeric) < 1e-4

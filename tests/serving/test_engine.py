@@ -6,7 +6,7 @@ import pytest
 from repro.models.deep.rankmodel import RankSeqModel
 from repro.models.deep.transformer import TransformerSeqModel
 from repro.nn.inference import (
-    GaussianHeadInference,
+    head_inference,
     recurrent_inference,
     tile_states,
 )
@@ -158,15 +158,15 @@ def test_carry_mode_state_matches_from_scratch_frozen_replay(backbone):
         x = np.concatenate([z[t - 1][None, :], c[t][None, :]], axis=1)
         _, states = stack.step(x, states)
     states = tile_states(states, 7)
-    heads = [GaussianHeadInference(h) for h in model.heads]
+    head = head_inference(model.head)
     stream = np.random.default_rng(2)
     z_prev = np.tile(z[-1][None, :], (7, 1))
     expected = np.empty((7, 2))
     for h in range(2):
         x = np.concatenate([z_prev, np.tile(future[h][None, :], (7, 1))], axis=1)
         h_t, states = stack.step(x, states)
-        mu, sigma = heads[0](h_t)
-        z_next = (mu + sigma * stream.standard_normal(7))[:, None]
+        mu, sigma = head(h_t)
+        z_next = (mu[:, 0] + sigma[:, 0] * stream.standard_normal(7))[:, None]
         expected[:, h] = z_next[:, 0] * scale
         z_prev = z_next
     np.testing.assert_allclose(carried, expected, atol=1e-10)

@@ -18,6 +18,7 @@ MAKEFILE = REPO / "Makefile"
 
 TIER1 = "PYTHONPATH=src python -m pytest -x -q"
 BENCH_SMOKE = "python -m repro.experiments.runner table5 --profile quick"
+BENCH_TRAIN = "python -m repro.profiling.training"
 
 
 def load_workflow():
@@ -59,6 +60,11 @@ def test_bench_smoke_job_runs_quick_table5():
     assert any(BENCH_SMOKE in line for line in lines)
 
 
+def test_bench_smoke_job_runs_training_breakdown():
+    lines = job_run_lines(load_workflow()["jobs"]["bench-smoke"])
+    assert any(BENCH_TRAIN in line for line in lines)
+
+
 def test_every_job_checks_out_and_sets_up_python():
     for name, job in load_workflow()["jobs"].items():
         uses = [step.get("uses", "") for step in job["steps"]]
@@ -76,7 +82,8 @@ def test_pyproject_carries_ruff_config():
 
 def test_makefile_targets_match_ci_commands():
     text = MAKEFILE.read_text()
-    for target in ("test:", "lint:", "bench-smoke:"):
+    for target in ("test:", "lint:", "bench-smoke:", "bench-train:"):
         assert f"\n{target}" in text, f"missing Makefile target {target}"
     assert "-m repro.experiments.runner table5 --profile quick" in text
+    assert "-m repro.profiling.training" in text
     assert "ruff check" in text and "ruff format --check" in text
