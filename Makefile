@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,9 @@ bench-smoke:
 
 bench-train:
 	$(PYTHON) -m repro.profiling.training
+
+bench-decode:
+	$(PYTHON) -m repro.profiling.decode
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

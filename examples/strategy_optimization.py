@@ -74,6 +74,29 @@ def main() -> None:
         print("   the car did not pit inside the window; "
               f"rank after the window: {int(series.rank[min(origin + 16, len(series) - 1)])}")
 
+    print("5. rolling sweep: re-asking the question at every lap of the pit window...")
+    # one carry-mode engine batch covers every (origin, pit-in-k) candidate:
+    # the warm-up is shared across candidates and carried between origins
+    origins = range(origin, origin + 8)
+    points = optimizer.sweep(series, origins, horizon=16, earliest=2, latest=14, step=3)
+    print(format_table(
+        [
+            {
+                "lap": series.laps[p.origin],
+                "rank": int(p.current_rank),
+                "pit_in": p.best.pit_in_laps,
+                "expected_rank": p.best.expected_final_rank,
+                "p_gain": p.best.p_gain,
+            }
+            for p in points
+        ],
+        title="Recommended stop lap as the race unfolds",
+    ))
+    stats = model.fleet_engine("carry").stats
+    print(f"   engine: {stats['warmup_shared']} warm-ups shared across candidates, "
+          f"{stats['cache_carries']} carried origin advances, "
+          f"{stats['warmup_steps']} teacher-forcing steps total")
+
 
 if __name__ == "__main__":
     main()

@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..data.features import CarFeatureSeries
-from ..models.base import RankForecaster
+from ..models.base import DEFAULT_FIELD_SIZE, RankForecaster, clip_rank
 from .lapsets import LapSet, classify_window
 from .metrics import mae, quantile_risk, top1_accuracy
 
@@ -64,12 +64,16 @@ class ShortTermEvaluator:
         origin_stride: int = 1,
         min_history: int = 10,
         margin: int = 1,
+        field_size: int = DEFAULT_FIELD_SIZE,
     ) -> None:
         self.horizon = int(horizon)
         self.n_samples = int(n_samples)
         self.origin_stride = int(origin_stride)
         self.min_history = int(min_history)
         self.margin = int(margin)
+        # shared with the strategy optimizer: one field-size constant
+        # bounds every rank the evaluation aggregates
+        self.field_size = int(field_size)
 
     # ------------------------------------------------------------------
     def _origins(self, series: CarFeatureSeries) -> List[int]:
@@ -91,6 +95,9 @@ class ShortTermEvaluator:
             for origin in self._origins(series)
         ]
         forecasts = model.forecast_fleet(tasks, n_samples=self.n_samples)
+        # forecasters clip their samples already; re-clipping to the shared
+        # field size is a no-op for them and a guard for ad-hoc models
+        field = self.field_size
         records: List[ForecastRecord] = []
         for (series, origin, _), forecast in zip(tasks, forecasts):
             target = series.rank[origin + 1 : origin + 1 + self.horizon]
@@ -100,9 +107,9 @@ class ShortTermEvaluator:
                     car_id=series.car_id,
                     origin=origin,
                     lapset=classify_window(series, origin, self.horizon, self.margin),
-                    point=forecast.point(),
-                    q50=forecast.quantile(0.5),
-                    q90=forecast.quantile(0.9),
+                    point=clip_rank(forecast.point(), field),
+                    q50=clip_rank(forecast.quantile(0.5), field),
+                    q90=clip_rank(forecast.quantile(0.9), field),
                     target=np.asarray(target, dtype=np.float64),
                 )
             )

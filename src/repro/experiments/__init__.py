@@ -12,6 +12,7 @@ from .prediction_length import fig9
 from .registry import EXPERIMENTS, list_experiments, run_experiment
 from .result import ExperimentResult
 from .static_tables import fig3, fig5, table1, table3, table8
+from .strategy_sweep import strategy_sweep
 
 __all__ = [
     "OPTIMIZATION_STEPS",
@@ -52,4 +53,5 @@ __all__ = [
     "table1",
     "table3",
     "table8",
+    "strategy_sweep",
 ]

@@ -26,10 +26,17 @@ import numpy as np
 
 from ..data.features import CarFeatureSeries
 
-__all__ = ["ProbabilisticForecast", "RankForecaster", "clip_rank"]
+__all__ = ["DEFAULT_FIELD_SIZE", "ProbabilisticForecast", "RankForecaster", "clip_rank"]
+
+#: Indy500 field size (the paper's races start 33 cars).  The single shared
+#: fallback for every rank clip in the code base — the evaluators and the
+#: strategy optimizer import this instead of hard-coding 33, and prefer the
+#: field size observed in the data (``RankForecaster.field_size``, recorded
+#: at fit time) when one is available.
+DEFAULT_FIELD_SIZE = 33
 
 
-def clip_rank(values: np.ndarray, num_cars: int = 33) -> np.ndarray:
+def clip_rank(values: np.ndarray, num_cars: int = DEFAULT_FIELD_SIZE) -> np.ndarray:
     """Clip forecasts into the physically valid rank range ``[1, num_cars]``."""
     return np.clip(values, 1.0, float(num_cars))
 
@@ -77,6 +84,16 @@ class RankForecaster(abc.ABC):
     supports_uncertainty: bool = False
     #: whether the model uses (or predicts) the race-status covariates
     uses_race_status: bool = False
+    #: field size observed in the training data (``None`` until a fit
+    #: records one); consumers fall back to :data:`DEFAULT_FIELD_SIZE`
+    field_size: Optional[int] = None
+
+    def record_field_size(self, train_series: Sequence[CarFeatureSeries]) -> None:
+        """Remember the largest rank seen at fit time as the field size."""
+        worst = max(
+            (float(np.max(s.rank)) for s in train_series if len(s)), default=0.0
+        )
+        self.field_size = int(np.ceil(worst)) if worst > 0 else None
 
     @abc.abstractmethod
     def fit(

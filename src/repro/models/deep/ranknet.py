@@ -150,6 +150,7 @@ class DeepForecasterBase(RankForecaster):
         # engines are bound to the (replaced) model instance; consumers must
         # resolve them through fleet_engine() rather than holding references
         self._fleet_engines = {}
+        self.record_field_size(train_series)
         trainer = Trainer(
             self.model,
             optimizer=Adam(self.model.parameters(), lr=self.lr),
@@ -186,6 +187,9 @@ class DeepForecasterBase(RankForecaster):
         # carried warm-up states predate the new weights
         for engine in self._fleet_engines.values():
             engine.reset_cache()
+        # the model now targets the new event's field
+        if train_series:
+            self.record_field_size(train_series)
         _, train_loader = self._make_batches(train_series, shuffle=True)
         val_loader = None
         if val_series:

@@ -24,12 +24,39 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import initializers as init
-from .activations import sigmoid
+from .activations import sigmoid, sigmoid_dense
 from .kernels import stable_matmul
 from .module import Module, Parameter
 from .recurrent import _sigmoid_inplace
 
-__all__ = ["GRUCell", "StackedGRU"]
+__all__ = ["GRUCell", "GRUDecodeContext", "StackedGRU"]
+
+
+class GRUDecodeContext:
+    """Preallocated buffers for one GRU cell's allocation-free decode loop.
+
+    The GRU's fused gate matrices are already laid out ``[reset, update]``
+    — both sigmoid gates contiguous — so unlike the LSTM no column
+    permutation (and no weight copy) is needed; the context only owns the
+    running hidden state and the per-step scratch tensors.
+    """
+
+    __slots__ = ("h", "gates", "hw", "h_proj", "n", "t1", "t2", "sg_scratch")
+
+    def __init__(self, cell: "GRUCell", h0: np.ndarray) -> None:
+        self.h = np.array(h0, dtype=np.float64, copy=True, order="C")
+        batch = self.h.shape[0]
+        hd = cell.hidden_dim
+        self.gates = np.empty((batch, 2 * hd), dtype=np.float64)
+        self.hw = np.empty((batch, 2 * hd), dtype=np.float64)
+        self.h_proj = np.empty((batch, hd), dtype=np.float64)
+        self.n = np.empty((batch, hd), dtype=np.float64)
+        self.t1 = np.empty((batch, hd), dtype=np.float64)
+        self.t2 = np.empty((batch, hd), dtype=np.float64)
+        self.sg_scratch = (
+            np.empty((batch, 2 * hd), dtype=np.float64),
+            np.empty((batch, 2 * hd), dtype=np.float64),
+        )
 
 
 class GRUCell(Module):
@@ -124,6 +151,43 @@ class GRUCell(Module):
     def clear_cache(self) -> None:
         self._cache.clear()
         self._seq_cache.clear()
+
+    # fused decode path -------------------------------------------------
+    def begin_decode(self, h0: np.ndarray) -> GRUDecodeContext:
+        """Open an allocation-free decode session starting from ``h0``."""
+        return GRUDecodeContext(self, h0)
+
+    def step_decode(self, x: np.ndarray, ctx: GRUDecodeContext) -> np.ndarray:
+        """One decode step, byte-identical to the serving ``step`` kernel.
+
+        Same ``stable_matmul`` products and operand order as
+        :class:`repro.nn.inference.GRUStackInference.step`, with both
+        sigmoid gates evaluated by a single :func:`sigmoid_dense` pass over
+        the contiguous ``[r, u]`` block and every intermediate written into
+        the context buffers.  The returned hidden state is a view of the
+        context's ``h`` buffer (valid until the next step).
+        """
+        hd = self.hidden_dim
+        gates = ctx.gates
+        stable_matmul(x, self.w_x_gates.data, out=gates)
+        stable_matmul(ctx.h, self.w_h_gates.data, out=ctx.hw)
+        gates += ctx.hw
+        gates += self.b_gates.data
+        sigmoid_dense(gates, out=gates, scratch=ctx.sg_scratch)
+        stable_matmul(ctx.h, self.w_h_cand.data, out=ctx.h_proj)
+        # n = tanh(x @ w_x_cand + r * h_proj + b_cand) — identical order
+        stable_matmul(x, self.w_x_cand.data, out=ctx.n)
+        np.multiply(gates[:, :hd], ctx.h_proj, out=ctx.t1)
+        ctx.n += ctx.t1
+        ctx.n += self.b_cand.data
+        np.tanh(ctx.n, out=ctx.n)
+        # h = (1 - u) * n + u * h_prev
+        u = gates[:, hd:]
+        np.subtract(1.0, u, out=ctx.t1)
+        ctx.t1 *= ctx.n
+        np.multiply(u, ctx.h, out=ctx.t2)
+        np.add(ctx.t1, ctx.t2, out=ctx.h)
+        return ctx.h
 
     # fused full-sequence path -----------------------------------------
     def forward_sequence(
@@ -356,6 +420,46 @@ class StackedGRU(Module):
         if packed.shape[2] != self.hidden_dim:
             raise ValueError(f"hidden dim mismatch: {packed.shape[2]} != {self.hidden_dim}")
         return [packed[layer].copy() for layer in range(self.num_layers)]
+
+    # ------------------------------------------------------------------
+    # fused decode path (mirrors ``StackedLSTM``)
+    # ------------------------------------------------------------------
+    def begin_decode(self, states: Sequence[np.ndarray]) -> List[GRUDecodeContext]:
+        """Per-layer decode contexts starting from ``states`` (copied in)."""
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        return [cell.begin_decode(h) for cell, h in zip(self.cells, states)]
+
+    def step_decode(
+        self, x: np.ndarray, ctxs: Sequence[GRUDecodeContext]
+    ) -> np.ndarray:
+        """Advance the whole stack by one decode step (allocation-free).
+
+        Byte-identical to ``GRUStackInference.step``; the returned hidden
+        state is a view of the last context's buffer.
+        """
+        h = x
+        for cell, ctx in zip(self.cells, ctxs):
+            h = cell.step_decode(h, ctx)
+        return h
+
+    def decode_sequence(
+        self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Run a known ``(B, T, input_dim)`` input through the decode kernels.
+
+        Byte-identical to stepping ``GRUStackInference.step`` one lap at a
+        time; returns the top-layer outputs and final per-layer states.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        if states is None:
+            states = self.zero_state(batch)
+        ctxs = self.begin_decode(states)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            outputs[:, t, :] = self.step_decode(x[:, t, :], ctxs)
+        return outputs, [ctx.h.copy() for ctx in ctxs]
 
     # ------------------------------------------------------------------
     # fused full-sequence path (mirrors ``StackedLSTM``)

@@ -19,23 +19,35 @@ __all__ = ["STABLE_CHUNK_ROWS", "stable_matmul"]
 STABLE_CHUNK_ROWS = 256
 
 
-def stable_matmul(x: np.ndarray, w: np.ndarray, chunk: int = STABLE_CHUNK_ROWS) -> np.ndarray:
+def stable_matmul(
+    x: np.ndarray,
+    w: np.ndarray,
+    chunk: int = STABLE_CHUNK_ROWS,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """``x @ w`` with batch-size-invariant per-row results.
 
     The rows of ``x`` are processed in blocks of exactly ``chunk`` rows (the
     final partial block is zero-padded), so the value computed for one row
     depends only on that row and ``w`` — not on how many other rows happen
     to share the batch.
+
+    ``out`` (optional, ``(n, w.shape[1])`` C-contiguous float64) receives
+    the result without allocating: full blocks are written by ``np.matmul``
+    directly into the output slice, which is bitwise identical to computing
+    the block product into a temporary and copying it.  The decode engine
+    uses this to keep its per-step gate buffers allocation-free.
     """
     x = np.ascontiguousarray(x, dtype=np.float64)
     w = np.asarray(w, dtype=np.float64)
     n = x.shape[0]
-    out = np.empty((n, w.shape[1]), dtype=np.float64)
+    if out is None:
+        out = np.empty((n, w.shape[1]), dtype=np.float64)
     for start in range(0, n, chunk):
         block = x[start : start + chunk]
         rows = block.shape[0]
         if rows == chunk:
-            out[start : start + chunk] = block @ w
+            np.matmul(block, w, out=out[start : start + chunk])
         else:
             padded = np.zeros((chunk, x.shape[1]), dtype=np.float64)
             padded[:rows] = block

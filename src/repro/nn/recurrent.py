@@ -22,14 +22,46 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import initializers as init
-from .activations import sigmoid
+from .activations import sigmoid, sigmoid_dense
 from .kernels import stable_matmul
 from .module import Module, Parameter
 
-__all__ = ["LSTMState", "LSTMCell", "StackedLSTM"]
+__all__ = ["LSTMState", "LSTMCell", "LSTMDecodeContext", "StackedLSTM"]
 
 # (hidden, cell) pair for one layer
 LSTMState = Tuple[np.ndarray, np.ndarray]
+
+
+class LSTMDecodeContext:
+    """Preallocated buffers + permuted weight copies for one cell's decode loop.
+
+    Built by :meth:`LSTMCell.begin_decode` and consumed by
+    :meth:`LSTMCell.step_decode`; holds the ``[i, f, o, g]``-permuted weight
+    copies (sigmoid gates contiguous), the running ``(h, c)`` state, and
+    every per-step scratch tensor, so advancing the decode by one lap
+    allocates nothing.
+    """
+
+    __slots__ = ("w_x", "w_h", "bias", "h", "c", "gates", "hw", "ig", "tanh_c", "sg_scratch")
+
+    def __init__(self, cell: "LSTMCell", state: LSTMState) -> None:
+        perm = cell._gate_perm
+        self.w_x = np.ascontiguousarray(cell.w_x.data[:, perm])
+        self.w_h = np.ascontiguousarray(cell.w_h.data[:, perm])
+        self.bias = np.ascontiguousarray(cell.bias.data[perm])
+        h0, c0 = state
+        self.h = np.array(h0, dtype=np.float64, copy=True, order="C")
+        self.c = np.array(c0, dtype=np.float64, copy=True, order="C")
+        batch = self.h.shape[0]
+        hd = cell.hidden_dim
+        self.gates = np.empty((batch, 4 * hd), dtype=np.float64)
+        self.hw = np.empty((batch, 4 * hd), dtype=np.float64)
+        self.ig = np.empty((batch, hd), dtype=np.float64)
+        self.tanh_c = np.empty((batch, hd), dtype=np.float64)
+        self.sg_scratch = (
+            np.empty((batch, 3 * hd), dtype=np.float64),
+            np.empty((batch, 3 * hd), dtype=np.float64),
+        )
 
 
 def _sigmoid_inplace(a: np.ndarray) -> None:
@@ -170,6 +202,52 @@ class LSTMCell(Module):
     def clear_cache(self) -> None:
         self._cache.clear()
         self._seq_cache.clear()
+
+    # fused decode path -------------------------------------------------
+    def begin_decode(self, state: LSTMState) -> LSTMDecodeContext:
+        """Open an allocation-free decode session starting from ``state``.
+
+        Copies the initial ``(h, c)`` into context-owned buffers and builds
+        the ``[i, f, o, g]``-permuted weight copies, so every subsequent
+        :meth:`step_decode` runs without allocating.  The copies are tiny
+        and rebuilt per session, so weight updates are always picked up.
+        """
+        return LSTMDecodeContext(self, state)
+
+    def step_decode(self, x: np.ndarray, ctx: LSTMDecodeContext) -> np.ndarray:
+        """One decode step, byte-identical to the serving ``step`` kernel.
+
+        Runs the same ``stable_matmul`` products as
+        :class:`repro.nn.inference.LSTMStackInference.step` but on the
+        permuted gate layout, so the three sigmoid gates form one
+        contiguous block evaluated by a single :func:`sigmoid_dense` call
+        (bitwise equal to the masked :func:`sigmoid`).  PR 2's half-scaled
+        ``tanh``-only gate trick is deliberately *not* used here: the
+        decode path is gated on byte-identity with the stepwise serving
+        kernels, and ``0.5 + 0.5 * tanh(x / 2)`` differs from the masked
+        sigmoid in the last ulp for ~58% of inputs.  All intermediates
+        live in the context buffers; the returned hidden state is a view
+        of the context's ``h`` buffer (valid until the next step).
+        """
+        hd = self.hidden_dim
+        gates = ctx.gates
+        # same left-to-right accumulation as the stepwise kernel:
+        # (x @ w_x + h_prev @ w_h) + bias, merely column-permuted
+        stable_matmul(x, ctx.w_x, out=gates)
+        stable_matmul(ctx.h, ctx.w_h, out=ctx.hw)
+        gates += ctx.hw
+        gates += ctx.bias
+        sg = gates[:, : 3 * hd]  # [i, f, o] block (one dense pass, no scatter)
+        sigmoid_dense(sg, out=sg, scratch=ctx.sg_scratch)
+        g = gates[:, 3 * hd :]
+        np.tanh(g, out=g)
+        # c = f * c_prev + i * g, h = o * tanh(c) — identical operand order
+        np.multiply(gates[:, :hd], g, out=ctx.ig)
+        np.multiply(gates[:, hd : 2 * hd], ctx.c, out=ctx.c)
+        ctx.c += ctx.ig
+        np.tanh(ctx.c, out=ctx.tanh_c)
+        np.multiply(gates[:, 2 * hd : 3 * hd], ctx.tanh_c, out=ctx.h)
+        return ctx.h
 
     # fused full-sequence path -----------------------------------------
     def _fused_gate_weights(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -521,6 +599,49 @@ class StackedLSTM(Module):
         if packed.shape[3] != self.hidden_dim:
             raise ValueError(f"hidden dim mismatch: {packed.shape[3]} != {self.hidden_dim}")
         return [(packed[layer, 0].copy(), packed[layer, 1].copy()) for layer in range(self.num_layers)]
+
+    # ------------------------------------------------------------------
+    # fused decode path (used by the serving engine's Monte-Carlo loop)
+    # ------------------------------------------------------------------
+    def begin_decode(self, states: Sequence[LSTMState]) -> List[LSTMDecodeContext]:
+        """Per-layer decode contexts starting from ``states`` (copied in)."""
+        if len(states) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
+        return [cell.begin_decode(state) for cell, state in zip(self.cells, states)]
+
+    def step_decode(
+        self, x: np.ndarray, ctxs: Sequence[LSTMDecodeContext]
+    ) -> np.ndarray:
+        """Advance the whole stack by one decode step (allocation-free).
+
+        Byte-identical to ``LSTMStackInference.step`` (dropout-free,
+        cache-free); the returned top-layer hidden state is a view of the
+        last context's buffer.
+        """
+        h = x
+        for cell, ctx in zip(self.cells, ctxs):
+            h = cell.step_decode(h, ctx)
+        return h
+
+    def decode_sequence(
+        self, x: np.ndarray, states: Optional[Sequence[LSTMState]] = None
+    ) -> Tuple[np.ndarray, List[LSTMState]]:
+        """Run a known ``(B, T, input_dim)`` input through the decode kernels.
+
+        Convenience driver over :meth:`begin_decode` / :meth:`step_decode`
+        (per-step buffer reuse, one sigmoid pass over the contiguous gate
+        block); byte-identical to stepping ``LSTMStackInference.step`` one
+        lap at a time.  Returns the top-layer outputs and final states.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        if states is None:
+            states = self.zero_state(batch)
+        ctxs = self.begin_decode(states)
+        outputs = np.empty((batch, steps, self.hidden_dim), dtype=np.float64)
+        for t in range(steps):
+            outputs[:, t, :] = self.step_decode(x[:, t, :], ctxs)
+        return outputs, [(ctx.h.copy(), ctx.c.copy()) for ctx in ctxs]
 
     # ------------------------------------------------------------------
     # fused full-sequence path

@@ -7,6 +7,7 @@ from .batchscaling import (
     measure_cpu_training_speed,
 )
 from .breakdown import BreakdownEntry, cpu_kernel_shares, hybrid_breakdown, offload_fraction_for_batch
+from .decode import DECODE_WORKLOADS, DecodeMeasurement, decode_breakdown
 from .devices import DEVICES, DeviceModel, TABLE8_SPECS
 from .inference import InferenceMeasurement, fleet_inference_breakdown
 from .kernels import (
@@ -35,6 +36,9 @@ __all__ = [
     "cpu_kernel_shares",
     "hybrid_breakdown",
     "offload_fraction_for_batch",
+    "DECODE_WORKLOADS",
+    "DecodeMeasurement",
+    "decode_breakdown",
     "DEVICES",
     "DeviceModel",
     "TABLE8_SPECS",

@@ -28,6 +28,29 @@ Batching strategy
   slightly from ``exact`` mode (which re-scales at every origin).
   Transformer backbones have no step-wise state and always run ``exact``.
 
+Decode engine
+-------------
+The Monte-Carlo decode loop runs on a fused, allocation-free path
+(``decode="fused"``, the default):
+
+* **block RNG** — NumPy ``Generator`` streams are call-size invariant, so
+  each request's entire noise tensor is drawn in a single
+  ``standard_normal(horizon * target_dim * n_samples)`` call before the
+  lap loop and reshaped to replay the stepwise (step, dim, request) draw
+  order byte-identically, replacing the nested per-dim/per-request
+  sampling loops with one vectorised ``mu + sigma * noise[h]`` per step;
+* **fused decode steps** — the recurrent stack advances through
+  ``step_decode`` (:mod:`repro.nn.recurrent` / :mod:`repro.nn.gru`):
+  permuted contiguous gate blocks, one dense sigmoid pass, and
+  preallocated gate/state/input buffers reused across the horizon;
+* **hoisted covariates** — the future-covariate rows are expanded once
+  into a ``(horizon, total, C)`` tensor instead of an ``np.repeat`` per
+  lap.
+
+The original per-lap loop is retained as ``decode="stepwise"`` — it is
+the reference the fused path is gated byte-identical against
+(``benchmarks/test_bench_decode.py``, ``tests/serving/test_decode_parity``).
+
 Because every recurrent matmul goes through
 :func:`repro.nn.inference.stable_matmul`, results are independent of batch
 composition: given per-request RNG streams, a fleet-batched submit is
@@ -36,6 +59,7 @@ byte-identical to submitting each request on its own.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -53,6 +77,7 @@ from .requests import ForecastRequest
 __all__ = ["FleetForecaster"]
 
 _MODES = ("exact", "carry")
+_DECODES = ("fused", "stepwise")
 
 
 def _dedupe_warmups(
@@ -101,6 +126,12 @@ class FleetForecaster:
         Upper bound on the flattened ``sum(n_samples)`` rows per decode
         batch; larger groups are split (results are unaffected — the
         kernels are batch-size invariant).
+    decode:
+        ``"fused"`` (default) runs the block-RNG, allocation-free decode
+        engine; ``"stepwise"`` runs the retained per-lap reference loop.
+        The two are byte-identical (gated in the benchmark suite); the
+        knob exists for benchmarking and bisection.  Transformer
+        backbones ignore it (no step-wise recurrent state).
     """
 
     def __init__(
@@ -109,11 +140,15 @@ class FleetForecaster:
         mode: str = "exact",
         cache_size: int = 512,
         max_batch_rows: int = 8192,
+        decode: str = "fused",
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if decode not in _DECODES:
+            raise ValueError(f"decode must be one of {_DECODES}, got {decode!r}")
         self.model = model
         self.mode = mode
+        self.decode = decode
         self.max_batch_rows = int(max_batch_rows)
         self.cache = WarmupStateCache(cache_size)
         if hasattr(model, "lstm"):
@@ -134,6 +169,7 @@ class FleetForecaster:
             "warmup_steps": 0,
             "decode_steps": 0,
         }
+        self._timings: Dict[str, float] = {"warmup_s": 0.0, "decode_s": 0.0}
 
     # ------------------------------------------------------------------
     def submit(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
@@ -194,6 +230,15 @@ class FleetForecaster:
         for name, value in self.cache.stats().items():
             merged[f"cache_{name}"] = value
         return merged
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Accumulated warm-up / decode wall-clock of all submits."""
+        return dict(self._timings)
+
+    def reset_timings(self) -> None:
+        for key in self._timings:
+            self._timings[key] = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -279,9 +324,14 @@ class _RecurrentBackend:
 
         n_slots = len(uniques)
         target_dim = self.model.target_dim
+        num_cov = self.model.num_covariates
         scales = np.empty((n_slots, target_dim))
         z_last = np.empty((n_slots, target_dim))
-        slot_packed: List[Optional[np.ndarray]] = [None] * n_slots
+        # preallocated packed-state buffer for the whole group: each slot's
+        # state is written straight into its batch column (the batch axis of
+        # ``export_state`` is -2 for both backbones), replacing the old
+        # per-slot list + final ``np.concatenate`` assembly
+        packed_all = stack_module.export_state(stack_module.zero_state(n_slots))
 
         for round_slots in rounds:
             full: List[int] = []
@@ -301,7 +351,7 @@ class _RecurrentBackend:
                     reuse.append(slot)
                     scales[slot] = entry.scale
                     z_last[slot] = entry.z_last
-                    slot_packed[slot] = entry.packed_state
+                    packed_all[..., slot : slot + 1, :] = entry.packed_state
                 elif 0 < delta <= request.length:
                     advance.setdefault(delta, []).append((slot, entry))
                 else:
@@ -315,7 +365,7 @@ class _RecurrentBackend:
                     packed = stack_module.export_state(
                         slice_states(f_states, np.array([row]))
                     )
-                    slot_packed[slot] = packed
+                    packed_all[..., slot : slot + 1, :] = packed
                     request = uniques[slot]
                     if request.key is not None and request.origin is not None:
                         cache.put(
@@ -330,22 +380,27 @@ class _RecurrentBackend:
 
             for delta, slot_entries in advance.items():
                 slots = [slot for slot, _ in slot_entries]
-                entries = [entry for _, entry in slot_entries]
-                frozen = np.stack([entry.scale for entry in entries])
-                z_tail = (
-                    np.stack([uniques[s].target[-delta:] for s in slots])
-                    / frozen[:, None, :]
-                )
-                cov_tail = np.stack([uniques[s].history_covariates[-delta:] for s in slots])
-                states = stack_module.import_state(
-                    np.concatenate([entry.packed_state for entry in entries], axis=-2)
-                )
-                z_prev = np.stack([entry.z_last for entry in entries])
+                k = len(slot_entries)
+                # preallocated per-round buffers instead of np.stack /
+                # np.concatenate over per-entry arrays
+                frozen = np.empty((k, target_dim), dtype=np.float64)
+                z_prev = np.empty((k, target_dim), dtype=np.float64)
+                adv_packed = stack_module.export_state(stack_module.zero_state(k))
                 # step j consumes [z_{j-1}, cov_j]; fuse the delta new laps
-                z_in = np.concatenate([z_prev[:, None, :], z_tail[:, :-1, :]], axis=1)
-                x = np.concatenate([z_in, cov_tail], axis=2)
+                x = np.empty((k, delta, target_dim + num_cov), dtype=np.float64)
+                for row, (slot, entry) in enumerate(slot_entries):
+                    request = uniques[slot]
+                    frozen[row] = entry.scale
+                    adv_packed[..., row : row + 1, :] = entry.packed_state
+                    x[row, 0, :target_dim] = entry.z_last
+                    if delta > 1:
+                        x[row, 1:, :target_dim] = (
+                            request.target[-delta:-1] / entry.scale
+                        )
+                    x[row, :, target_dim:] = request.history_covariates[-delta:]
+                    z_prev[row] = request.target[-1] / entry.scale
+                states = stack_module.import_state(adv_packed)
                 _, states = self.stack.forward_sequence(x, states)
-                z_prev = z_tail[:, -1, :]
                 self.engine._stats["warmup_steps"] += delta
                 cache.carries += len(slots)
                 for row, slot in enumerate(slots):
@@ -353,7 +408,7 @@ class _RecurrentBackend:
                     scales[slot] = frozen[row]
                     z_last[slot] = z_prev[row]
                     packed = stack_module.export_state(slice_states(states, np.array([row])))
-                    slot_packed[slot] = packed
+                    packed_all[..., slot : slot + 1, :] = packed
                     cache.put(
                         request.key,
                         CachedWarmup(
@@ -364,21 +419,22 @@ class _RecurrentBackend:
                         ),
                     )
 
-        packed_all = np.concatenate(slot_packed, axis=-2)
         return owners, scales, stack_module.import_state(packed_all), z_last
 
     # -- decode --------------------------------------------------------
     def run_group(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
+        t0 = time.perf_counter()
         if self.engine.mode == "carry":
             owners, scales, slot_states, slot_z_last = self._warmup_carry(requests)
         else:
             owners, scales, slot_states, slot_z_last = self._warmup_exact(requests)
+        t1 = time.perf_counter()
+        self.engine._timings["warmup_s"] += t1 - t0
 
         owner_index = np.asarray(owners, dtype=np.int64)
         counts = np.array([request.n_samples for request in requests], dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(counts)])
         horizon = requests[0].horizon
-        target_dim = self.model.target_dim
         total = int(counts.sum())
 
         states = tile_states(slice_states(slot_states, owner_index), counts)
@@ -390,6 +446,124 @@ class _RecurrentBackend:
             for request in requests
         ]
 
+        if self.engine.decode == "fused":
+            samples = self._decode_fused(
+                counts, offsets, horizon, total, states, z_prev, scale0_rows, future, rngs
+            )
+        else:
+            samples = self._decode_stepwise(
+                requests, counts, offsets, horizon, total, states, z_prev,
+                scale0_rows, future, rngs,
+            )
+        self.engine._stats["decode_steps"] += horizon
+        self.engine._timings["decode_s"] += time.perf_counter() - t1
+        return [samples[offsets[i] : offsets[i + 1]] for i in range(len(requests))]
+
+    def _block_noise(
+        self,
+        rngs: Sequence[np.random.Generator],
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        horizon: int,
+        target_dim: int,
+        total: int,
+    ) -> np.ndarray:
+        """The whole decode's Gaussian noise, one ``Generator`` call per stream.
+
+        NumPy ``Generator.standard_normal`` fills its output sequentially
+        from the bit stream, so one draw of ``H * D * n`` values equals the
+        concatenation of the ``H * D`` per-step draws of ``n`` values the
+        stepwise loop makes.  Each distinct Generator's block is reshaped
+        to ``(horizon, target_dim, rows)`` — exactly the legacy
+        (step, dim, request) draw order — and scattered into the flattened
+        batch rows, so the returned ``(horizon, total, target_dim)`` tensor
+        replays the stepwise path byte-identically, including when several
+        requests share one RNG stream (their draws interleave in submit
+        order within each (step, dim) slot, as before).
+        """
+        noise = np.empty((horizon, total, target_dim), dtype=np.float64)
+        groups: "OrderedDict[int, List[int]]" = OrderedDict()
+        for i, gen in enumerate(rngs):
+            groups.setdefault(id(gen), []).append(i)
+        for indices in groups.values():
+            gen = rngs[indices[0]]
+            g_total = int(counts[indices].sum())
+            block = gen.standard_normal(horizon * target_dim * g_total).reshape(
+                horizon, target_dim, g_total
+            )
+            if len(indices) == 1:
+                i = indices[0]
+                noise[:, offsets[i] : offsets[i + 1], :] = block.transpose(0, 2, 1)
+            else:
+                rows = np.concatenate(
+                    [np.arange(offsets[i], offsets[i + 1]) for i in indices]
+                )
+                noise[:, rows, :] = block.transpose(0, 2, 1)
+        return noise
+
+    def _decode_fused(
+        self,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        horizon: int,
+        total: int,
+        states,
+        z_prev: np.ndarray,
+        scale0_rows: np.ndarray,
+        future: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Fused allocation-free Monte-Carlo decode (block RNG + step_decode).
+
+        Byte-identical to :meth:`_decode_stepwise`: the recurrent kernels,
+        the head projections, and the RNG consumption all replay the
+        stepwise path's arithmetic bit for bit (gated in
+        ``benchmarks/test_bench_decode.py``).
+        """
+        target_dim = self.model.target_dim
+        noise = self._block_noise(rngs, counts, offsets, horizon, target_dim, total)
+        # future covariates expanded once: (horizon, total, C), contiguous
+        # per-step slices — replaces one np.repeat per lap
+        cov_all = np.ascontiguousarray(np.repeat(future, counts, axis=0).transpose(1, 0, 2))
+        ctxs = self.model.lstm.begin_decode(states)
+        x_buf = np.empty((total, target_dim + cov_all.shape[2]), dtype=np.float64)
+        z = np.ascontiguousarray(z_prev)
+        samples = np.empty((total, horizon), dtype=np.float64)
+        for h in range(horizon):
+            x_buf[:, :target_dim] = z
+            x_buf[:, target_dim:] = cov_all[h]
+            h_t = self.model.lstm.step_decode(x_buf, ctxs)
+            if self.head is not None:
+                mu_all, sigma_all = self.head(h_t)  # one (H, 2D) GEMM for all dims
+                np.multiply(sigma_all, noise[h], out=z)
+                z += mu_all
+            else:
+                for d, head in enumerate(self.heads):
+                    mu, sigma = head(h_t)
+                    z[:, d] = mu + sigma * noise[h, :, d]
+            np.multiply(z[:, 0], scale0_rows, out=samples[:, h])
+        return samples
+
+    def _decode_stepwise(
+        self,
+        requests: Sequence[ForecastRequest],
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        horizon: int,
+        total: int,
+        states,
+        z_prev: np.ndarray,
+        scale0_rows: np.ndarray,
+        future: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Retained per-lap reference decode (pre-fusion implementation).
+
+        Kept verbatim as the byte-identity baseline for the fused engine:
+        one ``stack.step`` per lap with per-step ``np.repeat`` covariate
+        rows and nested per-dim / per-request ``standard_normal`` calls.
+        """
+        target_dim = self.model.target_dim
         samples = np.empty((total, horizon), dtype=np.float64)
         for h in range(horizon):
             cov_rows = np.repeat(future[:, h, :], counts, axis=0)
@@ -417,8 +591,7 @@ class _RecurrentBackend:
                         )
             samples[:, h] = z_next[:, 0] * scale0_rows
             z_prev = z_next
-        self.engine._stats["decode_steps"] += horizon
-        return [samples[offsets[i] : offsets[i + 1]] for i in range(len(requests))]
+        return samples
 
 
 # ----------------------------------------------------------------------
@@ -446,6 +619,7 @@ class _TransformerBackend:
     def run_group(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
         model = self.model
         engine = self.engine
+        t0 = time.perf_counter()
         # deduplicate the (deterministic) encoder pass across identical warm-ups
         owners, uniques = _dedupe_warmups(requests, engine._stats)
 
@@ -465,6 +639,8 @@ class _TransformerBackend:
             memory = model._encode(enc_tokens)
             model._clear_all_caches()
             engine._stats["warmup_steps"] += max(length - 1, 0)
+            t1 = time.perf_counter()
+            engine._timings["warmup_s"] += t1 - t0
 
             owner_index = np.asarray(owners, dtype=np.int64)
             counts = np.array([request.n_samples for request in requests], dtype=np.int64)
@@ -500,6 +676,7 @@ class _TransformerBackend:
                 samples[:, h] = z_next[:, 0] * scale0_rows
                 z_generated.append(z_next)
             engine._stats["decode_steps"] += horizon
+            engine._timings["decode_s"] += time.perf_counter() - t1
         finally:
             model.train(was_training)
         return [samples[offsets[i] : offsets[i + 1]] for i in range(len(requests))]

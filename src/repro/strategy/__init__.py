@@ -6,12 +6,13 @@ the pit stop strategy"): counterfactual covariate plans for candidate
 strategies and a Monte-Carlo evaluator that ranks them.
 """
 
-from .optimizer import PitStrategyOptimizer, StrategyOutcome
+from .optimizer import PitStrategyOptimizer, StrategyOutcome, StrategySweepPoint
 from .plans import build_strategy_plan, candidate_single_stop_plans
 
 __all__ = [
     "PitStrategyOptimizer",
     "StrategyOutcome",
+    "StrategySweepPoint",
     "build_strategy_plan",
     "candidate_single_stop_plans",
 ]

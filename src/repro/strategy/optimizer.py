@@ -6,21 +6,35 @@ of candidate strategies ("pit in k laps") by Monte-Carlo forecasting the
 car's rank under each counterfactual covariate plan and ranking the
 candidates by their expected rank at the end of the window (ties broken by
 the probability of gaining positions).
+
+Two granularities are exposed:
+
+* :meth:`PitStrategyOptimizer.evaluate` answers the single-origin question
+  ("we are at lap L — when should we stop?") with one engine submit;
+* :meth:`PitStrategyOptimizer.sweep` answers it for a whole race window at
+  once: every (origin, pit-in-k) candidate becomes one request of a single
+  carry-mode fleet submit, so the warm-up over the shared lap history runs
+  once per origin (deduplicated across candidates) and is advanced
+  incrementally between consecutive origins instead of being replayed from
+  the window start.  This turns the per-call optimizer into the race-scale
+  decode workload the fused engine is built for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..data.features import CarFeatureSeries
+from ..models.base import DEFAULT_FIELD_SIZE, clip_rank
 from ..models.deep.ranknet import DeepForecasterBase
+from ..serving.engine import FleetForecaster
 from ..serving.requests import ForecastRequest, spawn_request_rngs
 from .plans import candidate_single_stop_plans
 
-__all__ = ["StrategyOutcome", "PitStrategyOptimizer"]
+__all__ = ["StrategyOutcome", "StrategySweepPoint", "PitStrategyOptimizer"]
 
 
 @dataclass
@@ -45,13 +59,44 @@ class StrategyOutcome:
         }
 
 
+@dataclass
+class StrategySweepPoint:
+    """All candidate outcomes for one forecast origin of a rolling sweep."""
+
+    origin: int
+    current_rank: float
+    outcomes: List[StrategyOutcome]
+
+    @property
+    def best(self) -> StrategyOutcome:
+        """The candidate with the best (lowest) expected final rank."""
+        if not self.outcomes:
+            raise ValueError(f"no candidate strategies at origin {self.origin}")
+        return min(self.outcomes, key=lambda o: (o.expected_final_rank, -o.p_gain))
+
+
 class PitStrategyOptimizer:
-    """Evaluates and ranks candidate pit strategies for one car."""
+    """Evaluates and ranks candidate pit strategies for one car.
+
+    Parameters
+    ----------
+    forecaster:
+        A fitted covariate-conditioned deep forecaster (RankNet oracle/mlp).
+    n_samples:
+        Monte-Carlo trajectories per candidate plan.
+    field_size:
+        Upper bound of the rank clip.  Defaults to the field size the
+        forecaster recorded at fit time (the largest rank observed in its
+        training data), falling back to
+        :data:`repro.models.base.DEFAULT_FIELD_SIZE` — the same constant
+        the TaskA evaluator uses — rather than a hard-coded literal.
+    """
 
     def __init__(
         self,
         forecaster: DeepForecasterBase,
         n_samples: int = 100,
+        field_size: Optional[int] = None,
     ) -> None:
         if not isinstance(forecaster, DeepForecasterBase):
             raise TypeError("the strategy optimizer needs a covariate-conditioned deep forecaster")
@@ -64,8 +109,21 @@ class PitStrategyOptimizer:
             )
         self.forecaster = forecaster
         self.n_samples = int(n_samples)
+        if field_size is not None:
+            self.field_size = int(field_size)
+        else:
+            self.field_size = int(forecaster.field_size or DEFAULT_FIELD_SIZE)
 
     # ------------------------------------------------------------------
+    def _engine(self, mode: Optional[str] = None) -> FleetForecaster:
+        """The one engine handle every evaluation of this optimizer shares.
+
+        Resolved through the forecaster (which keeps a single engine per
+        mode and rebinds it on refit) instead of being constructed per
+        call, so rolling sweeps keep hitting the same warm-up state cache.
+        """
+        return self.forecaster.fleet_engine(mode)
+
     def _plan_request(
         self,
         series: CarFeatureSeries,
@@ -83,13 +141,24 @@ class PitStrategyOptimizer:
             key=("strategy", series.race_id, series.car_id),
         )
 
+    def _outcome(self, candidate: dict, samples: np.ndarray, current_rank: float) -> StrategyOutcome:
+        final = clip_rank(samples[:, -1], self.field_size)
+        return StrategyOutcome(
+            pit_in_laps=candidate["pit_in_laps"],
+            expected_final_rank=float(final.mean()),
+            median_final_rank=float(np.median(final)),
+            p_gain=float(np.mean(final < current_rank - 0.5)),
+            p_lose=float(np.mean(final > current_rank + 0.5)),
+            rank_samples_std=float(final.std()),
+        )
+
     def evaluate_plan(
         self, series: CarFeatureSeries, origin: int, plan: np.ndarray
     ) -> np.ndarray:
         """Rank samples ``(n_samples, horizon)`` under one covariate plan."""
-        engine = self.forecaster.fleet_engine()
+        engine = self._engine()
         samples = engine.submit([self._plan_request(series, origin, plan)])[0]
-        return np.clip(samples, 1.0, 33.0)
+        return clip_rank(samples, self.field_size)
 
     def evaluate(
         self,
@@ -119,21 +188,11 @@ class PitStrategyOptimizer:
             self._plan_request(series, origin, candidate["plan"], rng=rng)
             for candidate, rng in zip(candidates, rngs)
         ]
-        results = self.forecaster.fleet_engine().submit(requests)
-        outcomes: List[StrategyOutcome] = []
-        for candidate, samples in zip(candidates, results):
-            final = np.clip(samples[:, -1], 1.0, 33.0)
-            outcomes.append(
-                StrategyOutcome(
-                    pit_in_laps=candidate["pit_in_laps"],
-                    expected_final_rank=float(final.mean()),
-                    median_final_rank=float(np.median(final)),
-                    p_gain=float(np.mean(final < current_rank - 0.5)),
-                    p_lose=float(np.mean(final > current_rank + 0.5)),
-                    rank_samples_std=float(final.std()),
-                )
-            )
-        return outcomes
+        results = self._engine().submit(requests)
+        return [
+            self._outcome(candidate, samples, current_rank)
+            for candidate, samples in zip(candidates, results)
+        ]
 
     def best(
         self,
@@ -147,3 +206,68 @@ class PitStrategyOptimizer:
         if not outcomes:
             raise ValueError("no candidate strategies inside the horizon")
         return min(outcomes, key=lambda o: (o.expected_final_rank, -o.p_gain))
+
+    # ------------------------------------------------------------------
+    # rolling race-window sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        series: CarFeatureSeries,
+        origins: Sequence[int],
+        horizon: int,
+        earliest: int = 1,
+        latest: Optional[int] = None,
+        step: int = 1,
+        mode: str = "carry",
+    ) -> List[StrategySweepPoint]:
+        """Evaluate every (origin, pit-in-k) candidate of a race window at once.
+
+        All candidates of all origins are flattened into **one** submit of
+        the carry-mode fleet engine:
+
+        * within one origin, the candidate plans share a single warm-up
+          (same car, same history — the engine deduplicates it);
+        * between consecutive origins, the carried per-car state advances
+          incrementally (one teacher-forcing step per origin) instead of
+          replaying the whole history window;
+        * every candidate draws from its own spawned RNG stream, so the
+          samples do not depend on how the engine groups or chunks the
+          batch.
+
+        Returns one :class:`StrategySweepPoint` per origin, in ascending
+        origin order.
+        """
+        origins = sorted({int(o) for o in origins})
+        per_origin: List[tuple] = []  # (origin, current_rank, candidates)
+        requests: List[ForecastRequest] = []
+        flat_candidates: List[dict] = []
+        for origin in origins:
+            candidates = list(
+                candidate_single_stop_plans(
+                    series, origin, horizon, earliest=earliest, latest=latest, step=step
+                )
+            )
+            per_origin.append((origin, float(series.rank[origin]), candidates))
+            flat_candidates.extend(candidates)
+        if flat_candidates:
+            rngs = spawn_request_rngs(self.forecaster.rng, len(flat_candidates))
+            i = 0
+            for origin, _, candidates in per_origin:
+                for candidate in candidates:
+                    requests.append(
+                        self._plan_request(series, origin, candidate["plan"], rng=rngs[i])
+                    )
+                    i += 1
+        results = self._engine(mode).submit(requests)
+        points: List[StrategySweepPoint] = []
+        i = 0
+        for origin, current_rank, candidates in per_origin:
+            outcomes = [
+                self._outcome(candidate, results[i + j], current_rank)
+                for j, candidate in enumerate(candidates)
+            ]
+            i += len(candidates)
+            points.append(
+                StrategySweepPoint(origin=origin, current_rank=current_rank, outcomes=outcomes)
+            )
+        return points

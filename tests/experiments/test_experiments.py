@@ -63,7 +63,8 @@ def test_registry_lists_all_tables_and_figures():
     names = list_experiments()
     assert {f"table{i}" for i in range(1, 9)} <= set(names)
     assert {f"fig{i}" for i in range(1, 13)} <= set(names)
-    assert len(names) == 20
+    assert "strategy_sweep" in names
+    assert len(names) == 21
     with pytest.raises(KeyError):
         run_experiment("table99")
 

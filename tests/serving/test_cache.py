@@ -1,0 +1,154 @@
+"""Tests for the warm-up state cache (LRU order, invalidation, counters)."""
+
+import numpy as np
+import pytest
+
+from repro.models.deep.rankmodel import RankSeqModel
+from repro.serving import FleetForecaster, ForecastRequest, spawn_request_rngs
+from repro.serving.cache import CachedWarmup, WarmupStateCache
+
+N_COV = 3
+
+
+def make_entry(origin=5):
+    return CachedWarmup(
+        origin=origin,
+        scale=np.ones(1),
+        packed_state=np.zeros((2, 2, 1, 4)),
+        z_last=np.zeros(1),
+    )
+
+
+# ----------------------------------------------------------------------
+# unit behaviour
+# ----------------------------------------------------------------------
+def test_lru_evicts_oldest_first():
+    cache = WarmupStateCache(max_entries=3)
+    for key in "abc":
+        cache.put(key, make_entry())
+    cache.put("d", make_entry())
+    assert "a" not in cache and len(cache) == 3
+    assert cache.evictions == 1
+    cache.put("e", make_entry())
+    assert "b" not in cache and {"c", "d", "e"} == set(cache._entries)
+
+
+def test_get_refreshes_recency():
+    cache = WarmupStateCache(max_entries=2)
+    cache.put("a", make_entry())
+    cache.put("b", make_entry())
+    assert cache.get("a") is not None  # "a" becomes most recent
+    cache.put("c", make_entry())       # evicts "b", not "a"
+    assert "a" in cache and "b" not in cache
+
+
+def test_put_existing_key_updates_and_refreshes():
+    cache = WarmupStateCache(max_entries=2)
+    cache.put("a", make_entry(origin=1))
+    cache.put("b", make_entry(origin=2))
+    cache.put("a", make_entry(origin=9))  # refresh, no eviction
+    assert len(cache) == 2 and cache.evictions == 0
+    cache.put("c", make_entry())
+    assert "b" not in cache
+    assert cache.get("a").origin == 9
+
+
+def test_invalidate_single_key_and_full_clear():
+    cache = WarmupStateCache(max_entries=4)
+    for key in "abc":
+        cache.put(key, make_entry())
+    cache.invalidate("b")
+    assert "b" not in cache and len(cache) == 2
+    cache.invalidate("missing")  # no-op, no raise
+    cache.invalidate()
+    assert len(cache) == 0
+    # counters survive a clear (they describe the cache's lifetime)
+    assert cache.get("a") is None
+    assert cache.misses >= 1
+
+
+def test_hit_miss_counters_and_stats_dict():
+    cache = WarmupStateCache(max_entries=2)
+    assert cache.get("a") is None
+    cache.put("a", make_entry())
+    assert cache.get("a") is not None
+    stats = cache.stats()
+    assert stats == {"entries": 1, "hits": 1, "misses": 1, "carries": 0, "evictions": 0}
+
+
+# ----------------------------------------------------------------------
+# counters under a rolling-origin engine workload
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(3)
+    n_cars, n_laps = 6, 24
+    targets = [np.clip(10 + np.cumsum(rng.normal(0, 1, n_laps)), 1, 33) for _ in range(n_cars)]
+    covs = [rng.normal(size=(n_laps, N_COV)) for _ in range(n_cars)]
+    model = RankSeqModel(num_covariates=N_COV, hidden_dim=8, num_layers=2,
+                         encoder_length=12, decoder_length=2, rng=0)
+    return model, targets, covs
+
+
+def _submit_rolling(engine, targets, covs, origins, cars):
+    streams = spawn_request_rngs(np.random.default_rng(11), len(cars) * len(origins))
+    future = np.zeros((2, N_COV))
+    for j, origin in enumerate(origins):
+        engine.submit(
+            [
+                ForecastRequest(
+                    targets[car][origin + 1 - 12 : origin + 1],
+                    covs[car][origin + 1 - 12 : origin + 1],
+                    future, n_samples=4,
+                    rng=streams[j * len(cars) + car], key=car, origin=origin,
+                )
+                for car in cars
+            ]
+        )
+
+
+def test_rolling_origin_counters(workload):
+    model, targets, covs = workload
+    engine = FleetForecaster(model, mode="carry")
+    cars = list(range(6))
+    origins = [12, 13, 14, 15]
+    _submit_rolling(engine, targets, covs, origins, cars)
+    stats = engine.stats
+    # first origin misses for every car, each later origin carries the state
+    assert stats["cache_misses"] == 6
+    assert stats["cache_hits"] == 6 * 3
+    assert stats["cache_carries"] == 6 * 3
+    assert stats["cache_evictions"] == 0
+    assert stats["cache_entries"] == 6
+    # full warm-up once per car, then one incremental step per later origin
+    assert stats["warmup_steps"] == 11 + 3
+
+
+def test_rolling_origin_with_tiny_cache_evicts_and_recovers(workload):
+    model, targets, covs = workload
+    engine = FleetForecaster(model, mode="carry", cache_size=3)
+    cars = list(range(6))
+    origins = [12, 13, 14]
+    _submit_rolling(engine, targets, covs, origins, cars)
+    stats = engine.stats
+    # only 3 of 6 cars fit: the other 3 re-run a full warm-up every origin
+    assert stats["cache_entries"] == 3
+    assert stats["cache_evictions"] == 6 * 3 - 3
+    # every origin after the first still produced finite forecasts and the
+    # cached cars carried (cars 3..5 stay resident under pure LRU order)
+    assert stats["cache_carries"] == 3 * 2
+    assert stats["warmup_steps"] > 11
+
+
+def test_engine_reset_cache_drops_entries_but_keeps_counters(workload):
+    model, targets, covs = workload
+    engine = FleetForecaster(model, mode="carry")
+    _submit_rolling(engine, targets, covs, [12, 13], list(range(3)))
+    assert engine.stats["cache_entries"] == 3
+    hits_before = engine.stats["cache_hits"]
+    engine.reset_cache()
+    assert engine.stats["cache_entries"] == 0
+    assert engine.stats["cache_hits"] == hits_before
+    # resubmitting after the clear re-runs full warm-ups (all misses)
+    _submit_rolling(engine, targets, covs, [14], list(range(3)))
+    assert engine.stats["cache_misses"] >= 6

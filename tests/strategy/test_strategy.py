@@ -134,6 +134,62 @@ def test_strategy_plans_change_the_forecast(data, fitted_ranknet):
 
 
 # ----------------------------------------------------------------------
+# rolling sweeps
+# ----------------------------------------------------------------------
+def test_sweep_returns_one_point_per_origin(data, fitted_ranknet):
+    _, test = data
+    series = test[2]
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=10)
+    origins = [44, 45, 46, 47]
+    points = optimizer.sweep(series, origins, horizon=8, earliest=2, step=3)
+    assert [p.origin for p in points] == origins
+    for point in points:
+        assert point.current_rank == float(series.rank[point.origin])
+        assert [o.pit_in_laps for o in point.outcomes] == [2, 5, 8]
+        best = point.best
+        assert best.expected_final_rank == min(
+            o.expected_final_rank for o in point.outcomes
+        )
+
+
+def test_sweep_shares_warmups_and_carries_states(data, fitted_ranknet):
+    _, test = data
+    series = test[1]
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=8)
+    engine = fitted_ranknet.fleet_engine("carry")
+    engine.reset_cache()
+    before = engine.stats
+    points = optimizer.sweep(series, range(40, 44), horizon=6, step=2)
+    stats = engine.stats
+    # 4 origins x 3 candidates: one unique warm-up per origin, the rest shared
+    assert stats["warmup_unique"] - before["warmup_unique"] == 4
+    assert stats["warmup_shared"] - before["warmup_shared"] == 8
+    # consecutive origins advance the carried state instead of replaying
+    assert stats["cache_carries"] - before["cache_carries"] == 3
+    assert len(points) == 4
+
+
+def test_sweep_with_unsorted_duplicate_origins(data, fitted_ranknet):
+    _, test = data
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=6)
+    points = optimizer.sweep(test[0], [46, 44, 46], horizon=6, step=3)
+    assert [p.origin for p in points] == [44, 46]
+
+
+def test_field_size_derived_from_forecaster(data, fitted_ranknet):
+    # the fixture trains on a 14-car field; the optimizer picks that up
+    optimizer = PitStrategyOptimizer(fitted_ranknet, n_samples=5)
+    assert optimizer.field_size == fitted_ranknet.field_size == 14
+    explicit = PitStrategyOptimizer(fitted_ranknet, n_samples=5, field_size=20)
+    assert explicit.field_size == 20
+    _, test = data
+    samples = optimizer.evaluate_plan(
+        test[0], 40, build_strategy_plan(test[0], 40, 6, [2])
+    )
+    assert samples.max() <= 14.0
+
+
+# ----------------------------------------------------------------------
 # fine-tuning (transfer learning)
 # ----------------------------------------------------------------------
 def test_fine_tune_continues_training_and_keeps_forecasting(data, fitted_ranknet):
