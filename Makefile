@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode smoke-artifacts clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,12 @@ bench-decode:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# cross-process artifact round trip (fit + save, then reload in a new process)
+smoke-artifacts:
+	rm -rf /tmp/repro-artifact-smoke
+	$(PYTHON) -m repro.artifacts.smoke fit --dir /tmp/repro-artifact-smoke
+	$(PYTHON) -m repro.artifacts.smoke check --dir /tmp/repro-artifact-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results

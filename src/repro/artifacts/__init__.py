@@ -1,0 +1,40 @@
+"""Model lifecycle: durable artifacts of fitted forecasters.
+
+The paper's workload is two-phase — train a forecaster once per
+race/configuration, then serve thousands of Monte-Carlo forecasts from it.
+This package provides the durable middle: every forecaster family snapshots
+to a :class:`~repro.models.base.ModelArtifact` (weights, fitted scalers,
+feature config, field size and RNG streams), and the :class:`ArtifactStore`
+registers those snapshots on disk with manifest listing, integrity
+checksums and schema-version guards.  A model loaded from its artifact
+produces *byte-identical* forecasts to the fitted original.
+
+Downstream consumers:
+
+* the experiment runner's ``--artifacts-dir`` flag caches fitted models
+  across experiment processes (:mod:`repro.experiments.common`);
+* :class:`repro.serving.ForecastService` serves any number of named
+  artifacts concurrently with per-model fleet engines and LRU unloading;
+* ``python -m repro.artifacts.smoke`` is the cross-process round-trip
+  check run in CI.
+"""
+
+from .store import (
+    ArtifactError,
+    ArtifactIntegrityError,
+    ArtifactNotFoundError,
+    ArtifactSchemaError,
+    ArtifactStore,
+    config_hash,
+    fingerprint_series,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactIntegrityError",
+    "ArtifactNotFoundError",
+    "ArtifactSchemaError",
+    "ArtifactStore",
+    "config_hash",
+    "fingerprint_series",
+]

@@ -1,0 +1,98 @@
+"""Cross-process artifact round-trip check (used as a CI smoke step).
+
+Two sub-commands, meant to run in *separate* processes::
+
+    python -m repro.artifacts.smoke fit   --dir /tmp/artifacts
+    python -m repro.artifacts.smoke check --dir /tmp/artifacts
+
+``fit`` trains a tiny RankNet on the simulated dataset, registers its
+artifact in the store, and records the model's next forecast as the
+reference payload.  ``check`` — in a fresh interpreter, with no state
+carried over — reloads the artifact, repeats the forecast, and exits
+non-zero unless the samples are byte-identical.  This is the on-disk,
+process-boundary version of the in-process round-trip guarantee gated by
+``tests/models/test_artifacts.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.features import build_race_features
+from ..models import RankNetForecaster
+from ..nn.checkpoint import read_npz, write_npz
+from ..simulation import generate_dataset
+from .store import ArtifactStore, fingerprint_series
+
+ARTIFACT_NAME = "smoke-ranknet"
+REFERENCE_FILE = "smoke-reference.npz"
+
+_FORECAST = {"origin": 25, "horizon": 5, "n_samples": 16}
+
+
+def _series():
+    dataset = generate_dataset(
+        events=["Indy500"], base_seed=3, years_per_event={"Indy500": [2016, 2017, 2018]}
+    )
+    split = dataset.split("Indy500")
+    train = [s for race in split.train for s in build_race_features(race)]
+    test = [s for race in split.test for s in build_race_features(race)] or train
+    return train, test[0]
+
+
+def _fit(store: ArtifactStore) -> int:
+    train, series = _series()
+    model = RankNetForecaster(
+        variant="mlp",
+        encoder_length=12,
+        decoder_length=2,
+        hidden_dim=8,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_train_windows=200,
+        seed=5,
+    )
+    model.fit(train[:6], None)
+    store.save(ARTIFACT_NAME, model.to_artifact(), data_fingerprint=fingerprint_series(train[:6]))
+    forecast = model.forecast(series, **_FORECAST)
+    write_npz(
+        f"{store.root}/{REFERENCE_FILE}",
+        {"samples": forecast.samples},
+        {"forecast": _FORECAST, "race_id": series.race_id, "car_id": series.car_id},
+    )
+    print(f"fitted {ARTIFACT_NAME}: registered in {store.root}, reference saved")
+    return 0
+
+
+def _check(store: ArtifactStore) -> int:
+    _, series = _series()
+    model = store.load_model(ARTIFACT_NAME)
+    reference, meta = read_npz(f"{store.root}/{REFERENCE_FILE}")
+    forecast = model.forecast(series, **meta["forecast"])
+    if not np.array_equal(forecast.samples, reference["samples"]):
+        worst = float(np.max(np.abs(forecast.samples - reference["samples"])))
+        print(f"FAIL: reloaded forecast differs from reference (max abs diff {worst})")
+        return 1
+    print(
+        f"OK: {ARTIFACT_NAME} reloaded in a fresh process reproduces "
+        f"{reference['samples'].shape} forecast samples byte-identically"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Artifact round-trip smoke check")
+    parser.add_argument("command", choices=["fit", "check"])
+    parser.add_argument("--dir", required=True, help="artifact store directory")
+    args = parser.parse_args(argv)
+    store = ArtifactStore(args.dir)
+    return _fit(store) if args.command == "fit" else _check(store)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

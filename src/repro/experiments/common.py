@@ -9,8 +9,10 @@ trains each model at most once.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..artifacts import ArtifactStore, fingerprint_series
 from ..data.features import CarFeatureSeries, build_race_features
 from ..models import (
     ArimaForecaster,
@@ -154,6 +156,16 @@ def build_model(name: str, config: ExperimentConfig) -> RankForecaster:
         raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}") from exc
 
 
+def _artifact_name(
+    model: RankForecaster, fingerprint: str, cache_tag: str
+) -> str:
+    """Store key for a fitted model: family + config hash + data fingerprint."""
+    name = ArtifactStore.key_for(type(model).__name__, model._artifact_config(), fingerprint)
+    if cache_tag:
+        name = f"{name}-{re.sub(r'[^A-Za-z0-9._-]', '-', cache_tag)}"
+    return name
+
+
 def train_model(
     name: str,
     config: ExperimentConfig,
@@ -161,10 +173,29 @@ def train_model(
     val_series: Optional[Sequence[CarFeatureSeries]] = None,
     cache_tag: str = "",
 ) -> RankForecaster:
-    """Build and fit a model, caching the fitted instance per (name, config, tag)."""
+    """Build and fit a model, caching the fitted instance per (name, config, tag).
+
+    With ``config.artifacts_dir`` set, the fitted model is additionally
+    registered in an on-disk :class:`~repro.artifacts.ArtifactStore` keyed
+    by model family, constructor-config hash and training-data fingerprint.
+    Experiments sharing a fitted model — across processes, or across
+    ``runner`` invocations — then load the artifact instead of refitting.
+    """
     key = (name, config.profile, config.encoder_length, config.epochs, cache_tag)
-    if key not in _MODEL_CACHE:
-        model = build_model(name, config)
-        model.fit(list(train_series), list(val_series) if val_series else None)
-        _MODEL_CACHE[key] = model
-    return _MODEL_CACHE[key]
+    if key in _MODEL_CACHE:
+        return _MODEL_CACHE[key]
+    model = build_model(name, config)
+    store = ArtifactStore(config.artifacts_dir) if config.artifacts_dir else None
+    artifact_name, fingerprint = "", ""
+    if store is not None:
+        fingerprint = fingerprint_series(train_series, extra=val_series)
+        artifact_name = _artifact_name(model, fingerprint, cache_tag)
+        if artifact_name in store:
+            model = store.load_model(artifact_name)
+            _MODEL_CACHE[key] = model
+            return model
+    model.fit(list(train_series), list(val_series) if val_series else None)
+    if store is not None:
+        store.save_model(artifact_name, model, data_fingerprint=fingerprint)
+    _MODEL_CACHE[key] = model
+    return model

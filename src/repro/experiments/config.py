@@ -53,6 +53,9 @@ class ExperimentConfig:
     ml_max_instances: int = 8000
     rf_estimators: int = 40
     gbm_estimators: int = 80
+    # artifact caching: when set, fitted models are registered in an
+    # ArtifactStore at this path and later runs load them instead of refitting
+    artifacts_dir: Optional[str] = None
     # misc
     seed: int = 7
 

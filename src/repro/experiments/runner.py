@@ -2,9 +2,16 @@
 
 Usage::
 
+    repro-experiments table5                  # installed console script
     python -m repro.experiments.runner table5
     python -m repro.experiments.runner fig9 --profile full
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner all --artifacts-dir artifacts/
+
+With ``--artifacts-dir`` every fitted model is registered in an on-disk
+:class:`~repro.artifacts.ArtifactStore`; experiments that share a fitted
+model (Table V, Fig. 9, the strategy sweep, ...) — including later runner
+invocations — load the artifact instead of refitting, which turns full
+regenerations from train-every-time into train-once.
 """
 
 from __future__ import annotations
@@ -24,6 +31,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("experiment", help="experiment id (e.g. table5, fig9) or 'all'")
     parser.add_argument("--profile", choices=["quick", "full"], default="quick",
                         help="experiment scale (default: quick)")
+    parser.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                        help="register fitted models in an artifact store at DIR "
+                             "and reuse them instead of refitting")
     parser.add_argument("--list", action="store_true", help="list available experiments and exit")
     args = parser.parse_args(argv)
 
@@ -32,6 +42,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     config = full_config() if args.profile == "full" else quick_config()
+    if args.artifacts_dir:
+        config = config.with_overrides(artifacts_dir=args.artifacts_dir)
     names = list_experiments() if args.experiment == "all" else [args.experiment]
     for name in names:
         result = run_experiment(name, config)

@@ -19,7 +19,14 @@ Transformer-*       yes             yes          oracle / MLP
 """
 
 from .arima import ArimaForecaster, ArimaModel
-from .base import ProbabilisticForecast, RankForecaster, clip_rank
+from .base import (
+    ARTIFACT_SCHEMA_VERSION,
+    DEFAULT_FIELD_SIZE,
+    ModelArtifact,
+    ProbabilisticForecast,
+    RankForecaster,
+    clip_rank,
+)
 from .currank import CurRankForecaster
 from .deep import (
     DeepARForecaster,
@@ -44,7 +51,42 @@ from .ml import (
     rbf_kernel,
 )
 
+#: every forecaster family implementing the artifact protocol, keyed by the
+#: family name recorded in :class:`~repro.models.base.ModelArtifact.family`
+ARTIFACT_FAMILIES = {
+    cls.__name__: cls
+    for cls in (
+        CurRankForecaster,
+        ArimaForecaster,
+        RandomForestForecaster,
+        SVRForecaster,
+        XGBoostForecaster,
+        DeepARForecaster,
+        RankNetForecaster,
+        TransformerForecaster,
+        PitModelMLP,
+    )
+}
+
+
+def from_artifact(artifact: ModelArtifact):
+    """Rebuild a fitted model from any family's :class:`ModelArtifact`."""
+    try:
+        cls = ARTIFACT_FAMILIES[artifact.family]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown artifact family {artifact.family!r}; "
+            f"known: {sorted(ARTIFACT_FAMILIES)}"
+        ) from exc
+    return cls.from_artifact(artifact)
+
+
 __all__ = [
+    "ARTIFACT_FAMILIES",
+    "ARTIFACT_SCHEMA_VERSION",
+    "DEFAULT_FIELD_SIZE",
+    "ModelArtifact",
+    "from_artifact",
     "ArimaForecaster",
     "ArimaModel",
     "ProbabilisticForecast",

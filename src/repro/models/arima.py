@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.features import CarFeatureSeries
+from ..nn.checkpoint import restore_rng, rng_state
 from .base import ProbabilisticForecast, RankForecaster, clip_rank
 
 __all__ = ["ArimaModel", "ArimaForecaster"]
@@ -129,7 +130,32 @@ class ArimaForecaster(RankForecaster):
             raise ValueError("ARIMA order components must be non-negative")
         self.min_history = int(min_history)
         self.max_history = int(max_history)
+        self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # artifact protocol: ARIMA has no global fitted state, but the forecast
+    # noise stream must round-trip for byte-identical samples
+    # ------------------------------------------------------------------
+    def _artifact_config(self) -> dict:
+        return {
+            "order": [self.p, self.d, self.q],
+            "min_history": self.min_history,
+            "max_history": self.max_history,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def _config_from_artifact(cls, config: dict) -> dict:
+        config = dict(config)
+        config["order"] = tuple(config["order"])
+        return config
+
+    def _artifact_state(self):
+        return {"rng": rng_state(self.rng)}, {}
+
+    def _load_artifact_state(self, state, arrays) -> None:
+        restore_rng(self.rng, state["rng"])
 
     # ------------------------------------------------------------------
     def fit(

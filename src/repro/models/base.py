@@ -19,14 +19,25 @@ identical samples.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.features import CarFeatureSeries
+from ..nn.checkpoint import config_hash as _config_hash
 
-__all__ = ["DEFAULT_FIELD_SIZE", "ProbabilisticForecast", "RankForecaster", "clip_rank"]
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DEFAULT_FIELD_SIZE",
+    "ModelArtifact",
+    "ProbabilisticForecast",
+    "RankForecaster",
+    "clip_rank",
+]
+
+#: bump when the artifact layout of any forecaster family changes
+ARTIFACT_SCHEMA_VERSION = 1
 
 #: Indy500 field size (the paper's races start 33 cars).  The single shared
 #: fallback for every rank clip in the code base — the evaluators and the
@@ -39,6 +50,41 @@ DEFAULT_FIELD_SIZE = 33
 def clip_rank(values: np.ndarray, num_cars: int = DEFAULT_FIELD_SIZE) -> np.ndarray:
     """Clip forecasts into the physically valid rank range ``[1, num_cars]``."""
     return np.clip(values, 1.0, float(num_cars))
+
+
+@dataclass
+class ModelArtifact:
+    """Durable snapshot of a fitted forecaster.
+
+    Every forecaster family serialises to the same three-part layout:
+
+    * ``config`` — JSON-safe constructor arguments, sufficient to rebuild an
+      *unfitted* twin of the model;
+    * ``state`` — JSON-safe fitted metadata: ``field_size``, fitted flags,
+      scaler statistics that are scalars, and the RNG stream snapshots that
+      make a restored model's forecasts *byte-identical* to the original's;
+    * ``arrays`` — the dense fitted state (network weights, tree tables,
+      support vectors), keyed by slash-namespaced names.
+
+    Artifacts are plain data: writing/reading them to disk is the job of
+    :mod:`repro.artifacts`, which stores them through the shared npz+meta
+    checkpoint format of :mod:`repro.nn.checkpoint`.
+    """
+
+    family: str
+    config: dict
+    state: dict
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+
+    def config_hash(self) -> str:
+        """Stable short hash of the constructor configuration.
+
+        Delegates to :func:`repro.nn.checkpoint.config_hash`, the same
+        convention the artifact store uses for its cache keys, so manifest
+        records and ``--artifacts-dir`` keys can never drift apart.
+        """
+        return _config_hash(self.config)
 
 
 @dataclass
@@ -143,6 +189,64 @@ class RankForecaster(abc.ABC):
         return self.forecast_fleet(
             [(series, int(o), int(horizon)) for o in origins], n_samples=n_samples
         )
+
+    # ------------------------------------------------------------------
+    # artifact protocol
+    # ------------------------------------------------------------------
+    def _artifact_config(self) -> dict:
+        """JSON-safe constructor arguments rebuilding an unfitted twin."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
+
+    def _artifact_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Fitted state as ``(json_safe_meta, named_arrays)``."""
+        return {}, {}
+
+    def _load_artifact_state(self, state: dict, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore the fitted state produced by :meth:`_artifact_state`."""
+
+    @classmethod
+    def _config_from_artifact(cls, config: dict) -> dict:
+        """Hook converting JSON config values back to constructor types."""
+        return dict(config)
+
+    def to_artifact(self) -> ModelArtifact:
+        """Snapshot this (fitted) forecaster as a :class:`ModelArtifact`.
+
+        The snapshot captures everything forecasting depends on — fitted
+        parameters, scalers, feature configuration, ``field_size`` and the
+        forecast RNG stream — so ``from_artifact(to_artifact(m))`` yields a
+        model whose ``forecast`` output is byte-identical to ``m``'s.
+        """
+        state, arrays = self._artifact_state()
+        state = dict(state)
+        state["field_size"] = self.field_size
+        return ModelArtifact(
+            family=type(self).__name__,
+            config=self._artifact_config(),
+            state=state,
+            arrays=arrays,
+        )
+
+    @classmethod
+    def from_artifact(cls, artifact: ModelArtifact) -> "RankForecaster":
+        """Rebuild a fitted forecaster from a :class:`ModelArtifact`."""
+        if artifact.family != cls.__name__:
+            raise ValueError(
+                f"artifact family {artifact.family!r} does not match {cls.__name__!r}"
+            )
+        if artifact.schema_version > ARTIFACT_SCHEMA_VERSION:
+            raise ValueError(
+                f"artifact schema version {artifact.schema_version} is newer "
+                f"than supported version {ARTIFACT_SCHEMA_VERSION}"
+            )
+        model = cls(**cls._config_from_artifact(artifact.config))
+        state = dict(artifact.state)
+        size = state.pop("field_size", None)
+        model.field_size = None if size is None else int(size)
+        model._load_artifact_state(state, artifact.arrays)
+        return model
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}(name={self.name!r})"

@@ -33,6 +33,9 @@ class CurRankForecaster(RankForecaster):
     ) -> "CurRankForecaster":
         return self
 
+    def _artifact_config(self) -> dict:
+        return {}
+
     def forecast(
         self,
         series: CarFeatureSeries,

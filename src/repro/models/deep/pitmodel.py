@@ -22,7 +22,9 @@ from ...data.features import CarFeatureSeries
 from ...data.schema import ALL_COVARIATES
 from ...data.stints import next_pit_targets
 from ...nn import Adam, GaussianParams, MLP, Module, MultiGaussianOutput, clip_grad_norm
+from ...nn.checkpoint import restore_rng, rng_state
 from ...nn.losses import gaussian_nll
+from ..base import ModelArtifact
 
 __all__ = ["PitModelMLP", "plan_future_covariates"]
 
@@ -72,6 +74,7 @@ class PitModelMLP:
         self.epochs = int(epochs)
         self.batch_size = int(batch_size)
         self.max_horizon = int(max_horizon)
+        self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
         self.net = _PitNet(len(self.FEATURE_NAMES), self.hidden, self.rng)
         self._x_mean: Optional[np.ndarray] = None
@@ -116,6 +119,61 @@ class PitModelMLP:
             self.training_loss_.append(epoch_loss / max(batches, 1))
         self.fitted_ = True
         return self
+
+    # ------------------------------------------------------------------
+    # artifact protocol (mirrors RankForecaster's; also embeddable inside a
+    # RankNet-MLP artifact through the *_parts methods)
+    # ------------------------------------------------------------------
+    def _artifact_config(self) -> dict:
+        return {
+            "hidden": list(self.hidden),
+            "lr": self.lr,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "max_horizon": self.max_horizon,
+            "seed": self.seed,
+        }
+
+    def _artifact_state(self):
+        if not self.fitted_:
+            raise RuntimeError("PitModel must be fit before creating an artifact")
+        arrays = {f"net/{name}": value for name, value in self.net.state_dict().items()}
+        arrays["x_mean"] = self._x_mean
+        arrays["x_std"] = self._x_std
+        return {"rng": rng_state(self.rng)}, arrays
+
+    def _load_artifact_state(self, state: dict, arrays: dict) -> None:
+        prefix = "net/"
+        self.net.load_state_dict(
+            {key[len(prefix) :]: value for key, value in arrays.items() if key.startswith(prefix)}
+        )
+        self._x_mean = np.asarray(arrays["x_mean"], dtype=np.float64)
+        self._x_std = np.asarray(arrays["x_std"], dtype=np.float64)
+        restore_rng(self.rng, state["rng"])
+        self.fitted_ = True
+
+    def to_artifact(self) -> ModelArtifact:
+        state, arrays = self._artifact_state()
+        return ModelArtifact(
+            family=type(self).__name__,
+            config=self._artifact_config(),
+            state=state,
+            arrays=arrays,
+        )
+
+    @classmethod
+    def from_artifact(cls, artifact: ModelArtifact) -> "PitModelMLP":
+        if artifact.family != cls.__name__:
+            raise ValueError(
+                f"artifact family {artifact.family!r} does not match {cls.__name__!r}"
+            )
+        return cls.from_artifact_parts(artifact.config, artifact.state, artifact.arrays)
+
+    @classmethod
+    def from_artifact_parts(cls, config: dict, state: dict, arrays: dict) -> "PitModelMLP":
+        model = cls(**config)
+        model._load_artifact_state(state, arrays)
+        return model
 
     # ------------------------------------------------------------------
     def _features_at(self, series: CarFeatureSeries, origin: int) -> np.ndarray:

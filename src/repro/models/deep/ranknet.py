@@ -20,6 +20,7 @@ the Transformer-backboned versions of Oracle / MLP.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,6 +30,7 @@ from ...data.loader import BatchLoader
 from ...data.schema import ALL_COVARIATES, FeatureSpec
 from ...data.windows import make_windows
 from ...nn import Adam, Trainer, TrainingHistory
+from ...nn.checkpoint import restore_rng, rng_state
 from ...serving.engine import FleetForecaster
 from ...serving.requests import ForecastRequest, spawn_request_rngs
 from ..base import ProbabilisticForecast, RankForecaster, clip_rank
@@ -167,6 +169,50 @@ class DeepForecasterBase(RankForecaster):
 
     def _post_fit(self, train_series: Sequence[CarFeatureSeries]) -> None:
         """Hook for variants that train auxiliary models (e.g. the PitModel)."""
+
+    # ------------------------------------------------------------------
+    # artifact protocol
+    # ------------------------------------------------------------------
+    def _deep_artifact_config(self) -> dict:
+        """Constructor arguments shared by all deep forecaster families."""
+        return {
+            "encoder_length": self.encoder_length,
+            "decoder_length": self.decoder_length,
+            "hidden_dim": self.hidden_dim,
+            "num_layers": self.num_layers,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "rank_change_weight": self.rank_change_weight,
+            "max_train_windows": self.max_train_windows,
+            "window_stride": self.window_stride,
+            "target_dim": self.target_dim,
+            "seed": self.seed,
+            "fleet_mode": self.fleet_mode,
+            "name": self.name,
+        }
+
+    def _artifact_config(self) -> dict:
+        return self._deep_artifact_config()
+
+    def _artifact_state(self):
+        if self.model is None:
+            raise RuntimeError(f"{self.name} must be fit before creating an artifact")
+        arrays = {f"model/{name}": value for name, value in self.model.state_dict().items()}
+        return {"rng": rng_state(self.rng)}, arrays
+
+    def _load_artifact_state(self, state, arrays) -> None:
+        # building the backbone consumes initialisation draws from self.rng;
+        # the stream is restored to its saved position right afterwards, so
+        # the first forecast replays the exact continuation of the original
+        self.model = self._build_model(self.feature_spec.num_covariates)
+        prefix = "model/"
+        self.model.load_state_dict(
+            {key[len(prefix) :]: value for key, value in arrays.items() if key.startswith(prefix)}
+        )
+        restore_rng(self.rng, state["rng"])
+        self._fleet_engines = {}
+        self.model.eval()
 
     def fine_tune(
         self,
@@ -434,6 +480,48 @@ class RankNetForecaster(DeepForecasterBase):
             self.pit_model = PitModelMLP(seed=self.seed)
             self.pit_model.fit(list(train_series))
 
+    # -- artifact protocol: variant + (for MLP) the nested PitModel
+    def _artifact_config(self) -> dict:
+        return {
+            "variant": self.variant,
+            "pit_plans_per_forecast": self.pit_plans_per_forecast,
+            "feature_spec": asdict(self.feature_spec),
+            **self._deep_artifact_config(),
+        }
+
+    @classmethod
+    def _config_from_artifact(cls, config: dict) -> dict:
+        config = dict(config)
+        if config.get("feature_spec") is not None:
+            config["feature_spec"] = FeatureSpec(**config["feature_spec"])
+        return config
+
+    def _artifact_state(self):
+        state, arrays = super()._artifact_state()
+        if self.pit_model is not None:
+            pit_state, pit_arrays = self.pit_model._artifact_state()
+            state["pit_model"] = {
+                "config": self.pit_model._artifact_config(),
+                "state": pit_state,
+            }
+            arrays.update({f"pit/{key}": value for key, value in pit_arrays.items()})
+        return state, arrays
+
+    def _load_artifact_state(self, state, arrays) -> None:
+        state = dict(state)
+        pit = state.pop("pit_model", None)
+        super()._load_artifact_state(state, arrays)
+        if pit is not None:
+            prefix = "pit/"
+            pit_arrays = {
+                key[len(prefix) :]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            self.pit_model = PitModelMLP.from_artifact_parts(
+                pit["config"], pit["state"], pit_arrays
+            )
+
     def _target_history_matrix(self, series, origin, history_target):
         if self.variant != "joint":
             return history_target
@@ -573,6 +661,16 @@ class TransformerForecaster(RankNetForecaster):
         self.d_ff = int(d_ff)
         self.num_encoder_layers = int(num_encoder_layers)
         self.num_decoder_layers = int(num_decoder_layers)
+
+    def _artifact_config(self) -> dict:
+        return {
+            "d_model": self.d_model,
+            "num_heads": self.num_heads,
+            "d_ff": self.d_ff,
+            "num_encoder_layers": self.num_encoder_layers,
+            "num_decoder_layers": self.num_decoder_layers,
+            **super()._artifact_config(),
+        }
 
     def _build_model(self, num_covariates: int):
         return TransformerSeqModel(

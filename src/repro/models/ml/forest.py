@@ -67,3 +67,27 @@ class RandomForestRegressor:
             raise RuntimeError("forest must be fit before predicting")
         preds = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
         return preds.std(axis=0)
+
+    # ------------------------------------------------------------------
+    # artifact (de)serialisation
+    # ------------------------------------------------------------------
+    def artifact_state(self) -> tuple:
+        """Fitted state as ``(json_safe_meta, named_arrays)``."""
+        if not self.trees_:
+            raise RuntimeError("forest must be fit before serialising")
+        arrays = {f"tree/{i}": tree.to_node_array() for i, tree in enumerate(self.trees_)}
+        return {"n_trees": len(self.trees_), "n_features": self.trees_[0].n_features_}, arrays
+
+    def load_artifact_state(self, meta: dict, arrays: dict) -> "RandomForestRegressor":
+        n_features = int(meta["n_features"])
+        self.trees_ = []
+        for i in range(int(meta["n_trees"])):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=self.rng,
+            )
+            tree.load_node_array(arrays[f"tree/{i}"], n_features)
+            self.trees_.append(tree)
+        return self

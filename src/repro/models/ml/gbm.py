@@ -108,3 +108,32 @@ class GradientBoostingRegressor:
     @property
     def n_trees_(self) -> int:
         return len(self.trees_)
+
+    # ------------------------------------------------------------------
+    # artifact (de)serialisation
+    # ------------------------------------------------------------------
+    def artifact_state(self) -> tuple:
+        """Fitted state as ``(json_safe_meta, named_arrays)``."""
+        if not self.trees_:
+            raise RuntimeError("model must be fit before serialising")
+        arrays = {f"tree/{i}": tree.to_node_array() for i, tree in enumerate(self.trees_)}
+        meta = {
+            "n_trees": len(self.trees_),
+            "n_features": self.trees_[0].n_features_,
+            "init": self.init_,
+        }
+        return meta, arrays
+
+    def load_artifact_state(self, meta: dict, arrays: dict) -> "GradientBoostingRegressor":
+        n_features = int(meta["n_features"])
+        self.init_ = float(meta["init"])
+        self.trees_ = []
+        for i in range(int(meta["n_trees"])):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=self.rng,
+            )
+            tree.load_node_array(arrays[f"tree/{i}"], n_features)
+            self.trees_.append(tree)
+        return self

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ...data.features import CarFeatureSeries
+from ...nn.checkpoint import restore_rng, rng_state
 from ..base import ProbabilisticForecast, RankForecaster, clip_rank
 from .forest import RandomForestRegressor
 from .gbm import GradientBoostingRegressor
@@ -121,6 +122,34 @@ class PointwiseMLForecaster(RankForecaster):
         self.fitted_ = True
         return self
 
+    # ------------------------------------------------------------------
+    # artifact protocol (shared by the three regressor wrappers)
+    # ------------------------------------------------------------------
+    def _base_artifact_config(self) -> dict:
+        return {
+            "train_horizons": list(self.train_horizons),
+            "origin_stride": self.origin_stride,
+            "min_history": self.min_history,
+            "max_instances": self.max_instances,
+        }
+
+    def _artifact_state(self):
+        if not self.fitted_:
+            raise RuntimeError(f"{self.name} must be fit before creating an artifact")
+        reg_meta, reg_arrays = self.regressor.artifact_state()
+        state = {"regressor": reg_meta, "rng": rng_state(self.rng)}
+        arrays = {f"regressor/{key}": value for key, value in reg_arrays.items()}
+        return state, arrays
+
+    def _load_artifact_state(self, state, arrays) -> None:
+        prefix = "regressor/"
+        reg_arrays = {
+            key[len(prefix) :]: value for key, value in arrays.items() if key.startswith(prefix)
+        }
+        self.regressor.load_artifact_state(state["regressor"], reg_arrays)
+        restore_rng(self.rng, state["rng"])
+        self.fitted_ = True
+
     def forecast(
         self,
         series: CarFeatureSeries,
@@ -156,6 +185,15 @@ class RandomForestForecaster(PointwiseMLForecaster):
             rng=seed,
             **kwargs,
         )
+        self.seed = int(seed)
+
+    def _artifact_config(self) -> dict:
+        return {
+            "n_estimators": self.regressor.n_estimators,
+            "max_depth": self.regressor.max_depth,
+            "seed": self.seed,
+            **self._base_artifact_config(),
+        }
 
 
 class SVRForecaster(PointwiseMLForecaster):
@@ -168,6 +206,15 @@ class SVRForecaster(PointwiseMLForecaster):
             rng=seed,
             **kwargs,
         )
+        self.seed = int(seed)
+
+    def _artifact_config(self) -> dict:
+        return {
+            "C": self.regressor.C,
+            "epsilon": self.regressor.epsilon,
+            "seed": self.seed,
+            **self._base_artifact_config(),
+        }
 
 
 class XGBoostForecaster(PointwiseMLForecaster):
@@ -186,3 +233,13 @@ class XGBoostForecaster(PointwiseMLForecaster):
             rng=seed,
             **kwargs,
         )
+        self.seed = int(seed)
+
+    def _artifact_config(self) -> dict:
+        return {
+            "n_estimators": self.regressor.n_estimators,
+            "learning_rate": self.regressor.learning_rate,
+            "max_depth": self.regressor.max_depth,
+            "seed": self.seed,
+            **self._base_artifact_config(),
+        }

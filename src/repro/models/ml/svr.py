@@ -135,3 +135,29 @@ class SVR:
         if self.alpha_ is None:
             return 0.0
         return float(np.mean(np.abs(self.alpha_) > 1e-6))
+
+    # ------------------------------------------------------------------
+    # artifact (de)serialisation
+    # ------------------------------------------------------------------
+    def artifact_state(self) -> tuple:
+        """Fitted state as ``(json_safe_meta, named_arrays)``."""
+        if self.X_ is None or self.alpha_ is None:
+            raise RuntimeError("SVR must be fit before serialising")
+        arrays = {
+            "X": self.X_,
+            "alpha": self.alpha_,
+            "x_mean": self._x_mean,
+            "x_std": self._x_std,
+        }
+        meta = {"b": self.b_, "y_mean": self._y_mean, "y_std": self._y_std}
+        return meta, arrays
+
+    def load_artifact_state(self, meta: dict, arrays: dict) -> "SVR":
+        self.X_ = np.asarray(arrays["X"], dtype=np.float64)
+        self.alpha_ = np.asarray(arrays["alpha"], dtype=np.float64)
+        self._x_mean = np.asarray(arrays["x_mean"], dtype=np.float64)
+        self._x_std = np.asarray(arrays["x_std"], dtype=np.float64)
+        self.b_ = float(meta["b"])
+        self._y_mean = float(meta["y_mean"])
+        self._y_std = float(meta["y_std"])
+        return self

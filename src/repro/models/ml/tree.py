@@ -145,6 +145,57 @@ class DecisionTreeRegressor:
             out[i] = node.value
         return out
 
+    # ------------------------------------------------------------------
+    # array (de)serialisation — used by the model-artifact layer
+    # ------------------------------------------------------------------
+    def to_node_array(self) -> np.ndarray:
+        """Flatten the fitted tree to a ``(n_nodes, 6)`` float table.
+
+        Rows are ``[feature, threshold, left, right, value, n_samples]`` in
+        pre-order; ``left``/``right`` are row indices (-1 for leaves).  The
+        table rebuilds the exact same tree via :meth:`load_node_array`, so
+        predictions round-trip bit-identically.
+        """
+        if self.root_ is None:
+            raise RuntimeError("tree must be fit before serialising")
+        rows: list = []
+
+        def visit(node: _Node) -> int:
+            index = len(rows)
+            rows.append(
+                [float(node.feature), node.threshold, -1.0, -1.0, node.value, float(node.n_samples)]
+            )
+            if not node.is_leaf:
+                rows[index][2] = float(visit(node.left))
+                rows[index][3] = float(visit(node.right))
+            return index
+
+        visit(self.root_)
+        return np.asarray(rows, dtype=np.float64)
+
+    def load_node_array(self, nodes: np.ndarray, n_features: int) -> "DecisionTreeRegressor":
+        """Restore the fitted tree from a :meth:`to_node_array` table."""
+        nodes = np.asarray(nodes, dtype=np.float64)
+        if nodes.ndim != 2 or nodes.shape[1] != 6 or nodes.shape[0] < 1:
+            raise ValueError(f"expected an (n_nodes, 6) node table, got {nodes.shape}")
+
+        def build(index: int) -> _Node:
+            feature, threshold, left, right, value, n_samples = nodes[index]
+            node = _Node(
+                feature=int(feature),
+                threshold=float(threshold),
+                value=float(value),
+                n_samples=int(n_samples),
+            )
+            if left >= 0:
+                node.left = build(int(left))
+                node.right = build(int(right))
+            return node
+
+        self.root_ = build(0)
+        self.n_features_ = int(n_features)
+        return self
+
     def depth(self) -> int:
         def _d(node: Optional[_Node]) -> int:
             if node is None or node.is_leaf:

@@ -18,6 +18,16 @@ from .activations import (
     softplus,
     tanh,
 )
+from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    load_checkpoint,
+    read_npz,
+    restore_rng,
+    rng_from_state,
+    rng_state,
+    save_checkpoint,
+    write_npz,
+)
 from .attention import (
     MultiHeadAttention,
     PositionwiseFeedForward,
@@ -59,6 +69,14 @@ from .schedulers import EarlyStopping, ReduceLROnPlateau, StepDecay
 from .trainer import Trainer, TrainingHistory
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "load_checkpoint",
+    "read_npz",
+    "restore_rng",
+    "rng_from_state",
+    "rng_state",
+    "save_checkpoint",
+    "write_npz",
     "Activation",
     "get_activation",
     "identity",

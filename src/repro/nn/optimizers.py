@@ -34,7 +34,13 @@ def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base class holding a parameter list and the current learning rate."""
+    """Base class holding a parameter list and the current learning rate.
+
+    Optimizers expose ``state_dict``/``load_state_dict`` so an interrupted
+    training run can resume bit-exactly: the scalar hyper-state goes into a
+    JSON-safe dict and the per-parameter buffers (e.g. the ADAM moments)
+    into a list of arrays aligned with the optimizer's parameter order.
+    """
 
     def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
         self.parameters: List[Parameter] = list(parameters)
@@ -52,6 +58,46 @@ class Optimizer:
     def set_lr(self, lr: float) -> None:
         self.lr = float(lr)
 
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def _slot_names(self) -> List[str]:
+        """Names of the per-parameter buffer groups (e.g. ``["m", "v"]``)."""
+        return []
+
+    def _get_slot(self, name: str, param: Parameter) -> np.ndarray:
+        raise KeyError(name)  # pragma: no cover - overridden with slots
+
+    def _set_slot(self, name: str, param: Parameter, value: np.ndarray) -> None:
+        raise KeyError(name)  # pragma: no cover - overridden with slots
+
+    def state_dict(self) -> Dict:
+        """JSON-safe scalars plus per-parameter buffers (parameter order)."""
+        slots = {
+            name: [self._get_slot(name, p).copy() for p in self.parameters]
+            for name in self._slot_names()
+        }
+        return {"lr": self.lr, "slots": slots}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state["lr"])
+        for name, buffers in state.get("slots", {}).items():
+            if name not in self._slot_names():
+                raise KeyError(f"unknown optimizer slot {name!r}")
+            if len(buffers) != len(self.parameters):
+                raise ValueError(
+                    f"slot {name!r} has {len(buffers)} buffers for "
+                    f"{len(self.parameters)} parameters"
+                )
+            for p, value in zip(self.parameters, buffers):
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != p.data.shape:
+                    raise ValueError(
+                        f"slot {name!r} shape mismatch: expected {p.data.shape}, "
+                        f"got {value.shape}"
+                    )
+                self._set_slot(name, p, value.copy())
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -67,6 +113,16 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def _slot_names(self) -> List[str]:
+        return ["velocity"] if self.momentum > 0.0 else []
+
+    def _get_slot(self, name: str, param: Parameter) -> np.ndarray:
+        v = self._velocity.get(id(param))
+        return v if v is not None else np.zeros_like(param.data)
+
+    def _set_slot(self, name: str, param: Parameter, value: np.ndarray) -> None:
+        self._velocity[id(param)] = value
 
     def step(self) -> None:
         for p in self.parameters:
@@ -104,6 +160,27 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _slot_names(self) -> List[str]:
+        return ["m", "v"]
+
+    def _get_slot(self, name: str, param: Parameter) -> np.ndarray:
+        store = self._m if name == "m" else self._v
+        value = store.get(id(param))
+        return value if value is not None else np.zeros_like(param.data)
+
+    def _set_slot(self, name: str, param: Parameter, value: np.ndarray) -> None:
+        store = self._m if name == "m" else self._v
+        store[id(param)] = value
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._t = int(state.get("t", 0))
 
     def step(self) -> None:
         self._t += 1

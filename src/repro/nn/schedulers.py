@@ -33,6 +33,12 @@ class StepDecay:
             self.optimizer.set_lr(self.optimizer.lr * self.gamma)
         return self.optimizer.lr
 
+    def state_dict(self) -> dict:
+        return {"epoch": self.epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+
 
 class ReduceLROnPlateau:
     """Decay the learning rate when the monitored metric stops improving."""
@@ -72,6 +78,13 @@ class ReduceLROnPlateau:
     def at_min_lr(self) -> bool:
         return self.optimizer.lr <= self.min_lr * (1.0 + 1e-9)
 
+    def state_dict(self) -> dict:
+        return {"best": self.best, "num_bad_epochs": self.num_bad_epochs}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = None if state["best"] is None else float(state["best"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])
+
 
 class EarlyStopping:
     """Stop training when the validation metric has not improved for ``patience`` epochs."""
@@ -98,3 +111,17 @@ class EarlyStopping:
     @property
     def should_stop(self) -> bool:
         return self.num_bad_epochs >= self.patience
+
+    def state_dict(self) -> dict:
+        return {
+            "best": self.best,
+            "best_epoch": self.best_epoch,
+            "num_bad_epochs": self.num_bad_epochs,
+            "epoch": self._epoch,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = None if state["best"] is None else float(state["best"])
+        self.best_epoch = int(state["best_epoch"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])
+        self._epoch = int(state["epoch"])

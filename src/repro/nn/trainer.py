@@ -13,11 +13,13 @@ validation loss.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Protocol
 
 import numpy as np
 
+from .checkpoint import load_checkpoint, save_checkpoint
 from .module import Module
 from .optimizers import Adam, Optimizer, clip_grad_norm
 from .schedulers import EarlyStopping, ReduceLROnPlateau
@@ -59,7 +61,19 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Mini-batch trainer with validation-driven LR decay and early stopping."""
+    """Mini-batch trainer with validation-driven LR decay and early stopping.
+
+    When ``checkpoint_dir`` is set, the full training state — model weights,
+    ADAM moments and step count, scheduler / early-stopping counters, the
+    best-so-far weights and (optionally) the data-order RNG stream — is
+    snapshotted to ``<checkpoint_dir>/trainer.npz`` after every
+    ``checkpoint_every``-th epoch.  A later run constructed with
+    ``resume=True`` picks up from the last completed epoch and reproduces
+    the uninterrupted run bit-exactly, provided the batch streams draw their
+    shuffling randomness from the generator passed as ``checkpoint_rng``.
+    """
+
+    CHECKPOINT_NAME = "trainer.npz"
 
     def __init__(
         self,
@@ -75,6 +89,10 @@ class Trainer:
         restore_best: bool = True,
         verbose: bool = False,
         callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        checkpoint_rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
@@ -87,6 +105,82 @@ class Trainer:
         self.restore_best = bool(restore_best)
         self.verbose = bool(verbose)
         self.callback = callback
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = bool(resume)
+        self.checkpoint_every = max(int(checkpoint_every), 1)
+        self.checkpoint_rng = checkpoint_rng
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(self.checkpoint_dir, self.CHECKPOINT_NAME)
+
+    def _save_checkpoint(
+        self,
+        next_epoch: int,
+        history: TrainingHistory,
+        best_state: Optional[Dict[str, np.ndarray]],
+    ) -> None:
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        extra: Dict[str, np.ndarray] = {
+            "history/train_loss": np.asarray(history.train_loss, dtype=np.float64),
+            "history/val_loss": np.asarray(history.val_loss, dtype=np.float64),
+            "history/learning_rate": np.asarray(history.learning_rate, dtype=np.float64),
+            "history/grad_norm": np.asarray(history.grad_norm, dtype=np.float64),
+        }
+        if best_state is not None:
+            for name, value in best_state.items():
+                extra[f"best/{name}"] = value
+        save_checkpoint(
+            self.checkpoint_path,
+            model=self.model if isinstance(self.model, Module) else None,
+            optimizer=self.optimizer,
+            scheduler=self.scheduler,
+            early_stopping=self.early_stopping,
+            rng=self.checkpoint_rng,
+            extra_arrays=extra,
+            meta={
+                "next_epoch": int(next_epoch),
+                "best_epoch": int(history.best_epoch),
+                "best_val_loss": float(history.best_val_loss),
+                "stopped_early": bool(history.stopped_early),
+                "has_best": best_state is not None,
+            },
+        )
+
+    def _load_checkpoint(self, history: TrainingHistory):
+        """Restore trainer state in place; returns ``(next_epoch, best_state)``."""
+        loaded = load_checkpoint(
+            self.checkpoint_path,
+            model=self.model if isinstance(self.model, Module) else None,
+            optimizer=self.optimizer,
+            scheduler=self.scheduler,
+            early_stopping=self.early_stopping,
+            rng=self.checkpoint_rng,
+        )
+        meta, extra = loaded["meta"], loaded["arrays"]
+        history.train_loss[:] = [float(x) for x in extra["history/train_loss"]]
+        history.val_loss[:] = [float(x) for x in extra["history/val_loss"]]
+        history.learning_rate[:] = [float(x) for x in extra["history/learning_rate"]]
+        history.grad_norm[:] = [float(x) for x in extra["history/grad_norm"]]
+        history.best_epoch = int(meta["best_epoch"])
+        history.best_val_loss = float(meta["best_val_loss"])
+        history.stopped_early = bool(meta["stopped_early"])
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        if meta.get("has_best"):
+            prefix = "best/"
+            best_state = {
+                key[len(prefix) :]: value
+                for key, value in extra.items()
+                if key.startswith(prefix)
+            }
+        return int(meta["next_epoch"]), best_state
 
     def fit(
         self,
@@ -104,8 +198,13 @@ class Trainer:
         """
         history = TrainingHistory()
         best_state: Optional[Dict[str, np.ndarray]] = None
+        start_epoch = 0
+        if self.resume and self.checkpoint_path and os.path.exists(self.checkpoint_path):
+            start_epoch, best_state = self._load_checkpoint(history)
 
-        for epoch in range(self.max_epochs):
+        for epoch in range(start_epoch, self.max_epochs):
+            if history.stopped_early:
+                break
             self.model.train(True)
             epoch_losses: List[float] = []
             epoch_norms: List[float] = []
@@ -148,6 +247,13 @@ class Trainer:
                 )
             if self.early_stopping.step(val_loss):
                 history.stopped_early = True
+            if self.checkpoint_dir is not None and (
+                history.stopped_early
+                or (epoch + 1) % self.checkpoint_every == 0
+                or epoch + 1 == self.max_epochs
+            ):
+                self._save_checkpoint(epoch + 1, history, best_state)
+            if history.stopped_early:
                 break
 
         if self.restore_best and best_state is not None and isinstance(self.model, Module):

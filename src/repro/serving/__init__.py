@@ -16,7 +16,13 @@ This sub-package batches that workload:
   caches warm-up states per car so consecutive origins advance the state
   incrementally instead of re-running teacher forcing from lap 0;
 * :class:`~repro.serving.cache.WarmupStateCache` holds those per-car
-  recurrent states.
+  recurrent states;
+* :class:`~repro.serving.service.ForecastService` manages *many* served
+  models at once: named artifacts from an
+  :class:`~repro.artifacts.ArtifactStore` are loaded on demand (LRU-bounded
+  by a capacity knob), each with its own fleet engine, and batches of
+  :class:`~repro.serving.requests.NamedForecastRequest` are routed to the
+  right engine per model.
 
 For the recurrent backbones (LSTM/GRU), a fleet-batched forecast is
 byte-identical to the same forecasts computed one car at a time given
@@ -30,11 +36,15 @@ only to floating-point tolerance.
 
 from .cache import WarmupStateCache
 from .engine import FleetForecaster
-from .requests import ForecastRequest, spawn_request_rngs
+from .requests import ForecastRequest, NamedForecastRequest, spawn_request_rngs
+from .service import ForecastService, ModelHandle
 
 __all__ = [
     "FleetForecaster",
     "ForecastRequest",
+    "ForecastService",
+    "ModelHandle",
+    "NamedForecastRequest",
     "WarmupStateCache",
     "spawn_request_rngs",
 ]

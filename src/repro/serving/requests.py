@@ -7,7 +7,7 @@ from typing import Hashable, List, Optional
 
 import numpy as np
 
-__all__ = ["ForecastRequest", "spawn_request_rngs"]
+__all__ = ["ForecastRequest", "NamedForecastRequest", "spawn_request_rngs"]
 
 
 @dataclass
@@ -96,6 +96,27 @@ class ForecastRequest:
         if self.key is not None and self.origin is not None:
             return (self.key, self.origin, self.length)
         return id(self)
+
+
+@dataclass
+class NamedForecastRequest:
+    """A :class:`ForecastRequest` addressed to a named served model.
+
+    The :class:`~repro.serving.service.ForecastService` routes batches of
+    these: requests naming the same model are grouped and dispatched to
+    that model's fleet engine in one submit, so a mixed-model batch costs
+    one engine pass per distinct model rather than one per request.
+    """
+
+    model: str
+    request: ForecastRequest
+
+    def __post_init__(self) -> None:
+        self.model = str(self.model)
+        if not isinstance(self.request, ForecastRequest):
+            raise TypeError(
+                f"request must be a ForecastRequest, got {type(self.request).__name__}"
+            )
 
 
 def spawn_request_rngs(root: np.random.Generator, n: int) -> List[np.random.Generator]:

@@ -1,0 +1,177 @@
+"""Multi-model serving front-end over the artifact registry.
+
+:class:`ForecastService` is the model manager of the serving layer, in the
+style of OpenNMT-py's translation server: models live on disk as named
+artifacts (:class:`~repro.artifacts.ArtifactStore`), ``load(name)`` brings
+one into memory and hands back a :class:`ModelHandle`, and each loaded
+model owns its :class:`~repro.serving.engine.FleetForecaster` so that
+concurrent workloads over different models never share warm-up caches.
+
+Memory is bounded by a capacity knob: the service keeps at most
+``capacity`` models resident and unloads the least-recently-used one when
+a load would exceed it.  Because fitted models are durable artifacts, an
+evicted model costs one disk read to bring back — not a refit.
+
+Batches of :class:`~repro.serving.requests.NamedForecastRequest` are
+routed per model: requests naming the same model are grouped and submitted
+to its fleet engine together (one batched engine pass per distinct model),
+and the results come back in submission order.  Routing through the
+engines preserves the fleet guarantees — given per-request RNG streams,
+the routed results are byte-identical to submitting each request directly
+to its model's engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..artifacts import ArtifactStore
+from .engine import FleetForecaster
+from .requests import NamedForecastRequest
+
+__all__ = ["ForecastService", "ModelHandle"]
+
+
+@dataclass
+class ModelHandle:
+    """A resident served model: the forecaster plus its manifest record."""
+
+    name: str
+    forecaster: object
+    entry: dict = field(default_factory=dict)
+
+    @property
+    def family(self) -> str:
+        return str(self.entry.get("family", type(self.forecaster).__name__))
+
+    def engine(self, mode: Optional[str] = None) -> FleetForecaster:
+        """The model's fleet engine (deep forecaster families only)."""
+        fleet_engine = getattr(self.forecaster, "fleet_engine", None)
+        if fleet_engine is None:
+            raise TypeError(
+                f"model {self.name!r} ({self.family}) has no fleet engine; "
+                "use forecast()/forecast_fleet() for non-deep families"
+            )
+        return fleet_engine(mode) if mode is not None else fleet_engine()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ModelHandle(name={self.name!r}, family={self.family!r})"
+
+
+class ForecastService:
+    """LRU-bounded manager serving forecasts from named model artifacts."""
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str],
+        capacity: int = 4,
+        mode: str = "exact",
+        verify: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.capacity = int(capacity)
+        self.mode = mode
+        self.verify = bool(verify)
+        self._resident: "OrderedDict[str, ModelHandle]" = OrderedDict()
+        self._stats: Dict[str, int] = {"loads": 0, "hits": 0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    def load(self, name: str) -> ModelHandle:
+        """Return a handle to the named model, reading it from disk if needed.
+
+        A resident model is promoted to most-recently-used; loading beyond
+        ``capacity`` unloads the least-recently-used model first.
+        """
+        handle = self._resident.get(name)
+        if handle is not None:
+            self._resident.move_to_end(name)
+            self._stats["hits"] += 1
+            return handle
+        forecaster = self.store.load_model(name, verify=self.verify)
+        handle = ModelHandle(
+            name=name,
+            forecaster=forecaster,
+            entry=self.store.entry(name),
+        )
+        self._resident[name] = handle
+        self._stats["loads"] += 1
+        while len(self._resident) > self.capacity:
+            evicted, _ = self._resident.popitem(last=False)
+            self._stats["evictions"] += 1
+        return handle
+
+    def unload(self, name: str) -> bool:
+        """Drop the named model from memory; returns whether it was resident."""
+        return self._resident.pop(name, None) is not None
+
+    def loaded(self) -> List[str]:
+        """Resident model names, least-recently-used first."""
+        return list(self._resident)
+
+    def available(self) -> List[str]:
+        """Every artifact name the underlying store can serve."""
+        return self.store.names()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # forecasting
+    # ------------------------------------------------------------------
+    def forecast(self, name: str, series, origin: int, horizon: int, n_samples: int = 100):
+        """Single forecast through the named model (any family)."""
+        return self.load(name).forecaster.forecast(
+            series, int(origin), int(horizon), n_samples=n_samples
+        )
+
+    def forecast_fleet(self, name: str, tasks: Sequence[Tuple], n_samples: int = 100):
+        """Batched ``(series, origin, horizon)`` forecasts through one model."""
+        return self.load(name).forecaster.forecast_fleet(tasks, n_samples=n_samples)
+
+    def submit(self, requests: Sequence[NamedForecastRequest]) -> List[np.ndarray]:
+        """Route a mixed-model batch of named requests to the fleet engines.
+
+        Requests are grouped by model name (one engine submit per distinct
+        model); the returned sample arrays line up with the submission
+        order.  All named models are loaded first — so a batch naming more
+        distinct models than ``capacity`` raises rather than thrashing the
+        LRU mid-flight.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        order: "OrderedDict[str, List[int]]" = OrderedDict()
+        for i, named in enumerate(requests):
+            if not isinstance(named, NamedForecastRequest):
+                raise TypeError(
+                    f"submit expects NamedForecastRequest, got {type(named).__name__}"
+                )
+            order.setdefault(named.model, []).append(i)
+        if len(order) > self.capacity:
+            raise ValueError(
+                f"batch names {len(order)} distinct models, capacity is "
+                f"{self.capacity}; raise the capacity or split the batch"
+            )
+        handles = {name: self.load(name) for name in order}
+        outputs: List[Optional[np.ndarray]] = [None] * len(requests)
+        for name, indices in order.items():
+            engine = handles[name].engine(self.mode)
+            results = engine.submit([requests[i].request for i in indices])
+            for i, samples in zip(indices, results):
+                outputs[i] = samples
+        return outputs  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ForecastService(root={self.store.root!r}, "
+            f"resident={self.loaded()}, capacity={self.capacity})"
+        )

@@ -1,22 +1,32 @@
-"""Race telemetry container and the on-disk log format.
+"""Race telemetry container and the on-disk log formats.
 
 The real IndyCar timing & scoring system broadcasts per-section records over
 a local network; the paper consumes per-lap records with the columns shown
 in Fig. 1(a): ``Rank, CarId, Lap, LapTime, TimeBehindLeader, LapStatus,
 TrackStatus``.  :class:`RaceTelemetry` stores exactly those columns (plus
 the cumulative elapsed time) in a columnar layout convenient for the NumPy
-feature pipeline, and provides the CSV-style log reader/writer used by the
-examples and tests.
+feature pipeline.
+
+Two on-disk formats are supported:
+
+* :meth:`RaceTelemetry.save` / :meth:`RaceTelemetry.load` — the binary
+  npz+meta checkpoint format shared with the model-artifact layer
+  (:mod:`repro.nn.checkpoint`): one array per column plus a JSON meta
+  record carrying event, year and the full :class:`TrackSpec`;
+* :meth:`RaceTelemetry.save_csv` / :meth:`RaceTelemetry.from_csv` — the
+  human-readable textual log of Fig. 1(a), kept for the examples and for
+  interchange.  :meth:`load` sniffs the file magic and reads either.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..nn.checkpoint import read_npz, write_npz
 from .track import TrackSpec, track_for_year
 
 __all__ = ["LapRecord", "CarLaps", "RaceTelemetry"]
@@ -205,7 +215,35 @@ class RaceTelemetry:
             )
         return "\n".join(lines) + "\n"
 
+    #: columnar arrays written to / read from the npz payload
+    _COLUMNS = (
+        "car_id",
+        "lap",
+        "rank",
+        "lap_time",
+        "elapsed_time",
+        "time_behind_leader",
+        "is_pit",
+        "is_caution",
+    )
+    _NPZ_SCHEMA_VERSION = 1
+
     def save(self, path: str) -> None:
+        """Write the race as an npz+meta checkpoint (the durable format)."""
+        write_npz(
+            path,
+            {column: getattr(self, column) for column in self._COLUMNS},
+            {
+                "kind": "race-telemetry",
+                "schema_version": self._NPZ_SCHEMA_VERSION,
+                "event": self.event,
+                "year": self.year,
+                "track": asdict(self.track),
+            },
+        )
+
+    def save_csv(self, path: str) -> None:
+        """Write the race in the textual log format (Fig. 1(a))."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(f"# event={self.event} year={self.year}\n")
             fh.write(self.to_csv())
@@ -243,7 +281,43 @@ class RaceTelemetry:
         return cls(event=event, year=year, track=track, records=records)
 
     @classmethod
+    def _from_npz(cls, path: str) -> "RaceTelemetry":
+        arrays, meta = read_npz(path)
+        if meta.get("kind") != "race-telemetry":
+            raise ValueError(f"{path!r} is not a race-telemetry checkpoint")
+        version = int(meta.get("schema_version", 0))
+        if version > cls._NPZ_SCHEMA_VERSION:
+            raise ValueError(
+                f"telemetry schema version {version} is newer than supported "
+                f"version {cls._NPZ_SCHEMA_VERSION}"
+            )
+        records = [
+            LapRecord(
+                car_id=int(arrays["car_id"][i]),
+                lap=int(arrays["lap"][i]),
+                rank=int(arrays["rank"][i]),
+                lap_time=float(arrays["lap_time"][i]),
+                elapsed_time=float(arrays["elapsed_time"][i]),
+                time_behind_leader=float(arrays["time_behind_leader"][i]),
+                is_pit=bool(arrays["is_pit"][i]),
+                is_caution=bool(arrays["is_caution"][i]),
+            )
+            for i in range(arrays["car_id"].shape[0])
+        ]
+        return cls(
+            event=meta["event"],
+            year=int(meta["year"]),
+            track=TrackSpec(**meta["track"]),
+            records=records,
+        )
+
+    @classmethod
     def load(cls, path: str) -> "RaceTelemetry":
+        """Read a race from disk, sniffing npz (zip magic) vs. textual log."""
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+        if magic.startswith(b"PK"):
+            return cls._from_npz(path)
         with open(path, "r", encoding="utf-8") as fh:
             first = fh.readline().strip()
             rest = fh.read()

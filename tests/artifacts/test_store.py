@@ -1,0 +1,152 @@
+"""Tests for the on-disk ArtifactStore: manifest, integrity, schema guards."""
+
+import json
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    ArtifactIntegrityError,
+    ArtifactNotFoundError,
+    ArtifactSchemaError,
+    ArtifactStore,
+    config_hash,
+    fingerprint_series,
+)
+from repro.data import build_race_features
+from repro.models import ArimaForecaster, CurRankForecaster
+from repro.nn.checkpoint import read_npz, write_npz
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    track = replace(track_for_year("Iowa", 2018), total_laps=60, num_cars=8)
+    race = RaceSimulator(track, event="Iowa", year=2018, seed=4).run()
+    return build_race_features(race)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+def test_save_load_round_trip_and_manifest(store, tiny_series):
+    model = ArimaForecaster(seed=2).fit(tiny_series[:3])
+    entry = store.save_model("arima-main", model, data_fingerprint="abc123")
+    assert entry["family"] == "ArimaForecaster"
+    assert entry["data_fingerprint"] == "abc123"
+    assert store.names() == ["arima-main"]
+    assert "arima-main" in store and len(store) == 1
+
+    clone = store.load_model("arima-main")
+    forecast_a = model.forecast(tiny_series[0], 15, 4, n_samples=5)
+    forecast_b = clone.forecast(tiny_series[0], 15, 4, n_samples=5)
+    np.testing.assert_array_equal(forecast_a.samples, forecast_b.samples)
+
+    # manifest survives re-opening the store from disk
+    reopened = ArtifactStore(store.root)
+    assert reopened.names() == ["arima-main"]
+    assert reopened.entries()["arima-main"]["sha256"] == entry["sha256"]
+
+
+def test_integrity_check_catches_corruption(store, tiny_series):
+    store.save_model("m", CurRankForecaster().fit(tiny_series[:2]))
+    payload = os.path.join(store.root, "m.npz")
+    with open(payload, "r+b") as fh:
+        fh.seek(40)
+        fh.write(b"\xff\xff\xff")
+    with pytest.raises(ArtifactIntegrityError):
+        store.load("m")
+    with pytest.raises(ArtifactIntegrityError):
+        store.verify_all()
+
+
+def test_verify_flag_skips_checksum_comparison(store, tiny_series):
+    store.save_model("m", CurRankForecaster().fit(tiny_series[:2]))
+    # tamper with the *recorded* checksum: the payload itself is intact, so
+    # verify=False still reads it while verify=True refuses
+    store._manifest["m"]["sha256"] = "0" * 64
+    with pytest.raises(ArtifactIntegrityError):
+        store.load("m")
+    assert store.load("m", verify=False).family == "CurRankForecaster"
+
+
+def test_missing_artifact_and_missing_payload(store, tiny_series):
+    with pytest.raises(ArtifactNotFoundError):
+        store.load("ghost")
+    store.save_model("m", CurRankForecaster().fit(tiny_series[:2]))
+    os.remove(os.path.join(store.root, "m.npz"))
+    with pytest.raises(ArtifactNotFoundError):
+        store.load("m")
+
+
+def test_schema_version_guards(store, tiny_series):
+    store.save_model("m", CurRankForecaster().fit(tiny_series[:2]))
+    payload = os.path.join(store.root, "m.npz")
+    arrays, meta = read_npz(payload)
+    meta["schema_version"] = 999
+    write_npz(payload, arrays, meta)
+    # refresh the checksum so the schema guard (not integrity) trips
+    from repro.artifacts.store import _file_sha256
+
+    store._manifest["m"]["sha256"] = _file_sha256(payload)
+    with pytest.raises(ArtifactSchemaError):
+        store.load("m")
+
+    # a manifest written by a newer store version refuses to open
+    manifest_path = store.manifest_path
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    document["schema_version"] = 999
+    with open(manifest_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    with pytest.raises(ArtifactSchemaError):
+        ArtifactStore(store.root)
+
+
+def test_delete_removes_payload_and_manifest_entry(store, tiny_series):
+    store.save_model("m", CurRankForecaster().fit(tiny_series[:2]))
+    store.delete("m")
+    assert "m" not in store
+    assert not os.path.exists(os.path.join(store.root, "m.npz"))
+    with pytest.raises(ArtifactNotFoundError):
+        store.delete("m")
+
+
+def test_name_validation(store, tiny_series):
+    artifact = CurRankForecaster().fit(tiny_series[:2]).to_artifact()
+    with pytest.raises(ValueError):
+        store.save("../escape", artifact)
+    with pytest.raises(ValueError):
+        store.save("bad name", artifact)
+
+
+def test_key_for_combines_family_config_and_fingerprint():
+    key = ArtifactStore.key_for("Fam", {"a": 1}, "deadbeef")
+    assert key.startswith("Fam-")
+    assert key.endswith("-deadbeef")
+    assert ArtifactStore.key_for("Fam", {"a": 1}) != ArtifactStore.key_for("Fam", {"a": 2})
+    assert config_hash({"a": 1}) == config_hash({"a": 1})
+
+
+def test_fingerprint_series_tracks_data_changes(tiny_series):
+    base = fingerprint_series(tiny_series[:3])
+    assert base == fingerprint_series(tiny_series[:3])
+    assert base != fingerprint_series(tiny_series[:2])
+    assert base != fingerprint_series(tiny_series[:3], extra=tiny_series[3:4])
+
+
+def test_fingerprint_sees_covariate_only_edits(tiny_series):
+    """Edits that leave ranks intact must still invalidate the cache key."""
+    from dataclasses import replace as dc_replace
+
+    base = fingerprint_series(tiny_series[:1])
+    edited_cov = dc_replace(
+        tiny_series[0], covariates=tiny_series[0].covariates + 1.0
+    )
+    edited_laptime = dc_replace(tiny_series[0], lap_time=tiny_series[0].lap_time + 0.5)
+    assert fingerprint_series([edited_cov]) != base
+    assert fingerprint_series([edited_laptime]) != base

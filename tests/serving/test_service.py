@@ -1,0 +1,150 @@
+"""Tests for the multi-model ForecastService: routing, LRU, capacity."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import build_race_features
+from repro.models import CurRankForecaster, DeepARForecaster, RankNetForecaster
+from repro.serving import ForecastService, NamedForecastRequest, spawn_request_rngs
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=200,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    track = replace(track_for_year("Indy500", 2018), total_laps=80, num_cars=10)
+    race = RaceSimulator(track, event="Indy500", year=2017, seed=11).run()
+    return build_race_features(race)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, tiny_series):
+    root = str(tmp_path_factory.mktemp("artifact-store"))
+    store = ArtifactStore(root)
+    deepar = DeepARForecaster(seed=5, **DEEP_KWARGS).fit(tiny_series[:6])
+    oracle = RankNetForecaster(variant="oracle", seed=6, **DEEP_KWARGS).fit(tiny_series[:6])
+    naive = CurRankForecaster().fit(tiny_series[:6])
+    store.save_model("deepar", deepar)
+    store.save_model("oracle", oracle)
+    store.save_model("naive", naive)
+    return store
+
+
+def _request(forecaster, series, origin, horizon, n_samples, rng):
+    return forecaster._fleet_request(
+        series, origin, forecaster._future_covariates(series, origin, horizon), n_samples, rng
+    )
+
+
+def test_two_models_served_concurrently_match_direct_engines(store, tiny_series):
+    service = ForecastService(store, capacity=2)
+    series = tiny_series[0]
+    model_a = service.load("deepar").forecaster
+    model_b = service.load("oracle").forecaster
+
+    rngs = spawn_request_rngs(np.random.default_rng(7), 4)
+    batch = [
+        NamedForecastRequest("deepar", _request(model_a, series, 20, 4, 9, rngs[0])),
+        NamedForecastRequest("oracle", _request(model_b, series, 20, 4, 9, rngs[1])),
+        NamedForecastRequest("deepar", _request(model_a, series, 25, 4, 9, rngs[2])),
+        NamedForecastRequest("oracle", _request(model_b, series, 25, 4, 9, rngs[3])),
+    ]
+    routed = service.submit(batch)
+
+    # reference: fresh store loads, per-model direct submits, same streams
+    reference_rngs = spawn_request_rngs(np.random.default_rng(7), 4)
+    ref_a = store.load_model("deepar")
+    ref_b = store.load_model("oracle")
+    direct_a = ref_a.fleet_engine().submit(
+        [
+            _request(ref_a, series, 20, 4, 9, reference_rngs[0]),
+            _request(ref_a, series, 25, 4, 9, reference_rngs[2]),
+        ]
+    )
+    direct_b = ref_b.fleet_engine().submit(
+        [
+            _request(ref_b, series, 20, 4, 9, reference_rngs[1]),
+            _request(ref_b, series, 25, 4, 9, reference_rngs[3]),
+        ]
+    )
+    np.testing.assert_array_equal(routed[0], direct_a[0])
+    np.testing.assert_array_equal(routed[2], direct_a[1])
+    np.testing.assert_array_equal(routed[1], direct_b[0])
+    np.testing.assert_array_equal(routed[3], direct_b[1])
+
+
+def test_lru_eviction_under_capacity_pressure(store):
+    service = ForecastService(store, capacity=2)
+    service.load("deepar")
+    service.load("oracle")
+    assert service.loaded() == ["deepar", "oracle"]
+    # touching deepar makes oracle the LRU victim
+    service.load("deepar")
+    service.load("naive")
+    assert service.loaded() == ["deepar", "naive"]
+    stats = service.stats
+    assert stats["evictions"] == 1 and stats["loads"] == 3 and stats["hits"] == 1
+    # an evicted model reloads from disk on demand
+    service.load("oracle")
+    assert service.loaded() == ["naive", "oracle"]
+    assert service.stats["evictions"] == 2
+
+
+def test_unload_and_listing(store):
+    service = ForecastService(store, capacity=3)
+    service.load("naive")
+    assert service.unload("naive") is True
+    assert service.unload("naive") is False
+    assert service.loaded() == []
+    assert set(service.available()) == {"deepar", "oracle", "naive"}
+
+
+def test_forecast_and_forecast_fleet_through_named_models(store, tiny_series):
+    service = ForecastService(store, capacity=2)
+    series = tiny_series[0]
+    forecast = service.forecast("naive", series, 20, 4, n_samples=5)
+    assert forecast.samples.shape == (5, 4)
+    fleet = service.forecast_fleet("deepar", [(series, 20, 4), (series, 25, 4)], n_samples=5)
+    assert len(fleet) == 2 and fleet[0].samples.shape == (5, 4)
+
+
+def test_submit_rejects_over_capacity_batches_and_bad_types(store, tiny_series):
+    service = ForecastService(store, capacity=1)
+    series = tiny_series[0]
+    model = service.load("deepar").forecaster
+    rngs = spawn_request_rngs(np.random.default_rng(0), 2)
+    request = _request(model, series, 20, 4, 5, rngs[0])
+    with pytest.raises(ValueError, match="capacity"):
+        service.submit(
+            [
+                NamedForecastRequest("deepar", request),
+                NamedForecastRequest("oracle", _request(model, series, 20, 4, 5, rngs[1])),
+            ]
+        )
+    with pytest.raises(TypeError):
+        service.submit([request])  # bare ForecastRequest, not named
+    assert service.submit([]) == []
+
+
+def test_non_deep_model_has_no_engine(store):
+    service = ForecastService(store, capacity=2)
+    handle = service.load("naive")
+    with pytest.raises(TypeError, match="fleet engine"):
+        handle.engine()
+
+
+def test_capacity_validation(store):
+    with pytest.raises(ValueError):
+        ForecastService(store, capacity=0)

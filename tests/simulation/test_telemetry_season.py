@@ -57,13 +57,47 @@ def test_csv_round_trip_preserves_all_columns(race):
 
 
 def test_save_and_load_round_trip(tmp_path, race):
-    path = tmp_path / "texas2017.csv"
+    path = tmp_path / "texas2017.race"
     race.save(str(path))
     loaded = RaceTelemetry.load(str(path))
     assert loaded.event == "Texas"
     assert loaded.year == 2017
     assert loaded.num_laps == race.num_laps
     np.testing.assert_array_equal(loaded.rank, race.rank)
+
+
+def test_npz_round_trip_is_lossless(tmp_path, race):
+    """save/load runs on the shared npz+meta checkpoint format."""
+    path = tmp_path / "texas2017.npz"
+    race.save(str(path))
+    with open(path, "rb") as fh:
+        assert fh.read(2) == b"PK"  # zip container, i.e. a real npz payload
+    loaded = RaceTelemetry.load(str(path))
+    for column in RaceTelemetry._COLUMNS:
+        np.testing.assert_array_equal(getattr(loaded, column), getattr(race, column))
+    # exact float preservation — the textual log rounds to 4 decimals, the
+    # checkpoint format must not lose a single bit
+    np.testing.assert_array_equal(loaded.lap_time, race.lap_time)
+    assert loaded.track == race.track
+    assert loaded.race_id == race.race_id
+
+
+def test_load_sniffs_legacy_csv_logs(tmp_path, race):
+    path = tmp_path / "texas2017.log"
+    race.save_csv(str(path))
+    loaded = RaceTelemetry.load(str(path))
+    assert loaded.event == "Texas" and loaded.year == 2017
+    np.testing.assert_array_equal(loaded.rank, race.rank)
+    np.testing.assert_allclose(loaded.lap_time, race.lap_time, atol=1e-4)
+
+
+def test_npz_load_rejects_foreign_payloads(tmp_path):
+    from repro.nn.checkpoint import write_npz
+
+    path = tmp_path / "other.npz"
+    write_npz(str(path), {"x": np.zeros(3)}, {"kind": "something-else"})
+    with pytest.raises(ValueError, match="race-telemetry"):
+        RaceTelemetry.load(str(path))
 
 
 def test_from_csv_rejects_bad_header():

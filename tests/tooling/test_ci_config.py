@@ -65,6 +65,25 @@ def test_bench_smoke_job_runs_training_breakdown():
     assert any(BENCH_TRAIN in line for line in lines)
 
 
+def test_test_job_runs_artifact_roundtrip_smoke():
+    lines = job_run_lines(load_workflow()["jobs"]["tests"])
+    assert any("repro.artifacts.smoke fit" in line for line in lines)
+    assert any("repro.artifacts.smoke check" in line for line in lines)
+
+
+def test_test_job_caches_pip():
+    job = load_workflow()["jobs"]["tests"]
+    setup = next(s for s in job["steps"] if s.get("uses", "").startswith("actions/setup-python@"))
+    assert setup["with"]["cache"] == "pip"
+    assert setup["with"]["cache-dependency-path"] == "pyproject.toml"
+
+
+def test_console_script_entry_point_is_declared():
+    config = tomllib.loads(PYPROJECT.read_text())
+    scripts = config["project"]["scripts"]
+    assert scripts["repro-experiments"] == "repro.experiments.runner:main"
+
+
 def test_every_job_checks_out_and_sets_up_python():
     for name, job in load_workflow()["jobs"].items():
         uses = [step.get("uses", "") for step in job["steps"]]
