@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode smoke-artifacts clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve smoke-artifacts smoke-serve clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,9 @@ bench-train:
 bench-decode:
 	$(PYTHON) -m repro.profiling.decode
 
+bench-serve:
+	$(PYTHON) -m repro.profiling.server
+
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
@@ -36,6 +39,12 @@ smoke-artifacts:
 	rm -rf /tmp/repro-artifact-smoke
 	$(PYTHON) -m repro.artifacts.smoke fit --dir /tmp/repro-artifact-smoke
 	$(PYTHON) -m repro.artifacts.smoke check --dir /tmp/repro-artifact-smoke
+
+# start repro-serve as a subprocess on a scratch store, then assert a client
+# forecast and a lap-streamed session are byte-identical to the in-process path
+smoke-serve:
+	rm -rf /tmp/repro-serve-smoke
+	$(PYTHON) -m repro.serving.smoke --dir /tmp/repro-serve-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results

@@ -262,6 +262,15 @@ class ArtifactStore:
         """Manifest records keyed by artifact name (a defensive copy)."""
         return {name: dict(entry) for name, entry in self._manifest.items()}
 
+    def catalog(self) -> List[dict]:
+        """The store's model catalog: one record per artifact, name included.
+
+        The flat-list form the serving gateway's ``GET /v1/models`` returns
+        — each entry is the manifest record plus its ``name``, sorted by
+        name.
+        """
+        return [{"name": name, **self.entry(name)} for name in self.names()]
+
     def entry(self, name: str) -> dict:
         """The manifest record of one artifact ({} when unregistered)."""
         return dict(self._manifest.get(name, {}))

@@ -18,6 +18,9 @@ from .schema import ALL_COVARIATES
 
 __all__ = [
     "CarFeatureSeries",
+    "DEFAULT_MIN_LAPS",
+    "DEFAULT_SHIFT_LAG",
+    "LiveFeatureBuilder",
     "accumulate_age",
     "caution_laps_since_pit",
     "leader_pit_count",
@@ -26,6 +29,13 @@ __all__ = [
     "build_car_features",
     "build_race_features",
 ]
+
+#: cars with fewer laps than this are dropped from a race's feature set
+DEFAULT_MIN_LAPS = 10
+
+#: how far the Fig. 7 "shift features" look ahead — also the number of laps
+#: a live session must hold back before an origin's covariates are final
+DEFAULT_SHIFT_LAG = 2
 
 
 @dataclass
@@ -149,7 +159,7 @@ def build_car_features(
     car_laps: CarLaps,
     total_pits: Optional[Dict[int, float]] = None,
     leader_pits: Optional[Dict[int, float]] = None,
-    shift_lag: int = 2,
+    shift_lag: int = DEFAULT_SHIFT_LAG,
 ) -> CarFeatureSeries:
     """Build the full covariate matrix for one car."""
     total_pits = total_pits if total_pits is not None else total_pit_count(race)
@@ -188,7 +198,7 @@ def build_car_features(
 
 
 def build_race_features(
-    race: RaceTelemetry, shift_lag: int = 2, min_laps: int = 10
+    race: RaceTelemetry, shift_lag: int = DEFAULT_SHIFT_LAG, min_laps: int = DEFAULT_MIN_LAPS
 ) -> List[CarFeatureSeries]:
     """Feature series for every car in a race with at least ``min_laps`` laps."""
     total_pits = total_pit_count(race)
@@ -204,3 +214,224 @@ def build_race_features(
             )
         )
     return series
+
+
+# ----------------------------------------------------------------------
+# streaming (lap-by-lap) feature building
+# ----------------------------------------------------------------------
+def _record_field(record, *names, default=None):
+    """Read one field from a lap record given as a mapping or an object."""
+    for name in names:
+        if isinstance(record, dict):
+            if name in record:
+                return record[name]
+        elif hasattr(record, name):
+            return getattr(record, name)
+    if default is not None:
+        return default
+    raise ValueError(f"lap record is missing {names[0]!r} (tried {names})")
+
+
+def _record_flag(record, canonical: str, status_field: str, status_true: str) -> bool:
+    """Boolean pit/caution flag, accepting bools or the textual log status."""
+    value = _record_field(record, f"is_{canonical}", canonical, status_field, default="")
+    if isinstance(value, str):
+        return value == status_true
+    return bool(value)
+
+
+class _LiveCarState:
+    """Growing per-car column lists plus the running feature counters."""
+
+    __slots__ = (
+        "laps", "rank", "lap_time", "time_behind_leader",
+        "pit", "caution", "pit_age", "caution_laps", "total_pits", "leader_pits",
+        "shift_caution", "shift_pit", "shift_total_pits",
+        "_age_counter", "_caution_counter",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__[:-2]:
+            setattr(self, name, [])
+        self._age_counter = 0.0
+        self._caution_counter = 0.0
+
+    def append(self, lap, record, tp, lp, shift_lag, shift_fill) -> None:
+        pit = _record_flag(record, "pit", "lap_status", "P")
+        caution = _record_flag(record, "caution", "track_status", "Y")
+        self.laps.append(int(lap))
+        self.rank.append(float(_record_field(record, "rank")))
+        self.lap_time.append(float(_record_field(record, "lap_time")))
+        self.time_behind_leader.append(float(_record_field(record, "time_behind_leader")))
+        self.pit.append(1.0 if pit else 0.0)
+        self.caution.append(1.0 if caution else 0.0)
+        # the same counter arithmetic as accumulate_age / caution_laps_since_pit
+        if pit:
+            self._age_counter = 0.0
+            self._caution_counter = 0.0
+        self.pit_age.append(self._age_counter)
+        self._age_counter += 1.0
+        self.caution_laps.append(self._caution_counter)
+        if caution:
+            self._caution_counter += 1.0
+        self.total_pits.append(tp)
+        self.leader_pits.append(lp)
+        # shift features hold the value ``shift_lag`` positions ahead: pad the
+        # new tail position with the fill, back-fill the one it finalises
+        k = len(self.laps) - 1
+        for shifted, source in (
+            (self.shift_caution, self.caution),
+            (self.shift_pit, self.pit),
+            (self.shift_total_pits, self.total_pits),
+        ):
+            shifted.append(shift_fill)
+            if shift_lag and k >= shift_lag:
+                shifted[k - shift_lag] = source[k]
+            elif not shift_lag:
+                shifted[k] = source[k]
+
+
+class LiveFeatureBuilder:
+    """Incremental :func:`build_race_features` over a streamed timing feed.
+
+    Laps are observed in increasing order (:meth:`observe_lap`), one batch
+    of per-car records per lap; :meth:`series` materialises the same
+    :class:`CarFeatureSeries` list :func:`build_race_features` would build
+    from the telemetry observed so far — byte-identical, including the
+    cross-car features (``TotalPitCount``, ``LeaderPitCount``) and the
+    forward-shift features of Fig. 7.  Because a shift feature at position
+    ``k`` holds the value at ``k + shift_lag``, every entry at positions
+    ``<= latest - shift_lag`` is *final*: it will never change as more laps
+    arrive, which is what lets a live session forecast origin ``O`` as soon
+    as lap ``O + 1 + shift_lag`` has been observed and still match a
+    whole-race replay bit for bit.
+
+    Records are duck-typed: :class:`~repro.simulation.telemetry.LapRecord`
+    objects, plain dicts from the wire protocol (``car_id``, ``rank``,
+    ``lap_time``, ``time_behind_leader``, ``pit``/``is_pit``,
+    ``caution``/``is_caution``), or the textual log statuses
+    (``lap_status``/``track_status``) are all accepted.
+    """
+
+    def __init__(
+        self,
+        race_id: str = "live",
+        event: str = "live",
+        year: int = 0,
+        shift_lag: int = DEFAULT_SHIFT_LAG,
+        min_laps: int = DEFAULT_MIN_LAPS,
+        leader_lookback: int = 2,
+        leader_top_k: int = 10,
+        shift_fill: float = 0.0,
+    ) -> None:
+        self.race_id = str(race_id)
+        self.event = str(event)
+        self.year = int(year)
+        self.shift_lag = int(shift_lag)
+        self.min_laps = int(min_laps)
+        self.leader_lookback = int(leader_lookback)
+        self.leader_top_k = int(leader_top_k)
+        self.shift_fill = float(shift_fill)
+        self.latest_lap = 0
+        self._cars: Dict[int, _LiveCarState] = {}
+        self._ranks_at: Dict[int, Dict[int, int]] = {}
+        self._series_cache: Optional[List[CarFeatureSeries]] = None
+
+    def observe_lap(self, lap: int, records) -> None:
+        """Ingest every car's record for one lap (laps strictly increasing).
+
+        A car's records must be contiguous: once a car misses a lap it is
+        considered retired and may not reappear.  This is what keeps a
+        car's array position equal to its lap position — the alignment the
+        whole feature pipeline (and the origin indexing of the
+        forecasters) relies on; a feed with a mid-race gap would otherwise
+        silently forecast from misaligned, non-final covariates.
+        """
+        lap = int(lap)
+        if lap <= self.latest_lap:
+            raise ValueError(
+                f"laps must arrive in increasing order: got lap {lap} after "
+                f"lap {self.latest_lap}"
+            )
+        records = list(records)
+        ranks: Dict[int, int] = {}
+        pitting = set()
+        for record in records:
+            car = int(_record_field(record, "car_id"))
+            state = self._cars.get(car)
+            if state is not None and state.laps[-1] != lap - 1:
+                raise ValueError(
+                    f"gap in car {car}'s lap records: last saw lap "
+                    f"{state.laps[-1]}, got lap {lap}; a car that misses a "
+                    "lap is retired and cannot rejoin the feed"
+                )
+            ranks[car] = int(_record_field(record, "rank"))
+            if _record_flag(record, "pit", "lap_status", "P"):
+                pitting.add(car)
+        # cross-car per-lap features, same arithmetic as total_pit_count /
+        # leader_pit_count over a complete race
+        tp = float(len(pitting))
+        ref_lap = lap - self.leader_lookback
+        if not pitting or ref_lap < 1:
+            lp = 0.0
+        else:
+            reference = self._ranks_at.get(ref_lap, {})
+            leaders = {car for car, rank in reference.items() if rank <= self.leader_top_k}
+            lp = float(len(pitting & leaders))
+        for record in records:
+            car = int(_record_field(record, "car_id"))
+            state = self._cars.get(car)
+            if state is None:
+                state = self._cars[car] = _LiveCarState()
+            state.append(lap, record, tp, lp, self.shift_lag, self.shift_fill)
+        self._ranks_at[lap] = ranks
+        self.latest_lap = lap
+        self._series_cache = None
+
+    @property
+    def num_cars(self) -> int:
+        return len(self._cars)
+
+    def series(self) -> List[CarFeatureSeries]:
+        """The feature series of every car observed for >= ``min_laps`` laps.
+
+        Materialised arrays are cached until the next observed lap, so
+        repeated reads between laps (a multi-origin drain, an external
+        monitor) cost nothing.
+        """
+        if self._series_cache is not None:
+            return self._series_cache
+        out = []
+        for car in sorted(self._cars):
+            state = self._cars[car]
+            if len(state.laps) < self.min_laps:
+                continue
+            columns = {
+                "track_status": state.caution,
+                "lap_status": state.pit,
+                "caution_laps": state.caution_laps,
+                "pit_age": state.pit_age,
+                "leader_pit_count": state.leader_pits,
+                "total_pit_count": state.total_pits,
+                "shift_track_status": state.shift_caution,
+                "shift_lap_status": state.shift_pit,
+                "shift_total_pit_count": state.shift_total_pits,
+            }
+            covariates = np.column_stack(
+                [np.asarray(columns[name], dtype=np.float64) for name in ALL_COVARIATES]
+            )
+            out.append(
+                CarFeatureSeries(
+                    race_id=self.race_id,
+                    event=self.event,
+                    year=self.year,
+                    car_id=car,
+                    laps=np.asarray(state.laps, dtype=np.int64),
+                    rank=np.asarray(state.rank, dtype=np.float64),
+                    lap_time=np.asarray(state.lap_time, dtype=np.float64),
+                    time_behind_leader=np.asarray(state.time_behind_leader, dtype=np.float64),
+                    covariates=covariates,
+                )
+            )
+        self._series_cache = out
+        return out

@@ -20,9 +20,20 @@ This sub-package batches that workload:
 * :class:`~repro.serving.service.ForecastService` manages *many* served
   models at once: named artifacts from an
   :class:`~repro.artifacts.ArtifactStore` are loaded on demand (LRU-bounded
-  by a capacity knob), each with its own fleet engine, and batches of
+  by a capacity knob, with pin/touch accounting for long-lived consumers),
+  each with its own fleet engine, and batches of
   :class:`~repro.serving.requests.NamedForecastRequest` are routed to the
-  right engine per model.
+  right engine per model;
+* :mod:`~repro.serving.wire` defines the versioned JSON wire protocol
+  (base64 arrays, explicit per-request RNG streams, structured error
+  envelopes) and :mod:`~repro.serving.server` serves it over HTTP
+  (``repro-serve``), with the
+  :class:`~repro.serving.scheduler.MicroBatchScheduler` coalescing
+  requests from concurrent connections into shared fleet passes and
+  :class:`~repro.serving.sessions.RaceSession` holding live-race state
+  server-side so timing-feed clients stream laps instead of histories;
+* :class:`~repro.serving.client.ForecastClient` is the stdlib reference
+  client of that API.
 
 For the recurrent backbones (LSTM/GRU), a fleet-batched forecast is
 byte-identical to the same forecasts computed one car at a time given
@@ -35,16 +46,28 @@ only to floating-point tolerance.
 """
 
 from .cache import WarmupStateCache
+from .client import ForecastClient, LiveSessionClient, ServerError
 from .engine import FleetForecaster
 from .requests import ForecastRequest, NamedForecastRequest, spawn_request_rngs
+from .scheduler import MicroBatchScheduler
 from .service import ForecastService, ModelHandle
+from .sessions import RaceSession, SessionManager
+from .wire import WIRE_SCHEMA_VERSION, WireError
 
 __all__ = [
     "FleetForecaster",
+    "ForecastClient",
     "ForecastRequest",
     "ForecastService",
+    "LiveSessionClient",
+    "MicroBatchScheduler",
     "ModelHandle",
     "NamedForecastRequest",
+    "RaceSession",
+    "ServerError",
+    "SessionManager",
     "WarmupStateCache",
+    "WireError",
+    "WIRE_SCHEMA_VERSION",
     "spawn_request_rngs",
 ]

@@ -1,0 +1,293 @@
+"""Stdlib HTTP client for the ``repro-serve`` gateway.
+
+:class:`ForecastClient` speaks the ``v1`` wire protocol
+(:mod:`repro.serving.wire`) over plain :mod:`http.client` — no third-party
+dependencies, mirroring the server side.  It is the reference consumer
+used by the tests, the examples, the serving benchmark and the CI smoke
+step.
+
+Reproducibility contract: every forecast request must carry its own RNG
+stream (an integer seed or a live ``numpy`` ``Generator``), which the wire
+protocol transports explicitly — the samples that come back are bitwise
+identical to submitting the same request in-process, no matter how the
+server's micro-batch scheduler coalesced it with other clients' traffic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from . import wire
+from .requests import ForecastRequest, NamedForecastRequest
+from .wire import WireError
+
+__all__ = ["ForecastClient", "LiveSessionClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """An error envelope returned by the gateway, surfaced client-side."""
+
+    def __init__(self, code: str, message: str, status: int = 400, detail=None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.status = status
+        self.detail = detail
+
+    @classmethod
+    def from_wire_error(cls, exc: WireError) -> "ServerError":
+        return cls(exc.code, str(exc), status=exc.status, detail=exc.detail)
+
+
+class ForecastClient:
+    """Thin, connection-per-call client for one gateway endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 60.0) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServerError(
+                "malformed_response",
+                f"server returned non-JSON payload (HTTP {response.status}): {exc}",
+                status=response.status,
+            ) from exc
+        try:
+            wire.raise_for_error(document)
+            wire.check_envelope(document)
+        except WireError as exc:
+            raise ServerError.from_wire_error(exc) from None
+        return document
+
+    # ------------------------------------------------------------------
+    # models
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/v1/health")
+
+    def models(self) -> List[dict]:
+        """The server's model catalog (name, family, loaded/pinned, ...)."""
+        return self._call("GET", "/v1/models")["models"]
+
+    def loaded(self) -> List[str]:
+        return self._call("GET", "/v1/models")["loaded"]
+
+    def load(self, name: str) -> dict:
+        return self._call("POST", f"/v1/models/{name}/load")
+
+    def unload(self, name: str) -> bool:
+        return bool(self._call("POST", f"/v1/models/{name}/unload")["unloaded"])
+
+    # ------------------------------------------------------------------
+    # forecasting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def request(
+        model: str,
+        history_target,
+        history_covariates,
+        future_covariates,
+        n_samples: int = 100,
+        rng: Union[np.random.Generator, int, None] = None,
+        key=None,
+        origin: Optional[int] = None,
+    ) -> NamedForecastRequest:
+        """Build one named request (``rng`` seed/stream is mandatory)."""
+        if rng is None:
+            raise ValueError(
+                "a per-request rng (integer seed or numpy Generator) is required: "
+                "it is what makes the forecast reproducible regardless of how the "
+                "server batches it"
+            )
+        return NamedForecastRequest(
+            model=model,
+            request=ForecastRequest(
+                history_target=history_target,
+                history_covariates=history_covariates,
+                future_covariates=future_covariates,
+                n_samples=n_samples,
+                rng=rng,
+                key=key,
+                origin=origin,
+            ),
+        )
+
+    def forecast(
+        self,
+        requests: Sequence[NamedForecastRequest],
+        raise_errors: bool = True,
+    ) -> List[Union[np.ndarray, ServerError]]:
+        """Submit a batch of named requests; samples come back in order.
+
+        With ``raise_errors=False`` failed requests are returned as
+        :class:`ServerError` values in their slots instead of raising.
+        """
+        document = self._call("POST", "/v1/forecast", wire.forecast_batch_to_wire(requests))
+        outcomes: List[Union[np.ndarray, ServerError]] = []
+        for entry in wire.results_from_wire(document):
+            if isinstance(entry, WireError):
+                error = ServerError.from_wire_error(entry)
+                if raise_errors:
+                    raise error
+                outcomes.append(error)
+            else:
+                outcomes.append(entry)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # strategy sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        model: str,
+        series: CarFeatureSeries,
+        origins: Sequence[int],
+        horizon: int,
+        rng: Union[np.random.Generator, int, None] = None,
+        **options,
+    ) -> List:
+        """Run ``PitStrategyOptimizer.sweep`` on the served model.
+
+        ``options`` forwards ``earliest``/``latest``/``step``/``mode``/
+        ``n_samples``/``field_size``.  Returns ``StrategySweepPoint``
+        objects bitwise equal to the in-process sweep seeded with the same
+        ``rng``.
+        """
+        payload = wire.sweep_request_to_wire(
+            model, series, origins, horizon, rng=rng, **options
+        )
+        return wire.sweep_points_from_wire(self._call("POST", "/v1/strategy/sweep", payload))
+
+    # ------------------------------------------------------------------
+    # live sessions
+    # ------------------------------------------------------------------
+    def sessions(self) -> List[dict]:
+        return self._call("GET", "/v1/sessions")["sessions"]
+
+    def open_session(
+        self,
+        model: str,
+        horizon: int = 2,
+        n_samples: int = 50,
+        min_history: int = 10,
+        rng: Union[np.random.Generator, int, None] = None,
+        delay: Optional[int] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        stride: int = 1,
+        event: str = "live",
+        year: int = 0,
+    ) -> "LiveSessionClient":
+        """Open a server-side race session and return its streaming handle."""
+        if rng is None:
+            raise ValueError(
+                "a session rng (integer seed or numpy Generator) is required: "
+                "it is what makes the lap-streamed forecasts reproducible"
+            )
+        payload = wire.envelope(
+            "session-open",
+            model=model,
+            horizon=int(horizon),
+            n_samples=int(n_samples),
+            min_history=int(min_history),
+            rng=wire.rng_to_wire(rng),
+            delay=delay,
+            start=start,
+            stop=stop,
+            stride=int(stride),
+            event=str(event),
+            year=int(year),
+        )
+        document = self._call("POST", "/v1/sessions", payload)
+        return LiveSessionClient(self, document["session"], info=document)
+
+
+def _lap_record_to_wire(record) -> dict:
+    if isinstance(record, dict):
+        return record
+    # LapRecord-style objects
+    return {
+        "car_id": int(record.car_id),
+        "rank": int(record.rank),
+        "lap_time": float(record.lap_time),
+        "time_behind_leader": float(record.time_behind_leader),
+        "pit": bool(record.is_pit),
+        "caution": bool(record.is_caution),
+    }
+
+
+class LiveSessionClient:
+    """Client handle of one open server-side session: stream laps, read forecasts."""
+
+    def __init__(self, client: ForecastClient, session_id: str, info: Optional[dict] = None) -> None:
+        self.client = client
+        self.session_id = str(session_id)
+        self.info = dict(info or {})
+        self.closed = False
+
+    def lap(self, lap: int, records: Iterable) -> List[Tuple[int, Dict[int, np.ndarray]]]:
+        """Feed one lap of telemetry; returns the newly-final forecasts.
+
+        Same shape as ``RaceSession.observe_lap``:
+        ``[(origin, {car_id: (n_samples, horizon) samples}), ...]``.
+        """
+        payload = wire.envelope(
+            "session-lap",
+            lap=int(lap),
+            records=[_lap_record_to_wire(record) for record in records],
+        )
+        document = self.client._call(
+            "POST", f"/v1/sessions/{self.session_id}/lap", payload
+        )
+        return self._decode_results(document)
+
+    def close(self, drain: bool = True) -> List[Tuple[int, Dict[int, np.ndarray]]]:
+        """Close the session; by default the held-back tail origins flush."""
+        document = self.client._call(
+            "DELETE", f"/v1/sessions/{self.session_id}", {"drain": bool(drain)}
+        )
+        self.closed = True
+        return self._decode_results(document)
+
+    @staticmethod
+    def _decode_results(document) -> List[Tuple[int, Dict[int, np.ndarray]]]:
+        return [
+            (
+                int(item["origin"]),
+                {
+                    int(entry["car_id"]): wire.decode_array(entry["samples"])
+                    for entry in item["forecasts"]
+                },
+            )
+            for item in document.get("results", [])
+        ]
+
+    def __enter__(self) -> "LiveSessionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.closed:
+            try:
+                self.close(drain=False)
+            except ServerError:  # pragma: no cover - best-effort cleanup
+                pass

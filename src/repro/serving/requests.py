@@ -28,8 +28,10 @@ class ForecastRequest:
     rng:
         Per-request RNG stream.  Supplying independent streams (see
         :func:`spawn_request_rngs`) makes the forecast reproducible and
-        independent of how requests are batched; when omitted the engine
-        falls back to the model's shared generator.
+        independent of how requests are batched; an integer is accepted as
+        a seed (``np.random.default_rng(rng)`` — the convention the wire
+        protocol uses for explicit per-request seeds); when omitted the
+        engine falls back to the model's shared generator.
     key:
         Stable identity of the forecast subject (e.g. ``(race_id, car_id)``).
         Requests sharing ``key`` and ``origin`` also share their warm-up
@@ -50,6 +52,8 @@ class ForecastRequest:
     _target: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.rng is not None and not isinstance(self.rng, np.random.Generator):
+            self.rng = np.random.default_rng(self.rng)
         target = np.asarray(self.history_target, dtype=np.float64)
         if target.ndim == 1:
             target = target[:, None]

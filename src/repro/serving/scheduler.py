@@ -1,0 +1,228 @@
+"""Cross-client micro-batching in front of :class:`ForecastService`.
+
+The fleet engine's throughput comes from batching: one recurrent step
+advances every Monte-Carlo trajectory of every request in a group.  A
+process boundary would forfeit that — each HTTP connection would submit a
+one-request batch.  The :class:`MicroBatchScheduler` restores it: requests
+arriving from *concurrent* connections are collected for a short window
+(or until a batch fills) and submitted to the service as one mixed-model
+batch, so simultaneous clients share per-model engine passes.
+
+Correctness rests on the engine's batch invariance: every request carries
+its own RNG stream (the wire protocol requires it) and all recurrent
+kernels are batch-size invariant, so a request's samples are bitwise
+identical whether it is submitted alone, inside its own client's batch, or
+coalesced with strangers' requests — gated by
+``tests/serving/test_scheduler.py`` and the serving benchmark.
+
+Failure isolation: when a coalesced batch fails as a whole (one client
+naming an unknown model must not poison its batch-mates), the scheduler
+retries each collected request individually and reports per-request
+outcomes (:meth:`MicroBatchScheduler.submit_settled`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .requests import NamedForecastRequest
+
+__all__ = ["MicroBatchScheduler"]
+
+
+@dataclass
+class _Pending:
+    """One enqueued request waiting for its batch to be flushed."""
+
+    request: NamedForecastRequest
+    call_id: int
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[np.ndarray] = None
+    error: Optional[BaseException] = None
+
+    def settle(self, result=None, error=None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+class MicroBatchScheduler:
+    """Coalesces concurrent forecast submissions into shared service batches.
+
+    Parameters
+    ----------
+    submit_fn:
+        The downstream batch submitter — typically the gateway's
+        lock-wrapped ``ForecastService.submit``.  Called from the
+        scheduler's worker thread only, so the service itself never sees
+        concurrent submits.
+    window:
+        Seconds to hold a batch open after its first request arrives,
+        waiting for other clients to join.  ``0.0`` still coalesces
+        whatever has accumulated by the time the worker wakes.
+    max_batch:
+        Flush immediately once this many requests are pending.
+    """
+
+    def __init__(
+        self,
+        submit_fn: Callable[[Sequence[NamedForecastRequest]], List[np.ndarray]],
+        window: float = 0.005,
+        max_batch: int = 64,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0 seconds")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.submit_fn = submit_fn
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._cond = threading.Condition()
+        self._pending: List[_Pending] = []
+        self._opened_at: Optional[float] = None
+        self._closed = False
+        self._call_counter = 0
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "batches": 0,
+            "coalesced_batches": 0,
+            "max_batch_requests": 0,
+            "flush_full": 0,
+            "flush_window": 0,
+            "isolated_retries": 0,
+        }
+        self._worker = threading.Thread(
+            target=self._run, name="micro-batch-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, requests: Sequence[NamedForecastRequest]) -> List[np.ndarray]:
+        """Enqueue, wait for the batch, return samples in submission order.
+
+        Raises the first failed request's error; use :meth:`submit_settled`
+        for per-request outcomes.
+        """
+        settled = self.submit_settled(requests)
+        for outcome in settled:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return settled  # type: ignore[return-value]
+
+    def submit_settled(
+        self, requests: Sequence[NamedForecastRequest]
+    ) -> List[Union[np.ndarray, BaseException]]:
+        """Like :meth:`submit`, but failures come back as values per request."""
+        requests = list(requests)
+        if not requests:
+            return []
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._call_counter += 1
+            entries = [_Pending(request, self._call_counter) for request in requests]
+            if not self._pending:
+                self._opened_at = time.monotonic()
+            self._pending.extend(entries)
+            self._stats["requests"] += len(entries)
+            self._cond.notify_all()
+        for entry in entries:
+            entry.done.wait()
+        return [
+            entry.error if entry.error is not None else entry.result for entry in entries
+        ]
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        """Block until a batch is due (window elapsed / full / closing)."""
+        with self._cond:
+            while True:
+                if self._pending:
+                    if len(self._pending) >= self.max_batch:
+                        self._stats["flush_full"] += 1
+                        break
+                    elapsed = time.monotonic() - (self._opened_at or 0.0)
+                    remaining = self.window - elapsed
+                    if remaining <= 0 or self._closed:
+                        self._stats["flush_window"] += 1
+                        break
+                    self._cond.wait(timeout=remaining)
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            self._opened_at = time.monotonic() if self._pending else None
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._stats["batches"] += 1
+            self._stats["max_batch_requests"] = max(
+                self._stats["max_batch_requests"], len(batch)
+            )
+            if len({entry.call_id for entry in batch}) > 1:
+                self._stats["coalesced_batches"] += 1
+            # snapshot every request's RNG state: a failing batch may have
+            # consumed some streams before raising (the per-model engine
+            # passes run sequentially), and a retry must replay the exact
+            # draws a fresh submission would make
+            rng_states = [
+                None
+                if entry.request.request.rng is None
+                else entry.request.request.rng.bit_generator.state
+                for entry in batch
+            ]
+            try:
+                results = self.submit_fn([entry.request for entry in batch])
+            except Exception:
+                # the coalesced batch failed as a whole — isolate: one bad
+                # request (unknown model, a shape mismatch) must not poison
+                # its batch-mates; restoring the snapshots keeps the retried
+                # results bitwise equal to direct submission
+                self._stats["isolated_retries"] += len(batch)
+                for entry, state in zip(batch, rng_states):
+                    if state is not None:
+                        entry.request.request.rng.bit_generator.state = state
+                for entry in batch:
+                    try:
+                        entry.settle(result=self.submit_fn([entry.request])[0])
+                    except Exception as exc:
+                        entry.settle(error=exc)
+            else:
+                for entry, samples in zip(batch, results):
+                    entry.settle(result=samples)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return dict(self._stats)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Flush what is pending, stop the worker, reject further submits."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,569 @@
+"""The HTTP gateway of the serving layer (``repro-serve``).
+
+A stdlib :class:`ThreadingHTTPServer` front-end over the in-process
+serving stack, in the style of OpenNMT-py's REST translation server: a
+JSON config file names the :class:`~repro.artifacts.ArtifactStore` and the
+models to preload, and the process exposes the versioned wire API
+(:mod:`repro.serving.wire`):
+
+``GET  /v1/health``
+    Liveness/readiness probe.
+``GET  /v1/models``
+    The store's model catalog, with per-model loaded/pinned state and the
+    service's LRU counters.
+``POST /v1/models/<name>/load`` / ``POST /v1/models/<name>/unload``
+    Model lifecycle against the :class:`~repro.serving.ForecastService`.
+``POST /v1/forecast``
+    A batch of named forecast requests.  Requests from concurrent
+    connections are coalesced by the
+    :class:`~repro.serving.scheduler.MicroBatchScheduler` into shared
+    per-model fleet passes — byte-identical to direct submission because
+    every wire request carries its own RNG stream.
+``POST /v1/strategy/sweep``
+    A rolling pit-strategy sweep through a served RankNet model.
+``POST /v1/sessions`` / ``POST /v1/sessions/<id>/lap`` / ``DELETE``
+    Server-side live race sessions (:mod:`repro.serving.sessions`): open a
+    race, stream one lap of telemetry at a time, receive the whole-field
+    forecast for every origin that became final — the carry-mode state
+    lives on the server, the client only ships new laps.  A session pins
+    its model so LRU pressure from other clients cannot evict the engine
+    holding its carried states.
+
+Every response is a versioned wire document; failures are structured
+error envelopes, never tracebacks.  All model/engine work is serialized
+behind one gateway lock (the engines share preallocated buffers and this
+host is single-core anyway); the HTTP threads only pay for parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Sequence, Tuple
+
+from ..artifacts import ArtifactNotFoundError, ArtifactStore
+from . import wire
+from .scheduler import MicroBatchScheduler
+from .service import ForecastService
+from .sessions import RaceSession, SessionManager
+from .wire import WireError
+
+__all__ = ["ServerConfig", "ForecastGateway", "ForecastServer", "main"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+#: every key a server config file may carry — anything else is an error
+CONFIG_KEYS = {
+    "store": "path of the ArtifactStore directory (required)",
+    "host": f"bind address (default {DEFAULT_HOST})",
+    "port": f"bind port, 0 picks a free one (default {DEFAULT_PORT})",
+    "capacity": "max resident models in the ForecastService (default 4)",
+    "mode": "fleet engine warm-up mode for /v1/forecast: exact|carry (default exact)",
+    "verify": "checksum artifacts on load (default true)",
+    "preload": "model names to load at startup (default [])",
+    "batch_window_ms": "micro-batch collection window in milliseconds (default 5.0)",
+    "max_batch": "micro-batch flush size (default 64)",
+    "max_sessions": "max concurrently open live sessions (default 32)",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Validated gateway configuration (see :data:`CONFIG_KEYS`)."""
+
+    store: str
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    capacity: int = 4
+    mode: str = "exact"
+    verify: bool = True
+    preload: List[str] = field(default_factory=list)
+    batch_window_ms: float = 5.0
+    max_batch: int = 64
+    max_sessions: int = 32
+
+    def __post_init__(self) -> None:
+        self.store = str(self.store)
+        self.host = str(self.host)
+        self.port = int(self.port)
+        self.capacity = int(self.capacity)
+        self.mode = str(self.mode)
+        self.verify = bool(self.verify)
+        self.preload = [str(name) for name in self.preload]
+        self.batch_window_ms = float(self.batch_window_ms)
+        self.max_batch = int(self.max_batch)
+        self.max_sessions = int(self.max_sessions)
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+
+    @classmethod
+    def from_dict(cls, document: dict, base_dir: Optional[str] = None) -> "ServerConfig":
+        """Build a config from a parsed JSON document.
+
+        Unknown keys are rejected with the full known-key list — a typo
+        (``"window_ms"`` for ``"batch_window_ms"``) must fail loudly, not
+        silently serve with the default.
+        """
+        if not isinstance(document, dict):
+            raise ValueError("server config must be a JSON object")
+        unknown = sorted(set(document) - set(CONFIG_KEYS))
+        if unknown:
+            known = ", ".join(sorted(CONFIG_KEYS))
+            raise ValueError(
+                f"unknown server config key(s): {', '.join(unknown)}; known keys: {known}"
+            )
+        if "store" not in document:
+            raise ValueError("server config must name a 'store' directory")
+        document = dict(document)
+        if base_dir is not None and not os.path.isabs(document["store"]):
+            document["store"] = os.path.join(base_dir, document["store"])
+        return cls(**document)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ServerConfig":
+        """Load and validate a JSON config file (store paths relative to it)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                document = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"config file {path!r} is not valid JSON: {exc}") from exc
+        return cls.from_dict(document, base_dir=os.path.dirname(os.path.abspath(path)))
+
+
+# ----------------------------------------------------------------------
+# the gateway (transport-independent request handling)
+# ----------------------------------------------------------------------
+_ROUTES = (
+    ("GET", re.compile(r"^/v1/health$"), "health"),
+    ("GET", re.compile(r"^/v1/models$"), "models_list"),
+    ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/load$"), "model_load"),
+    ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/unload$"), "model_unload"),
+    ("POST", re.compile(r"^/v1/forecast$"), "forecast"),
+    ("POST", re.compile(r"^/v1/strategy/sweep$"), "strategy_sweep"),
+    ("GET", re.compile(r"^/v1/sessions$"), "sessions_list"),
+    ("POST", re.compile(r"^/v1/sessions$"), "session_open"),
+    ("POST", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)/lap$"), "session_lap"),
+    ("DELETE", re.compile(r"^/v1/sessions/(?P<sid>[^/]+)$"), "session_close"),
+)
+
+
+class ForecastGateway:
+    """Routes wire documents to the serving stack; owns all its state."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.store = ArtifactStore(config.store)
+        self.service = ForecastService(
+            self.store, capacity=config.capacity, mode=config.mode, verify=config.verify
+        )
+        # one lock serializes every model/engine touch; the scheduler's
+        # worker is the only caller of service.submit
+        self._lock = threading.RLock()
+        self.scheduler = MicroBatchScheduler(
+            self._locked_submit,
+            window=config.batch_window_ms / 1e3,
+            max_batch=config.max_batch,
+        )
+        self.sessions = SessionManager(limit=config.max_sessions)
+        for name in config.preload:
+            self.service.load(name)
+
+    def _locked_submit(self, requests):
+        with self._lock:
+            return self.service.submit(requests)
+
+    def close(self) -> None:
+        self.scheduler.close()
+        for managed in self.sessions.close_all():
+            with self._lock:
+                self.service.unpin(managed.model)
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: Optional[dict]) -> Tuple[int, dict]:
+        """Dispatch one request; always returns ``(status, wire document)``."""
+        try:
+            path_matched = False
+            for route_method, pattern, handler in _ROUTES:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                path_matched = True
+                if method == route_method:
+                    return 200, getattr(self, f"_handle_{handler}")(body, **match.groupdict())
+            if path_matched:
+                raise WireError(
+                    "method_not_allowed", f"{method} not allowed on {path}", status=405
+                )
+            raise WireError("unknown_route", f"no route for {method} {path}", status=404)
+        except WireError as exc:
+            return wire.error_to_wire(exc)
+        except ArtifactNotFoundError as exc:
+            return wire.error_to_wire(WireError("unknown_model", str(exc), status=404))
+        except Exception as exc:  # structured envelope instead of a traceback
+            return wire.error_to_wire(exc)
+
+    # ------------------------------------------------------------------
+    # models
+    # ------------------------------------------------------------------
+    def _handle_health(self, body, **_) -> dict:
+        with self._lock:
+            return wire.envelope(
+                "health",
+                status="ok",
+                models_available=len(self.store),
+                models_loaded=len(self.service.loaded()),
+                sessions_open=len(self.sessions),
+            )
+
+    def _handle_models_list(self, body, **_) -> dict:
+        with self._lock:
+            loaded = set(self.service.loaded())
+            pinned = set(self.service.pinned())
+            models = [
+                {**entry, "loaded": entry["name"] in loaded, "pinned": entry["name"] in pinned}
+                for entry in self.store.catalog()
+            ]
+            return wire.envelope(
+                "model-catalog",
+                models=models,
+                loaded=self.service.loaded(),
+                stats=self.service.stats,
+            )
+
+    def _handle_model_load(self, body, name: str) -> dict:
+        with self._lock:
+            try:
+                handle = self.service.load(name)
+            except ValueError as exc:  # capacity exhausted by pins
+                raise WireError("capacity_exhausted", str(exc), status=409) from exc
+            return wire.envelope(
+                "model-loaded", name=handle.name, family=handle.family, entry=handle.entry
+            )
+
+    def _handle_model_unload(self, body, name: str) -> dict:
+        with self._lock:
+            try:
+                unloaded = self.service.unload(name)
+            except ValueError as exc:  # pinned by an open session
+                raise WireError("model_pinned", str(exc), status=409) from exc
+            return wire.envelope("model-unloaded", name=name, unloaded=unloaded)
+
+    # ------------------------------------------------------------------
+    # forecasting
+    # ------------------------------------------------------------------
+    def _handle_forecast(self, body, **_) -> dict:
+        named = wire.forecast_batch_from_wire(body, require_rng=True)
+        if not named:
+            return wire.results_to_wire([])
+        settled = self.scheduler.submit_settled(named)
+        return wire.results_to_wire(
+            [self._classify_failure(outcome) for outcome in settled]
+        )
+
+    @staticmethod
+    def _classify_failure(outcome):
+        if isinstance(outcome, ArtifactNotFoundError):
+            return WireError("unknown_model", str(outcome), status=404)
+        if isinstance(outcome, (TypeError, ValueError)) and not isinstance(outcome, WireError):
+            return WireError("invalid_request", str(outcome), status=400)
+        return outcome
+
+    def _handle_strategy_sweep(self, body, **_) -> dict:
+        parsed = wire.sweep_request_from_wire(body)
+        # imported lazily: the optimizer pulls in the full deep-model stack
+        from ..strategy.optimizer import PitStrategyOptimizer
+
+        with self._lock:
+            forecaster = self.service.load(parsed["model"]).forecaster
+            try:
+                optimizer = PitStrategyOptimizer(
+                    forecaster,
+                    n_samples=parsed["n_samples"],
+                    field_size=parsed["field_size"],
+                )
+            except (TypeError, ValueError) as exc:
+                raise WireError(
+                    "unsupported_family",
+                    f"model {parsed['model']!r} cannot drive the strategy "
+                    f"optimizer: {exc}",
+                ) from exc
+            try:
+                points = optimizer.sweep(
+                    parsed["series"],
+                    parsed["origins"],
+                    parsed["horizon"],
+                    earliest=parsed["earliest"],
+                    latest=parsed["latest"],
+                    step=parsed["step"],
+                    mode=parsed["mode"],
+                    rng=parsed["rng"],
+                )
+            except (TypeError, ValueError, IndexError) as exc:
+                raise WireError("invalid_request", f"sweep failed: {exc}") from exc
+        return wire.sweep_points_to_wire(points)
+
+    # ------------------------------------------------------------------
+    # live sessions
+    # ------------------------------------------------------------------
+    def _handle_sessions_list(self, body, **_) -> dict:
+        return wire.envelope("session-list", sessions=self.sessions.describe())
+
+    def _handle_session_open(self, body, **_) -> dict:
+        document = wire.check_envelope(body, kind="session-open")
+        model = document.get("model")
+        if not isinstance(model, str) or not model:
+            raise WireError("malformed_request", "session-open needs a 'model' name")
+        known = {
+            "schema_version", "kind", "model", "horizon", "n_samples", "min_history",
+            "delay", "start", "stop", "stride", "event", "year", "rng",
+        }
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise WireError(
+                "malformed_request", f"unknown session-open field(s): {', '.join(unknown)}"
+            )
+        # imported lazily (simulation.live imports the serving package)
+        from ..simulation.live import LiveRaceForecaster
+
+        with self._lock:
+            try:
+                handle = self.service.pin(model)
+            except ValueError as exc:
+                raise WireError("capacity_exhausted", str(exc), status=409) from exc
+            try:
+                live = LiveRaceForecaster(
+                    handle.forecaster,
+                    horizon=int(document.get("horizon", 2)),
+                    n_samples=int(document.get("n_samples", 50)),
+                    min_history=int(document.get("min_history", 10)),
+                    # required: the session's forecasts must be reproducible
+                    # regardless of transport, same contract as /v1/forecast
+                    rng=wire.rng_from_wire(document.get("rng"), required=True),
+                )
+                session = RaceSession(
+                    live,
+                    event=str(document.get("event", "live")),
+                    year=int(document.get("year", 0)),
+                    delay=document.get("delay"),
+                    start=document.get("start"),
+                    stop=document.get("stop"),
+                    stride=int(document.get("stride", 1)),
+                )
+                managed = self.sessions.open(session, model=model)
+            except Exception as exc:
+                self.service.unpin(model)
+                if isinstance(exc, WireError):
+                    raise
+                if isinstance(exc, RuntimeError):  # session limit
+                    raise WireError("too_many_sessions", str(exc), status=429) from exc
+                raise WireError("invalid_request", f"cannot open session: {exc}") from exc
+        return wire.envelope("session-opened", **managed.describe())
+
+    def _get_session(self, sid: str):
+        try:
+            return self.sessions.get(sid)
+        except KeyError as exc:
+            raise WireError("unknown_session", f"no open session {sid!r}", status=404) from exc
+
+    def _handle_session_lap(self, body, sid: str) -> dict:
+        document = wire.check_envelope(body, kind="session-lap")
+        managed = self._get_session(sid)
+        lap = document.get("lap")
+        records = document.get("records")
+        if not isinstance(lap, int) or isinstance(lap, bool):
+            raise WireError("malformed_request", "session-lap needs an integer 'lap'")
+        if not isinstance(records, list):
+            raise WireError("malformed_request", "session-lap needs a 'records' array")
+        with managed.lock:
+            if managed.closed:  # lost a race against DELETE on this session
+                raise WireError(
+                    "unknown_session", f"session {sid!r} was closed", status=404
+                )
+            with self._lock:
+                # keep the session's model MRU while it is actively serving
+                self.service.touch(managed.model)
+                try:
+                    emitted = managed.session.observe_lap(lap, records)
+                except ValueError as exc:
+                    raise WireError("invalid_request", str(exc)) from exc
+        return self._emitted_to_wire(emitted)
+
+    @staticmethod
+    def _emitted_to_wire(emitted) -> dict:
+        return wire.envelope(
+            "session-lap-results",
+            results=[
+                {
+                    "origin": int(origin),
+                    "forecasts": [
+                        {"car_id": int(car_id), "samples": wire.encode_array(samples)}
+                        for car_id, samples in forecasts.items()
+                    ],
+                }
+                for origin, forecasts in emitted
+            ],
+        )
+
+    def _handle_session_close(self, body, sid: str) -> dict:
+        try:
+            managed = self.sessions.close(sid)
+        except KeyError as exc:
+            raise WireError("unknown_session", f"no open session {sid!r}", status=404) from exc
+        # the feed is over: by default flush the origins still held back by
+        # the finality delay ({"drain": false} skips the flush)
+        drain = True if body is None else bool(body.get("drain", True))
+        # same lock order as a lap (session lock, then gateway lock)
+        with managed.lock:
+            managed.closed = True
+            with self._lock:
+                remaining = managed.session.finish() if drain else []
+                self.service.unpin(managed.model)
+        document = self._emitted_to_wire(remaining)
+        document["kind"] = "session-closed"
+        document.update(managed.describe())
+        return document
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    gateway: ForecastGateway  # injected by ForecastServer
+    quiet = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _read_body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError("malformed_request", f"request body is not valid JSON: {exc}") from exc
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            body = self._read_body()
+        except WireError as exc:
+            status, document = wire.error_to_wire(exc)
+        else:
+            status, document = self.gateway.handle(method, self.path, body)
+        payload = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class ForecastServer:
+    """A running gateway: ThreadingHTTPServer + the shared serving stack."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.gateway = ForecastGateway(config)
+        handler = type(
+            "BoundGatewayHandler", (_GatewayRequestHandler,), {"gateway": self.gateway}
+        )
+        self.httpd = ThreadingHTTPServer((config.host, config.port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when the config asked for port 0)."""
+        return int(self.httpd.server_address[1])
+
+    def start(self) -> "ForecastServer":
+        """Serve on a daemon thread (the in-process/test entry point)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.gateway.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ForecastServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# CLI (the ``repro-serve`` console script)
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve forecast models from an artifact store over HTTP.",
+    )
+    parser.add_argument("--config", required=True, help="JSON server config file")
+    parser.add_argument("--host", default=None, help="override the config's bind address")
+    parser.add_argument("--port", default=None, type=int, help="override the config's port")
+    args = parser.parse_args(argv)
+    try:
+        config = ServerConfig.from_file(args.config)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"repro-serve: bad config: {exc}", file=sys.stderr)
+        return 2
+    if args.host is not None:
+        config.host = args.host
+    if args.port is not None:
+        config.port = args.port
+    try:
+        server = ForecastServer(config)
+    except Exception as exc:  # missing store/model, port in use, ...
+        print(f"repro-serve: cannot start: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"repro-serve: listening on http://{server.host}:{server.port} "
+        f"(store={config.store}, preloaded={config.preload})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,6 +12,15 @@ Memory is bounded by a capacity knob: the service keeps at most
 a load would exceed it.  Because fitted models are durable artifacts, an
 evicted model costs one disk read to bring back — not a refit.
 
+LRU accounting covers *serving*, not just loading: :meth:`submit` marks
+every routed model most-recently-used again when its engine pass
+completes, :meth:`touch` lets long-lived consumers (the HTTP gateway's
+lap-streaming sessions) refresh a model they use without re-loading it,
+and :meth:`pin`/:meth:`unpin` exclude a model from eviction entirely while
+stateful work (a live session carrying warm-up states) depends on that
+exact resident instance — evicting it would silently reset the carried
+states on reload.
+
 Batches of :class:`~repro.serving.requests.NamedForecastRequest` are
 routed per model: requests naming the same model are grouped and submitted
 to its fleet engine together (one batched engine pass per distinct model),
@@ -79,7 +88,13 @@ class ForecastService:
         self.mode = mode
         self.verify = bool(verify)
         self._resident: "OrderedDict[str, ModelHandle]" = OrderedDict()
-        self._stats: Dict[str, int] = {"loads": 0, "hits": 0, "evictions": 0}
+        self._pins: Dict[str, int] = {}
+        self._stats: Dict[str, int] = {
+            "loads": 0,
+            "hits": 0,
+            "evictions": 0,
+            "touches": 0,
+        }
 
     # ------------------------------------------------------------------
     # model lifecycle
@@ -95,6 +110,12 @@ class ForecastService:
             self._resident.move_to_end(name)
             self._stats["hits"] += 1
             return handle
+        if len(self._pins) >= self.capacity:
+            raise ValueError(
+                f"cannot load {name!r}: all {self.capacity} capacity slots are "
+                f"held by pinned models {sorted(self._pins)}; raise the capacity "
+                "or close the sessions pinning them"
+            )
         forecaster = self.store.load_model(name, verify=self.verify)
         handle = ModelHandle(
             name=name,
@@ -104,12 +125,66 @@ class ForecastService:
         self._resident[name] = handle
         self._stats["loads"] += 1
         while len(self._resident) > self.capacity:
-            evicted, _ = self._resident.popitem(last=False)
+            victim = next((n for n in self._resident if n not in self._pins), None)
+            if victim is None:  # unreachable given the pre-load pin guard
+                break
+            del self._resident[victim]
             self._stats["evictions"] += 1
         return handle
 
+    def touch(self, name: str) -> bool:
+        """Mark a resident model most-recently-used without reloading it.
+
+        The refresh path for consumers that hold a model across many uses
+        (a lap-streaming session, a long rolling evaluation) — without it,
+        a model can sit at the LRU end while actively serving and be
+        evicted by unrelated loads.  Returns whether the model was
+        resident.
+        """
+        if name not in self._resident:
+            return False
+        self._resident.move_to_end(name)
+        self._stats["touches"] += 1
+        return True
+
+    def pin(self, name: str) -> ModelHandle:
+        """Load the named model and exclude it from LRU eviction.
+
+        Pins nest (one per open session); a model stays pinned until every
+        :meth:`unpin` matched its :meth:`pin`.  Pinning matters for carry-
+        mode consumers: their warm-up states live on the resident engine
+        instance, so a silent evict-and-reload would reset them.
+        """
+        handle = self.load(name)
+        self._pins[name] = self._pins.get(name, 0) + 1
+        return handle
+
+    def unpin(self, name: str) -> bool:
+        """Release one pin on the named model; returns whether it was pinned."""
+        count = self._pins.get(name)
+        if count is None:
+            return False
+        if count <= 1:
+            del self._pins[name]
+        else:
+            self._pins[name] = count - 1
+        return True
+
+    def pinned(self) -> List[str]:
+        """Names currently excluded from eviction, sorted."""
+        return sorted(self._pins)
+
     def unload(self, name: str) -> bool:
-        """Drop the named model from memory; returns whether it was resident."""
+        """Drop the named model from memory; returns whether it was resident.
+
+        Pinned models refuse to unload — a live session still depends on
+        the resident instance and its carried states.
+        """
+        if name in self._pins:
+            raise ValueError(
+                f"model {name!r} is pinned by {self._pins[name]} active consumer(s) "
+                "and cannot be unloaded"
+            )
         return self._resident.pop(name, None) is not None
 
     def loaded(self) -> List[str]:
@@ -156,10 +231,14 @@ class ForecastService:
                     f"submit expects NamedForecastRequest, got {type(named).__name__}"
                 )
             order.setdefault(named.model, []).append(i)
-        if len(order) > self.capacity:
+        # slots held by pinned models outside this batch are not available —
+        # loading past them would evict a batch-mate mid-flight instead
+        reserved = sum(1 for name in self._pins if name not in order)
+        if len(order) > self.capacity - reserved:
             raise ValueError(
-                f"batch names {len(order)} distinct models, capacity is "
-                f"{self.capacity}; raise the capacity or split the batch"
+                f"batch names {len(order)} distinct models, but only "
+                f"{self.capacity - reserved} of {self.capacity} slots are free "
+                f"({reserved} pinned); raise the capacity or split the batch"
             )
         handles = {name: self.load(name) for name in order}
         outputs: List[Optional[np.ndarray]] = [None] * len(requests)
@@ -168,6 +247,11 @@ class ForecastService:
             results = engine.submit([requests[i].request for i in indices])
             for i, samples in zip(indices, results):
                 outputs[i] = samples
+            # re-promote on completion, not just on the upfront load: an
+            # engine pass can be long, and loads interleaved by other
+            # consumers must not leave an actively-serving model at the
+            # LRU end of the order
+            self.touch(name)
         return outputs  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover

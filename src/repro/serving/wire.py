@@ -1,0 +1,551 @@
+"""The ``v1`` JSON wire protocol of the forecast serving API.
+
+Everything that crosses the process boundary — forecast requests and
+results, the model catalog, strategy-sweep requests and outcomes, live
+session laps, and error reports — has a canonical JSON form defined here,
+with ``to_wire``/``from_wire`` round trips that are *byte-exact*:
+
+* numpy arrays travel base64-encoded with their dtype and shape
+  (:func:`encode_array`/:func:`decode_array`), so a float64 forecast
+  decoded on the other side is bitwise equal to the one encoded;
+* per-request RNG streams travel explicitly (:func:`rng_to_wire` /
+  :func:`rng_from_wire`) either as an integer seed or as a full
+  bit-generator state snapshot (the same JSON form the checkpoint layer
+  uses), so a request reproduces the same Monte-Carlo draws regardless of
+  transport, batching, or which process runs it;
+* every top-level document carries ``schema_version`` and a ``kind`` tag,
+  guarded like the artifacts package: documents written by a *newer*
+  schema are refused (:data:`WIRE_SCHEMA_VERSION`), malformed documents
+  raise :class:`WireError` with a structured code instead of a bare
+  ``KeyError``.
+
+Errors themselves are wire documents (:func:`error_to_wire`), so a client
+always receives machine-readable ``{code, message, detail}`` envelopes —
+never an HTML traceback.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data.features import CarFeatureSeries
+from ..nn.checkpoint import rng_from_state, rng_state
+from .requests import ForecastRequest, NamedForecastRequest
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "check_envelope",
+    "decode_array",
+    "encode_array",
+    "envelope",
+    "error_to_wire",
+    "forecast_batch_from_wire",
+    "forecast_batch_to_wire",
+    "named_request_from_wire",
+    "named_request_to_wire",
+    "raise_for_error",
+    "request_from_wire",
+    "request_to_wire",
+    "results_from_wire",
+    "results_to_wire",
+    "rng_from_wire",
+    "rng_to_wire",
+    "series_from_wire",
+    "series_to_wire",
+    "sweep_points_from_wire",
+    "sweep_points_to_wire",
+    "sweep_request_from_wire",
+    "sweep_request_to_wire",
+]
+
+#: Highest wire schema revision this build reads and writes.
+WIRE_SCHEMA_VERSION = 1
+
+
+class WireError(ValueError):
+    """A structured wire-protocol failure.
+
+    ``code`` is a stable machine-readable identifier (``malformed_request``,
+    ``unsupported_schema``, ``unknown_model``, ...), ``status`` the HTTP
+    status the gateway maps it to, and ``detail`` an optional JSON-safe
+    payload with specifics.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        status: int = 400,
+        detail: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = str(code)
+        self.status = int(status)
+        self.detail = detail
+
+
+# ----------------------------------------------------------------------
+# envelopes and schema guards
+# ----------------------------------------------------------------------
+def envelope(kind: str, **payload) -> dict:
+    """A versioned wire document: schema version + kind tag + payload."""
+    document = {"schema_version": WIRE_SCHEMA_VERSION, "kind": str(kind)}
+    document.update(payload)
+    return document
+
+
+def check_envelope(document, kind: Optional[str] = None) -> dict:
+    """Validate a wire document's schema version (and optionally its kind).
+
+    Mirrors the artifact store's guard: a document stamped by a *newer*
+    schema is refused with ``unsupported_schema`` rather than silently
+    misread; a missing or non-integer version is ``malformed_request``.
+    """
+    if not isinstance(document, dict):
+        raise WireError(
+            "malformed_request",
+            f"expected a JSON object, got {type(document).__name__}",
+        )
+    version = document.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WireError("malformed_request", "document carries no integer schema_version")
+    if version > WIRE_SCHEMA_VERSION:
+        raise WireError(
+            "unsupported_schema",
+            f"document has wire schema version {version}; this build reads "
+            f"<= {WIRE_SCHEMA_VERSION}",
+        )
+    if kind is not None and document.get("kind") != kind:
+        raise WireError(
+            "malformed_request",
+            f"expected a {kind!r} document, got kind={document.get('kind')!r}",
+        )
+    return document
+
+
+def _require(document: dict, field: str, kind: str):
+    if field not in document:
+        raise WireError("malformed_request", f"{kind} document is missing {field!r}")
+    return document[field]
+
+
+# ----------------------------------------------------------------------
+# arrays
+# ----------------------------------------------------------------------
+def encode_array(array) -> dict:
+    """Base64 + dtype + shape encoding of one numpy array.
+
+    The bytes are taken from a C-contiguous view, so non-contiguous inputs
+    (slices, transposes) encode to the same payload as their contiguous
+    copies and round-trip bitwise.
+    """
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(spec) -> np.ndarray:
+    """Rebuild the array encoded by :func:`encode_array` (bitwise)."""
+    if not isinstance(spec, dict):
+        raise WireError("malformed_request", "array spec must be a JSON object")
+    try:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(n) for n in spec["shape"])
+        raw = base64.b64decode(spec["data"].encode("ascii"), validate=True)
+    except (KeyError, TypeError, ValueError, AttributeError, binascii.Error) as exc:
+        raise WireError("malformed_request", f"malformed array spec: {exc}") from exc
+    if dtype.hasobject:
+        raise WireError("malformed_request", f"refusing object dtype {dtype.str!r}")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise WireError(
+            "malformed_request",
+            f"array payload is {len(raw)} bytes, shape/dtype require {expected}",
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+# ----------------------------------------------------------------------
+# RNG streams
+# ----------------------------------------------------------------------
+def rng_to_wire(rng: Union[np.random.Generator, int, None]) -> Optional[dict]:
+    """Explicit wire form of a request's RNG stream.
+
+    An integer travels as ``{"seed": n}`` (the stream is
+    ``np.random.default_rng(n)``); a live ``Generator`` travels as its full
+    bit-generator state snapshot, so draws continue bit-exactly on the
+    other side of the wire.
+    """
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return {"seed": int(rng)}
+    if isinstance(rng, np.random.Generator):
+        return {"state": rng_state(rng)}
+    raise WireError("malformed_request", f"cannot encode RNG of type {type(rng).__name__}")
+
+
+def rng_from_wire(spec, required: bool = False) -> Optional[np.random.Generator]:
+    """Rebuild the RNG stream encoded by :func:`rng_to_wire`."""
+    if spec is None:
+        if required:
+            raise WireError(
+                "malformed_request",
+                "request carries no RNG stream; per-request seeds are required "
+                "so results are reproducible regardless of transport or batching",
+            )
+        return None
+    if not isinstance(spec, dict):
+        raise WireError("malformed_request", "rng spec must be a JSON object")
+    if "state" in spec:
+        try:
+            return rng_from_state(spec["state"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError("malformed_request", f"malformed rng state: {exc}") from exc
+    if "seed" in spec:
+        seed = spec["seed"]
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise WireError("malformed_request", "rng seed must be an integer")
+        return np.random.default_rng(seed)
+    raise WireError("malformed_request", "rng spec needs a 'seed' or a 'state' field")
+
+
+# ----------------------------------------------------------------------
+# request keys (tuples survive the list round trip)
+# ----------------------------------------------------------------------
+def _encode_key(key: Optional[Hashable]):
+    if key is None or isinstance(key, (str, bool)):
+        return key
+    if isinstance(key, (int, np.integer)):
+        return int(key)
+    if isinstance(key, (float, np.floating)):
+        return float(key)
+    if isinstance(key, tuple):
+        return [_encode_key(item) for item in key]
+    raise WireError("malformed_request", f"cannot encode request key of type {type(key).__name__}")
+
+
+def _decode_key(spec) -> Optional[Hashable]:
+    if isinstance(spec, list):
+        return tuple(_decode_key(item) for item in spec)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# forecast requests / results
+# ----------------------------------------------------------------------
+def request_to_wire(request: ForecastRequest) -> dict:
+    """Wire form of one :class:`ForecastRequest` (RNG stream included)."""
+    return {
+        "history_target": encode_array(request.target),
+        "history_covariates": encode_array(request.history_covariates),
+        "future_covariates": encode_array(request.future_covariates),
+        "n_samples": int(request.n_samples),
+        "rng": rng_to_wire(request.rng),
+        "key": _encode_key(request.key),
+        "origin": None if request.origin is None else int(request.origin),
+    }
+
+
+def request_from_wire(document, require_rng: bool = False) -> ForecastRequest:
+    """Rebuild the request encoded by :func:`request_to_wire`.
+
+    With ``require_rng=True`` (the gateway's setting) a request without an
+    explicit RNG stream is refused — a shared model-level generator would
+    make the result depend on how the scheduler batches the wire traffic.
+    """
+    if not isinstance(document, dict):
+        raise WireError("malformed_request", "forecast request must be a JSON object")
+    kind = "forecast request"
+    try:
+        return ForecastRequest(
+            history_target=decode_array(_require(document, "history_target", kind)),
+            history_covariates=decode_array(_require(document, "history_covariates", kind)),
+            future_covariates=decode_array(_require(document, "future_covariates", kind)),
+            n_samples=_require(document, "n_samples", kind),
+            rng=rng_from_wire(document.get("rng"), required=require_rng),
+            key=_decode_key(document.get("key")),
+            origin=document.get("origin"),
+        )
+    except WireError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise WireError("malformed_request", f"invalid forecast request: {exc}") from exc
+
+
+def named_request_to_wire(named: NamedForecastRequest) -> dict:
+    return {"model": named.model, "request": request_to_wire(named.request)}
+
+
+def named_request_from_wire(document, require_rng: bool = False) -> NamedForecastRequest:
+    if not isinstance(document, dict):
+        raise WireError("malformed_request", "named request must be a JSON object")
+    model = _require(document, "model", "named request")
+    if not isinstance(model, str) or not model:
+        raise WireError("malformed_request", "named request 'model' must be a non-empty string")
+    return NamedForecastRequest(
+        model=model,
+        request=request_from_wire(_require(document, "request", "named request"), require_rng),
+    )
+
+
+def forecast_batch_to_wire(requests: Sequence[NamedForecastRequest]) -> dict:
+    """The ``POST /v1/forecast`` body: a batch of named requests."""
+    return envelope(
+        "forecast-batch", requests=[named_request_to_wire(named) for named in requests]
+    )
+
+
+def forecast_batch_from_wire(document, require_rng: bool = True) -> List[NamedForecastRequest]:
+    check_envelope(document, kind="forecast-batch")
+    requests = _require(document, "requests", "forecast-batch")
+    if not isinstance(requests, list):
+        raise WireError("malformed_request", "'requests' must be a JSON array")
+    return [named_request_from_wire(item, require_rng=require_rng) for item in requests]
+
+
+def results_to_wire(results: Sequence) -> dict:
+    """The ``/v1/forecast`` response: one entry per request, in order.
+
+    Each entry is either ``{"samples": <array>}`` or ``{"error": {...}}``,
+    so one failed request does not discard its batch-mates' forecasts.
+    """
+    entries = []
+    for result in results:
+        if isinstance(result, BaseException):
+            entries.append({"error": _error_body(result)})
+        else:
+            entries.append({"samples": encode_array(result)})
+    return envelope("forecast-results", results=entries)
+
+
+def results_from_wire(document) -> List[Union[np.ndarray, WireError]]:
+    """Decode forecast results; failed entries come back as WireError values."""
+    check_envelope(document, kind="forecast-results")
+    entries = _require(document, "results", "forecast-results")
+    decoded: List[Union[np.ndarray, WireError]] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise WireError("malformed_request", "result entry must be a JSON object")
+        if "error" in entry:
+            body = entry["error"]
+            decoded.append(
+                WireError(
+                    body.get("code", "request_failed"),
+                    body.get("message", "request failed"),
+                    status=int(body.get("status", 400)),
+                    detail=body.get("detail"),
+                )
+            )
+        else:
+            decoded.append(decode_array(_require(entry, "samples", "result entry")))
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# feature series (strategy sweeps ship the car's series to the server)
+# ----------------------------------------------------------------------
+def series_to_wire(series: CarFeatureSeries) -> dict:
+    return {
+        "race_id": series.race_id,
+        "event": series.event,
+        "year": int(series.year),
+        "car_id": int(series.car_id),
+        "laps": encode_array(series.laps),
+        "rank": encode_array(series.rank),
+        "lap_time": encode_array(series.lap_time),
+        "time_behind_leader": encode_array(series.time_behind_leader),
+        "covariates": encode_array(series.covariates),
+    }
+
+
+def series_from_wire(document) -> CarFeatureSeries:
+    if not isinstance(document, dict):
+        raise WireError("malformed_request", "feature series must be a JSON object")
+    kind = "feature series"
+    try:
+        return CarFeatureSeries(
+            race_id=str(_require(document, "race_id", kind)),
+            event=str(_require(document, "event", kind)),
+            year=int(_require(document, "year", kind)),
+            car_id=int(_require(document, "car_id", kind)),
+            laps=decode_array(_require(document, "laps", kind)),
+            rank=decode_array(_require(document, "rank", kind)),
+            lap_time=decode_array(_require(document, "lap_time", kind)),
+            time_behind_leader=decode_array(_require(document, "time_behind_leader", kind)),
+            covariates=decode_array(_require(document, "covariates", kind)),
+        )
+    except WireError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise WireError("malformed_request", f"invalid feature series: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# strategy sweeps
+# ----------------------------------------------------------------------
+def sweep_request_to_wire(
+    model: str,
+    series: CarFeatureSeries,
+    origins: Sequence[int],
+    horizon: int,
+    earliest: int = 1,
+    latest: Optional[int] = None,
+    step: int = 1,
+    mode: str = "carry",
+    n_samples: int = 100,
+    field_size: Optional[int] = None,
+    rng: Union[np.random.Generator, int, None] = None,
+) -> dict:
+    """The ``POST /v1/strategy/sweep`` body."""
+    return envelope(
+        "sweep-request",
+        model=str(model),
+        series=series_to_wire(series),
+        origins=[int(o) for o in origins],
+        horizon=int(horizon),
+        earliest=int(earliest),
+        latest=None if latest is None else int(latest),
+        step=int(step),
+        mode=str(mode),
+        n_samples=int(n_samples),
+        field_size=None if field_size is None else int(field_size),
+        rng=rng_to_wire(rng),
+    )
+
+
+def sweep_request_from_wire(document) -> dict:
+    """Decode a sweep request into keyword arguments for the gateway."""
+    check_envelope(document, kind="sweep-request")
+    kind = "sweep-request"
+    origins = _require(document, "origins", kind)
+    if not isinstance(origins, list) or not all(
+        isinstance(o, int) and not isinstance(o, bool) for o in origins
+    ):
+        raise WireError("malformed_request", "'origins' must be an array of integers")
+    try:
+        return {
+            "model": str(_require(document, "model", kind)),
+            "series": series_from_wire(_require(document, "series", kind)),
+            "origins": [int(o) for o in origins],
+            "horizon": int(_require(document, "horizon", kind)),
+            "earliest": int(document.get("earliest", 1)),
+            "latest": None if document.get("latest") is None else int(document["latest"]),
+            "step": int(document.get("step", 1)),
+            "mode": str(document.get("mode", "carry")),
+            "n_samples": int(document.get("n_samples", 100)),
+            "field_size": (
+                None if document.get("field_size") is None else int(document["field_size"])
+            ),
+            "rng": rng_from_wire(document.get("rng"), required=True),
+        }
+    except WireError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise WireError("malformed_request", f"invalid sweep request: {exc}") from exc
+
+
+#: float fields of one wire strategy outcome, in canonical order
+_OUTCOME_FIELDS = (
+    "expected_final_rank",
+    "median_final_rank",
+    "p_gain",
+    "p_lose",
+    "rank_samples_std",
+)
+
+
+def sweep_points_to_wire(points: Sequence) -> dict:
+    """Wire form of ``PitStrategyOptimizer.sweep`` results.
+
+    Plain JSON floats round-trip exactly (shortest-repr float encoding),
+    so the decoded outcomes are bitwise equal to the in-process sweep.
+    """
+    wired = []
+    for point in points:
+        wired.append(
+            {
+                "origin": int(point.origin),
+                "current_rank": float(point.current_rank),
+                "outcomes": [
+                    {
+                        "pit_in_laps": int(outcome.pit_in_laps),
+                        **{name: float(getattr(outcome, name)) for name in _OUTCOME_FIELDS},
+                    }
+                    for outcome in point.outcomes
+                ],
+            }
+        )
+    return envelope("sweep-results", points=wired)
+
+
+def sweep_points_from_wire(document) -> List:
+    """Decode sweep results back into ``StrategySweepPoint`` objects."""
+    # imported here: repro.strategy pulls in the deep-model stack, which the
+    # wire module must not force on lightweight clients
+    from ..strategy.optimizer import StrategyOutcome, StrategySweepPoint
+
+    check_envelope(document, kind="sweep-results")
+    points = []
+    for item in _require(document, "points", "sweep-results"):
+        try:
+            outcomes = [
+                StrategyOutcome(
+                    pit_in_laps=int(entry["pit_in_laps"]),
+                    **{name: float(entry[name]) for name in _OUTCOME_FIELDS},
+                )
+                for entry in item["outcomes"]
+            ]
+            points.append(
+                StrategySweepPoint(
+                    origin=int(item["origin"]),
+                    current_rank=float(item["current_rank"]),
+                    outcomes=outcomes,
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError("malformed_request", f"invalid sweep point: {exc}") from exc
+    return points
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+def _error_body(exc: BaseException) -> dict:
+    if isinstance(exc, WireError):
+        body: Dict[str, object] = {
+            "code": exc.code,
+            "message": str(exc),
+            "status": exc.status,
+        }
+        if exc.detail is not None:
+            body["detail"] = exc.detail
+        return body
+    return {"code": "internal_error", "message": str(exc), "status": 500}
+
+
+def error_to_wire(exc: BaseException) -> Tuple[int, dict]:
+    """``(http_status, document)`` form of any failure."""
+    body = _error_body(exc)
+    return int(body["status"]), envelope("error", error=body)
+
+
+def raise_for_error(document) -> dict:
+    """Raise the :class:`WireError` carried by an error document, else pass through."""
+    if isinstance(document, dict) and document.get("kind") == "error":
+        body = document.get("error", {})
+        raise WireError(
+            body.get("code", "request_failed"),
+            body.get("message", "request failed"),
+            status=int(body.get("status", 400)),
+            detail=body.get("detail"),
+        )
+    return document

@@ -162,6 +162,28 @@ class RaceTelemetry:
         mask = self.lap == lap
         return {int(c): int(r) for c, r in zip(self.car_id[mask], self.rank[mask])}
 
+    def lap_records(self, lap: int) -> List[LapRecord]:
+        """Every car's record for one lap, in the stored (rank) order."""
+        mask = self.lap == lap
+        return [
+            LapRecord(
+                car_id=int(self.car_id[i]),
+                lap=int(self.lap[i]),
+                rank=int(self.rank[i]),
+                lap_time=float(self.lap_time[i]),
+                elapsed_time=float(self.elapsed_time[i]),
+                time_behind_leader=float(self.time_behind_leader[i]),
+                is_pit=bool(self.is_pit[i]),
+                is_caution=bool(self.is_caution[i]),
+            )
+            for i in np.flatnonzero(mask)
+        ]
+
+    def iter_laps(self):
+        """Yield ``(lap, [LapRecord, ...])`` in lap order — a replayed feed."""
+        for lap in np.unique(self.lap):
+            yield int(lap), self.lap_records(int(lap))
+
     # ------------------------------------------------------------------
     # dataset-level statistics (Fig. 6)
     # ------------------------------------------------------------------

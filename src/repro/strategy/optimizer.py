@@ -168,12 +168,17 @@ class PitStrategyOptimizer:
         earliest: int = 1,
         latest: Optional[int] = None,
         step: int = 1,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[StrategyOutcome]:
         """Evaluate every "pit in k laps" candidate inside the horizon.
 
         All counterfactual covariate plans are submitted to the fleet
         engine in one batch: the warm-up over the shared lap history runs
-        once and only the decode differs per candidate.
+        once and only the decode differs per candidate.  ``rng`` overrides
+        the forecaster's shared stream as the root the per-candidate
+        streams are spawned from — the serving gateway passes the
+        request's explicit stream here so a sweep over the wire reproduces
+        the in-process one regardless of what else the model served.
         """
         current_rank = float(series.rank[origin])
         candidates = list(
@@ -183,7 +188,7 @@ class PitStrategyOptimizer:
         )
         if not candidates:
             return []
-        rngs = spawn_request_rngs(self.forecaster.rng, len(candidates))
+        rngs = spawn_request_rngs(rng if rng is not None else self.forecaster.rng, len(candidates))
         requests = [
             self._plan_request(series, origin, candidate["plan"], rng=rng)
             for candidate, rng in zip(candidates, rngs)
@@ -219,6 +224,7 @@ class PitStrategyOptimizer:
         latest: Optional[int] = None,
         step: int = 1,
         mode: str = "carry",
+        rng: Optional[np.random.Generator] = None,
     ) -> List[StrategySweepPoint]:
         """Evaluate every (origin, pit-in-k) candidate of a race window at once.
 
@@ -232,7 +238,9 @@ class PitStrategyOptimizer:
           replaying the whole history window;
         * every candidate draws from its own spawned RNG stream, so the
           samples do not depend on how the engine groups or chunks the
-          batch.
+          batch.  ``rng``, when given, replaces the forecaster's shared
+          stream as the spawn root (explicit per-request reproducibility —
+          the wire API's contract).
 
         Returns one :class:`StrategySweepPoint` per origin, in ascending
         origin order.
@@ -250,7 +258,9 @@ class PitStrategyOptimizer:
             per_origin.append((origin, float(series.rank[origin]), candidates))
             flat_candidates.extend(candidates)
         if flat_candidates:
-            rngs = spawn_request_rngs(self.forecaster.rng, len(flat_candidates))
+            rngs = spawn_request_rngs(
+                rng if rng is not None else self.forecaster.rng, len(flat_candidates)
+            )
             i = 0
             for origin, _, candidates in per_origin:
                 for candidate in candidates:

@@ -1,0 +1,176 @@
+"""MicroBatchScheduler: cross-client coalescing with byte-identical results."""
+
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import build_race_features
+from repro.models import CurRankForecaster, DeepARForecaster
+from repro.serving import ForecastService, NamedForecastRequest
+from repro.serving.scheduler import MicroBatchScheduler
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=200,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    track = replace(track_for_year("Indy500", 2018), total_laps=70, num_cars=8)
+    race = RaceSimulator(track, event="Indy500", year=2017, seed=13).run()
+    return build_race_features(race)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, tiny_series):
+    root = str(tmp_path_factory.mktemp("scheduler-store"))
+    store = ArtifactStore(root)
+    model = DeepARForecaster(seed=5, **DEEP_KWARGS).fit(tiny_series[:5])
+    store.save_model("deepar", model)
+    store.save_model("naive", CurRankForecaster().fit(tiny_series[:5]))
+    return store
+
+
+def _named(forecaster, series, origin, seed, n_samples=6, horizon=3):
+    return NamedForecastRequest(
+        "deepar",
+        forecaster._fleet_request(
+            series,
+            origin,
+            forecaster._future_covariates(series, origin, horizon),
+            n_samples,
+            np.random.default_rng(seed),
+        ),
+    )
+
+
+def test_three_concurrent_clients_coalesce_into_one_byte_identical_batch(store, tiny_series):
+    service = ForecastService(store, capacity=2)
+    forecaster = service.load("deepar").forecaster
+    series = tiny_series[0]
+
+    client_requests = {
+        client: [_named(forecaster, series, 20 + client, 100 * client + i) for i in range(4)]
+        for client in range(3)
+    }
+    # reference: every client's requests submitted directly, client by client
+    reference = {
+        client: service.submit(
+            [
+                _named(forecaster, series, 20 + client, 100 * client + i)
+                for i in range(4)
+            ]
+        )
+        for client in range(3)
+    }
+
+    scheduler = MicroBatchScheduler(service.submit, window=1.0, max_batch=64)
+    results: dict = {}
+    barrier = threading.Barrier(3)
+
+    def run_client(client):
+        barrier.wait()
+        results[client] = scheduler.submit(client_requests[client])
+
+    threads = [threading.Thread(target=run_client, args=(c,)) for c in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    scheduler.close()
+
+    for client in range(3):
+        assert len(results[client]) == 4
+        for got, expected in zip(results[client], reference[client]):
+            np.testing.assert_array_equal(got, expected)
+
+    stats = scheduler.stats
+    assert stats["requests"] == 12
+    assert stats["batches"] == 1, stats  # one coalesced fleet pass for all clients
+    assert stats["coalesced_batches"] == 1
+    assert stats["max_batch_requests"] == 12
+
+
+def test_max_batch_splits_but_results_are_unchanged(store, tiny_series):
+    service = ForecastService(store, capacity=2)
+    forecaster = service.load("deepar").forecaster
+    series = tiny_series[0]
+    requests = [_named(forecaster, series, 22, seed) for seed in range(5)]
+    reference = service.submit([_named(forecaster, series, 22, seed) for seed in range(5)])
+
+    with MicroBatchScheduler(service.submit, window=0.05, max_batch=2) as scheduler:
+        results = scheduler.submit(requests)
+        stats = scheduler.stats
+    for got, expected in zip(results, reference):
+        np.testing.assert_array_equal(got, expected)
+    assert stats["batches"] >= 3  # ceil(5 / 2)
+    assert stats["flush_full"] >= 2
+
+
+def test_bad_request_is_isolated_from_its_batch_mates(store, tiny_series):
+    service = ForecastService(store, capacity=1)
+    forecaster = service.load("deepar").forecaster
+    series = tiny_series[0]
+    good = _named(forecaster, series, 20, 7)
+    bad = NamedForecastRequest("no-such-model", good.request)
+    reference = service.submit([_named(forecaster, series, 20, 7)])
+
+    with MicroBatchScheduler(service.submit, window=0.02) as scheduler:
+        settled = scheduler.submit_settled([good, bad])
+        stats = scheduler.stats
+    np.testing.assert_array_equal(settled[0], reference[0])
+    assert isinstance(settled[1], Exception)
+    assert stats["isolated_retries"] == 2
+
+    # submit() surfaces the failure as an exception
+    with MicroBatchScheduler(service.submit, window=0.02) as scheduler:
+        with pytest.raises(Exception, match="no-such-model"):
+            scheduler.submit([bad])
+
+
+def test_retry_after_partial_batch_failure_replays_consumed_rng_streams(store, tiny_series):
+    """A failing coalesced batch may already have consumed some requests'
+    generators (the per-model engine passes run sequentially before the
+    failure) — the isolation retry must restore their states, or the
+    retried results silently stop matching direct submission."""
+    service = ForecastService(store, capacity=2)
+    forecaster = service.load("deepar").forecaster
+    series = tiny_series[0]
+    reference = service.submit([_named(forecaster, series, 20, 7)])
+
+    good = _named(forecaster, series, 20, 7)
+    # "naive" loads fine but has no fleet engine, so service.submit raises
+    # only after deepar's pass already ran (and consumed good's generator)
+    bad = NamedForecastRequest("naive", _named(forecaster, series, 20, 8).request)
+    with MicroBatchScheduler(service.submit, window=0.02) as scheduler:
+        settled = scheduler.submit_settled([good, bad])
+    np.testing.assert_array_equal(settled[0], reference[0])
+    assert isinstance(settled[1], TypeError)
+
+
+def test_empty_submit_and_close_semantics(store):
+    service = ForecastService(store, capacity=1)
+    scheduler = MicroBatchScheduler(service.submit, window=0.01)
+    assert scheduler.submit([]) == []
+    scheduler.close()
+    scheduler.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        scheduler.submit([object()])
+
+
+def test_parameter_validation(store):
+    service = ForecastService(store, capacity=1)
+    with pytest.raises(ValueError):
+        MicroBatchScheduler(service.submit, window=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatchScheduler(service.submit, max_batch=0)

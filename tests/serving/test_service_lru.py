@@ -1,0 +1,140 @@
+"""Regression tests for ForecastService LRU accounting under active serving.
+
+The original accounting only updated the LRU order inside ``load()``: a
+model held by a long-lived consumer (a lap-streaming session keeps its
+handle across hundreds of laps) was never promoted again and could be
+evicted by unrelated loads while actively serving — and in ``carry`` mode
+an evict-and-reload silently resets the carried warm-up states.  The fixes
+under test: ``touch()`` (refresh without reload), ``pin()``/``unpin()``
+(exclude from eviction while a session depends on the instance), and
+``submit()`` re-promoting routed models when their engine pass completes.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import build_race_features
+from repro.models import CurRankForecaster, DeepARForecaster, RankNetForecaster
+from repro.serving import ForecastService, NamedForecastRequest, spawn_request_rngs
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=200,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    track = replace(track_for_year("Indy500", 2018), total_laps=70, num_cars=8)
+    race = RaceSimulator(track, event="Indy500", year=2017, seed=29).run()
+    return build_race_features(race)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, tiny_series):
+    root = str(tmp_path_factory.mktemp("lru-store"))
+    store = ArtifactStore(root)
+    store.save_model("deepar", DeepARForecaster(seed=5, **DEEP_KWARGS).fit(tiny_series[:5]))
+    store.save_model(
+        "oracle", RankNetForecaster(variant="oracle", seed=6, **DEEP_KWARGS).fit(tiny_series[:5])
+    )
+    store.save_model("naive", CurRankForecaster().fit(tiny_series[:5]))
+    return store
+
+
+def test_pinned_model_survives_eviction_pressure(store):
+    """The regression: LRU pressure must not evict an actively-serving model."""
+    service = ForecastService(store, capacity=2)
+    service.pin("deepar")          # e.g. a live session opened on it
+    service.load("oracle")
+    service.load("naive")          # pre-fix this evicted "deepar" (the LRU entry)
+    assert "deepar" in service.loaded()
+    assert "oracle" not in service.loaded()  # the unpinned LRU model was the victim
+    assert service.pinned() == ["deepar"]
+    assert service.stats["evictions"] == 1
+
+
+def test_pins_nest_and_unload_refuses_pinned_models(store):
+    service = ForecastService(store, capacity=2)
+    service.pin("deepar")
+    service.pin("deepar")          # second session on the same model
+    with pytest.raises(ValueError, match="pinned"):
+        service.unload("deepar")
+    assert service.unpin("deepar") is True
+    with pytest.raises(ValueError, match="pinned"):
+        service.unload("deepar")   # one session still active
+    assert service.unpin("deepar") is True
+    assert service.unpin("deepar") is False  # nothing left to release
+    assert service.unload("deepar") is True
+
+
+def test_loading_fails_cleanly_when_pins_exhaust_capacity(store):
+    service = ForecastService(store, capacity=2)
+    service.pin("deepar")
+    service.pin("oracle")
+    with pytest.raises(ValueError, match="pinned"):
+        service.load("naive")
+    # the failed load changed nothing
+    assert service.loaded() == ["deepar", "oracle"]
+    service.unpin("oracle")
+    service.load("naive")
+    assert "naive" in service.loaded() and "oracle" not in service.loaded()
+
+
+def test_submit_capacity_guard_accounts_for_pinned_models(store, tiny_series):
+    service = ForecastService(store, capacity=2)
+    service.pin("naive")  # a live session holds one of the two slots
+    series = tiny_series[0]
+    model = service.load("deepar").forecaster
+    rngs = spawn_request_rngs(np.random.default_rng(1), 2)
+    request = model._fleet_request(
+        series, 20, model._future_covariates(series, 20, 2), 5, rngs[0]
+    )
+    with pytest.raises(ValueError, match="pinned"):
+        service.submit(
+            [
+                NamedForecastRequest("deepar", request),
+                NamedForecastRequest("oracle", request),
+            ]
+        )
+    # a batch that fits in the remaining slot still routes
+    assert len(service.submit([NamedForecastRequest("deepar", request)])) == 1
+
+
+def test_touch_promotes_without_reloading(store):
+    service = ForecastService(store, capacity=3)
+    service.load("deepar")
+    service.load("oracle")
+    assert service.loaded() == ["deepar", "oracle"]
+    loads_before = service.stats["loads"]
+    assert service.touch("deepar") is True
+    assert service.loaded() == ["oracle", "deepar"]  # deepar is MRU again
+    assert service.stats["loads"] == loads_before    # no disk read
+    assert service.stats["touches"] == 1
+    assert service.touch("never-loaded") is False
+
+
+def test_submit_marks_routed_models_most_recently_used(store, tiny_series):
+    service = ForecastService(store, capacity=3)
+    series = tiny_series[0]
+    model = service.load("deepar").forecaster
+    service.load("oracle")  # oracle is now MRU, deepar is LRU
+    assert service.loaded() == ["deepar", "oracle"]
+
+    rngs = spawn_request_rngs(np.random.default_rng(0), 1)
+    request = model._fleet_request(
+        series, 20, model._future_covariates(series, 20, 2), 5, rngs[0]
+    )
+    service.submit([NamedForecastRequest("deepar", request)])
+    # routing promoted the served model past the idle one
+    assert service.loaded() == ["oracle", "deepar"]
+    assert service.stats["touches"] >= 1

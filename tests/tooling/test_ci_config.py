@@ -71,6 +71,16 @@ def test_test_job_runs_artifact_roundtrip_smoke():
     assert any("repro.artifacts.smoke check" in line for line in lines)
 
 
+def test_test_job_runs_serving_gateway_smoke():
+    lines = job_run_lines(load_workflow()["jobs"]["tests"])
+    assert any("repro.serving.smoke" in line for line in lines)
+
+
+def test_bench_smoke_job_runs_serving_breakdown():
+    lines = job_run_lines(load_workflow()["jobs"]["bench-smoke"])
+    assert any("repro.profiling.server" in line for line in lines)
+
+
 def test_test_job_caches_pip():
     job = load_workflow()["jobs"]["tests"]
     setup = next(s for s in job["steps"] if s.get("uses", "").startswith("actions/setup-python@"))
@@ -82,6 +92,7 @@ def test_console_script_entry_point_is_declared():
     config = tomllib.loads(PYPROJECT.read_text())
     scripts = config["project"]["scripts"]
     assert scripts["repro-experiments"] == "repro.experiments.runner:main"
+    assert scripts["repro-serve"] == "repro.serving.server:main"
 
 
 def test_every_job_checks_out_and_sets_up_python():
@@ -101,8 +112,10 @@ def test_pyproject_carries_ruff_config():
 
 def test_makefile_targets_match_ci_commands():
     text = MAKEFILE.read_text()
-    for target in ("test:", "lint:", "bench-smoke:", "bench-train:"):
+    for target in ("test:", "lint:", "bench-smoke:", "bench-train:", "bench-serve:", "smoke-serve:"):
         assert f"\n{target}" in text, f"missing Makefile target {target}"
     assert "-m repro.experiments.runner table5 --profile quick" in text
     assert "-m repro.profiling.training" in text
+    assert "-m repro.profiling.server" in text
+    assert "-m repro.serving.smoke" in text
     assert "ruff check" in text and "ruff format --check" in text
