@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve smoke-artifacts smoke-serve clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios scenarios docs-check smoke-artifacts smoke-serve clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,19 @@ bench-decode:
 
 bench-serve:
 	$(PYTHON) -m repro.profiling.server
+
+bench-scenarios:
+	$(PYTHON) -m repro.profiling.scenarios
+
+# run the shipped what-if workload matrix in-process (results under
+# benchmarks/results/scenarios/); forecast scoring needs --store
+scenarios:
+	$(PYTHON) -m repro.scenarios.runner benchmarks/scenarios/matrix.yaml --validate
+
+# what the CI docs job runs: markdown link check + scenario validation
+docs-check:
+	$(PYTHON) tools/check_links.py
+	$(PYTHON) -m repro.scenarios.runner benchmarks/scenarios/matrix.yaml --validate
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -13,6 +13,7 @@ from .generalization import table7
 from .main_results import table5, table6
 from .prediction_length import fig9
 from .result import ExperimentResult
+from .scenarios import scenarios
 from .static_tables import fig3, fig5, table1, table3, table8
 from .strategy_sweep import strategy_sweep
 
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig10": fig10,
     "fig11": fig11,
     "fig12": fig12,
+    "scenarios": scenarios,
     "strategy_sweep": strategy_sweep,
 }
 

@@ -1,0 +1,153 @@
+"""Scenario-engine benchmark: sweep throughput and streaming latency.
+
+Completes the profiling picture for the what-if subsystem
+(:mod:`repro.scenarios`): how fast does the engine burn through a
+season-scale sweep, what does the HTTP boundary add, and how much sooner
+does the streamed ``/v1/scenarios`` route deliver its *first* race than a
+blocking response would deliver anything at all?
+
+Three measurements on the shipped workload matrix
+(``benchmarks/scenarios/matrix.yaml``):
+
+* ``in-process``     — ``ScenarioEngine`` over a local ``ForecastService``:
+  the floor;
+* ``http streamed``  — the same matrix through ``POST /v1/scenarios``;
+  with per-race chunked NDJSON the time-to-first-race stays near the
+  single-race cost even as the sweep grows;
+* ``simulate only``  — the raw simulation throughput (races/second) on a
+  caution sweep without forecast scoring.
+
+The two full-matrix paths also assert byte-identity of every per-race
+document (same contract ``benchmarks/test_bench_scenarios.py`` gates).
+
+Run as a module (``python -m repro.profiling.scenarios``); the
+``bench-scenarios`` Makefile target does exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..artifacts import ArtifactStore
+from ..evaluation.report import format_table
+from ..scenarios import ScenarioEngine, parse_scenario
+from ..scenarios.runner import load_workload
+from ..serving import ForecastClient, ForecastService
+from ..serving.server import ForecastServer, ServerConfig
+from .server import build_serving_fixture
+
+__all__ = ["ScenarioMeasurement", "scenario_benchmark", "SIM_SWEEP"]
+
+MATRIX = os.path.join("benchmarks", "scenarios", "matrix.yaml")
+
+#: the sim-only throughput workload: one caution sweep, no model scoring
+SIM_SWEEP = {
+    "scenario": "bench-sim-sweep",
+    "kind": "caution",
+    "races": [{"event": "Indy500", "year": 2018}],
+    "replicas": 4,
+    "grid": {"caution_hazard_scale": [0.5, 1.0, 2.0]},
+}
+
+
+@dataclass
+class ScenarioMeasurement:
+    """Wall-clock of one scenario path on the shared workload."""
+
+    path: str
+    races: int
+    wall_s: float
+    first_result_s: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "races": self.races,
+            "wall_s": round(self.wall_s, 4),
+            "first_result_s": round(self.first_result_s, 4),
+            "races_per_s": round(self.races / self.wall_s, 2) if self.wall_s else None,
+        }
+
+
+def _run_in_process(engine: ScenarioEngine, specs, seed: int):
+    documents: List[dict] = []
+    start = time.perf_counter()
+    first = None
+    for _path, _doc, spec in specs:
+        for item in engine.run_iter(spec, seed):
+            if first is None:
+                first = time.perf_counter() - start
+            if hasattr(item, "winner"):
+                documents.append(item.to_doc())
+    return documents, time.perf_counter() - start, first
+
+
+def _run_http(client: ForecastClient, specs, seed: int):
+    documents: List[dict] = []
+    start = time.perf_counter()
+    first = None
+    for _path, document, _spec in specs:
+        for kind, payload in client.run_scenario_iter(document, seed=seed):
+            if kind == "race":
+                if first is None:
+                    first = time.perf_counter() - start
+                documents.append(payload.to_doc())
+    return documents, time.perf_counter() - start, first
+
+
+def scenario_benchmark(
+    matrix: str = MATRIX, seed: int = 2021
+) -> Tuple[List[ScenarioMeasurement], bool]:
+    """Measure the three paths; returns the rows and the byte-identity verdict."""
+    measurements: List[ScenarioMeasurement] = []
+
+    # sim-only throughput
+    engine = ScenarioEngine()
+    sim_spec = parse_scenario(SIM_SWEEP)
+    start = time.perf_counter()
+    results, _summary = engine.run(sim_spec, seed)
+    wall = time.perf_counter() - start
+    measurements.append(
+        ScenarioMeasurement("simulate only", len(results), wall, wall / max(len(results), 1))
+    )
+
+    with tempfile.TemporaryDirectory() as root:
+        store = os.path.join(root, "store")
+        build_serving_fixture(store)
+        specs = load_workload(matrix)
+
+        service_engine = ScenarioEngine.from_service(ForecastService(ArtifactStore(store)))
+        local_docs, wall, first = _run_in_process(service_engine, specs, seed)
+        measurements.append(
+            ScenarioMeasurement("in-process", len(local_docs), wall, first or wall)
+        )
+
+        config = ServerConfig(store=store, port=0, batch_window_ms=1.0)
+        with ForecastServer(config) as server:
+            client = ForecastClient(port=server.port)
+            http_docs, wall, first = _run_http(client, specs, seed)
+        measurements.append(
+            ScenarioMeasurement("http streamed", len(http_docs), wall, first or wall)
+        )
+
+    return measurements, local_docs == http_docs
+
+
+def main() -> int:
+    measurements, identical = scenario_benchmark()
+    print(
+        format_table(
+            [m.as_row() for m in measurements],
+            title="Scenario engine: sweep throughput and streaming latency",
+        )
+    )
+    print(f"\nin-process vs http per-race documents byte-identical: {identical}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

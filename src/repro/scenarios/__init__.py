@@ -1,0 +1,46 @@
+"""Season-scale what-if scenario engine.
+
+Declarative YAML/JSON scenario specs — caution-probability shifts, driver
+perturbations, alternate track configurations, pit-strategy grids, and
+full-season championship Monte-Carlo — compile into deterministic race
+jobs (:mod:`repro.scenarios.spec`) executed by
+:class:`~repro.scenarios.engine.ScenarioEngine` against the simulation
+stack and, for model-scoring scenarios, the fleet-batched serving engine.
+
+Every random stream derives from one request seed via a process-stable
+SHA-256 construction, so the ``repro-scenarios`` runner
+(:mod:`repro.scenarios.runner`), the ``/v1/scenarios`` streaming gateway
+route, and any micro-batch coalescing in between produce byte-identical
+result documents.
+"""
+
+from .engine import ScenarioEngine, ScenarioRaceResult, ScenarioSummary, finishing_order
+from .spec import (
+    POINT_PARAMS,
+    SCENARIO_KINDS,
+    ForecastSpec,
+    RaceJob,
+    ScenarioError,
+    ScenarioSpec,
+    championship_points,
+    derive_rng,
+    derive_seed,
+    parse_scenario,
+)
+
+__all__ = [
+    "POINT_PARAMS",
+    "SCENARIO_KINDS",
+    "ForecastSpec",
+    "RaceJob",
+    "ScenarioEngine",
+    "ScenarioError",
+    "ScenarioRaceResult",
+    "ScenarioSpec",
+    "ScenarioSummary",
+    "championship_points",
+    "derive_rng",
+    "derive_seed",
+    "finishing_order",
+    "parse_scenario",
+]

@@ -1,0 +1,326 @@
+"""The ``repro-scenarios`` CLI: run a YAML workload matrix of scenarios.
+
+A *workload matrix* is a YAML file listing scenario files (the style of
+the ipex-llm benchmark harness: many small YAML specs, one runner)::
+
+    workload: season-scale what-if matrix
+    defaults:
+      seed: 2021
+      replicas: 2
+    scenarios:
+      - caution_sweep.yaml
+      - season_championship.yaml
+
+Scenario paths resolve relative to the matrix file; ``defaults`` fills
+``seed``/``replicas`` for specs that do not set them.  A single scenario
+file (a document with a ``scenario:`` key) is also accepted directly.
+
+Modes:
+
+* default — run every scenario in-process and write one results table
+  plus one JSON document per scenario under ``--results``
+  (``benchmarks/results/scenarios/`` by default);
+* ``--gateway HOST:PORT`` — submit each scenario to a running
+  ``repro-serve`` gateway's ``/v1/scenarios`` and consume the streamed
+  per-race results; byte-identical to the in-process run under the same
+  seed;
+* ``--validate`` — parse and compile every spec, run nothing (the CI
+  docs job runs this over the shipped matrix so the examples cannot rot).
+
+PyYAML is a dev-only dependency of this repo; the runner imports it
+lazily and fails with a clear message when it is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..evaluation.report import format_table
+from .engine import ScenarioEngine, ScenarioRaceResult, ScenarioSummary
+from .spec import ScenarioError, ScenarioSpec, parse_scenario
+
+__all__ = ["main", "load_workload", "DEFAULT_RESULTS_DIR"]
+
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results", "scenarios")
+
+_RACE_COLUMNS = (
+    "label", "winner", "podium", "laps", "finishers",
+    "caution_laps", "pit_stops", "lead_changes", "forecast_mae",
+)
+
+
+def _load_yaml(path: str) -> dict:
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise RuntimeError(
+            "repro-scenarios reads YAML workloads and needs PyYAML, which is a "
+            "dev-only dependency of this repo (python -m pip install pyyaml)"
+        ) from exc
+    with open(path, "r", encoding="utf-8") as fh:
+        document = yaml.safe_load(fh)
+    if not isinstance(document, dict):
+        raise ScenarioError(f"{path}: expected a YAML mapping at the top level")
+    return document
+
+
+def load_workload(path: str) -> List[Tuple[str, dict, ScenarioSpec]]:
+    """Load a matrix file (or a single scenario file).
+
+    Returns ``(spec file path, raw document with matrix defaults merged,
+    parsed ScenarioSpec)`` triples — the raw document is what gateway mode
+    ships over the wire, so both modes run the exact same spec.
+    """
+    document = _load_yaml(path)
+    if "scenario" in document:
+        return [(path, document, parse_scenario(document))]
+    if "scenarios" not in document:
+        raise ScenarioError(
+            f"{path}: expected a scenario document ('scenario:') or a workload "
+            "matrix ('scenarios:')"
+        )
+    unknown = sorted(set(document) - {"workload", "description", "defaults", "scenarios"})
+    if unknown:
+        raise ScenarioError(f"{path}: unknown matrix key(s): {', '.join(unknown)}")
+    defaults = document.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise ScenarioError(f"{path}: 'defaults' must be a mapping")
+    unknown = sorted(set(defaults) - {"seed", "replicas"})
+    if unknown:
+        raise ScenarioError(
+            f"{path}: unknown defaults key(s): {', '.join(unknown)}; known: replicas, seed"
+        )
+    entries = document.get("scenarios")
+    if not isinstance(entries, list) or not entries:
+        raise ScenarioError(f"{path}: 'scenarios' must be a non-empty list of file paths")
+    base_dir = os.path.dirname(os.path.abspath(path))
+    specs: List[Tuple[str, dict, ScenarioSpec]] = []
+    for entry in entries:
+        if not isinstance(entry, str):
+            raise ScenarioError(f"{path}: scenario entry must be a file path, got {entry!r}")
+        spec_path = entry if os.path.isabs(entry) else os.path.join(base_dir, entry)
+        spec_doc = _load_yaml(spec_path)
+        for key, value in defaults.items():
+            spec_doc.setdefault(key, value)
+        specs.append((spec_path, spec_doc, parse_scenario(spec_doc)))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# result rendering
+# ----------------------------------------------------------------------
+def _race_row(result: ScenarioRaceResult) -> Dict[str, object]:
+    forecast = result.forecast or {}
+    return {
+        "label": result.label,
+        "winner": result.winner,
+        "podium": "-".join(str(car) for car in result.podium),
+        "laps": result.laps,
+        "finishers": result.finishers,
+        "caution_laps": result.caution_laps,
+        "pit_stops": result.pit_stops,
+        "lead_changes": result.lead_changes,
+        "forecast_mae": forecast.get("mean_mae"),
+    }
+
+
+def render_scenario(
+    spec: ScenarioSpec, results: Sequence[ScenarioRaceResult], summary: ScenarioSummary
+) -> str:
+    sections = [
+        format_table(
+            [_race_row(result) for result in results],
+            columns=list(_RACE_COLUMNS),
+            title=f"Scenario {spec.name!r} ({spec.kind}): per-race results",
+        ),
+        format_table(summary.rows, title="Per-grid-point summary"),
+    ]
+    if summary.standings:
+        sections.append(format_table(summary.standings, title="Championship standings"))
+    if summary.champion_odds:
+        odds = ", ".join(
+            f"car {car}: {value:.2f}" for car, value in summary.champion_odds.items()
+        )
+        sections.append(f"Championship odds over {summary.replicas} replicas: {odds}")
+    if summary.forecast_mae is not None:
+        sections.append(f"Mean forecast MAE across races: {summary.forecast_mae:.4f}")
+    return "\n\n".join(sections) + "\n"
+
+
+def write_results(
+    results_dir: str,
+    spec: ScenarioSpec,
+    results: Sequence[ScenarioRaceResult],
+    summary: ScenarioSummary,
+) -> Tuple[str, str]:
+    """Write ``<name>.txt`` (table) and ``<name>.json`` (exact documents)."""
+    os.makedirs(results_dir, exist_ok=True)
+    text_path = os.path.join(results_dir, f"{spec.name}.txt")
+    with open(text_path, "w", encoding="utf-8") as fh:
+        fh.write(render_scenario(spec, results, summary))
+    json_path = os.path.join(results_dir, f"{spec.name}.json")
+    document = {
+        "scenario": spec.name,
+        "kind": spec.kind,
+        "races": [result.to_doc() for result in results],
+        "summary": summary.to_doc(),
+    }
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return text_path, json_path
+
+
+# ----------------------------------------------------------------------
+# execution backends
+# ----------------------------------------------------------------------
+def _run_in_process(
+    specs: Sequence[Tuple[str, dict, ScenarioSpec]],
+    seeds: Dict[str, int],
+    store: Optional[str],
+    quiet: bool,
+) -> Dict[str, Tuple[List[ScenarioRaceResult], ScenarioSummary]]:
+    engine = ScenarioEngine()
+    if any(spec.forecast is not None for _path, _doc, spec in specs):
+        if store is None:
+            raise ScenarioError(
+                "a scenario scores a forecast model; pass --store with the "
+                "artifact store that holds it"
+            )
+        from ..artifacts import ArtifactStore
+        from ..serving import ForecastService
+
+        engine = ScenarioEngine.from_service(ForecastService(ArtifactStore(store)))
+    outcomes: Dict[str, Tuple[List[ScenarioRaceResult], ScenarioSummary]] = {}
+    for _path, _doc, spec in specs:
+        results: List[ScenarioRaceResult] = []
+        summary: Optional[ScenarioSummary] = None
+        total = len(spec.jobs())
+        for item in engine.run_iter(spec, seeds[spec.name]):
+            if isinstance(item, ScenarioRaceResult):
+                results.append(item)
+                if not quiet:
+                    print(
+                        f"  [{len(results)}/{total}] {item.label}: "
+                        f"winner car {item.winner}",
+                        flush=True,
+                    )
+            else:
+                summary = item
+        outcomes[spec.name] = (results, summary)
+    return outcomes
+
+
+def _run_gateway(
+    specs: Sequence[Tuple[str, dict, ScenarioSpec]],
+    seeds: Dict[str, int],
+    gateway: str,
+    quiet: bool,
+) -> Dict[str, Tuple[List[ScenarioRaceResult], ScenarioSummary]]:
+    from ..serving import ForecastClient
+
+    host, _sep, port = gateway.rpartition(":")
+    if not host or not port.isdigit():
+        raise ScenarioError(f"--gateway must be HOST:PORT, got {gateway!r}")
+    client = ForecastClient(host=host, port=int(port))
+    outcomes: Dict[str, Tuple[List[ScenarioRaceResult], ScenarioSummary]] = {}
+    for _path, document, spec in specs:
+        results: List[ScenarioRaceResult] = []
+        summary: Optional[ScenarioSummary] = None
+        total = len(spec.jobs())
+        for kind, payload in client.run_scenario_iter(document, seed=seeds[spec.name]):
+            if kind == "race":
+                results.append(payload)
+                if not quiet:
+                    print(
+                        f"  [{len(results)}/{total}] {payload.label}: "
+                        f"winner car {payload.winner}",
+                        flush=True,
+                    )
+            elif kind == "summary":
+                summary = payload
+        outcomes[spec.name] = (results, summary)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="Run what-if scenario workloads through the simulation + serving stack.",
+    )
+    parser.add_argument(
+        "workload",
+        nargs="+",
+        help="workload matrix YAML file(s), or individual scenario YAML files",
+    )
+    parser.add_argument(
+        "--validate", action="store_true", help="parse and compile every spec, run nothing"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override every scenario's seed")
+    parser.add_argument(
+        "--store", default=None, help="ArtifactStore directory for forecast-scoring scenarios"
+    )
+    parser.add_argument(
+        "--gateway",
+        default=None,
+        help="submit to a running repro-serve gateway (HOST:PORT) instead of in-process",
+    )
+    parser.add_argument(
+        "--results",
+        default=DEFAULT_RESULTS_DIR,
+        help=f"results directory (default {DEFAULT_RESULTS_DIR})",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no per-race progress lines")
+    args = parser.parse_args(argv)
+
+    try:
+        specs: List[Tuple[str, dict, ScenarioSpec]] = []
+        for path in args.workload:
+            specs.extend(load_workload(path))
+    except (OSError, RuntimeError, ScenarioError) as exc:
+        print(f"repro-scenarios: {exc}", file=sys.stderr)
+        return 2
+    names = [spec.name for _path, _doc, spec in specs]
+    if len(set(names)) != len(names):
+        print(
+            f"repro-scenarios: duplicate scenario names in the workload: {names}",
+            file=sys.stderr,
+        )
+        return 2
+
+    seeds = {
+        spec.name: args.seed if args.seed is not None else (spec.seed or 0)
+        for _path, _doc, spec in specs
+    }
+    if args.validate:
+        for path, _doc, spec in specs:
+            print(f"{path}: OK ({spec.kind}, {len(spec.jobs())} races, seed {seeds[spec.name]})")
+        return 0
+
+    try:
+        if args.gateway is not None:
+            outcomes = _run_gateway(specs, seeds, args.gateway, args.quiet)
+        else:
+            outcomes = _run_in_process(specs, seeds, args.store, args.quiet)
+    except ScenarioError as exc:
+        print(f"repro-scenarios: {exc}", file=sys.stderr)
+        return 2
+
+    for _path, _doc, spec in specs:
+        results, summary = outcomes[spec.name]
+        text_path, json_path = write_results(args.results, spec, results, summary)
+        if not args.quiet:
+            print(render_scenario(spec, results, summary))
+        print(f"{spec.name}: {len(results)} races -> {text_path}, {json_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

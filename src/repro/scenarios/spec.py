@@ -1,0 +1,404 @@
+"""Declarative what-if scenario specifications.
+
+A scenario spec is a plain JSON/YAML document answering one counterfactual
+question about the racing world of :mod:`repro.simulation`: *what if the
+caution hazard doubled*, *what if the leading package degraded 2%*, *what
+if Indy500 ran 120 laps*, *who wins the championship over an alternate
+calendar*.  :func:`parse_scenario` validates the document (unknown keys
+are rejected with the full known-key list, same policy as the server
+config) and compiles it into a flat list of :class:`RaceJob`\\ s — one
+simulated race per (base race x grid point x replica).
+
+Reproducibility is the core contract: every random stream a job consumes
+is derived from a single base seed with :func:`derive_seed`, a SHA-256
+construction over ``(seed, scenario, job label, purpose, ...)``.  Unlike
+Python's ``hash()`` it is stable across processes and platforms, so a
+sweep submitted over HTTP replays bitwise the runs of the in-process
+runner given the same request seed.
+
+Document shape (see ``docs/scenarios.md`` for commented examples)::
+
+    scenario: caution-hazard-sweep     # name (required)
+    kind: caution                      # race|caution|driver|track|pit|season
+    description: optional prose
+    races:                             # base races (event must be in TRACKS)
+      - {event: Indy500, year: 2018}
+    replicas: 2                        # Monte-Carlo repeats per grid point
+    seed: 2021                         # optional; CLI/request seed wins
+    grid:                              # EITHER a cartesian grid ...
+      caution_hazard_scale: [0.5, 1.0, 2.0]
+    points:                            # ... OR an explicit point list
+      - {label: baseline}
+      - {label: double, caution_hazard_scale: 2.0}
+    forecast:                          # optional: score a served model
+      model: bench-deepar
+      origins: {start: 20, stop: 40, stride: 10}
+      horizon: 2
+      n_samples: 20
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simulation.track import EVENT_YEARS, TRACKS
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "POINT_PARAMS",
+    "ScenarioError",
+    "ForecastSpec",
+    "RaceJob",
+    "ScenarioSpec",
+    "parse_scenario",
+    "point_label",
+    "derive_seed",
+    "derive_rng",
+    "championship_points",
+]
+
+#: the scenario kinds; ``kind`` picks the summary semantics (season adds
+#: championship standings) and requires at least one parameter of its
+#: family on some grid point.
+SCENARIO_KINDS = ("race", "caution", "driver", "track", "pit", "season")
+
+#: every perturbation parameter a grid point may carry, by family.  The
+#: vocabulary is shared across kinds — a caution sweep may also shorten
+#: the race with ``track_total_laps`` to iterate faster.
+POINT_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "caution": (
+        "caution_hazard_scale",  # multiplier on the per-lap caution hazard
+        "caution_mean_duration",  # mean caution length in laps
+        "caution_retirement_prob",  # P(the caution retires a car)
+    ),
+    "driver": (
+        "driver_degradation",  # pace penalty added to every car's skill
+        "driver_car_id",  # single car to perturb (default: car 1)
+        "driver_skill_delta",  # pace delta for that car (+ is slower)
+    ),
+    "track": (
+        "track_total_laps",
+        "track_num_cars",
+        "track_pit_lane_loss_s",
+        "track_avg_speed_mph",
+        "track_caution_speed_factor",
+    ),
+    "pit": (
+        "pit_unscheduled_prob",  # per-lap unscheduled-stop probability
+        "pit_caution_pit_scale",  # window fraction after which cautions pull cars in
+        "pit_aggression_shift",  # shift applied to every driver's aggression
+    ),
+}
+
+_ALL_POINT_PARAMS = frozenset(p for family in POINT_PARAMS.values() for p in family)
+
+_SPEC_KEYS = {
+    "scenario": "name of the scenario (required)",
+    "kind": f"one of {'|'.join(SCENARIO_KINDS)} (required)",
+    "description": "free-form prose",
+    "races": "base races: [{event, year}, ...] (required)",
+    "replicas": "Monte-Carlo repeats per grid point (default 1)",
+    "seed": "base seed; a runner/request seed overrides it",
+    "grid": "cartesian grid: {param: [values, ...]}",
+    "points": "explicit grid points: [{param: value, ...}, ...]",
+    "forecast": "score a served model on every simulated race",
+}
+
+_FORECAST_KEYS = {"model", "origins", "horizon", "n_samples", "min_history"}
+
+
+class ScenarioError(ValueError):
+    """A scenario document failed validation."""
+
+
+# ----------------------------------------------------------------------
+# deterministic seed derivation
+# ----------------------------------------------------------------------
+def derive_seed(base_seed: int, *parts) -> int:
+    """A 64-bit seed derived from ``base_seed`` and a path of labels.
+
+    SHA-256 over the reprs of the parts, so the same derivation path
+    yields the same stream in every process — the property that makes a
+    scenario sweep bitwise reproducible across the in-process runner,
+    the HTTP gateway and any batching in between.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(int(base_seed)).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def derive_rng(base_seed: int, *parts) -> np.random.Generator:
+    """The generator seeded by :func:`derive_seed` on the same path."""
+    return np.random.default_rng(derive_seed(base_seed, *parts))
+
+
+# ----------------------------------------------------------------------
+# championship scoring (season kind)
+# ----------------------------------------------------------------------
+#: points by finishing position (IndyCar-style: 50 for the win, slow
+#: decay through the field); positions past the table score the tail value.
+POINTS_TABLE = (
+    50, 40, 35, 32, 30, 28, 26, 24, 22, 20,
+    19, 18, 17, 16, 15, 14, 13, 12, 11, 10,
+    9, 8, 7, 6, 5,
+)
+
+
+def championship_points(finishing_order: Sequence[int]) -> Dict[int, int]:
+    """Points per car for one race given its finishing order (winner first)."""
+    points: Dict[int, int] = {}
+    for position, car_id in enumerate(finishing_order):
+        value = POINTS_TABLE[position] if position < len(POINTS_TABLE) else POINTS_TABLE[-1]
+        points[int(car_id)] = int(value)
+    return points
+
+
+# ----------------------------------------------------------------------
+# compiled spec
+# ----------------------------------------------------------------------
+@dataclass
+class ForecastSpec:
+    """Optional model-scoring block: forecast every race at fixed origins."""
+
+    model: str
+    origins: Tuple[int, ...]
+    horizon: int = 2
+    n_samples: int = 20
+    min_history: int = 10
+
+
+@dataclass
+class RaceJob:
+    """One simulated race: a base race under one grid point, one replica."""
+
+    scenario: str
+    label: str  # "<event>-<year>/<point label>/r<replica>" — the seed path
+    event: str
+    year: int
+    replica: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def point_label(self) -> str:
+        return point_label(self.params)
+
+
+@dataclass
+class ScenarioSpec:
+    """A validated scenario document, ready to compile into race jobs."""
+
+    name: str
+    kind: str
+    races: List[Tuple[str, int]]
+    points: List[Dict[str, object]]
+    replicas: int = 1
+    seed: Optional[int] = None
+    description: str = ""
+    forecast: Optional[ForecastSpec] = None
+
+    def jobs(self) -> List[RaceJob]:
+        """The flat race list: every base race x grid point x replica."""
+        jobs: List[RaceJob] = []
+        for event, year in self.races:
+            for point in self.points:
+                for replica in range(self.replicas):
+                    label = f"{event}-{year}/{point_label(point)}/r{replica}"
+                    jobs.append(
+                        RaceJob(
+                            scenario=self.name,
+                            label=label,
+                            event=event,
+                            year=int(year),
+                            replica=replica,
+                            params=dict(point),
+                        )
+                    )
+        return jobs
+
+
+def point_label(point: Dict[str, object]) -> str:
+    """Display label of one grid point: explicit ``label`` or its params."""
+    if "label" in point:
+        return str(point["label"])
+    params = {k: v for k, v in sorted(point.items()) if k != "label"}
+    if not params:
+        return "baseline"
+    return ",".join(f"{k}={v}" for k, v in params.items())
+
+
+# ----------------------------------------------------------------------
+# parsing / validation
+# ----------------------------------------------------------------------
+def _fail(name: str, message: str) -> ScenarioError:
+    return ScenarioError(f"scenario {name!r}: {message}")
+
+
+def _parse_races(name: str, raw) -> List[Tuple[str, int]]:
+    if not isinstance(raw, list) or not raw:
+        raise _fail(name, "'races' must be a non-empty array of {event, year} entries")
+    races: List[Tuple[str, int]] = []
+    for entry in raw:
+        if isinstance(entry, dict):
+            unknown = sorted(set(entry) - {"event", "year"})
+            if unknown:
+                raise _fail(name, f"race entry has unknown key(s): {', '.join(unknown)}")
+            event, year = entry.get("event"), entry.get("year")
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            event, year = entry
+        else:
+            raise _fail(name, f"race entry must be {{event, year}}, got {entry!r}")
+        if event not in TRACKS:
+            raise _fail(name, f"unknown event {event!r}; known: {', '.join(sorted(TRACKS))}")
+        if not isinstance(year, int) or isinstance(year, bool):
+            raise _fail(name, f"race year must be an integer, got {year!r}")
+        races.append((str(event), int(year)))
+    return races
+
+
+def _parse_points(name: str, document: dict) -> List[Dict[str, object]]:
+    grid, points = document.get("grid"), document.get("points")
+    if grid is not None and points is not None:
+        raise _fail(name, "give either 'grid' or 'points', not both")
+    if points is not None:
+        if not isinstance(points, list) or not points:
+            raise _fail(name, "'points' must be a non-empty array of objects")
+        parsed = []
+        for point in points:
+            if not isinstance(point, dict):
+                raise _fail(name, f"grid point must be an object, got {point!r}")
+            parsed.append(dict(point))
+    elif grid is not None:
+        if not isinstance(grid, dict) or not grid:
+            raise _fail(name, "'grid' must be a non-empty object of {param: [values]}")
+        axes = []
+        for param in sorted(grid):
+            values = grid[param]
+            if not isinstance(values, list) or not values:
+                raise _fail(name, f"grid axis {param!r} must be a non-empty array")
+            axes.append([(param, value) for value in values])
+        parsed = [dict(combo) for combo in itertools.product(*axes)]
+    else:
+        parsed = [{}]
+    for point in parsed:
+        unknown = sorted(set(point) - _ALL_POINT_PARAMS - {"label"})
+        if unknown:
+            known = ", ".join(sorted(_ALL_POINT_PARAMS))
+            raise _fail(
+                name,
+                f"unknown grid parameter(s): {', '.join(unknown)}; known: label, {known}",
+            )
+    return parsed
+
+
+def _parse_forecast(name: str, raw) -> ForecastSpec:
+    if not isinstance(raw, dict):
+        raise _fail(name, "'forecast' must be an object")
+    unknown = sorted(set(raw) - _FORECAST_KEYS)
+    if unknown:
+        raise _fail(
+            name,
+            f"unknown forecast key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(_FORECAST_KEYS))}",
+        )
+    model = raw.get("model")
+    if not isinstance(model, str) or not model:
+        raise _fail(name, "forecast needs a 'model' name")
+    origins_raw = raw.get("origins")
+    if isinstance(origins_raw, dict):
+        unknown = sorted(set(origins_raw) - {"start", "stop", "stride"})
+        if unknown:
+            raise _fail(name, f"unknown origins key(s): {', '.join(unknown)}")
+        try:
+            start = int(origins_raw["start"])
+            stop = int(origins_raw["stop"])
+            stride = int(origins_raw.get("stride", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _fail(name, f"origins range needs integer start/stop[/stride]: {exc}")
+        if stride < 1 or stop < start:
+            raise _fail(name, "origins range needs stride >= 1 and stop >= start")
+        origins = tuple(range(start, stop + 1, stride))
+    elif isinstance(origins_raw, list) and origins_raw:
+        if not all(isinstance(o, int) and not isinstance(o, bool) for o in origins_raw):
+            raise _fail(name, "'origins' array must hold integers")
+        origins = tuple(int(o) for o in origins_raw)
+    else:
+        raise _fail(name, "forecast needs 'origins': an array or {start, stop, stride}")
+    try:
+        spec = ForecastSpec(
+            model=model,
+            origins=origins,
+            horizon=int(raw.get("horizon", 2)),
+            n_samples=int(raw.get("n_samples", 20)),
+            min_history=int(raw.get("min_history", 10)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise _fail(name, f"invalid forecast block: {exc}")
+    if spec.horizon < 1 or spec.n_samples < 1:
+        raise _fail(name, "forecast horizon and n_samples must be >= 1")
+    return spec
+
+
+def parse_scenario(document) -> ScenarioSpec:
+    """Validate a scenario document and compile it to a :class:`ScenarioSpec`.
+
+    Every problem raises :class:`ScenarioError` with the offending key —
+    the same fail-loudly policy as :class:`~repro.serving.server.ServerConfig`.
+    """
+    if not isinstance(document, dict):
+        raise ScenarioError(f"scenario document must be an object, got {type(document).__name__}")
+    name = document.get("scenario")
+    if not isinstance(name, str) or not name:
+        raise ScenarioError("scenario document needs a non-empty 'scenario' name")
+    unknown = sorted(set(document) - set(_SPEC_KEYS))
+    if unknown:
+        raise _fail(
+            name,
+            f"unknown key(s): {', '.join(unknown)}; known: {', '.join(sorted(_SPEC_KEYS))}",
+        )
+    kind = document.get("kind")
+    if kind not in SCENARIO_KINDS:
+        raise _fail(name, f"'kind' must be one of {', '.join(SCENARIO_KINDS)}, got {kind!r}")
+    races = _parse_races(name, document.get("races"))
+    points = _parse_points(name, document)
+    replicas = document.get("replicas", 1)
+    if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
+        raise _fail(name, f"'replicas' must be a positive integer, got {replicas!r}")
+    seed = document.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        raise _fail(name, f"'seed' must be an integer, got {seed!r}")
+    if kind in POINT_PARAMS:
+        family = set(POINT_PARAMS[kind])
+        if not any(family & set(point) for point in points):
+            raise _fail(
+                name,
+                f"kind {kind!r} requires at least one of its parameters "
+                f"({', '.join(sorted(family))}) on some grid point",
+            )
+    forecast = None
+    if document.get("forecast") is not None:
+        forecast = _parse_forecast(name, document["forecast"])
+    spec = ScenarioSpec(
+        name=name,
+        kind=str(kind),
+        races=races,
+        points=points,
+        replicas=int(replicas),
+        seed=None if seed is None else int(seed),
+        description=str(document.get("description", "")),
+        forecast=forecast,
+    )
+    # years outside the catalogued seasons are allowed (the track layout of
+    # the closest season applies), but warn-level strictness would hide
+    # typos: require the event to have at least one catalogued year.
+    for event, _year in spec.races:
+        if event not in EVENT_YEARS:
+            raise _fail(name, f"event {event!r} has no catalogued seasons")
+    return spec

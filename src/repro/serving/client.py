@@ -155,6 +155,93 @@ class ForecastClient:
         return outcomes
 
     # ------------------------------------------------------------------
+    # what-if scenarios (streamed)
+    # ------------------------------------------------------------------
+    def scenario_stream(self, spec_document: dict, seed: int):
+        """``POST /v1/scenarios``: yield raw wire events as the server streams.
+
+        The gateway answers with chunked NDJSON; ``http.client`` undoes the
+        chunking transparently, so each ``readline`` is one wire document:
+        ``scenario-start``, then one ``scenario-race`` per completed race,
+        then ``scenario-summary``.  Mid-run failures arrive as a trailing
+        ``error`` document and raise :class:`ServerError` here.
+        """
+        payload = wire.scenario_request_to_wire(spec_document, seed)
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST",
+                "/v1/scenarios",
+                body=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status != 200:  # refused before streaming began
+                document = json.loads(response.read().decode("utf-8"))
+                try:
+                    wire.raise_for_error(document)
+                except WireError as exc:
+                    raise ServerError.from_wire_error(exc) from None
+                raise ServerError(
+                    "malformed_response",
+                    f"server answered HTTP {response.status} without an error envelope",
+                    status=response.status,
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServerError(
+                        "malformed_response", f"non-JSON stream line: {exc}"
+                    ) from exc
+                try:
+                    wire.raise_for_error(document)
+                    wire.check_envelope(document)
+                except WireError as exc:
+                    raise ServerError.from_wire_error(exc) from None
+                yield document
+        finally:
+            connection.close()
+
+    def run_scenario_iter(self, spec_document: dict, seed: int):
+        """Decoded streaming view: yields ``(kind, payload)`` tuples.
+
+        ``("start", info dict)``, then ``("race", ScenarioRaceResult)`` per
+        race, then ``("summary", ScenarioSummary)``.
+        """
+        for document in self.scenario_stream(spec_document, seed):
+            kind = document.get("kind")
+            if kind == "scenario-start":
+                yield "start", document
+            elif kind == "scenario-race":
+                yield "race", wire.scenario_race_from_wire(document)
+            elif kind == "scenario-summary":
+                yield "summary", wire.scenario_summary_from_wire(document)
+            else:
+                raise ServerError(
+                    "malformed_response", f"unexpected stream event kind {kind!r}"
+                )
+
+    def run_scenario(self, spec_document: dict, seed: int):
+        """Run a scenario to completion: ``(race results, summary)``.
+
+        Byte-identical (document-for-document) to the in-process
+        ``repro-scenarios`` run of the same spec under the same seed.
+        """
+        results, summary = [], None
+        for kind, payload in self.run_scenario_iter(spec_document, seed):
+            if kind == "race":
+                results.append(payload)
+            elif kind == "summary":
+                summary = payload
+        if summary is None:
+            raise ServerError("malformed_response", "scenario stream ended without a summary")
+        return results, summary
+
+    # ------------------------------------------------------------------
     # strategy sweeps
     # ------------------------------------------------------------------
     def sweep(

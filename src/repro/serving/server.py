@@ -19,6 +19,13 @@ models to preload, and the process exposes the versioned wire API
     :class:`~repro.serving.scheduler.MicroBatchScheduler` into shared
     per-model fleet passes — byte-identical to direct submission because
     every wire request carries its own RNG stream.
+``POST /v1/scenarios``
+    A what-if scenario run (:mod:`repro.scenarios`): the response streams
+    chunked NDJSON — one wire event per completed race, then the summary —
+    so season-scale sweeps report progress instead of blocking.  Forecast
+    passes coalesce through the same micro-batch scheduler as
+    ``/v1/forecast`` traffic and are byte-identical to the in-process
+    ``repro-scenarios`` runner under the same request seed.
 ``POST /v1/strategy/sweep``
     A rolling pit-strategy sweep through a served RankNet model.
 ``POST /v1/sessions`` / ``POST /v1/sessions/<id>/lap`` / ``DELETE``
@@ -146,6 +153,7 @@ _ROUTES = (
     ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/load$"), "model_load"),
     ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/unload$"), "model_unload"),
     ("POST", re.compile(r"^/v1/forecast$"), "forecast"),
+    ("POST", re.compile(r"^/v1/scenarios$"), "scenarios"),
     ("POST", re.compile(r"^/v1/strategy/sweep$"), "strategy_sweep"),
     ("GET", re.compile(r"^/v1/sessions$"), "sessions_list"),
     ("POST", re.compile(r"^/v1/sessions$"), "session_open"),
@@ -274,6 +282,53 @@ class ForecastGateway:
         if isinstance(outcome, (TypeError, ValueError)) and not isinstance(outcome, WireError):
             return WireError("invalid_request", str(outcome), status=400)
         return outcome
+
+    # ------------------------------------------------------------------
+    # what-if scenarios
+    # ------------------------------------------------------------------
+    def open_scenario_stream(self, body):
+        """Validate a scenario request and return its event iterator.
+
+        Validation errors raise *before* the iterator exists, so the HTTP
+        layer can still answer with a plain error status; failures during
+        the run are emitted as a trailing error envelope on the stream.
+        The simulation runs outside the gateway lock — only model
+        resolution and the coalesced fleet passes (through the scheduler,
+        like any other client's traffic) serialize on the engine.
+        """
+        spec, seed = wire.scenario_request_from_wire(body)
+        # imported lazily: the scenarios engine pulls in the simulation stack
+        from ..scenarios.engine import ScenarioEngine, ScenarioRaceResult
+
+        engine = ScenarioEngine(
+            resolve=self._resolve_forecaster, submit=self.scheduler.submit_settled
+        )
+        total = len(spec.jobs())
+
+        def _events():
+            yield wire.scenario_start_to_wire(spec, seed, total)
+            index = 0
+            try:
+                for item in engine.run_iter(spec, seed):
+                    if isinstance(item, ScenarioRaceResult):
+                        yield wire.scenario_race_to_wire(item, index, total)
+                        index += 1
+                    else:
+                        yield wire.scenario_summary_to_wire(item)
+            except Exception as exc:  # surfaced on-stream: headers are long gone
+                _status, document = wire.error_to_wire(self._classify_failure(exc))
+                yield document
+
+        return _events()
+
+    def _resolve_forecaster(self, name: str):
+        with self._lock:
+            return self.service.load(name).forecaster
+
+    def _handle_scenarios(self, body, **_) -> dict:
+        """Non-streaming fallback: the whole event list in one document."""
+        events = list(self.open_scenario_stream(body))
+        return wire.envelope("scenario-results", events=events)
 
     def _handle_strategy_sweep(self, body, **_) -> dict:
         parsed = wire.sweep_request_from_wire(body)
@@ -455,18 +510,49 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             raise WireError("malformed_request", f"request body is not valid JSON: {exc}") from exc
 
     def _dispatch(self, method: str) -> None:
+        if method == "POST" and self.path == "/v1/scenarios":
+            return self._dispatch_scenario_stream()
         try:
             body = self._read_body()
         except WireError as exc:
             status, document = wire.error_to_wire(exc)
         else:
             status, document = self.gateway.handle(method, self.path, body)
+        self._send_document(status, document)
+
+    def _send_document(self, status: int, document: dict) -> None:
         payload = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+
+    def _dispatch_scenario_stream(self) -> None:
+        """``POST /v1/scenarios``: chunked NDJSON, one wire event per line.
+
+        Season sweeps take a while; instead of buffering the whole run
+        behind Content-Length, each completed race is flushed as its own
+        chunk so clients report progress while the gateway still works.
+        """
+        try:
+            body = self._read_body()
+            events = self.gateway.open_scenario_stream(body)
+        except WireError as exc:
+            status, document = wire.error_to_wire(exc)
+            return self._send_document(status, document)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, document = wire.error_to_wire(exc)
+            return self._send_document(status, document)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for document in events:
+            line = json.dumps(document).encode("utf-8") + b"\n"
+            self.wfile.write(f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n")
+            self.wfile.flush()
+        self.wfile.write(b"0\r\n\r\n")
 
     def do_GET(self) -> None:
         self._dispatch("GET")

@@ -55,6 +55,13 @@ __all__ = [
     "results_to_wire",
     "rng_from_wire",
     "rng_to_wire",
+    "scenario_race_from_wire",
+    "scenario_race_to_wire",
+    "scenario_request_from_wire",
+    "scenario_request_to_wire",
+    "scenario_start_to_wire",
+    "scenario_summary_from_wire",
+    "scenario_summary_to_wire",
     "series_from_wire",
     "series_to_wire",
     "sweep_points_from_wire",
@@ -64,7 +71,9 @@ __all__ = [
 ]
 
 #: Highest wire schema revision this build reads and writes.
-WIRE_SCHEMA_VERSION = 1
+#: v2 added the ``/v1/scenarios`` documents (scenario-request and the
+#: streamed scenario-start / scenario-race / scenario-summary events).
+WIRE_SCHEMA_VERSION = 2
 
 
 class WireError(ValueError):
@@ -514,6 +523,92 @@ def sweep_points_from_wire(document) -> List:
         except (KeyError, TypeError, ValueError) as exc:
             raise WireError("malformed_request", f"invalid sweep point: {exc}") from exc
     return points
+
+
+# ----------------------------------------------------------------------
+# what-if scenarios (the streamed /v1/scenarios route)
+# ----------------------------------------------------------------------
+def scenario_request_to_wire(spec_document: dict, seed: int) -> dict:
+    """The ``POST /v1/scenarios`` body: a scenario spec plus its base seed.
+
+    Unlike forecast requests, scenario RNG transport is *seed-only*: every
+    per-race and per-forecast stream is derived from this one integer with
+    the process-stable construction of
+    :func:`repro.scenarios.spec.derive_seed`, which is what makes a sweep
+    bitwise reproducible from a single number.
+    """
+    if not isinstance(spec_document, dict):
+        raise WireError("malformed_request", "scenario spec must be a JSON object")
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        raise WireError("malformed_request", "scenario seed must be an integer")
+    return envelope("scenario-request", spec=dict(spec_document), rng={"seed": int(seed)})
+
+
+def scenario_request_from_wire(document):
+    """Decode and validate a scenario request: ``(ScenarioSpec, seed)``."""
+    # imported here: the scenarios package pulls in the simulation stack,
+    # which lightweight wire consumers must not pay for
+    from ..scenarios.spec import ScenarioError, parse_scenario
+
+    check_envelope(document, kind="scenario-request")
+    rng_spec = _require(document, "rng", "scenario-request")
+    if not isinstance(rng_spec, dict) or "seed" not in rng_spec:
+        raise WireError(
+            "malformed_request",
+            "scenario requests carry {'seed': n} RNG transport only: every "
+            "per-race stream is derived from that one seed",
+        )
+    seed = rng_spec["seed"]
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise WireError("malformed_request", "scenario rng seed must be an integer")
+    try:
+        spec = parse_scenario(_require(document, "spec", "scenario-request"))
+    except ScenarioError as exc:
+        raise WireError("invalid_scenario", str(exc)) from exc
+    return spec, seed
+
+
+def scenario_start_to_wire(spec, seed: int, races: int) -> dict:
+    """First streamed event: what is about to run and how long it is."""
+    return envelope(
+        "scenario-start",
+        scenario=spec.name,
+        scenario_kind=spec.kind,
+        races=int(races),
+        seed=int(seed),
+    )
+
+
+def scenario_race_to_wire(result, index: int, total: int) -> dict:
+    """One streamed per-race event (``result`` is a ScenarioRaceResult)."""
+    return envelope(
+        "scenario-race", index=int(index), total=int(total), result=result.to_doc()
+    )
+
+
+def scenario_race_from_wire(document):
+    from ..scenarios.engine import ScenarioRaceResult
+
+    check_envelope(document, kind="scenario-race")
+    try:
+        return ScenarioRaceResult.from_doc(_require(document, "result", "scenario-race"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError("malformed_request", f"invalid scenario race result: {exc}") from exc
+
+
+def scenario_summary_to_wire(summary) -> dict:
+    """The closing streamed event (``summary`` is a ScenarioSummary)."""
+    return envelope("scenario-summary", summary=summary.to_doc())
+
+
+def scenario_summary_from_wire(document):
+    from ..scenarios.engine import ScenarioSummary
+
+    check_envelope(document, kind="scenario-summary")
+    try:
+        return ScenarioSummary.from_doc(_require(document, "summary", "scenario-summary"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError("malformed_request", f"invalid scenario summary: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -60,6 +60,7 @@ class RaceSimulator:
         traffic_penalty_s: float = 0.035,
         follow_gap_s: float = 0.45,
         base_overtake_prob: float = 0.10,
+        pit_kwargs: Optional[Dict[str, float]] = None,
     ) -> None:
         self.track = track
         self.event = event
@@ -67,6 +68,9 @@ class RaceSimulator:
         self.rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         self.drivers = list(drivers) if drivers is not None else generate_field(track.num_cars, self.rng)
         self.caution_generator = caution_generator or CautionGenerator(track, self.rng)
+        # extra PitStrategy knobs (unscheduled_prob, caution_pit_scale) for
+        # the what-if scenario engine; None keeps the strategy defaults
+        self.pit_kwargs = dict(pit_kwargs) if pit_kwargs else {}
         self.traffic_penalty_s = float(traffic_penalty_s)
         # overtaking model: a car that catches the one ahead usually has to
         # follow in its wake (dirty air); passes only succeed occasionally,
@@ -85,7 +89,7 @@ class RaceSimulator:
             self.drivers, key=lambda d: d.skill + rng.normal(0.0, 0.004)
         )
         for pos, driver in enumerate(quali):
-            strategy = PitStrategy(driver, track, rng)
+            strategy = PitStrategy(driver, track, rng, **self.pit_kwargs)
             state = _CarState(driver=driver, strategy=strategy)
             # rolling start: grid spacing of ~0.35 s per position
             state.elapsed = 0.35 * pos + rng.normal(0.0, 0.05)

@@ -64,7 +64,8 @@ def test_registry_lists_all_tables_and_figures():
     assert {f"table{i}" for i in range(1, 9)} <= set(names)
     assert {f"fig{i}" for i in range(1, 13)} <= set(names)
     assert "strategy_sweep" in names
-    assert len(names) == 21
+    assert "scenarios" in names
+    assert len(names) == 22
     with pytest.raises(KeyError):
         run_experiment("table99")
 
@@ -119,6 +120,14 @@ def test_profiling_experiments(tiny_config):
     assert len(f12.rows) == 12
     shares = [row["share_pct"] for row in f12.rows if row["batch_size"] == 32]
     assert abs(sum(shares) - 100.0) < 1.0
+
+
+def test_scenarios_experiment_sweeps_and_crowns_a_champion(tiny_config):
+    result = run_experiment("scenarios", tiny_config, replicas=1)
+    assert [row["scenario"] for row in result.rows] == ["exp-caution-sweep"] * 3
+    calm = result.row_for("point", "caution_hazard_scale=0.0")
+    assert calm["mean_caution_laps"] == 0.0
+    assert "champion car" in result.notes and "title odds" in result.notes
 
 
 def test_table5_with_light_models(tiny_config):

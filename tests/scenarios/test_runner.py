@@ -1,0 +1,126 @@
+"""The repro-scenarios CLI: workload loading, validation, result files."""
+
+import json
+
+import pytest
+import yaml
+
+from repro.scenarios.runner import load_workload, main
+from repro.scenarios.spec import ScenarioError
+
+TINY = {
+    "scenario": "tiny",
+    "kind": "race",
+    "races": [{"event": "Indy500", "year": 2018}],
+    "points": [{"track_total_laps": 30, "track_num_cars": 6}],
+}
+
+
+def write_yaml(path, document):
+    path.write_text(yaml.safe_dump(document), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def tiny_file(tmp_path):
+    return write_yaml(tmp_path / "tiny.yaml", TINY)
+
+
+@pytest.fixture()
+def matrix_file(tmp_path, tiny_file):
+    other = dict(TINY, scenario="tiny-b", replicas=2)
+    write_yaml(tmp_path / "other.yaml", other)
+    return write_yaml(
+        tmp_path / "matrix.yaml",
+        {
+            "workload": "test matrix",
+            "defaults": {"seed": 77, "replicas": 1},
+            "scenarios": ["tiny.yaml", "other.yaml"],
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# workload loading
+# ----------------------------------------------------------------------
+def test_single_scenario_file_loads_directly(tiny_file):
+    [(path, document, spec)] = load_workload(tiny_file)
+    assert path == tiny_file
+    assert spec.name == "tiny" and document["scenario"] == "tiny"
+
+
+def test_matrix_defaults_merge_without_overriding(matrix_file):
+    specs = load_workload(matrix_file)
+    assert [spec.name for _p, _d, spec in specs] == ["tiny", "tiny-b"]
+    # defaults fill missing keys; explicit spec values win
+    assert specs[0][2].seed == 77 and specs[0][2].replicas == 1
+    assert specs[1][2].seed == 77 and specs[1][2].replicas == 2
+    # the merged raw document is what gateway mode ships over the wire
+    assert specs[0][1]["seed"] == 77
+
+
+def test_matrix_rejects_unknown_keys(tmp_path, tiny_file):
+    path = write_yaml(
+        tmp_path / "bad.yaml", {"scenarios": ["tiny.yaml"], "defaults": {"epochs": 3}}
+    )
+    with pytest.raises(ScenarioError, match="unknown defaults key"):
+        load_workload(path)
+    path = write_yaml(tmp_path / "bad2.yaml", {"scenarios": ["tiny.yaml"], "jobs": 4})
+    with pytest.raises(ScenarioError, match="unknown matrix key"):
+        load_workload(path)
+    path = write_yaml(tmp_path / "bad3.yaml", {"workload": "empty"})
+    with pytest.raises(ScenarioError, match="expected a scenario document"):
+        load_workload(path)
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+def test_validate_prints_one_line_per_spec(matrix_file, capsys):
+    assert main([matrix_file, "--validate"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert "race, 1 races, seed 77" in lines[0]
+    assert "race, 2 races, seed 77" in lines[1]
+
+
+def test_cli_seed_overrides_every_scenario(matrix_file, capsys):
+    assert main([matrix_file, "--validate", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("seed 5") == 2 and "seed 77" not in out
+
+
+def test_run_writes_text_and_json_results(tiny_file, tmp_path, capsys):
+    results = tmp_path / "results"
+    assert main([tiny_file, "--results", str(results), "--quiet"]) == 0
+    text = (results / "tiny.txt").read_text()
+    assert "Scenario 'tiny'" in text and "Per-grid-point summary" in text
+    document = json.loads((results / "tiny.json").read_text())
+    assert document["scenario"] == "tiny" and document["kind"] == "race"
+    assert len(document["races"]) == 1
+    assert document["races"][0]["laps"] == 30
+    assert document["summary"]["rows"][0]["races"] == 1
+
+
+def test_error_paths_exit_2(tmp_path, tiny_file, capsys):
+    assert main([str(tmp_path / "missing.yaml"), "--validate"]) == 2
+    assert "repro-scenarios:" in capsys.readouterr().err
+
+    bad = write_yaml(tmp_path / "bad.yaml", dict(TINY, kind="weather"))
+    assert main([bad, "--validate"]) == 2
+    assert "'kind' must be one of" in capsys.readouterr().err
+
+    # duplicate names across the workload are ambiguous: results collide
+    assert main([tiny_file, tiny_file, "--validate"]) == 2
+    assert "duplicate scenario names" in capsys.readouterr().err
+
+    # forecast scoring needs a store in in-process mode
+    scored = write_yaml(
+        tmp_path / "scored.yaml",
+        dict(TINY, scenario="scored", forecast={"model": "m", "origins": [20]}),
+    )
+    assert main([scored, "--results", str(tmp_path / "r")]) == 2
+    assert "pass --store" in capsys.readouterr().err
+
+    assert main([tiny_file, "--gateway", "nonsense"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err

@@ -1,0 +1,130 @@
+"""Scenario engine: determinism, perturbations, documents, championships."""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioEngine,
+    ScenarioError,
+    ScenarioRaceResult,
+    ScenarioSummary,
+    finishing_order,
+    parse_scenario,
+)
+from repro.simulation import RaceSimulator, track_for_year
+
+
+def spec_for(**overrides):
+    document = {
+        "scenario": "engine-test",
+        "kind": "race",
+        "races": [{"event": "Indy500", "year": 2018}],
+        # short races keep the suite fast; the full track is 200 laps
+        "points": [{"track_total_laps": 40, "track_num_cars": 8}],
+    }
+    document.update(overrides)
+    return parse_scenario(document)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ScenarioEngine()
+
+
+def test_runs_are_deterministic_under_a_shared_seed(engine):
+    spec = spec_for(replicas=2)
+    first_results, first_summary = engine.run(spec, seed=11)
+    second_results, second_summary = engine.run(spec, seed=11)
+    assert [r.to_doc() for r in first_results] == [r.to_doc() for r in second_results]
+    assert first_summary.to_doc() == second_summary.to_doc()
+    # a different request seed produces a different race
+    other_results, _ = engine.run(spec, seed=12)
+    assert [r.to_doc() for r in first_results] != [r.to_doc() for r in other_results]
+
+
+def test_replicas_differ_but_share_the_grid_point(engine):
+    spec = spec_for(replicas=2)
+    results, summary = engine.run(spec, seed=3)
+    assert len(results) == 2
+    assert results[0].label != results[1].label
+    assert results[0].point_label == results[1].point_label
+    assert summary.rows[0]["races"] == 2
+
+
+def test_track_overrides_reshape_the_race(engine):
+    spec = spec_for(
+        kind="track",
+        points=[{"track_total_laps": 30, "track_num_cars": 6}],
+    )
+    (result,), _ = engine.run(spec, seed=5)
+    assert result.laps == 30
+    assert result.starters == 6
+    assert 1 <= result.winner <= 6
+
+
+def test_zero_caution_hazard_means_zero_caution_laps(engine):
+    spec = spec_for(
+        kind="caution",
+        points=[
+            {"caution_hazard_scale": 0.0, "track_total_laps": 40, "track_num_cars": 8},
+            {"caution_hazard_scale": 5.0, "track_total_laps": 40, "track_num_cars": 8},
+        ],
+        replicas=2,
+    )
+    results, summary = engine.run(spec, seed=9)
+    calm = [r for r in results if r.params["caution_hazard_scale"] == 0.0]
+    stormy = [r for r in results if r.params["caution_hazard_scale"] == 5.0]
+    assert all(r.caution_laps == 0 for r in calm)
+    assert sum(r.caution_laps for r in stormy) > 0
+    by_point = {row["point"]: row for row in summary.rows}
+    assert len(by_point) == 2
+
+
+def test_race_result_documents_round_trip(engine):
+    spec = spec_for()
+    (result,), summary = engine.run(spec, seed=21)
+    document = result.to_doc()
+    assert all(isinstance(car, str) for car in document["points"])
+    restored = ScenarioRaceResult.from_doc(document)
+    assert restored == result
+    assert ScenarioSummary.from_doc(summary.to_doc()) == summary
+
+
+def test_finishing_order_classifies_every_starter_once(engine):
+    track = track_for_year("Indy500", 2018)
+    from dataclasses import replace
+
+    race = RaceSimulator(
+        replace(track, total_laps=40, num_cars=10), event="Indy500", year=2018, seed=4
+    ).run()
+    order = finishing_order(race)
+    assert sorted(order) == sorted(race.car_ids())
+    # the classification winner is the race winner
+    assert order[0] == race.winner()
+
+
+def test_season_kind_adds_standings_and_title_odds(engine):
+    spec = spec_for(
+        kind="season",
+        races=[
+            {"event": "Indy500", "year": 2018},
+            {"event": "Texas", "year": 2018},
+        ],
+        replicas=3,
+    )
+    results, summary = engine.run(spec, seed=2021)
+    assert len(results) == 2 * 3
+    assert summary.standings and summary.champion_odds
+    assert abs(sum(summary.champion_odds.values()) - 1.0) < 1e-9
+    leader = summary.standings[0]
+    assert leader["position"] == 1
+    assert leader["mean_points"] >= summary.standings[-1]["mean_points"]
+    # every race awards the winner the full 50 points
+    for result in results:
+        assert result.points[result.winner] == 50
+        assert result.podium[0] == result.winner
+
+
+def test_forecast_scenario_without_a_backend_refuses(engine):
+    spec = spec_for(forecast={"model": "some-model", "origins": [20]})
+    with pytest.raises(ScenarioError, match="no forecast backend"):
+        engine.run(spec, seed=0)

@@ -1,0 +1,173 @@
+"""Scenario spec parsing, validation, and deterministic seed derivation."""
+
+import pytest
+
+from repro.scenarios import (
+    POINT_PARAMS,
+    SCENARIO_KINDS,
+    ScenarioError,
+    championship_points,
+    derive_rng,
+    derive_seed,
+    parse_scenario,
+)
+from repro.scenarios.spec import POINTS_TABLE, point_label
+
+
+def minimal(**overrides):
+    document = {
+        "scenario": "demo",
+        "kind": "race",
+        "races": [{"event": "Indy500", "year": 2018}],
+    }
+    document.update(overrides)
+    return document
+
+
+# ----------------------------------------------------------------------
+# parsing and validation
+# ----------------------------------------------------------------------
+def test_minimal_race_scenario_parses_to_one_baseline_job():
+    spec = parse_scenario(minimal())
+    assert spec.name == "demo" and spec.kind == "race"
+    assert spec.points == [{}] and spec.replicas == 1 and spec.seed is None
+    jobs = spec.jobs()
+    assert len(jobs) == 1
+    assert jobs[0].label == "Indy500-2018/baseline/r0"
+
+
+def test_unknown_keys_are_rejected_with_the_known_list():
+    with pytest.raises(ScenarioError, match="unknown key.*grid"):
+        parse_scenario(minimal(gird={"caution_hazard_scale": [1.0]}))
+    with pytest.raises(ScenarioError, match="unknown grid parameter"):
+        parse_scenario(minimal(points=[{"caution_hazard": 2.0}]))
+    with pytest.raises(ScenarioError, match="race entry has unknown key"):
+        parse_scenario(minimal(races=[{"event": "Indy500", "year": 2018, "laps": 3}]))
+    with pytest.raises(ScenarioError, match="unknown forecast key"):
+        parse_scenario(minimal(forecast={"model": "m", "origins": [20], "samples": 1}))
+
+
+def test_kind_and_event_validation():
+    with pytest.raises(ScenarioError, match="'kind' must be one of"):
+        parse_scenario(minimal(kind="weather"))
+    assert set(SCENARIO_KINDS) == {"race", "caution", "driver", "track", "pit", "season"}
+    with pytest.raises(ScenarioError, match="unknown event"):
+        parse_scenario(minimal(races=[{"event": "Monza", "year": 2018}]))
+    with pytest.raises(ScenarioError, match="year must be an integer"):
+        parse_scenario(minimal(races=[{"event": "Indy500", "year": "2018"}]))
+
+
+def test_kind_requires_a_parameter_of_its_family():
+    with pytest.raises(ScenarioError, match="requires at least one of its parameters"):
+        parse_scenario(minimal(kind="caution"))
+    # any point carrying a family parameter satisfies the requirement
+    spec = parse_scenario(
+        minimal(kind="caution", points=[{"label": "base"}, {"caution_hazard_scale": 2.0}])
+    )
+    assert len(spec.points) == 2
+    for kind, family in POINT_PARAMS.items():
+        spec = parse_scenario(minimal(kind=kind, points=[{family[0]: 1}]))
+        assert spec.kind == kind
+
+
+def test_grid_expands_cartesian_over_sorted_axes():
+    spec = parse_scenario(
+        minimal(
+            kind="caution",
+            grid={
+                "caution_mean_duration": [4, 6],
+                "caution_hazard_scale": [0.5, 1.0, 2.0],
+            },
+        )
+    )
+    assert len(spec.points) == 6
+    # axes iterate in sorted-key order: hazard_scale is the outer axis
+    assert spec.points[0] == {"caution_hazard_scale": 0.5, "caution_mean_duration": 4}
+    assert spec.points[1] == {"caution_hazard_scale": 0.5, "caution_mean_duration": 6}
+    assert spec.points[-1] == {"caution_hazard_scale": 2.0, "caution_mean_duration": 6}
+    with pytest.raises(ScenarioError, match="either 'grid' or 'points'"):
+        parse_scenario(minimal(grid={"caution_hazard_scale": [1.0]}, points=[{}]))
+
+
+def test_jobs_cross_races_points_and_replicas():
+    spec = parse_scenario(
+        minimal(
+            kind="caution",
+            races=[{"event": "Indy500", "year": 2018}, {"event": "Texas", "year": 2019}],
+            grid={"caution_hazard_scale": [0.5, 2.0]},
+            replicas=3,
+        )
+    )
+    jobs = spec.jobs()
+    assert len(jobs) == 2 * 2 * 3
+    assert jobs[0].label == "Indy500-2018/caution_hazard_scale=0.5/r0"
+    assert len({job.label for job in jobs}) == len(jobs)
+
+
+def test_replicas_and_seed_validation():
+    with pytest.raises(ScenarioError, match="'replicas' must be a positive integer"):
+        parse_scenario(minimal(replicas=0))
+    with pytest.raises(ScenarioError, match="'replicas' must be a positive integer"):
+        parse_scenario(minimal(replicas=True))
+    with pytest.raises(ScenarioError, match="'seed' must be an integer"):
+        parse_scenario(minimal(seed="2021"))
+    assert parse_scenario(minimal(seed=7)).seed == 7
+
+
+def test_forecast_block_origins_forms():
+    ranged = parse_scenario(
+        minimal(forecast={"model": "m", "origins": {"start": 20, "stop": 40, "stride": 10}})
+    )
+    assert ranged.forecast.origins == (20, 30, 40)
+    listed = parse_scenario(minimal(forecast={"model": "m", "origins": [25, 30]}))
+    assert listed.forecast.origins == (25, 30)
+    assert listed.forecast.horizon == 2 and listed.forecast.n_samples == 20
+    with pytest.raises(ScenarioError, match="stride >= 1"):
+        parse_scenario(minimal(forecast={"model": "m", "origins": {"start": 5, "stop": 1}}))
+    with pytest.raises(ScenarioError, match="needs 'origins'"):
+        parse_scenario(minimal(forecast={"model": "m"}))
+    with pytest.raises(ScenarioError, match="needs a 'model'"):
+        parse_scenario(minimal(forecast={"origins": [20]}))
+
+
+def test_point_label_forms():
+    assert point_label({}) == "baseline"
+    assert point_label({"label": "double"}) == "double"
+    assert (
+        point_label({"caution_mean_duration": 6, "caution_hazard_scale": 2.0})
+        == "caution_hazard_scale=2.0,caution_mean_duration=6"
+    )
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+def test_derive_seed_is_pinned_across_processes():
+    # the cross-process reproducibility contract: this exact value is what
+    # any build must derive for this path (sha256, not Python's hash())
+    assert derive_seed(2021, "demo", "Indy500-2018/baseline/r0", "race") == (
+        17062189213908866881
+    )
+    assert derive_seed(0) == 6912158355717386040
+
+
+def test_derive_seed_separates_paths_and_feeds_a_generator():
+    a = derive_seed(1, "s", "job", "race")
+    assert a == derive_seed(1, "s", "job", "race")
+    assert a != derive_seed(2, "s", "job", "race")
+    assert a != derive_seed(1, "s", "job", "field")
+    # concatenation cannot collide across part boundaries
+    assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+    assert derive_rng(1, "s").integers(1 << 30) == derive_rng(1, "s").integers(1 << 30)
+
+
+# ----------------------------------------------------------------------
+# championship points
+# ----------------------------------------------------------------------
+def test_championship_points_follow_the_table_with_a_tail():
+    order = list(range(1, 31))  # 30 classified cars, table holds 25
+    points = championship_points(order)
+    assert points[1] == 50 and points[2] == 40 and points[3] == 35
+    assert points[25] == POINTS_TABLE[-1]
+    assert points[30] == POINTS_TABLE[-1]  # past the table: tail value
+    assert len(points) == 30

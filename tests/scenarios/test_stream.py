@@ -1,0 +1,145 @@
+"""/v1/scenarios over the wire: schema, streaming, and error envelopes."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioEngine, parse_scenario
+from repro.serving import ServerError, wire
+from repro.serving.client import ForecastClient
+from repro.serving.server import ForecastServer, ServerConfig
+from repro.serving.wire import WireError
+
+TINY = {
+    "scenario": "wire-tiny",
+    "kind": "race",
+    "races": [{"event": "Indy500", "year": 2018}],
+    "points": [{"track_total_laps": 30, "track_num_cars": 6}],
+    "replicas": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("scenario-store"))
+    config = ServerConfig(store=store, port=0, batch_window_ms=1.0)
+    with ForecastServer(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return ForecastClient(port=server.port)
+
+
+# ----------------------------------------------------------------------
+# wire schema
+# ----------------------------------------------------------------------
+def test_scenario_request_round_trips_and_is_seed_only():
+    document = wire.scenario_request_to_wire(TINY, seed=42)
+    assert document["schema_version"] == wire.WIRE_SCHEMA_VERSION
+    assert document["kind"] == "scenario-request"
+    assert document["rng"] == {"seed": 42}
+    spec, seed = wire.scenario_request_from_wire(document)
+    assert spec.name == "wire-tiny" and seed == 42
+
+    # scenario RNG transport is seed-only: full generator states make no
+    # sense when every stream is derived server-side from the one seed
+    stateful = dict(document, rng={"state": {"bit_generator": "PCG64"}})
+    with pytest.raises(WireError, match="seed.*RNG transport|'seed'"):
+        wire.scenario_request_from_wire(stateful)
+    with pytest.raises(WireError):
+        wire.scenario_request_to_wire(TINY, seed=None)
+
+    bad_spec = dict(document, spec={"scenario": "x", "kind": "weather", "races": []})
+    with pytest.raises(WireError) as excinfo:
+        wire.scenario_request_from_wire(bad_spec)
+    assert excinfo.value.code == "invalid_scenario"
+
+
+def test_scenario_event_documents_round_trip():
+    engine = ScenarioEngine()
+    spec = parse_scenario(TINY)
+    results, summary = engine.run(spec, seed=7)
+    raced = wire.scenario_race_to_wire(results[0], 0, len(results))
+    assert raced["kind"] == "scenario-race" and raced["total"] == 2
+    assert wire.scenario_race_from_wire(raced) == results[0]
+    summarized = wire.scenario_summary_to_wire(summary)
+    assert wire.scenario_summary_from_wire(summarized) == summary
+    started = wire.scenario_start_to_wire(spec, 7, len(results))
+    assert started["scenario_kind"] == "race" and started["races"] == 2
+
+
+# ----------------------------------------------------------------------
+# HTTP streaming
+# ----------------------------------------------------------------------
+def test_streamed_run_matches_the_in_process_engine(client):
+    events = list(client.run_scenario_iter(TINY, seed=2021))
+    kinds = [kind for kind, _payload in events]
+    assert kinds == ["start", "race", "race", "summary"]
+
+    results, summary = ScenarioEngine().run(parse_scenario(TINY), seed=2021)
+    streamed_races = [payload for kind, payload in events if kind == "race"]
+    assert [r.to_doc() for r in streamed_races] == [r.to_doc() for r in results]
+    assert events[-1][1].to_doc() == summary.to_doc()
+
+    # the blocking helper agrees with the iterator
+    blocking_results, blocking_summary = client.run_scenario(TINY, seed=2021)
+    assert [r.to_doc() for r in blocking_results] == [r.to_doc() for r in results]
+    assert blocking_summary.to_doc() == summary.to_doc()
+
+
+def test_response_is_chunked_ndjson(server):
+    body = json.dumps(wire.scenario_request_to_wire(TINY, seed=1)).encode("utf-8")
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        connection.request(
+            "POST", "/v1/scenarios", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        assert response.getheader("Transfer-Encoding") == "chunked"
+        lines = [line for line in response.read().splitlines() if line.strip()]
+    finally:
+        connection.close()
+    documents = [json.loads(line) for line in lines]
+    assert [d["kind"] for d in documents] == [
+        "scenario-start", "scenario-race", "scenario-race", "scenario-summary",
+    ]
+    assert documents[1]["index"] == 0 and documents[1]["total"] == 2
+
+
+def test_invalid_scenario_fails_before_the_stream_starts(client):
+    with pytest.raises(ServerError) as excinfo:
+        list(client.scenario_stream({"scenario": "x"}, seed=0))
+    # validation happened before any event: a plain error status, not a
+    # 200 stream with a trailing error
+    assert excinfo.value.code == "invalid_scenario"
+    assert "kind" in str(excinfo.value)
+
+    bad = dict(TINY, kind="weather")
+    with pytest.raises(ServerError) as excinfo:
+        list(client.scenario_stream(bad, seed=0))
+    assert excinfo.value.code == "invalid_scenario" and excinfo.value.status == 400
+
+
+def test_unknown_model_mid_stream_arrives_as_a_trailing_error(client):
+    scored = dict(TINY, forecast={"model": "no-such-model", "origins": [20]})
+    events = []
+    with pytest.raises(ServerError) as excinfo:
+        for event in client.run_scenario_iter(scored, seed=0):
+            events.append(event)
+    assert excinfo.value.code == "unknown_model"
+    # the stream opened (headers were already sent) before the failure
+    assert events and events[0][0] == "start"
+
+
+def test_non_streaming_fallback_returns_the_whole_event_list(server):
+    body = wire.scenario_request_to_wire(TINY, seed=2021)
+    status, document = server.gateway.handle("POST", "/v1/scenarios", body)
+    assert status == 200 and document["kind"] == "scenario-results"
+    kinds = [event["kind"] for event in document["events"]]
+    assert kinds == ["scenario-start", "scenario-race", "scenario-race", "scenario-summary"]

@@ -1,0 +1,134 @@
+"""Wire error envelopes: every failure is a structured, versioned document.
+
+The satellite contract of the docs tree (``docs/wire-protocol.md``): a
+client must never have to parse prose or HTML to learn what went wrong.
+These tests drive malformed session lap posts and unroutable requests and
+assert the full envelope shape — ``schema_version``, ``kind: error`` and
+a machine-readable ``{code, message, status}`` body.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.profiling.server import MODEL_NAME, build_serving_fixture
+from repro.serving import ForecastClient, ServerError, wire
+from repro.serving.server import ForecastServer, ServerConfig
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("envelope-store"))
+    build_serving_fixture(root)
+    config = ServerConfig(store=root, port=0, batch_window_ms=1.0)
+    with ForecastServer(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    return ForecastClient(port=server.port)
+
+
+@pytest.fixture()
+def session(client):
+    opened = client.open_session(MODEL_NAME, min_history=12, rng=0)
+    yield opened
+    try:
+        opened.close(drain=False)
+    except ServerError:
+        pass  # some tests close or never open the server-side session
+
+
+def _raw(server, method, path, body=None):
+    connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        connection.request(
+            method,
+            path,
+            body=None if body is None else json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _assert_error_envelope(document, code, status):
+    assert document["kind"] == "error"
+    assert document["schema_version"] == wire.WIRE_SCHEMA_VERSION
+    body = document["error"]
+    assert body["code"] == code and body["status"] == status
+    assert isinstance(body["message"], str) and body["message"]
+
+
+# ----------------------------------------------------------------------
+# malformed session lap posts
+# ----------------------------------------------------------------------
+def test_lap_with_non_integer_lap_number(client, session):
+    payload = wire.envelope("session-lap", lap="5", records=[])
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", f"/v1/sessions/{session.session_id}/lap", payload)
+    assert excinfo.value.code == "malformed_request"
+    assert "integer 'lap'" in str(excinfo.value)
+    # booleans are not lap numbers either
+    payload = wire.envelope("session-lap", lap=True, records=[])
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", f"/v1/sessions/{session.session_id}/lap", payload)
+    assert excinfo.value.code == "malformed_request"
+
+
+def test_lap_with_non_list_records(client, session):
+    payload = wire.envelope("session-lap", lap=1, records="car 5 passed car 3")
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", f"/v1/sessions/{session.session_id}/lap", payload)
+    assert excinfo.value.code == "malformed_request"
+    assert "'records' array" in str(excinfo.value)
+
+
+def test_lap_with_the_wrong_document_kind(client, session):
+    payload = wire.envelope("session-open", lap=1, records=[])
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", f"/v1/sessions/{session.session_id}/lap", payload)
+    assert excinfo.value.code == "malformed_request"
+    assert "session-lap" in str(excinfo.value)
+
+
+def test_lap_on_an_unknown_session_is_404(server, client):
+    payload = wire.envelope("session-lap", lap=1, records=[])
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", "/v1/sessions/no-such-session/lap", payload)
+    assert excinfo.value.code == "unknown_session" and excinfo.value.status == 404
+    # and the raw wire document is a full structured envelope
+    status, document = _raw(
+        server, "POST", "/v1/sessions/no-such-session/lap", payload
+    )
+    assert status == 404
+    _assert_error_envelope(document, "unknown_session", 404)
+
+
+def test_lap_from_a_newer_schema_is_refused(client, session):
+    payload = wire.envelope("session-lap", lap=1, records=[])
+    payload["schema_version"] = wire.WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(ServerError) as excinfo:
+        client._call("POST", f"/v1/sessions/{session.session_id}/lap", payload)
+    assert excinfo.value.code == "unsupported_schema"
+
+
+# ----------------------------------------------------------------------
+# unroutable requests
+# ----------------------------------------------------------------------
+def test_unknown_route_envelope_structure(server):
+    status, document = _raw(server, "GET", "/v1/no-such-route")
+    assert status == 404
+    _assert_error_envelope(document, "unknown_route", 404)
+    assert "/v1/no-such-route" in document["error"]["message"]
+
+
+def test_method_not_allowed_envelope_structure(server):
+    # the path exists, the verb does not
+    status, document = _raw(server, "DELETE", "/v1/forecast")
+    assert status == 405
+    _assert_error_envelope(document, "method_not_allowed", 405)

@@ -37,9 +37,9 @@ def test_workflow_parses_and_triggers():
     assert "push" in triggers and "pull_request" in triggers
 
 
-def test_workflow_has_lint_test_and_bench_jobs():
+def test_workflow_has_lint_test_docs_and_bench_jobs():
     jobs = load_workflow()["jobs"]
-    assert set(jobs) == {"lint", "tests", "bench-smoke"}
+    assert set(jobs) == {"lint", "tests", "docs", "bench-smoke"}
 
 
 def test_test_job_runs_tier1_on_python_matrix():
@@ -93,6 +93,20 @@ def test_console_script_entry_point_is_declared():
     scripts = config["project"]["scripts"]
     assert scripts["repro-experiments"] == "repro.experiments.runner:main"
     assert scripts["repro-serve"] == "repro.serving.server:main"
+    assert scripts["repro-scenarios"] == "repro.scenarios.runner:main"
+
+
+def test_docs_job_checks_links_and_validates_the_scenario_matrix():
+    lines = job_run_lines(load_workflow()["jobs"]["docs"])
+    assert any("tools/check_links.py" in line for line in lines)
+    assert any(
+        "repro.scenarios.runner" in line and "--validate" in line for line in lines
+    )
+
+
+def test_bench_smoke_job_runs_scenario_breakdown():
+    lines = job_run_lines(load_workflow()["jobs"]["bench-smoke"])
+    assert any("repro.profiling.scenarios" in line for line in lines)
 
 
 def test_every_job_checks_out_and_sets_up_python():
@@ -112,10 +126,15 @@ def test_pyproject_carries_ruff_config():
 
 def test_makefile_targets_match_ci_commands():
     text = MAKEFILE.read_text()
-    for target in ("test:", "lint:", "bench-smoke:", "bench-train:", "bench-serve:", "smoke-serve:"):
+    for target in (
+        "test:", "lint:", "bench-smoke:", "bench-train:", "bench-serve:",
+        "bench-scenarios:", "docs-check:", "smoke-serve:",
+    ):
         assert f"\n{target}" in text, f"missing Makefile target {target}"
     assert "-m repro.experiments.runner table5 --profile quick" in text
     assert "-m repro.profiling.training" in text
     assert "-m repro.profiling.server" in text
+    assert "-m repro.profiling.scenarios" in text
     assert "-m repro.serving.smoke" in text
+    assert "tools/check_links.py" in text
     assert "ruff check" in text and "ruff format --check" in text

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree (stdlib only).
+
+Scans markdown files for inline links and images, and fails if any
+relative target does not exist on disk or any referenced anchor has no
+matching heading. External links (http/https/mailto) are not fetched —
+CI must not depend on the network — only their syntax is accepted.
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+
+With no arguments, checks ``README.md`` and every ``*.md`` under
+``docs/`` (the CI docs job's configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: inline links/images: [text](target) / ![alt](target); titles allowed
+LINK = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    anchors = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(anchor_slug(match.group(1)))
+    return anchors
+
+
+def links_of(path: pathlib.Path) -> List[str]:
+    links = []
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        links.extend(LINK.findall(line))
+    return links
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[str, str]]:
+    """Returns ``(link, problem)`` pairs for every broken link in one file."""
+    problems = []
+    for link in links_of(path):
+        if link.startswith(EXTERNAL):
+            continue
+        target_part, _, fragment = link.partition("#")
+        if not target_part:  # same-file anchor
+            if fragment and anchor_slug(fragment) not in anchors_of(path):
+                problems.append((link, "no such heading in this file"))
+            continue
+        target = (path.parent / target_part).resolve()
+        if not target.exists():
+            problems.append((link, "target does not exist"))
+            continue
+        if fragment and target.suffix == ".md":
+            if anchor_slug(fragment) not in anchors_of(target):
+                problems.append((link, f"no heading '#{fragment}' in {target_part}"))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="markdown files (default: README.md, docs/*.md)")
+    args = parser.parse_args(argv)
+
+    if args.files:
+        files = [pathlib.Path(name) for name in args.files]
+    else:
+        files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+    broken = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found")
+            broken += 1
+            continue
+        for link, problem in check_file(path):
+            print(f"{path.relative_to(REPO) if path.is_absolute() else path}: ({link}) {problem}")
+            broken += 1
+    checked = ", ".join(str(p.relative_to(REPO) if p.is_absolute() else p) for p in files)
+    if broken:
+        print(f"{broken} broken link(s) across: {checked}")
+        return 1
+    print(f"all links ok: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
