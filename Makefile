@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios scenarios docs-check smoke-artifacts smoke-serve clean
+.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios bench-chaos chaos scenarios docs-check smoke-artifacts smoke-serve clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +46,15 @@ docs-check:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# chaos harness: run the real repro-serve subprocess under injected faults
+# and gate retry byte-identity, SIGKILL-and-recover journal replay, and
+# bounded tail latency under admission-controlled overload
+bench-chaos:
+	rm -rf /tmp/repro-chaos
+	$(PYTHON) -m repro.profiling.chaos --dir /tmp/repro-chaos
+
+chaos: bench-chaos
 
 # cross-process artifact round trip (fit + save, then reload in a new process)
 smoke-artifacts:

@@ -1,0 +1,293 @@
+"""Chaos harness for the serving tier (``make bench-chaos`` / ``make chaos``).
+
+Runs the real ``repro-serve`` **subprocess** under a deterministic fault
+schedule and gates three resilience guarantees end to end:
+
+1. **Retry byte-identity** — a forecast issued through a retrying client
+   while the gateway injects a 5xx, drops a response after executing it,
+   and delays the follow-up (plus a client-side connection drop) must be
+   bitwise equal to the fault-free run, with the server-side idempotency
+   cache deduplicating the re-executed attempt.
+2. **Crash recovery** — the gateway is SIGKILLed mid-session and
+   restarted on the same store; it must rebuild the live session from its
+   write-ahead journal, replay a re-posted duplicate lap identically, and
+   produce byte-identical forecasts for every remaining lap (reference:
+   the in-process :class:`~repro.simulation.live.LiveRaceForecaster`).
+3. **Bounded overload** — concurrent callers past the admission bound are
+   shed with structured ``429 overloaded`` envelopes; retrying clients
+   must all complete, and no call may exceed the latency ceiling.
+
+Exit status is non-zero when any gate fails::
+
+    python -m repro.profiling.chaos --dir /tmp/repro-chaos
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..artifacts import ArtifactStore
+from ..serving.client import ForecastClient, LiveSessionClient
+from ..serving.faults import FaultPlan, FaultSpec
+from ..serving.journal import JOURNAL_SUFFIX, journal_dir
+from ..serving.resilience import RetryPolicy
+from ..serving.smoke import (
+    _SESSION,
+    MODEL_NAME,
+    _fit_store,
+    _named_batch,
+    _spawn_server,
+)
+from ..serving.service import ForecastService
+from ..simulation.live import LiveRaceForecaster
+
+#: lap at which the gateway is SIGKILLed (inside the emitting window)
+KILL_AT_LAP = 20
+
+#: server-side schedule for gate 1; request ordinal 0 is the fault-free
+#: reference, the retried call then walks straight through the gauntlet
+FAULT_PLAN = {
+    "faults": [
+        {"kind": "error", "route": "POST /v1/forecast", "at": 1, "status": 503},
+        {"kind": "drop", "route": "POST /v1/forecast", "at": 2, "when": "after"},
+        {"kind": "delay", "route": "POST /v1/forecast", "at": 3, "delay_s": 0.05},
+    ]
+}
+
+RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.05, max_delay_s=0.5, seed=0)
+
+#: ceiling for any single overloaded call, retries included (seconds)
+OVERLOAD_LATENCY_CEILING_S = 30.0
+
+
+def _write_config(directory: str) -> str:
+    path = os.path.join(directory, "chaos-serve.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "store": ".",
+                "port": 0,
+                "preload": [MODEL_NAME],
+                "batch_window_ms": 2.0,
+                "max_inflight": 1,
+                "fault_plan": FAULT_PLAN,
+            },
+            fh,
+        )
+    return path
+
+
+def _spawn(config_path: str):
+    process, port = _spawn_server(config_path)
+    # keep the merged stdout/stderr pipe drained so a chatty gateway can
+    # never block on a full pipe buffer mid-gate
+    threading.Thread(target=process.stdout.read, daemon=True).start()
+    return process, port
+
+
+def _emissions_equal(
+    got: List[Tuple[int, dict]], expected: List[Tuple[int, dict]]
+) -> bool:
+    if [origin for origin, _ in got] != [origin for origin, _ in expected]:
+        return False
+    for (_, got_cars), (_, expected_cars) in zip(got, expected):
+        if set(got_cars) != set(expected_cars):
+            return False
+        for car_id in got_cars:
+            if not np.array_equal(got_cars[car_id], expected_cars[car_id]):
+                return False
+    return True
+
+
+def _gate_retry_identity(directory: str, port: int, series) -> bool:
+    """Gate 1: faulted-and-retried forecast == fault-free forecast, bitwise."""
+    forecaster = ForecastService(ArtifactStore(directory)).load(MODEL_NAME).forecaster
+    batch = _named_batch(forecaster, series)
+
+    clean_client = ForecastClient(port=port)  # no retry: ordinal 0 is clean
+    reference = clean_client.forecast(batch)
+
+    chaos_client = ForecastClient(
+        port=port,
+        retry=RETRY,
+        faults=FaultPlan([FaultSpec(kind="drop", route=r"POST /v1/forecast", at=0)]),
+    )
+    faulted = chaos_client.forecast(batch)
+
+    if len(faulted) != len(reference) or any(
+        not np.array_equal(got, expected) for got, expected in zip(faulted, reference)
+    ):
+        print("FAIL: retried forecast under faults differs from the fault-free run")
+        return False
+    hits = clean_client.health()["idempotency"]["hits"]
+    if hits < 1:
+        print(f"FAIL: expected the dropped response to be deduped (hits={hits})")
+        return False
+    print(
+        f"OK: client drop + injected 503 + dropped response + delay retried to "
+        f"{len(reference)} bitwise-equal forecasts (idempotency hits={hits})"
+    )
+    return True
+
+
+def _gate_crash_recovery(directory: str, config_path: str, process, port: int, race):
+    """Gate 2: SIGKILL mid-session, restart, journal-recovered byte-identity.
+
+    Returns ``(ok, process, port)`` — the caller owns the restarted server.
+    """
+    client = ForecastClient(port=port, retry=RETRY)
+    session = client.open_session(
+        MODEL_NAME, event=race.event, year=race.year, delay=4, **_SESSION
+    )
+    streamed: List[Tuple[int, dict]] = []
+    laps = dict(race.iter_laps())
+    kill_response: List[Tuple[int, dict]] = []
+    for lap in sorted(laps):
+        if lap > KILL_AT_LAP:
+            break
+        kill_response = session.lap(lap, laps[lap])
+        streamed.extend(kill_response)
+
+    process.kill()  # SIGKILL: no drain, no journal close, no goodbye
+    process.wait()
+    print(f"OK: gateway SIGKILLed after lap {KILL_AT_LAP} acknowledged")
+
+    process, port = _spawn(config_path)
+    revived = ForecastClient(port=port, retry=RETRY)
+    health = revived.health()
+    if health.get("sessions_recovered") != 1 or health.get("recovery_errors"):
+        print(f"FAIL: restarted gateway did not recover the session: {health}")
+        return False, process, port
+
+    resumed = LiveSessionClient(revived, session.session_id)
+    # an unsure client re-posts the lap it never saw acknowledged: the
+    # journal-recovered session must replay it without re-advancing state
+    replayed = resumed.lap(KILL_AT_LAP, laps[KILL_AT_LAP])
+    if not _emissions_equal(replayed, kill_response):
+        print("FAIL: duplicate lap replay differs from the pre-crash response")
+        return False, process, port
+    for lap in sorted(laps):
+        if lap > KILL_AT_LAP:
+            streamed.extend(resumed.lap(lap, laps[lap]))
+    streamed.extend(resumed.close())
+
+    live = LiveRaceForecaster(
+        ArtifactStore(directory).load_model(MODEL_NAME),
+        horizon=_SESSION["horizon"],
+        n_samples=_SESSION["n_samples"],
+        min_history=_SESSION["min_history"],
+        rng=_SESSION["rng"],
+    )
+    reference = list(live.stream(race, start=_SESSION["start"], stop=_SESSION["stop"]))
+    if not _emissions_equal(streamed, reference):
+        print("FAIL: recovered session forecasts differ from the in-process stream")
+        return False, process, port
+
+    leftovers = [
+        name
+        for name in os.listdir(journal_dir(directory))
+        if name.endswith(JOURNAL_SUFFIX)
+    ]
+    if leftovers:
+        print(f"FAIL: clean close left journals behind: {leftovers}")
+        return False, process, port
+    cars = sum(len(forecasts) for _, forecasts in streamed)
+    print(
+        f"OK: journal recovery stitched {len(streamed)} origins ({cars} "
+        f"car-forecasts) byte-identically across the SIGKILL"
+    )
+    return True, process, port
+
+
+def _gate_bounded_overload(directory: str, port: int, series, workers: int) -> bool:
+    """Gate 3: concurrent callers past ``max_inflight=1`` all finish, bounded."""
+    forecaster = ForecastService(ArtifactStore(directory)).load(MODEL_NAME).forecaster
+    batch = _named_batch(forecaster, series)
+    latencies: List[Optional[float]] = [None] * workers
+    errors: List[Optional[str]] = [None] * workers
+
+    def call(index: int) -> None:
+        client = ForecastClient(
+            port=port,
+            retry=RetryPolicy(
+                max_attempts=10, base_delay_s=0.05, max_delay_s=1.0, seed=index
+            ),
+        )
+        started = time.monotonic()
+        try:
+            client.forecast(batch)
+            latencies[index] = time.monotonic() - started
+        except Exception as exc:  # noqa: BLE001 - gate reports, then fails
+            errors[index] = f"{type(exc).__name__}: {exc}"
+
+    threads = [threading.Thread(target=call, args=(i,)) for i in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    failed = [error for error in errors if error]
+    if failed:
+        print(f"FAIL: {len(failed)}/{workers} overloaded calls never completed: {failed[0]}")
+        return False
+    worst = max(latency for latency in latencies if latency is not None)
+    if worst > OVERLOAD_LATENCY_CEILING_S:
+        print(f"FAIL: overload tail latency {worst:.2f}s exceeds the ceiling")
+        return False
+    rejected = ForecastClient(port=port).health()["admission"]["rejected"]
+    if rejected < 1:
+        print(f"FAIL: admission control never shed load (rejected={rejected})")
+        return False
+    print(
+        f"OK: {workers} concurrent callers vs max_inflight=1 all completed "
+        f"(rejected={rejected} shed, worst latency {worst:.2f}s <= "
+        f"{OVERLOAD_LATENCY_CEILING_S:.0f}s)"
+    )
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Serving-tier chaos harness")
+    parser.add_argument("--dir", required=True, help="scratch directory for store + config")
+    parser.add_argument(
+        "--overload-workers",
+        type=int,
+        default=6,
+        help="concurrent callers for the overload gate (default 6)",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.dir, exist_ok=True)
+
+    print("fitting the chaos model into a scratch artifact store...", flush=True)
+    race, series = _fit_store(args.dir)
+    config_path = _write_config(args.dir)
+
+    print("starting repro-serve under the fault plan...", flush=True)
+    process, port = _spawn(config_path)
+    try:
+        if not _gate_retry_identity(args.dir, port, series[0]):
+            return 1
+        ok, process, port = _gate_crash_recovery(
+            args.dir, config_path, process, port, race
+        )
+        if not ok:
+            return 1
+        if not _gate_bounded_overload(args.dir, port, series[0], args.overload_workers):
+            return 1
+        print("chaos harness: all gates passed")
+        return 0
+    finally:
+        process.kill()
+        process.wait()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the serving tier.
+
+A :class:`FaultPlan` is a *schedule* of failures — which request ordinal
+on which route suffers what — that the HTTP gateway and the stdlib client
+both know how to execute.  Because the schedule is explicit (or derived
+from one seed), a chaos run is exactly reproducible: the same plan hits
+the same requests every time, which is what lets the chaos harness assert
+that a faulted-and-retried run is *byte-identical* to the fault-free run.
+
+Fault kinds
+-----------
+``drop``
+    Server side: close the connection without answering (``when="after"``
+    executes the request first and drops only the response — the replay
+    case idempotency keys exist for).  Client side: raise
+    ``ConnectionError`` before sending (``when="before"``) or after the
+    response was received but before it is returned (``when="after"``).
+``delay``
+    Sleep ``delay_s`` before handling, simulating a slow server (drives
+    client socket timeouts and deadline shedding).
+``error``
+    Answer with a structured ``injected_fault`` envelope at ``status``
+    (default 503) without touching the engine.
+``truncate``
+    ``/v1/scenarios`` only: cut the NDJSON stream after ``after_events``
+    events without the terminating chunk, so the client sees a torn
+    stream and must resume.
+``engine_error``
+    Arm the gateway so the next engine submit raises ``RuntimeError``
+    (what trips the per-model circuit breaker), instead of failing at the
+    HTTP layer.
+
+Matching is by route — ``"METHOD /path"`` substring or regex — and by the
+0-based ordinal of matching requests (``at``), with ``count`` consecutive
+firings.  Every spec keeps its own match counter, guarded by one plan
+lock, so concurrent HTTP threads observe one consistent schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultPlan"]
+
+FAULT_KINDS = ("drop", "delay", "error", "truncate", "engine_error")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault (see the module docstring for kind semantics)."""
+
+    kind: str
+    route: str = ""  # substring/regex over "METHOD /path"; "" matches everything
+    at: int = 0  # 0-based ordinal among requests matching ``route``
+    count: int = 1  # consecutive matching requests to fault
+    when: str = "before"  # drop only: "before" or "after" the work
+    delay_s: float = 0.0  # delay only
+    status: int = 503  # error only
+    after_events: int = 1  # truncate only: events to let through first
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: {', '.join(FAULT_KINDS)}"
+            )
+        if self.when not in ("before", "after"):
+            raise ValueError("fault 'when' must be 'before' or 'after'")
+        self.route = str(self.route)
+        self.at = int(self.at)
+        self.count = int(self.count)
+        self.delay_s = float(self.delay_s)
+        self.status = int(self.status)
+        self.after_events = int(self.after_events)
+        if self.at < 0:
+            raise ValueError("fault 'at' ordinal must be >= 0")
+        if self.count < 1:
+            raise ValueError("fault 'count' must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("fault 'delay_s' must be >= 0")
+        self._pattern = re.compile(self.route) if self.route else None
+
+    def matches_route(self, route: str) -> bool:
+        return self._pattern is None or self._pattern.search(route) is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "route": self.route,
+            "at": self.at,
+            "count": self.count,
+            "when": self.when,
+            "delay_s": self.delay_s,
+            "status": self.status,
+            "after_events": self.after_events,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultSpec":
+        if not isinstance(document, dict):
+            raise ValueError("fault spec must be a JSON object")
+        known = {
+            "kind", "route", "at", "count", "when", "delay_s", "status",
+            "after_events", "message",
+        }
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault spec key(s): {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        if "kind" not in document:
+            raise ValueError("fault spec needs a 'kind'")
+        return cls(**document)
+
+
+class FaultPlan:
+    """A deterministic, thread-safe schedule of :class:`FaultSpec` entries.
+
+    The plan keeps one counter per ``route`` pattern *per spec*: request
+    ordinals are counted among the requests each spec matches, so two
+    specs on the same route fire independently of each other.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self._lock = threading.Lock()
+        self._counters: List[int] = [0] * len(self.specs)
+        self._fired: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, document) -> "FaultPlan":
+        if isinstance(document, list):
+            document = {"faults": document}
+        if not isinstance(document, dict):
+            raise ValueError("fault plan must be a JSON object or array")
+        unknown = sorted(set(document) - {"faults"})
+        if unknown:
+            raise ValueError(f"unknown fault plan key(s): {', '.join(unknown)}")
+        faults = document.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("fault plan 'faults' must be an array")
+        return cls([FaultSpec.from_dict(item) for item in faults])
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> dict:
+        return {"faults": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        route: str,
+        n_requests: int,
+        fault_rate: float = 0.3,
+        kinds: Sequence[str] = ("drop", "delay", "error"),
+        delay_s: float = 0.05,
+    ) -> "FaultPlan":
+        """A random-but-reproducible plan: each of ``n_requests`` ordinals
+        on ``route`` is faulted with probability ``fault_rate``, the kind
+        drawn uniformly from ``kinds`` — same seed, same schedule."""
+        rng = np.random.default_rng(seed)
+        specs = []
+        for ordinal in range(int(n_requests)):
+            if float(rng.random()) < fault_rate:
+                kind = str(kinds[int(rng.integers(len(kinds)))])
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        route=route,
+                        at=ordinal,
+                        delay_s=delay_s,
+                        message=f"seeded fault #{ordinal}",
+                    )
+                )
+        return cls(specs)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def intercept(self, method: str, path: str) -> Optional[FaultSpec]:
+        """The fault scheduled for this request, or ``None``.
+
+        Advances every matching spec's ordinal counter exactly once per
+        call; when several specs would fire on the same request, the first
+        in plan order wins (the others still consume the ordinal).
+        """
+        route = f"{method} {path}"
+        fired: Optional[FaultSpec] = None
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if not spec.matches_route(route):
+                    continue
+                ordinal = self._counters[index]
+                self._counters[index] = ordinal + 1
+                if spec.at <= ordinal < spec.at + spec.count and fired is None:
+                    fired = spec
+                    self._fired[index] = self._fired.get(index, 0) + 1
+        return fired
+
+    @property
+    def fired(self) -> int:
+        """Total faults executed so far (for harness assertions)."""
+        with self._lock:
+            return sum(self._fired.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = [0] * len(self.specs)
+            self._fired = {}
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FaultPlan({len(self.specs)} specs, fired={self.fired})"

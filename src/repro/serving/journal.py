@@ -1,0 +1,177 @@
+"""Crash-safe write-ahead journal for live race sessions.
+
+Every open ``/v1/sessions`` session owns one NDJSON file under
+``<store>/_session_journal/``: first an ``open`` record holding the exact
+wire ``session-open`` document (including its explicit RNG transport),
+then one ``lap`` record per accepted lap post.  A lap is appended **and
+fsynced after a successful apply but before the HTTP response goes
+out** — the journal is the session's only durable state, so the ordering
+that matters is acknowledge-after-journal, which gives after any crash,
+including ``SIGKILL``:
+
+* every lap the client ever got an answer for is in the journal;
+* a lap rejected by the session (malformed records) never reaches the
+  journal, so a bad post cannot poison recovery;
+* a lap lost in the apply→append crash window, like a torn tail (a
+  partial last line), can only be one whose response was never sent —
+  the client's retry re-applies it, deterministically, on the recovered
+  session.
+
+Recovery (:func:`recover_sessions`) scans the directory and replays each
+journal: the session is re-opened from its ``open`` document (re-seeding
+the forecaster's RNG stream from the journaled transport) and every lap
+is re-observed in order.  Because the whole serving stack is
+deterministic given explicit RNG transport, the rebuilt session's RNG
+and carry-mode warm-up state land exactly where the crashed process left
+them — subsequent forecasts are *byte-identical* to a gateway that never
+died (the chaos harness gates this with a real SIGKILL).
+
+A cleanly closed session deletes its journal; files left behind are, by
+construction, exactly the sessions that were live at the moment of death.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, List, Optional
+
+__all__ = ["SessionJournal", "RecoveredSession", "recover_sessions", "journal_dir"]
+
+JOURNAL_DIRNAME = "_session_journal"
+JOURNAL_SUFFIX = ".journal.ndjson"
+
+
+def journal_dir(store_root: str) -> str:
+    """The journal directory living alongside (inside) the artifact store."""
+    return os.path.join(store_root, JOURNAL_DIRNAME)
+
+
+class SessionJournal:
+    """Append-only WAL of one live session (open record + lap records)."""
+
+    def __init__(self, directory: str, session_id: str) -> None:
+        self.directory = str(directory)
+        self.session_id = str(session_id)
+        self.path = os.path.join(self.directory, f"{self.session_id}{JOURNAL_SUFFIX}")
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._fh is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record_open(self, open_document: dict) -> None:
+        """Journal the wire ``session-open`` document verbatim.
+
+        Written (and fsynced) before the session exists, so a crash
+        between open and first lap still recovers an empty session with
+        the right RNG transport.
+        """
+        self._append({"kind": "open", "session": self.session_id, "open": open_document})
+
+    def record_lap(self, lap: int, records: list) -> None:
+        """Journal one applied lap — call *before* acknowledging it."""
+        self._append({"kind": "lap", "lap": int(lap), "records": records})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, remove: bool = True) -> None:
+        """Stop journaling; a cleanly closed session removes its file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if remove:
+            try:
+                os.remove(self.path)
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SessionJournal({self.path!r})"
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveredSession:
+    """One journal's replayable content: the open document plus its laps."""
+
+    session_id: str
+    open_document: dict
+    laps: List[dict] = field(default_factory=list)
+    #: lines dropped from the tail (torn writes from the crash); > 1 would
+    #: mean corruption *before* the tail, which read_journal refuses
+    torn_records: int = 0
+
+
+def _read_journal(path: str, session_id: str) -> Optional[RecoveredSession]:
+    with open(path, "r", encoding="utf-8") as fh:
+        raw_lines = fh.read().split("\n")
+    # a well-formed journal ends with "\n", so the final split element is ""
+    if raw_lines and raw_lines[-1] == "":
+        raw_lines.pop()
+    records: List[dict] = []
+    torn = 0
+    for index, line in enumerate(raw_lines):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError("journal record is not an object with a 'kind'")
+        except ValueError as exc:
+            if index == len(raw_lines) - 1:
+                torn = 1  # torn tail: the crash interrupted this append
+                break
+            raise ValueError(
+                f"journal {path!r} is corrupt at line {index + 1} "
+                f"(not a torn tail): {exc}"
+            ) from exc
+        records.append(record)
+    if not records or records[0].get("kind") != "open":
+        # the crash tore even the open record — there was no session yet
+        return None
+    recovered = RecoveredSession(
+        session_id=session_id,
+        open_document=records[0].get("open", {}),
+        torn_records=torn,
+    )
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "lap":
+            recovered.laps.append(record)
+        elif kind == "open":
+            raise ValueError(f"journal {path!r} carries a second 'open' record")
+        # unknown kinds are skipped: a newer build may add record kinds
+    return recovered
+
+
+def recover_sessions(directory: str) -> List[RecoveredSession]:
+    """Scan a journal directory; returns replayable sessions, oldest id first.
+
+    Journals whose open record never made it to disk are deleted (no
+    session was ever acknowledged on them); corrupt journals (damage not
+    at the tail) raise — silent data loss is worse than a failed boot.
+    """
+    if not os.path.isdir(directory):
+        return []
+    recovered: List[RecoveredSession] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(JOURNAL_SUFFIX):
+            continue
+        path = os.path.join(directory, name)
+        session_id = name[: -len(JOURNAL_SUFFIX)]
+        session = _read_journal(path, session_id)
+        if session is None:
+            os.remove(path)
+            continue
+        recovered.append(session)
+    return recovered

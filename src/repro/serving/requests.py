@@ -114,6 +114,10 @@ class NamedForecastRequest:
 
     model: str
     request: ForecastRequest
+    #: optional server-side time budget (a ``repro.serving.resilience.Deadline``)
+    #: the gateway attaches from the envelope's ``deadline_ms``; checked by
+    #: the submit path so queued work past budget is shed, not executed
+    deadline: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.model = str(self.model)

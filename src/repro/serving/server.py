@@ -48,14 +48,26 @@ import argparse
 import json
 import os
 import re
+import signal
 import sys
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..artifacts import ArtifactNotFoundError, ArtifactStore
 from . import wire
+from .faults import FaultPlan
+from .journal import SessionJournal, journal_dir, recover_sessions
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    IdempotencyCache,
+    validate_idempotency_key,
+)
 from .scheduler import MicroBatchScheduler
 from .service import ForecastService
 from .sessions import RaceSession, SessionManager
@@ -78,6 +90,13 @@ CONFIG_KEYS = {
     "batch_window_ms": "micro-batch collection window in milliseconds (default 5.0)",
     "max_batch": "micro-batch flush size (default 64)",
     "max_sessions": "max concurrently open live sessions (default 32)",
+    "max_inflight": "admission bound on concurrently admitted work requests (default 32)",
+    "request_deadline_ms": "default server-side time budget per request (default none)",
+    "breaker_threshold": "consecutive engine failures before a model's circuit opens (default 5)",
+    "breaker_cooldown_s": "seconds an open circuit waits before a half-open probe (default 30)",
+    "journal": "crash-safe session write-ahead journal on/off (default true)",
+    "fault_plan": "deterministic fault-injection plan: inline object or JSON file path (default none)",
+    "drain_grace_s": "seconds a SIGTERM drain waits for in-flight work (default 10)",
 }
 
 
@@ -95,6 +114,13 @@ class ServerConfig:
     batch_window_ms: float = 5.0
     max_batch: int = 64
     max_sessions: int = 32
+    max_inflight: int = 32
+    request_deadline_ms: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    journal: bool = True
+    fault_plan: Optional[object] = None
+    drain_grace_s: float = 10.0
 
     def __post_init__(self) -> None:
         self.store = str(self.store)
@@ -107,8 +133,38 @@ class ServerConfig:
         self.batch_window_ms = float(self.batch_window_ms)
         self.max_batch = int(self.max_batch)
         self.max_sessions = int(self.max_sessions)
+        self.max_inflight = int(self.max_inflight)
+        if self.request_deadline_ms is not None:
+            self.request_deadline_ms = float(self.request_deadline_ms)
+            if self.request_deadline_ms <= 0:
+                raise ValueError("request_deadline_ms must be > 0 when set")
+        self.breaker_threshold = int(self.breaker_threshold)
+        self.breaker_cooldown_s = float(self.breaker_cooldown_s)
+        self.journal = bool(self.journal)
+        self.drain_grace_s = float(self.drain_grace_s)
         if self.batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+
+    def load_fault_plan(self, base_dir: Optional[str] = None) -> Optional[FaultPlan]:
+        """Resolve the ``fault_plan`` key: inline object, file path, or none."""
+        if self.fault_plan is None:
+            return None
+        if isinstance(self.fault_plan, FaultPlan):
+            return self.fault_plan
+        if isinstance(self.fault_plan, str):
+            path = self.fault_plan
+            if base_dir is not None and not os.path.isabs(path):
+                path = os.path.join(base_dir, path)
+            return FaultPlan.from_file(path)
+        return FaultPlan.from_dict(self.fault_plan)
 
     @classmethod
     def from_dict(cls, document: dict, base_dir: Optional[str] = None) -> "ServerConfig":
@@ -131,6 +187,9 @@ class ServerConfig:
         document = dict(document)
         if base_dir is not None and not os.path.isabs(document["store"]):
             document["store"] = os.path.join(base_dir, document["store"])
+        plan = document.get("fault_plan")
+        if base_dir is not None and isinstance(plan, str) and not os.path.isabs(plan):
+            document["fault_plan"] = os.path.join(base_dir, plan)
         return cls(**document)
 
     @classmethod
@@ -180,20 +239,135 @@ class ForecastGateway:
             max_batch=config.max_batch,
         )
         self.sessions = SessionManager(limit=config.max_sessions)
+        # ---- resilience state ------------------------------------------
+        self.admission = AdmissionController(limit=config.max_inflight)
+        self.idempotency = IdempotencyCache()
+        #: injectable for tests: drives breaker cooldown without sleeping
+        self.breaker_clock = time.monotonic
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.faults = config.load_fault_plan()
+        self._armed_engine_errors = 0
+        self.draining = False
+        self.journal_dir = journal_dir(config.store) if config.journal else None
+        self.sessions_recovered = 0
+        self.recovery_errors: List[str] = []
         for name in config.preload:
             self.service.load(name)
+        self._recover_journaled_sessions()
 
     def _locked_submit(self, requests):
+        """The scheduler's downstream: breaker + deadline guards, then the engines.
+
+        Raising here fails the *coalesced* batch; the scheduler then
+        isolates by retrying each request alone, so every guard below also
+        fires with single-request precision on the retry pass.
+        """
+        models = []
+        for named in requests:
+            if named.model not in models:
+                models.append(named.model)
+        # fail fast while a named model's circuit is open — no queueing
+        # behind an engine that is known-broken
+        for name in models:
+            breaker = self._breakers.get(name)
+            if breaker is not None and not breaker.allow():
+                raise CircuitOpenError(
+                    f"model {name!r} circuit is open after repeated engine "
+                    f"failures; retry after cooldown",
+                    retry_after_ms=breaker.retry_after_ms() or 1000,
+                )
+        # shed queued work whose budget ran out while it waited
+        for named in requests:
+            if named.deadline is not None:
+                named.deadline.check(f"forecast for model {named.model!r}")
         with self._lock:
-            return self.service.submit(requests)
+            if self._armed_engine_errors > 0:
+                self._armed_engine_errors -= 1
+                for name in models:
+                    self._breaker(name).record_failure()
+                raise RuntimeError("injected engine failure (fault plan)")
+            try:
+                results = self.service.submit(requests)
+            except Exception as exc:
+                # engine failures feed the breaker; request-shaped failures
+                # (unknown model, malformed arrays) do not — they say
+                # nothing about the engine's health.  Only single-model
+                # batches attribute cleanly; mixed batches are settled by
+                # the scheduler's per-request isolation retries, which land
+                # back here one model at a time.
+                if len(models) == 1 and not isinstance(
+                    exc, (WireError, ArtifactNotFoundError, TypeError, ValueError)
+                ):
+                    self._breaker(models[0]).record_failure()
+                raise
+            for name in models:
+                breaker = self._breakers.get(name)
+                if breaker is not None:
+                    breaker.record_success()
+            return results
+
+    def _breaker(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                clock=lambda: self.breaker_clock(),
+            )
+        return breaker
+
+    def arm_engine_errors(self, count: int) -> None:
+        """Make the next ``count`` engine submits raise (fault injection)."""
+        with self._lock:
+            self._armed_engine_errors += int(count)
 
     def close(self) -> None:
         self.scheduler.close()
         for managed in self.sessions.close_all():
+            # keep the journal: a session open at shutdown is exactly what
+            # the next boot must recover
+            if managed.journal is not None:
+                managed.journal.close(remove=False)
             with self._lock:
                 self.service.unpin(managed.model)
 
     # ------------------------------------------------------------------
+    # session journal recovery (runs once, at boot)
+    # ------------------------------------------------------------------
+    def _recover_journaled_sessions(self) -> None:
+        """Rebuild every journaled live session left behind by a dead gateway.
+
+        Replaying the ``open`` document re-seeds the session's RNG
+        transport and replaying the laps re-consumes its streams and
+        carry-mode warm-ups in the original order, so the rebuilt session
+        continues producing forecasts byte-identical to a gateway that
+        never died.  A journal that cannot be replayed (its model left the
+        store, say) is kept on disk and reported, never silently dropped.
+        """
+        if self.journal_dir is None:
+            return
+        for recovered in recover_sessions(self.journal_dir):
+            try:
+                managed = self._open_session(
+                    recovered.open_document, session_id=recovered.session_id
+                )
+                managed.recovered = True
+                for record in recovered.laps:
+                    # drained forecasts were already delivered before the
+                    # crash; replaying repopulates the per-lap emission log
+                    # so a retried lap post still gets its original answer
+                    managed.session.observe_lap(record["lap"], record["records"])
+                self.sessions_recovered += 1
+            except Exception as exc:
+                self.recovery_errors.append(f"{recovered.session_id}: {exc}")
+
+    # ------------------------------------------------------------------
+    #: handlers that do engine/session work and therefore pass admission
+    #: control; probes (health, catalogs, listings) always answer
+    _WORK_HANDLERS = frozenset(
+        {"forecast", "strategy_sweep", "session_open", "session_lap", "session_close"}
+    )
+
     def handle(self, method: str, path: str, body: Optional[dict]) -> Tuple[int, dict]:
         """Dispatch one request; always returns ``(status, wire document)``."""
         try:
@@ -204,7 +378,7 @@ class ForecastGateway:
                     continue
                 path_matched = True
                 if method == route_method:
-                    return 200, getattr(self, f"_handle_{handler}")(body, **match.groupdict())
+                    return self._execute(handler, body, match.groupdict())
             if path_matched:
                 raise WireError(
                     "method_not_allowed", f"{method} not allowed on {path}", status=405
@@ -217,18 +391,72 @@ class ForecastGateway:
         except Exception as exc:  # structured envelope instead of a traceback
             return wire.error_to_wire(exc)
 
+    def _execute(self, handler: str, body: Optional[dict], path_params: dict) -> Tuple[int, dict]:
+        """Run one routed handler under the resilience envelope.
+
+        Work handlers pass admission control (bounded queue, structured
+        ``429 overloaded`` past the bound), are refused while the gateway
+        drains, and participate in idempotent replay: a request carrying
+        an ``idempotency_key`` the gateway already answered gets the
+        stored document back without re-executing.
+        """
+        bound = getattr(self, f"_handle_{handler}")
+        if handler not in self._WORK_HANDLERS:
+            return 200, bound(body, **path_params)
+        self._check_draining()
+        key = None
+        if isinstance(body, dict):
+            key = validate_idempotency_key(body.get("idempotency_key"))
+            cached = self.idempotency.get(key)
+            if cached is not None:
+                status, document = cached
+                return status, document
+        with self.admission.admit(handler):
+            document = bound(body, **path_params)
+        # only successful outcomes replay: a shed/failed request must be
+        # re-executed by its retry, not echoed back
+        self.idempotency.put(key, 200, document)
+        return 200, document
+
+    def _check_draining(self) -> None:
+        if self.draining:
+            raise WireError(
+                "overloaded",
+                "gateway is draining (shutdown in progress); retry against "
+                "a live replica",
+                status=429,
+                detail={"retry_after_ms": 1000, "draining": True},
+            )
+
+    def _deadline_from(self, body: Optional[dict]) -> Optional[Deadline]:
+        """The request's server-side time budget (wire field or config default)."""
+        budget_ms = None
+        if isinstance(body, dict):
+            budget_ms = body.get("deadline_ms")
+        if budget_ms is None:
+            budget_ms = self.config.request_deadline_ms
+        return Deadline.from_ms(budget_ms)
+
     # ------------------------------------------------------------------
     # models
     # ------------------------------------------------------------------
     def _handle_health(self, body, **_) -> dict:
         with self._lock:
-            return wire.envelope(
-                "health",
-                status="ok",
-                models_available=len(self.store),
-                models_loaded=len(self.service.loaded()),
-                sessions_open=len(self.sessions),
-            )
+            breakers = {name: b.describe() for name, b in sorted(self._breakers.items())}
+        return wire.envelope(
+            "health",
+            status="draining" if self.draining else "ok",
+            models_available=len(self.store),
+            models_loaded=len(self.service.loaded()),
+            sessions_open=len(self.sessions),
+            in_flight=self.admission.in_flight,
+            queue_depth=self.admission.queue_depth,
+            admission=self.admission.describe(),
+            breakers=breakers,
+            idempotency=self.idempotency.stats,
+            sessions_recovered=self.sessions_recovered,
+            recovery_errors=list(self.recovery_errors),
+        )
 
     def _handle_models_list(self, body, **_) -> dict:
         with self._lock:
@@ -270,6 +498,11 @@ class ForecastGateway:
         named = wire.forecast_batch_from_wire(body, require_rng=True)
         if not named:
             return wire.results_to_wire([])
+        deadline = self._deadline_from(body)
+        if deadline is not None:
+            deadline.check("forecast batch")  # cheap pre-flight
+            for request in named:
+                request.deadline = deadline
         settled = self.scheduler.submit_settled(named)
         return wire.results_to_wire(
             [self._classify_failure(outcome) for outcome in settled]
@@ -296,7 +529,9 @@ class ForecastGateway:
         resolution and the coalesced fleet passes (through the scheduler,
         like any other client's traffic) serialize on the engine.
         """
+        self._check_draining()
         spec, seed = wire.scenario_request_from_wire(body)
+        resume_from = wire.resume_from_wire(body)
         # imported lazily: the scenarios engine pulls in the simulation stack
         from ..scenarios.engine import ScenarioEngine, ScenarioRaceResult
 
@@ -304,20 +539,41 @@ class ForecastGateway:
             resolve=self._resolve_forecaster, submit=self.scheduler.submit_settled
         )
         total = len(spec.jobs())
+        # the stream occupies one admission slot for its whole lifetime —
+        # a scenario run is engine work like any forecast; acquired here so
+        # an overloaded gateway refuses before any HTTP headers go out
+        slot = self.admission.admit("scenarios")
 
         def _events():
-            yield wire.scenario_start_to_wire(spec, seed, total)
-            index = 0
+            # A resumed stream re-runs the scenario from the same seed and
+            # suppresses the first ``resume_from`` events: runs are bitwise
+            # deterministic, so re-execution IS the stream replay — no
+            # server-side buffering of past events.
+            emitted = 0
+
+            def _due() -> bool:
+                nonlocal emitted
+                emitted += 1
+                return emitted > resume_from
+
             try:
-                for item in engine.run_iter(spec, seed):
-                    if isinstance(item, ScenarioRaceResult):
-                        yield wire.scenario_race_to_wire(item, index, total)
-                        index += 1
-                    else:
-                        yield wire.scenario_summary_to_wire(item)
-            except Exception as exc:  # surfaced on-stream: headers are long gone
-                _status, document = wire.error_to_wire(self._classify_failure(exc))
-                yield document
+                if _due():
+                    yield wire.scenario_start_to_wire(spec, seed, total)
+                index = 0
+                try:
+                    for item in engine.run_iter(spec, seed):
+                        if isinstance(item, ScenarioRaceResult):
+                            document = wire.scenario_race_to_wire(item, index, total)
+                            index += 1
+                        else:
+                            document = wire.scenario_summary_to_wire(item)
+                        if _due():
+                            yield document
+                except Exception as exc:  # surfaced on-stream: headers are long gone
+                    _status, document = wire.error_to_wire(self._classify_failure(exc))
+                    yield document
+            finally:
+                slot.release()
 
         return _events()
 
@@ -332,10 +588,14 @@ class ForecastGateway:
 
     def _handle_strategy_sweep(self, body, **_) -> dict:
         parsed = wire.sweep_request_from_wire(body)
+        deadline = self._deadline_from(body)
         # imported lazily: the optimizer pulls in the full deep-model stack
         from ..strategy.optimizer import PitStrategyOptimizer
 
         with self._lock:
+            # shed a sweep whose budget ran out while it queued for the lock
+            if deadline is not None:
+                deadline.check(f"strategy sweep for model {parsed['model']!r}")
             forecaster = self.service.load(parsed["model"]).forecaster
             try:
                 optimizer = PitStrategyOptimizer(
@@ -371,6 +631,17 @@ class ForecastGateway:
         return wire.envelope("session-list", sessions=self.sessions.describe())
 
     def _handle_session_open(self, body, **_) -> dict:
+        managed = self._open_session(body)
+        return wire.envelope("session-opened", **managed.describe())
+
+    def _open_session(self, body, session_id: Optional[str] = None):
+        """Open (or, with ``session_id``, recover) one managed session.
+
+        The journal recovery path replays the exact wire ``session-open``
+        document through this same code, so a recovered session is built
+        by the identical construction — including the RNG transport — as
+        the one the dead gateway ran.
+        """
         document = wire.check_envelope(body, kind="session-open")
         model = document.get("model")
         if not isinstance(model, str) or not model:
@@ -378,6 +649,7 @@ class ForecastGateway:
         known = {
             "schema_version", "kind", "model", "horizon", "n_samples", "min_history",
             "delay", "start", "stop", "stride", "event", "year", "rng",
+            "idempotency_key", "deadline_ms",
         }
         unknown = sorted(set(document) - known)
         if unknown:
@@ -411,7 +683,7 @@ class ForecastGateway:
                     stop=document.get("stop"),
                     stride=int(document.get("stride", 1)),
                 )
-                managed = self.sessions.open(session, model=model)
+                managed = self.sessions.open(session, model=model, session_id=session_id)
             except Exception as exc:
                 self.service.unpin(model)
                 if isinstance(exc, WireError):
@@ -419,7 +691,14 @@ class ForecastGateway:
                 if isinstance(exc, RuntimeError):  # session limit
                     raise WireError("too_many_sessions", str(exc), status=429) from exc
                 raise WireError("invalid_request", f"cannot open session: {exc}") from exc
-        return wire.envelope("session-opened", **managed.describe())
+        if self.journal_dir is not None:
+            journal = SessionJournal(self.journal_dir, managed.session_id)
+            if session_id is None:
+                # WAL: the open document hits disk before the open is
+                # acknowledged; a recovered session's file already has it
+                journal.record_open(document)
+            managed.journal = journal
+        return managed
 
     def _get_session(self, sid: str):
         try:
@@ -436,19 +715,47 @@ class ForecastGateway:
             raise WireError("malformed_request", "session-lap needs an integer 'lap'")
         if not isinstance(records, list):
             raise WireError("malformed_request", "session-lap needs a 'records' array")
+        deadline = self._deadline_from(document)
+        replayed = False
         with managed.lock:
             if managed.closed:  # lost a race against DELETE on this session
                 raise WireError(
                     "unknown_session", f"session {sid!r} was closed", status=404
                 )
-            with self._lock:
-                # keep the session's model MRU while it is actively serving
-                self.service.touch(managed.model)
+            if deadline is not None:
+                deadline.check(f"lap {lap} for session {sid!r}")
+            if lap <= managed.session.latest_lap:
+                # a duplicate: the retry of a lap whose response was lost
+                # (torn connection, or a crash after the WAL append).  The
+                # per-lap emission log returns the original forecasts
+                # byte-identically without running the engine again.
                 try:
-                    emitted = managed.session.observe_lap(lap, records)
-                except ValueError as exc:
-                    raise WireError("invalid_request", str(exc)) from exc
-        return self._emitted_to_wire(emitted)
+                    emitted = managed.session.replay_lap(lap)
+                    replayed = True
+                except KeyError as exc:
+                    raise WireError(
+                        "invalid_request",
+                        f"lap {lap} is not newer than lap {managed.session.latest_lap} "
+                        f"and was never observed by session {sid!r}",
+                    ) from exc
+            else:
+                with self._lock:
+                    # keep the session's model MRU while it is actively serving
+                    self.service.touch(managed.model)
+                    try:
+                        emitted = managed.session.observe_lap(lap, records)
+                    except ValueError as exc:
+                        raise WireError("invalid_request", str(exc)) from exc
+                    if managed.journal is not None:
+                        # journaled after a successful apply, fsynced before
+                        # the response: an acknowledged lap is always on
+                        # disk, a rejected lap never poisons the journal,
+                        # and a lap lost in the crash window is simply
+                        # re-applied (deterministically) by the retry
+                        managed.journal.record_lap(lap, records)
+        document = self._emitted_to_wire(emitted)
+        document["replayed"] = replayed
+        return document
 
     @staticmethod
     def _emitted_to_wire(emitted) -> dict:
@@ -480,6 +787,9 @@ class ForecastGateway:
             with self._lock:
                 remaining = managed.session.finish() if drain else []
                 self.service.unpin(managed.model)
+            if managed.journal is not None:
+                # a clean close deletes the journal: nothing left to recover
+                managed.journal.close(remove=True)
         document = self._emitted_to_wire(remaining)
         document["kind"] = "session-closed"
         document.update(managed.describe())
@@ -509,15 +819,65 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise WireError("malformed_request", f"request body is not valid JSON: {exc}") from exc
 
+    def _apply_fault(self, method: str):
+        """Execute the fault plan's ``before`` phase for this request.
+
+        Returns ``(handled, fault)``: ``handled`` means the fault consumed
+        the request entirely (nothing more to send); ``fault`` is passed on
+        so ``when="after"`` drops and stream truncation fire later.
+        """
+        plan = self.gateway.faults
+        if plan is None:
+            return False, None
+        fault = plan.intercept(method, self.path)
+        if fault is None:
+            return False, None
+        if fault.kind == "delay":
+            time.sleep(fault.delay_s)
+            return False, None
+        if fault.kind == "engine_error":
+            # the fault surfaces downstream, when the engine submit raises
+            self.gateway.arm_engine_errors(1)
+            return False, None
+        if fault.kind == "error":
+            status, document = wire.error_to_wire(
+                WireError("injected_fault", fault.message, status=fault.status)
+            )
+            self._send_document(status, document)
+            return True, None
+        if fault.kind == "drop" and fault.when == "before":
+            # sever the connection without reading or answering — the
+            # request was never executed, so a retry is trivially safe
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            return True, None
+        return False, fault  # drop-after / truncate execute the work first
+
     def _dispatch(self, method: str) -> None:
+        handled, fault = self._apply_fault(method)
+        if handled:
+            return
         if method == "POST" and self.path == "/v1/scenarios":
-            return self._dispatch_scenario_stream()
+            return self._dispatch_scenario_stream(fault)
         try:
             body = self._read_body()
         except WireError as exc:
             status, document = wire.error_to_wire(exc)
         else:
             status, document = self.gateway.handle(method, self.path, body)
+        if fault is not None and fault.kind == "drop":
+            # when="after": the work ran (and journaled) but the response
+            # is lost on the wire — the replay case idempotency keys and
+            # the per-lap emission log exist for
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            return
         self._send_document(status, document)
 
     def _send_document(self, status: int, document: dict) -> None:
@@ -528,12 +888,15 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
-    def _dispatch_scenario_stream(self) -> None:
+    def _dispatch_scenario_stream(self, fault=None) -> None:
         """``POST /v1/scenarios``: chunked NDJSON, one wire event per line.
 
         Season sweeps take a while; instead of buffering the whole run
         behind Content-Length, each completed race is flushed as its own
         chunk so clients report progress while the gateway still works.
+        A ``truncate`` fault cuts the stream after ``after_events`` chunks
+        without the terminating chunk — the torn stream the resumable
+        client recovers from.
         """
         try:
             body = self._read_body()
@@ -544,14 +907,32 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             status, document = wire.error_to_wire(exc)
             return self._send_document(status, document)
+        truncate_after = (
+            fault.after_events if fault is not None and fault.kind == "truncate" else None
+        )
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
-        for document in events:
-            line = json.dumps(document).encode("utf-8") + b"\n"
-            self.wfile.write(f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n")
-            self.wfile.flush()
+        sent = 0
+        try:
+            for document in events:
+                if truncate_after is not None and sent >= truncate_after:
+                    # torn mid-stream: no terminating 0-chunk, dead socket
+                    self.close_connection = True
+                    try:
+                        self.connection.close()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                    return
+                line = json.dumps(document).encode("utf-8") + b"\n"
+                self.wfile.write(f"{len(line):x}\r\n".encode("ascii") + line + b"\r\n")
+                self.wfile.flush()
+                sent += 1
+        finally:
+            # the generator's finally releases its admission slot even when
+            # the stream is cut (truncate fault, client hang-up)
+            events.close()
         self.wfile.write(b"0\r\n\r\n")
 
     def do_GET(self) -> None:
@@ -614,6 +995,33 @@ class ForecastServer:
 # ----------------------------------------------------------------------
 # CLI (the ``repro-serve`` console script)
 # ----------------------------------------------------------------------
+def _install_drain_handler(server: ForecastServer) -> None:
+    """SIGTERM → graceful drain: refuse new work, finish in-flight, exit.
+
+    The handler flips the gateway into draining mode (work requests get a
+    structured ``429 overloaded`` with ``draining: true``) and a helper
+    thread stops the listener once in-flight work hits zero or the grace
+    period runs out.  Open sessions keep their journals, so the next boot
+    recovers them.
+    """
+
+    def _drain(signum, frame):  # pragma: no cover - exercised via subprocess
+        gateway = server.gateway
+        gateway.draining = True
+
+        def _wait_and_stop():
+            grace_until = time.monotonic() + server.config.drain_grace_s
+            while time.monotonic() < grace_until and gateway.admission.in_flight > 0:
+                time.sleep(0.05)
+            server.httpd.shutdown()
+
+        threading.Thread(
+            target=_wait_and_stop, name="repro-serve-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -637,6 +1045,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except Exception as exc:  # missing store/model, port in use, ...
         print(f"repro-serve: cannot start: {exc}", file=sys.stderr)
         return 2
+    _install_drain_handler(server)
     print(
         f"repro-serve: listening on http://{server.host}:{server.port} "
         f"(store={config.store}, preloaded={config.preload})",

@@ -32,6 +32,7 @@ concurrency.
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -98,6 +99,14 @@ class RaceSession:
         )
         self.laps_observed = 0
         self.forecasts_emitted = 0
+        # per-lap emission log: what each observed lap's drain produced.
+        # This is the replay side of the crash-safety story — a client
+        # whose lap post was applied but whose response was lost (a torn
+        # connection, or a gateway SIGKILL after the journal append)
+        # retries the same lap and gets the original forecasts back,
+        # byte-identical, without the engine running (or the RNG
+        # advancing) a second time.
+        self._emitted_by_lap: Dict[int, List[Tuple[int, Dict[int, np.ndarray]]]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -122,7 +131,18 @@ class RaceSession:
         """
         self._builder.observe_lap(lap, records)
         self.laps_observed += 1
-        return self._drain(final=False)
+        emitted = self._drain(final=False)
+        self._emitted_by_lap[int(lap)] = emitted
+        return emitted
+
+    def replay_lap(self, lap: int) -> List[Tuple[int, Dict[int, np.ndarray]]]:
+        """The forecasts lap ``lap`` emitted when it was first observed.
+
+        Raises :class:`KeyError` when the lap was never observed — the
+        caller distinguishes a duplicate (idempotent replay) from a lap
+        that is genuinely out of order.
+        """
+        return self._emitted_by_lap[int(lap)]
 
     def finish(self) -> List[Tuple[int, Dict[int, np.ndarray]]]:
         """Flush the origins still held back by ``delay`` at end of feed.
@@ -180,6 +200,11 @@ class ManagedSession:
     #: that raced the close and already holds the ManagedSession cannot
     #: observe laps on a session whose model pin was released
     closed: bool = False
+    #: the session's write-ahead journal (``repro.serving.journal``), when
+    #: the gateway runs with crash-safe sessions enabled
+    journal: Optional[object] = field(default=None, repr=False, compare=False)
+    #: True when this session was rebuilt from its journal after a restart
+    recovered: bool = False
 
     def describe(self) -> dict:
         return {
@@ -190,6 +215,7 @@ class ManagedSession:
             "laps_observed": self.session.laps_observed,
             "forecasts_emitted": self.session.forecasts_emitted,
             "cars": self.session.num_cars,
+            "recovered": self.recovered,
         }
 
 
@@ -204,14 +230,30 @@ class SessionManager:
         self._sessions: Dict[str, ManagedSession] = {}
         self._counter = 0
 
-    def open(self, session: RaceSession, model: str) -> ManagedSession:
+    def open(
+        self, session: RaceSession, model: str, session_id: Optional[str] = None
+    ) -> ManagedSession:
+        """Register a session; ``session_id`` pins the id (journal recovery).
+
+        When an explicit id carries the standard ``sess-NNNNNN`` shape the
+        allocation counter advances past it, so sessions opened after a
+        crash recovery can never collide with the recovered ids.
+        """
         with self._lock:
             if len(self._sessions) >= self.limit:
                 raise RuntimeError(
                     f"session limit reached ({self.limit} open); close one first"
                 )
-            self._counter += 1
-            session_id = f"sess-{self._counter:06d}"
+            if session_id is None:
+                self._counter += 1
+                session_id = f"sess-{self._counter:06d}"
+            else:
+                session_id = str(session_id)
+                if session_id in self._sessions:
+                    raise RuntimeError(f"session id {session_id!r} is already open")
+                match = re.fullmatch(r"sess-(\d+)", session_id)
+                if match is not None:
+                    self._counter = max(self._counter, int(match.group(1)))
             managed = ManagedSession(
                 session_id=session_id,
                 session=session,

@@ -53,6 +53,7 @@ __all__ = [
     "request_to_wire",
     "results_from_wire",
     "results_to_wire",
+    "resume_from_wire",
     "rng_from_wire",
     "rng_to_wire",
     "scenario_race_from_wire",
@@ -73,7 +74,12 @@ __all__ = [
 #: Highest wire schema revision this build reads and writes.
 #: v2 added the ``/v1/scenarios`` documents (scenario-request and the
 #: streamed scenario-start / scenario-race / scenario-summary events).
-WIRE_SCHEMA_VERSION = 2
+#: v3 added the resilience fields: optional ``idempotency_key`` and
+#: ``deadline_ms`` on forecast-batch / sweep-request / session-lap
+#: envelopes, ``resume_from`` on scenario-request, and the structured
+#: ``overloaded`` / ``deadline_exceeded`` / ``circuit_open`` error codes
+#: (429/504/503) with ``detail.retry_after_ms``.
+WIRE_SCHEMA_VERSION = 3
 
 
 class WireError(ValueError):
@@ -306,11 +312,27 @@ def named_request_from_wire(document, require_rng: bool = False) -> NamedForecas
     )
 
 
-def forecast_batch_to_wire(requests: Sequence[NamedForecastRequest]) -> dict:
-    """The ``POST /v1/forecast`` body: a batch of named requests."""
-    return envelope(
+def forecast_batch_to_wire(
+    requests: Sequence[NamedForecastRequest],
+    idempotency_key: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
+) -> dict:
+    """The ``POST /v1/forecast`` body: a batch of named requests.
+
+    ``idempotency_key`` lets the gateway dedupe a retried POST (the stored
+    response is replayed byte-identically); ``deadline_ms`` is the
+    *relative* time budget the server may spend before shedding the work
+    with ``deadline_exceeded`` — relative because client and server clocks
+    are unrelated.
+    """
+    document = envelope(
         "forecast-batch", requests=[named_request_to_wire(named) for named in requests]
     )
+    if idempotency_key is not None:
+        document["idempotency_key"] = str(idempotency_key)
+    if deadline_ms is not None:
+        document["deadline_ms"] = float(deadline_ms)
+    return document
 
 
 def forecast_batch_from_wire(document, require_rng: bool = True) -> List[NamedForecastRequest]:
@@ -413,9 +435,11 @@ def sweep_request_to_wire(
     n_samples: int = 100,
     field_size: Optional[int] = None,
     rng: Union[np.random.Generator, int, None] = None,
+    idempotency_key: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
 ) -> dict:
     """The ``POST /v1/strategy/sweep`` body."""
-    return envelope(
+    document = envelope(
         "sweep-request",
         model=str(model),
         series=series_to_wire(series),
@@ -429,6 +453,11 @@ def sweep_request_to_wire(
         field_size=None if field_size is None else int(field_size),
         rng=rng_to_wire(rng),
     )
+    if idempotency_key is not None:
+        document["idempotency_key"] = str(idempotency_key)
+    if deadline_ms is not None:
+        document["deadline_ms"] = float(deadline_ms)
+    return document
 
 
 def sweep_request_from_wire(document) -> dict:
@@ -528,7 +557,9 @@ def sweep_points_from_wire(document) -> List:
 # ----------------------------------------------------------------------
 # what-if scenarios (the streamed /v1/scenarios route)
 # ----------------------------------------------------------------------
-def scenario_request_to_wire(spec_document: dict, seed: int) -> dict:
+def scenario_request_to_wire(
+    spec_document: dict, seed: int, resume_from: int = 0
+) -> dict:
     """The ``POST /v1/scenarios`` body: a scenario spec plus its base seed.
 
     Unlike forecast requests, scenario RNG transport is *seed-only*: every
@@ -536,12 +567,23 @@ def scenario_request_to_wire(spec_document: dict, seed: int) -> dict:
     the process-stable construction of
     :func:`repro.scenarios.spec.derive_seed`, which is what makes a sweep
     bitwise reproducible from a single number.
+
+    ``resume_from`` asks the gateway to suppress the first ``resume_from``
+    stream events: a client whose connection died mid-stream resubmits the
+    same spec and seed with the count of events it already holds, and —
+    because the run is bitwise deterministic from the seed — the resumed
+    tail continues exactly where the torn stream stopped.
     """
     if not isinstance(spec_document, dict):
         raise WireError("malformed_request", "scenario spec must be a JSON object")
     if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
         raise WireError("malformed_request", "scenario seed must be an integer")
-    return envelope("scenario-request", spec=dict(spec_document), rng={"seed": int(seed)})
+    document = envelope(
+        "scenario-request", spec=dict(spec_document), rng={"seed": int(seed)}
+    )
+    if resume_from:
+        document["resume_from"] = int(resume_from)
+    return document
 
 
 def scenario_request_from_wire(document):
@@ -566,6 +608,14 @@ def scenario_request_from_wire(document):
     except ScenarioError as exc:
         raise WireError("invalid_scenario", str(exc)) from exc
     return spec, seed
+
+
+def resume_from_wire(document) -> int:
+    """Validate a scenario request's optional ``resume_from`` event index."""
+    resume_from = document.get("resume_from", 0) if isinstance(document, dict) else 0
+    if not isinstance(resume_from, int) or isinstance(resume_from, bool) or resume_from < 0:
+        raise WireError("malformed_request", "resume_from must be a non-negative integer")
+    return resume_from
 
 
 def scenario_start_to_wire(spec, seed: int, races: int) -> dict:

@@ -1,0 +1,83 @@
+"""Unit tests of the deterministic fault-injection schedule."""
+
+import json
+
+import pytest
+
+from repro.serving.faults import FaultPlan, FaultSpec
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError, match="kind"):
+        FaultSpec(kind="explode")
+    with pytest.raises(ValueError, match="'when'"):
+        FaultSpec(kind="drop", when="sometimes")
+    with pytest.raises(ValueError):
+        FaultSpec(kind="delay", delay_s=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="error", at=-1)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="error", count=0)
+
+
+def test_fault_spec_round_trips_and_rejects_unknown_keys():
+    spec = FaultSpec(kind="error", route="POST /v1/forecast", at=2, status=502)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ValueError, match="unknown fault spec key"):
+        FaultSpec.from_dict({"kind": "error", "surprise": 1})
+    with pytest.raises(ValueError, match="needs a 'kind'"):
+        FaultSpec.from_dict({"route": "x"})
+
+
+def test_plan_fires_on_the_scheduled_ordinal_only():
+    plan = FaultPlan([FaultSpec(kind="error", route=r"POST /v1/forecast", at=1, count=2)])
+    assert plan.intercept("POST", "/v1/forecast") is None  # ordinal 0
+    assert plan.intercept("GET", "/v1/health") is None  # other routes don't count
+    assert plan.intercept("POST", "/v1/forecast") is not None  # ordinal 1
+    assert plan.intercept("POST", "/v1/forecast") is not None  # ordinal 2 (count=2)
+    assert plan.intercept("POST", "/v1/forecast") is None  # ordinal 3
+    assert plan.fired == 2
+    plan.reset()
+    assert plan.fired == 0
+    assert plan.intercept("POST", "/v1/forecast") is None  # ordinal 0 again
+
+
+def test_plan_specs_count_ordinals_independently_and_first_wins():
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="delay", route=r"/v1/sessions", at=0, delay_s=0.0),
+            FaultSpec(kind="error", route=r"/v1/sessions", at=0),
+        ]
+    )
+    fired = plan.intercept("POST", "/v1/sessions/sess-000001/lap")
+    assert fired is not None and fired.kind == "delay"  # first in plan order
+    # both specs consumed ordinal 0, so neither fires again
+    assert plan.intercept("POST", "/v1/sessions/sess-000001/lap") is None
+
+
+def test_plan_round_trips_through_json(tmp_path):
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="drop", route="POST /v1/forecast", at=0, when="after"),
+            FaultSpec(kind="truncate", route="POST /v1/scenarios", after_events=2),
+        ]
+    )
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    loaded = FaultPlan.from_file(str(path))
+    assert [spec.to_dict() for spec in loaded.specs] == [
+        spec.to_dict() for spec in plan.specs
+    ]
+    # a bare array is accepted too
+    assert len(FaultPlan.from_dict([{"kind": "error"}])) == 1
+    with pytest.raises(ValueError, match="unknown fault plan key"):
+        FaultPlan.from_dict({"faultz": []})
+
+
+def test_seeded_plan_is_reproducible():
+    first = FaultPlan.seeded(11, route="POST /v1/forecast", n_requests=50, fault_rate=0.4)
+    second = FaultPlan.seeded(11, route="POST /v1/forecast", n_requests=50, fault_rate=0.4)
+    assert [s.to_dict() for s in first.specs] == [s.to_dict() for s in second.specs]
+    assert 0 < len(first) < 50  # some, not all, ordinals faulted
+    different = FaultPlan.seeded(12, route="POST /v1/forecast", n_requests=50, fault_rate=0.4)
+    assert [s.to_dict() for s in first.specs] != [s.to_dict() for s in different.specs]

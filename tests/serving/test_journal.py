@@ -1,0 +1,130 @@
+"""Unit tests of the crash-safe session journal (writes, torn tails, recovery)."""
+
+import json
+import os
+
+import pytest
+
+from repro.serving.journal import (
+    JOURNAL_SUFFIX,
+    RecoveredSession,
+    SessionJournal,
+    journal_dir,
+    recover_sessions,
+)
+
+OPEN_DOC = {"kind": "session-open", "model": "deepar", "rng": {"seed": 5}}
+
+
+def test_journal_round_trips_open_and_laps(tmp_path):
+    directory = str(tmp_path)
+    journal = SessionJournal(directory, "sess-000001")
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(1, [{"car_id": 1, "lap_time": 41.0}])
+    journal.record_lap(2, [{"car_id": 1, "lap_time": 42.0}])
+    journal.close(remove=False)
+
+    recovered = recover_sessions(directory)
+    assert len(recovered) == 1
+    session = recovered[0]
+    assert isinstance(session, RecoveredSession)
+    assert session.session_id == "sess-000001"
+    assert session.open_document == OPEN_DOC
+    assert [record["lap"] for record in session.laps] == [1, 2]
+    assert session.laps[0]["records"] == [{"car_id": 1, "lap_time": 41.0}]
+    assert session.torn_records == 0
+
+
+def test_clean_close_removes_the_journal(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000002")
+    journal.record_open(OPEN_DOC)
+    assert os.path.exists(journal.path)
+    journal.close(remove=True)
+    assert not os.path.exists(journal.path)
+    assert recover_sessions(str(tmp_path)) == []
+    journal.close(remove=True)  # double close is harmless
+
+
+def test_torn_tail_is_dropped_not_fatal(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000003")
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(1, [])
+    journal.close(remove=False)
+    # simulate a SIGKILL mid-append: a partial record with no newline
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "lap", "lap": 2, "rec')
+
+    [session] = recover_sessions(str(tmp_path))
+    assert [record["lap"] for record in session.laps] == [1]
+    assert session.torn_records == 1  # the torn lap was never acknowledged
+
+
+def test_mid_file_corruption_refuses_to_recover(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000004")
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(1, [])
+    journal.close(remove=False)
+    lines = open(journal.path, encoding="utf-8").read().splitlines()
+    lines[0] = lines[0][:10]  # damage the open record, keep the tail intact
+    with open(journal.path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt at line 1"):
+        recover_sessions(str(tmp_path))
+
+
+def test_journal_without_an_open_record_is_deleted(tmp_path):
+    # the crash tore even the open append: no session was ever acknowledged
+    path = os.path.join(str(tmp_path), f"sess-000005{JOURNAL_SUFFIX}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"kind": "open", "sess')
+    assert recover_sessions(str(tmp_path)) == []
+    assert not os.path.exists(path)
+
+
+def test_second_open_record_is_corruption(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000006")
+    journal.record_open(OPEN_DOC)
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(1, [])  # keeps the duplicate off the torn-tail path
+    journal.close(remove=False)
+    with pytest.raises(ValueError, match="second 'open' record"):
+        recover_sessions(str(tmp_path))
+
+
+def test_unknown_record_kinds_are_skipped_forward_compatibly(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000007")
+    journal.record_open(OPEN_DOC)
+    journal._append({"kind": "checkpoint", "data": 1})  # a future build's record
+    journal.record_lap(1, [])
+    journal.close(remove=False)
+    [session] = recover_sessions(str(tmp_path))
+    assert [record["lap"] for record in session.laps] == [1]
+
+
+def test_recover_scans_only_journal_files_sorted(tmp_path):
+    directory = str(tmp_path)
+    for sid in ("sess-000009", "sess-000008"):
+        journal = SessionJournal(directory, sid)
+        journal.record_open(dict(OPEN_DOC, session=sid))
+        journal.close(remove=False)
+    with open(os.path.join(directory, "notes.txt"), "w", encoding="utf-8") as fh:
+        fh.write("not a journal")
+    recovered = recover_sessions(directory)
+    assert [s.session_id for s in recovered] == ["sess-000008", "sess-000009"]
+    assert recover_sessions(os.path.join(directory, "missing")) == []
+
+
+def test_journal_dir_lives_inside_the_store(tmp_path):
+    root = str(tmp_path / "store")
+    assert journal_dir(root) == os.path.join(root, "_session_journal")
+
+
+def test_records_are_fsynced_compact_json(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000010")
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(3, [{"car_id": 2}])
+    # readable while still open: every append is flushed + fsynced
+    lines = open(journal.path, encoding="utf-8").read().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[1]) == {"kind": "lap", "lap": 3, "records": [{"car_id": 2}]}
+    journal.close()

@@ -1,0 +1,190 @@
+"""Unit tests of the resilience primitives (no HTTP, injectable clocks)."""
+
+import pytest
+
+from repro.serving.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    IdempotencyCache,
+    OverloadedError,
+    RetryPolicy,
+    sleep_schedule,
+    validate_idempotency_key,
+)
+from repro.serving.wire import WireError
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+def test_retry_policy_schedule_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, max_delay_s=0.5, seed=7)
+    first = list(policy.delays())
+    second = list(policy.delays())
+    assert first == second  # seeded jitter: same schedule every run
+    assert len(first) == 4  # attempts - 1 sleeps
+    for attempt, delay in enumerate(first):
+        raw = min(0.1 * 2.0**attempt, 0.5)
+        assert raw * 0.5 <= delay <= raw  # equal jitter keeps half the backoff
+    assert list(RetryPolicy(seed=1).delays()) != list(RetryPolicy(seed=2).delays())
+
+
+def test_retry_policy_validation_and_retryable_codes():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    assert RetryPolicy.retryable_status(429)
+    assert RetryPolicy.retryable_status(503)
+    assert RetryPolicy.retryable_status(500, "internal_error")
+    assert not RetryPolicy.retryable_status(400, "invalid_request")
+    assert not RetryPolicy.retryable_status(404, "unknown_model")
+    assert RetryPolicy.retryable_status(200, "overloaded")  # code wins
+    assert sleep_schedule(None) == []
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_deadline_expires_on_the_injected_clock():
+    clock = FakeClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    assert not deadline.expired and deadline.remaining() == pytest.approx(1.0)
+    deadline.check("work")  # within budget: no raise
+    clock.advance(1.5)
+    assert deadline.expired
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        deadline.check("work")
+    assert excinfo.value.code == "deadline_exceeded"
+    assert excinfo.value.status == 504
+
+
+def test_deadline_from_ms_validates_the_wire_field():
+    clock = FakeClock()
+    assert Deadline.from_ms(None) is None
+    deadline = Deadline.from_ms(250, clock=clock)
+    assert deadline.remaining() == pytest.approx(0.25)
+    for bad in (0, -5, True, "100"):
+        with pytest.raises(WireError) as excinfo:
+            Deadline.from_ms(bad)
+        assert excinfo.value.code == "malformed_request"
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_threshold_and_recovers_via_half_open_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=clock)
+    assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.allow()  # still under threshold
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert 0 < breaker.retry_after_ms() <= 10_000
+
+    clock.advance(10.0)  # cooldown elapsed: one half-open probe is admitted
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.retry_after_ms() == 0
+
+
+def test_breaker_failed_probe_reopens_the_cooldown_window():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+    breaker.record_failure()
+    assert not breaker.allow()
+    clock.advance(5.0)
+    assert breaker.allow()  # the probe
+    breaker.record_failure()  # probe failed: straight back to open
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    described = breaker.describe()
+    assert described["state"] == "open" and described["trips"] == 2
+
+
+def test_circuit_open_error_carries_retry_after():
+    error = CircuitOpenError("open", retry_after_ms=1234)
+    assert error.code == "circuit_open" and error.status == 503
+    assert error.detail["retry_after_ms"] == 1234
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+def test_admission_sheds_past_the_limit_with_retry_hint():
+    clock = FakeClock()
+    controller = AdmissionController(limit=2, clock=clock)
+    first = controller.admit("a")
+    second = controller.admit("b")
+    assert controller.in_flight == 2 and controller.queue_depth == 1
+    with pytest.raises(OverloadedError) as excinfo:
+        controller.admit("c")
+    assert excinfo.value.code == "overloaded" and excinfo.value.status == 429
+    assert excinfo.value.detail["retry_after_ms"] >= 1
+
+    clock.advance(0.2)
+    first.release()
+    second.release()
+    assert controller.in_flight == 0
+    with controller.admit("d"):
+        assert controller.in_flight == 1
+    stats = controller.stats
+    assert stats == {"admitted": 3, "rejected": 1, "completed": 3}
+    described = controller.describe()
+    assert described["limit"] == 2 and described["in_flight"] == 0
+
+
+def test_admission_release_is_idempotent_and_exception_safe():
+    controller = AdmissionController(limit=1)
+    with pytest.raises(RuntimeError):
+        with controller.admit():
+            raise RuntimeError("work failed")
+    assert controller.in_flight == 0  # the slot came back despite the raise
+    slot = controller.admit()
+    slot.release()
+    slot.release()  # double release must not underflow
+    assert controller.in_flight == 0
+
+
+# ----------------------------------------------------------------------
+# idempotency cache
+# ----------------------------------------------------------------------
+def test_idempotency_cache_replays_and_evicts_lru():
+    cache = IdempotencyCache(capacity=2)
+    assert cache.get(None) is None and len(cache) == 0
+    cache.put("a", 200, {"kind": "x"})
+    cache.put("b", 200, {"kind": "y"})
+    assert cache.get("a") == (200, {"kind": "x"})  # refreshes 'a'
+    cache.put("c", 200, {"kind": "z"})  # evicts 'b', the LRU entry
+    assert cache.get("b") is None
+    assert cache.get("a") is not None and cache.get("c") is not None
+    assert cache.stats["hits"] == 3 and cache.stats["misses"] == 1
+
+
+def test_idempotency_key_validation():
+    assert validate_idempotency_key(None) is None
+    assert validate_idempotency_key("k-1") == "k-1"
+    for bad in ("", 42, "x" * 257):
+        with pytest.raises(WireError) as excinfo:
+            validate_idempotency_key(bad)
+        assert excinfo.value.code == "malformed_request"

@@ -1,0 +1,318 @@
+"""End-to-end resilience: retries, idempotency, breakers, deadlines, recovery.
+
+Every test runs a real ``ForecastServer`` over HTTP.  The invariant under
+test throughout is the paper-repro contract: faults and retries must never
+change the bytes a client ends up with — a retried request, a replayed
+lap, or a journal-recovered session produces output bitwise equal to the
+fault-free run.
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import build_race_features
+from repro.models import DeepARForecaster
+from repro.serving import ForecastClient, ServerError
+from repro.serving.client import LiveSessionClient
+from repro.serving.faults import FaultPlan, FaultSpec
+from repro.serving.resilience import RetryPolicy
+from repro.serving.server import ForecastServer, ServerConfig
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=200,
+)
+
+#: fast, test-sized retry policy (real waits would slow the suite)
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, seed=0)
+
+
+@pytest.fixture(scope="module")
+def race():
+    track = replace(track_for_year("Indy500", 2018), total_laps=40, num_cars=6)
+    return RaceSimulator(track, event="Indy500", year=2019, seed=3).run()
+
+
+@pytest.fixture(scope="module")
+def tiny_series(race):
+    return build_race_features(race)
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory, tiny_series):
+    root = str(tmp_path_factory.mktemp("resilience-store"))
+    store = ArtifactStore(root)
+    store.save_model("deepar", DeepARForecaster(seed=5, **DEEP_KWARGS).fit(tiny_series[:4]))
+    return root
+
+
+def _server(store_root, **overrides):
+    config = ServerConfig(store=store_root, port=0, batch_window_ms=1.0, **overrides)
+    return ForecastServer(config)
+
+
+def _batch(server, series, seeds, origin=20):
+    forecaster = server.gateway.service.load("deepar").forecaster
+    return [
+        ForecastClient.request(
+            "deepar",
+            forecaster._history_target(series, origin + i),
+            forecaster._history_covariates(series, origin + i),
+            forecaster._future_covariates(series, origin + i, 2),
+            n_samples=5,
+            rng=seed,
+            key=(series.race_id, series.car_id),
+            origin=origin + i,
+        )
+        for i, seed in enumerate(seeds)
+    ]
+
+
+# ----------------------------------------------------------------------
+# retries + idempotency byte-identity
+# ----------------------------------------------------------------------
+def test_retry_after_server_dropped_response_is_byte_identical(store_root, tiny_series):
+    """The server executes, the response dies on the wire, the retry replays."""
+    plan = FaultPlan([FaultSpec(kind="drop", route=r"POST /v1/forecast", at=0, when="after")])
+    with _server(store_root, fault_plan=plan) as server:
+        faulted = ForecastClient(port=server.port, retry=FAST_RETRY)
+        got = faulted.forecast(_batch(server, tiny_series[0], [11, 12]))
+        assert server.gateway.faults.fired == 1
+        # the retry was answered from the idempotency cache, not re-executed
+        assert server.gateway.idempotency.stats["hits"] == 1
+
+        clean = ForecastClient(port=server.port)
+        expected = clean.forecast(_batch(server, tiny_series[0], [11, 12]))
+    for a, b in zip(got, expected):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_client_side_connection_drops_are_retried_transparently(store_root, tiny_series):
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="drop", route=r"POST /v1/forecast", at=0, when="before"),
+            FaultSpec(kind="error", route=r"POST /v1/forecast", at=1),
+        ]
+    )
+    with _server(store_root) as server:
+        faulted = ForecastClient(port=server.port, retry=FAST_RETRY, faults=plan)
+        got = faulted.forecast(_batch(server, tiny_series[0], [21]))
+        assert plan.fired == 2  # drop, then injected error, then success
+        expected = ForecastClient(port=server.port).forecast(
+            _batch(server, tiny_series[0], [21])
+        )
+    np.testing.assert_array_equal(got[0], expected[0])
+
+
+def test_without_retry_policy_failures_surface_immediately(store_root, tiny_series):
+    plan = FaultPlan([FaultSpec(kind="error", route=r"POST /v1/forecast", at=0)])
+    with _server(store_root, fault_plan=plan) as server:
+        client = ForecastClient(port=server.port)  # retry=None
+        with pytest.raises(ServerError) as excinfo:
+            client.forecast(_batch(server, tiny_series[0], [31]))
+        assert excinfo.value.code == "injected_fault" and excinfo.value.status == 503
+
+
+def test_non_idempotent_calls_are_never_retried(store_root):
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port, retry=FAST_RETRY)
+        # a hand-rolled POST without an idempotency key must not retry
+        plan = FaultPlan([FaultSpec(kind="drop", route=r"POST /v1/models", when="before")])
+        client.faults = plan
+        with pytest.raises(ConnectionError):
+            client.load("deepar")
+        assert plan.fired == 1  # exactly one attempt
+
+
+# ----------------------------------------------------------------------
+# admission control + draining
+# ----------------------------------------------------------------------
+def test_overload_sheds_with_structured_429(store_root, tiny_series):
+    with _server(store_root, max_inflight=2) as server:
+        client = ForecastClient(port=server.port)
+        held = [server.gateway.admission.admit("test") for _ in range(2)]
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                client.forecast(_batch(server, tiny_series[0], [41]))
+            error = excinfo.value
+            assert error.code == "overloaded" and error.status == 429
+            assert error.retry_after_ms >= 1
+            # probes keep answering while work is shed
+            health = client.health()
+            assert health["in_flight"] == 2 and health["queue_depth"] == 1
+        finally:
+            for slot in held:
+                slot.release()
+        # slots freed: the same request is admitted now
+        assert len(client.forecast(_batch(server, tiny_series[0], [41]))) == 1
+
+
+def test_draining_gateway_refuses_work_but_answers_probes(store_root, tiny_series):
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port)
+        server.gateway.draining = True
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                client.forecast(_batch(server, tiny_series[0], [51]))
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.detail["draining"] is True
+            assert client.health()["status"] == "draining"
+        finally:
+            server.gateway.draining = False
+        assert client.health()["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_expired_deadline_is_shed_with_504(store_root, tiny_series):
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port)
+        with pytest.raises(ServerError) as excinfo:
+            # 100 ns budget: expired before the gateway can touch the engine
+            client.forecast(_batch(server, tiny_series[0], [61]), deadline_ms=1e-4)
+        assert excinfo.value.code == "deadline_exceeded" and excinfo.value.status == 504
+        # a sane budget passes untouched
+        assert len(client.forecast(_batch(server, tiny_series[0], [61]), deadline_ms=60_000)) == 1
+
+
+def test_config_default_deadline_applies_when_wire_omits_it(store_root, tiny_series):
+    with _server(store_root, request_deadline_ms=1e-4) as server:
+        client = ForecastClient(port=server.port)
+        with pytest.raises(ServerError) as excinfo:
+            client.forecast(_batch(server, tiny_series[0], [62]))
+        assert excinfo.value.code == "deadline_exceeded"
+        # an explicit wire deadline overrides the config default
+        assert len(client.forecast(_batch(server, tiny_series[0], [62]), deadline_ms=60_000)) == 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_engine_failures_and_cools_down(store_root, tiny_series):
+    with _server(store_root, breaker_threshold=2, breaker_cooldown_s=60.0) as server:
+        client = ForecastClient(port=server.port)
+        # two consecutive engine failures (batch + isolation retry)
+        server.gateway.arm_engine_errors(2)
+        with pytest.raises(ServerError) as excinfo:
+            client.forecast(_batch(server, tiny_series[0], [71]))
+        assert excinfo.value.status >= 500
+
+        # the circuit is open: requests fail fast without touching the engine
+        with pytest.raises(ServerError) as excinfo:
+            client.forecast(_batch(server, tiny_series[0], [72]))
+        error = excinfo.value
+        assert error.code == "circuit_open" and error.status == 503
+        assert error.retry_after_ms > 0
+        health = client.health()
+        assert health["breakers"]["deepar"]["state"] == "open"
+
+        # fast-forward past the cooldown: the half-open probe succeeds
+        server.gateway.breaker_clock = lambda: time.monotonic() + 120.0
+        got = client.forecast(_batch(server, tiny_series[0], [73]))
+        assert len(got) == 1
+        assert client.health()["breakers"]["deepar"]["state"] == "closed"
+
+        # and the recovered engine still produces the reference bytes
+        expected = ForecastClient(port=server.port).forecast(
+            _batch(server, tiny_series[0], [73])
+        )
+        np.testing.assert_array_equal(got[0], expected[0])
+
+
+# ----------------------------------------------------------------------
+# health surface
+# ----------------------------------------------------------------------
+def test_health_reports_the_resilience_surface(store_root):
+    with _server(store_root) as server:
+        health = ForecastClient(port=server.port).health()
+        assert health["status"] == "ok"
+        assert health["in_flight"] == 0 and health["queue_depth"] == 0
+        assert health["admission"]["limit"] == 32
+        assert health["breakers"] == {}
+        assert health["sessions_open"] == 0 and health["sessions_recovered"] == 0
+        assert health["recovery_errors"] == []
+        assert set(health["idempotency"]) == {"hits", "misses", "stored"}
+
+
+# ----------------------------------------------------------------------
+# crash-safe session recovery (in-process; the chaos harness SIGKILLs)
+# ----------------------------------------------------------------------
+def test_journal_recovery_resumes_sessions_byte_identically(store_root, race):
+    laps = list(race.iter_laps())[:26]
+    cut = 14
+
+    # reference: one unbroken session over every lap (journaling off so the
+    # reference server leaves nothing behind for the recovery boot to find)
+    with _server(store_root, journal=False) as server:
+        reference_client = ForecastClient(port=server.port)
+        with reference_client.open_session("deepar", min_history=12, rng=9) as session:
+            reference = [session.lap(lap, records) for lap, records in laps]
+
+    # crashed gateway: same session, killed (journals kept) after `cut` laps
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port)
+        session = client.open_session("deepar", min_history=12, rng=9)
+        session_id = session.session_id
+        before_crash = [session.lap(lap, records) for lap, records in laps[:cut]]
+        # no clean close: exiting the context is the crash — ForecastServer
+        # keeps the journals of still-open sessions exactly for this
+
+    for got, expected in zip(before_crash, reference[:cut]):
+        _assert_emitted_equal(got, expected)
+
+    # restarted gateway: the journal rebuilds the session...
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port)
+        health = client.health()
+        assert health["sessions_recovered"] == 1 and health["recovery_errors"] == []
+        [info] = client.sessions()
+        assert info["session"] == session_id and info["recovered"] is True
+        assert info["laps_observed"] == cut
+
+        session = LiveSessionClient(client, session_id)
+        # ...a duplicate of the last pre-crash lap replays its original answer
+        replayed = session.lap(*laps[cut - 1])
+        _assert_emitted_equal(replayed, reference[cut - 1])
+        # ...and the remaining laps continue byte-identically to the
+        # unbroken reference session: RNG and carry state recovered exactly
+        after_crash = [session.lap(lap, records) for lap, records in laps[cut:]]
+        for got, expected in zip(after_crash, reference[cut:]):
+            _assert_emitted_equal(got, expected)
+        session.close(drain=False)
+
+    # the clean close removed the journal: nothing recovers on the next boot
+    with _server(store_root) as server:
+        assert ForecastClient(port=server.port).health()["sessions_recovered"] == 0
+
+
+def test_disabled_journal_recovers_nothing(store_root, race):
+    laps = list(race.iter_laps())[:3]
+    with _server(store_root, journal=False) as server:
+        client = ForecastClient(port=server.port)
+        session = client.open_session("deepar", min_history=12, rng=4)
+        for lap, records in laps:
+            session.lap(lap, records)
+    with _server(store_root) as server:
+        client = ForecastClient(port=server.port)
+        assert client.health()["sessions_recovered"] == 0
+        assert client.sessions() == []
+
+
+def _assert_emitted_equal(got, expected):
+    assert len(got) == len(expected)
+    for (origin_a, cars_a), (origin_b, cars_b) in zip(got, expected):
+        assert origin_a == origin_b
+        assert set(cars_a) == set(cars_b)
+        for car_id in cars_a:
+            np.testing.assert_array_equal(cars_a[car_id], cars_b[car_id])

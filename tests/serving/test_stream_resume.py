@@ -1,0 +1,180 @@
+"""Torn scenario streams: structured errors, deterministic resume, framing."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.scenarios import parse_scenario
+from repro.serving import ServerError, wire
+from repro.serving.client import ForecastClient
+from repro.serving.faults import FaultPlan, FaultSpec
+from repro.serving.resilience import RetryPolicy
+from repro.serving.server import ForecastServer, ServerConfig
+from repro.serving.wire import WireError
+
+TINY = {
+    "scenario": "resume-tiny",
+    "kind": "race",
+    "races": [{"event": "Indy500", "year": 2018}],
+    "points": [{"track_total_laps": 30, "track_num_cars": 6}],
+    "replicas": 3,
+}
+#: TINY emits start + 3 races + summary = 5 stream events
+TINY_EVENTS = 5
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05, seed=0)
+
+
+def _server(tmp_path, **overrides):
+    config = ServerConfig(store=str(tmp_path), port=0, batch_window_ms=1.0, **overrides)
+    return ForecastServer(config)
+
+
+def _docs(events):
+    return [
+        payload if kind == "start" else payload.to_doc() for kind, payload in events
+    ]
+
+
+# ----------------------------------------------------------------------
+# wire schema
+# ----------------------------------------------------------------------
+def test_resume_from_round_trips_and_validates():
+    document = wire.scenario_request_to_wire(TINY, seed=1)
+    assert "resume_from" not in document  # omitted when zero
+    assert wire.resume_from_wire(document) == 0
+    resumed = wire.scenario_request_to_wire(TINY, seed=1, resume_from=3)
+    assert resumed["resume_from"] == 3
+    assert wire.resume_from_wire(resumed) == 3
+    for bad in (-1, True, "3", 1.5):
+        with pytest.raises(WireError, match="resume_from"):
+            wire.resume_from_wire(dict(document, resume_from=bad))
+
+
+# ----------------------------------------------------------------------
+# truncation + resume against a real gateway
+# ----------------------------------------------------------------------
+def test_truncated_stream_is_a_structured_error_not_a_hang(tmp_path):
+    plan = FaultPlan(
+        [FaultSpec(kind="truncate", route=r"POST /v1/scenarios", at=0, after_events=2)]
+    )
+    with _server(tmp_path, fault_plan=plan) as server:
+        client = ForecastClient(port=server.port, timeout_s=10.0)  # no retry
+        events = []
+        with pytest.raises(ServerError) as excinfo:
+            for document in client.scenario_stream(TINY, seed=5):
+                events.append(document)
+        assert excinfo.value.code == "truncated_stream"
+        assert excinfo.value.status == 503
+        assert len(events) == 2  # everything before the cut was delivered
+
+
+def test_resumed_stream_is_event_for_event_identical(tmp_path):
+    plan = FaultPlan(
+        [
+            # first request torn after 2 events; the resumed second request
+            # torn again after 1 more; the third finishes the stream
+            FaultSpec(kind="truncate", route=r"POST /v1/scenarios", at=0, after_events=2),
+            FaultSpec(kind="truncate", route=r"POST /v1/scenarios", at=1, after_events=1),
+        ]
+    )
+    with _server(tmp_path) as server:
+        clean = list(ForecastClient(port=server.port).run_scenario_iter(TINY, seed=7))
+    with _server(tmp_path, fault_plan=plan) as server:
+        resumed_client = ForecastClient(port=server.port, retry=FAST_RETRY)
+        resumed = list(resumed_client.run_scenario_iter(TINY, seed=7))
+        assert server.gateway.faults.fired == 2
+    assert [kind for kind, _ in clean] == ["start", "race", "race", "race", "summary"]
+    assert [kind for kind, _ in resumed] == [kind for kind, _ in clean]
+    # no duplicates, no holes: the stitched stream equals the unbroken one
+    assert _docs(resumed) == _docs(clean)
+
+
+def test_resume_from_skips_server_side(tmp_path):
+    """The gateway re-runs deterministically and suppresses delivered events."""
+    with _server(tmp_path) as server:
+        client = ForecastClient(port=server.port)
+        full = list(client.scenario_stream(TINY, seed=9))
+        tail = list(client.scenario_stream(TINY, seed=9, resume_from=3))
+    assert len(full) == TINY_EVENTS
+    assert tail == full[3:]
+
+
+def test_exhausted_retries_surface_the_truncation(tmp_path):
+    # every request torn: even a retrying client must eventually report it
+    plan = FaultPlan(
+        [FaultSpec(kind="truncate", route=r"POST /v1/scenarios", at=0, count=99, after_events=1)]
+    )
+    with _server(tmp_path, fault_plan=plan) as server:
+        client = ForecastClient(port=server.port, retry=FAST_RETRY)
+        with pytest.raises(ServerError) as excinfo:
+            list(client.run_scenario_iter(TINY, seed=3))
+        assert excinfo.value.code == "truncated_stream"
+
+
+# ----------------------------------------------------------------------
+# hostile framing (raw-socket server, no gateway at all)
+# ----------------------------------------------------------------------
+def _raw_http_server(response_bytes):
+    """One-shot TCP server that answers any request with fixed bytes."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def run():
+        connection, _ = listener.accept()
+        try:
+            connection.recv(65536)
+            connection.sendall(response_bytes)
+        finally:
+            connection.close()
+            listener.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return listener.getsockname()[1]
+
+
+def _chunked(lines):
+    body = b""
+    for line in lines:
+        payload = line + b"\n"
+        body += f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+    return body
+
+
+_HEADERS = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: application/x-ndjson\r\n"
+    b"Transfer-Encoding: chunked\r\n\r\n"
+)
+
+
+def test_garbled_ndjson_line_is_a_structured_error():
+    port = _raw_http_server(_HEADERS + _chunked([b"this is not json"]) + b"0\r\n\r\n")
+    client = ForecastClient(port=port, timeout_s=5.0)
+    with pytest.raises(ServerError) as excinfo:
+        list(client.scenario_stream(TINY, seed=0))
+    assert excinfo.value.code == "malformed_response"  # corrupt, not retryable
+
+
+def test_malformed_chunk_framing_is_a_structured_error():
+    # "ZZZ" is not a chunk-size line: http.client chokes mid-decode
+    port = _raw_http_server(_HEADERS + b"ZZZ\r\nnope\r\n")
+    client = ForecastClient(port=port, timeout_s=5.0)
+    with pytest.raises(ServerError) as excinfo:
+        list(client.scenario_stream(TINY, seed=0))
+    assert excinfo.value.code == "truncated_stream"
+
+
+def test_stream_cut_without_terminal_chunk_is_truncated():
+    start = wire.scenario_start_to_wire(parse_scenario(TINY), 0, 3)
+    port = _raw_http_server(_HEADERS + _chunked([json.dumps(start).encode()]))
+    client = ForecastClient(port=port, timeout_s=5.0)
+    events = []
+    with pytest.raises(ServerError) as excinfo:
+        for document in client.scenario_stream(TINY, seed=0):
+            events.append(document)
+    assert excinfo.value.code == "truncated_stream"
+    assert len(events) == 1  # the valid prefix was delivered first
