@@ -4,7 +4,27 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios bench-chaos chaos scenarios docs-check smoke-artifacts smoke-serve clean
+.PHONY: help test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios bench-chaos chaos chaos-workers scenarios docs-check smoke-artifacts smoke-serve clean
+
+help:
+	@echo "Targets:"
+	@echo "  test            tier-1 verify: full pytest (tests + benchmarks)"
+	@echo "  test-fast       pytest over tests/ only"
+	@echo "  lint            ruff check + format check"
+	@echo "  format          ruff format (in place)"
+	@echo "  bench           benchmark suite (pytest benchmarks/)"
+	@echo "  bench-smoke     quick table5 experiment profile"
+	@echo "  bench-train     training-throughput profile"
+	@echo "  bench-decode    decode-throughput profile"
+	@echo "  bench-serve     serving-gateway overhead/isolation benchmark"
+	@echo "  bench-scenarios scenario-engine throughput profile"
+	@echo "  chaos           serving chaos gates: retries, SIGKILL+journal recovery, overload"
+	@echo "  chaos-workers   worker-pool chaos gates: replica kill failover, hang detection"
+	@echo "  scenarios       validate the shipped what-if workload matrix"
+	@echo "  docs-check      markdown link check + scenario matrix validation"
+	@echo "  smoke-artifacts cross-process artifact store round trip"
+	@echo "  smoke-serve     repro-serve subprocess byte-identity smoke"
+	@echo "  clean           remove caches and benchmark results"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +75,14 @@ bench-chaos:
 	$(PYTHON) -m repro.profiling.chaos --dir /tmp/repro-chaos
 
 chaos: bench-chaos
+
+# worker-pool chaos profile: repro-serve with workers=true, a server-side
+# kill_worker fault SIGKILLing the replica mid-session (journal failover
+# must be byte-identical) and a hang_worker SIGSTOP the heartbeat
+# deadline must catch
+chaos-workers:
+	rm -rf /tmp/repro-chaos-workers
+	$(PYTHON) -m repro.profiling.chaos --dir /tmp/repro-chaos-workers --profile workers
 
 # cross-process artifact round trip (fit + save, then reload in a new process)
 smoke-artifacts:

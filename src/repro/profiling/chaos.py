@@ -17,9 +17,24 @@ schedule and gates three resilience guarantees end to end:
    shed with structured ``429 overloaded`` envelopes; retrying clients
    must all complete, and no call may exceed the latency ceiling.
 
+The ``workers`` profile (``make chaos-workers``) runs the same server
+with ``workers: true`` — every model a supervised forked subprocess — and
+gates the worker-pool guarantees instead:
+
+4. **Worker-kill failover** — the replica serving a live session is
+   SIGKILLed mid-race by a server-side ``kill_worker`` fault; the
+   supervisor restarts it, replays the session journal into the fresh
+   process, and the streamed forecasts stay bitwise equal to an
+   uncrashed in-process run.
+5. **Hang detection** — a ``hang_worker`` fault SIGSTOPs the replica; the
+   heartbeat deadline escalates to SIGKILL, and a retrying client's
+   forecast through the restart window is byte-identical to the
+   in-process submission.
+
 Exit status is non-zero when any gate fails::
 
     python -m repro.profiling.chaos --dir /tmp/repro-chaos
+    python -m repro.profiling.chaos --dir /tmp/repro-chaos --profile workers
 """
 
 from __future__ import annotations
@@ -62,6 +77,23 @@ FAULT_PLAN = {
     ]
 }
 
+#: schedule for the ``workers`` profile: SIGKILL the model's replica just
+#: before the lap-``KILL_AT_LAP`` post dispatches (lap posts are the only
+#: requests matching ``/lap$``, and laps start at 1, so the 0-based
+#: ordinal is ``KILL_AT_LAP - 1``), then SIGSTOP the respawned replica
+#: before the first ``/v1/forecast`` of the hang gate
+WORKER_FAULT_PLAN = {
+    "faults": [
+        {
+            "kind": "kill_worker",
+            "route": r"/lap$",
+            "at": KILL_AT_LAP - 1,
+            "model": MODEL_NAME,
+        },
+        {"kind": "hang_worker", "route": r"POST /v1/forecast", "at": 0, "model": MODEL_NAME},
+    ]
+}
+
 RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.05, max_delay_s=0.5, seed=0)
 
 #: ceiling for any single overloaded call, retries included (seconds)
@@ -79,6 +111,27 @@ def _write_config(directory: str) -> str:
                 "batch_window_ms": 2.0,
                 "max_inflight": 1,
                 "fault_plan": FAULT_PLAN,
+            },
+            fh,
+        )
+    return path
+
+
+def _write_worker_config(directory: str) -> str:
+    path = os.path.join(directory, "chaos-workers-serve.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "store": ".",
+                "port": 0,
+                "preload": [MODEL_NAME],
+                "batch_window_ms": 2.0,
+                "workers": True,
+                "heartbeat_interval_s": 0.1,
+                "heartbeat_timeout_s": 1.0,
+                "worker_backoff_s": 0.05,
+                "worker_restart_budget": 5,
+                "fault_plan": WORKER_FAULT_PLAN,
             },
             fh,
         )
@@ -254,22 +307,102 @@ def _gate_bounded_overload(directory: str, port: int, series, workers: int) -> b
     return True
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description="Serving-tier chaos harness")
-    parser.add_argument("--dir", required=True, help="scratch directory for store + config")
-    parser.add_argument(
-        "--overload-workers",
-        type=int,
-        default=6,
-        help="concurrent callers for the overload gate (default 6)",
+def _worker_entry(client: ForecastClient):
+    health = client.health()
+    entry = next(
+        (w for w in health.get("workers", []) if w["model"] == MODEL_NAME), None
     )
-    args = parser.parse_args(argv)
-    os.makedirs(args.dir, exist_ok=True)
+    return entry, health
 
-    print("fitting the chaos model into a scratch artifact store...", flush=True)
-    race, series = _fit_store(args.dir)
+
+def _gate_worker_kill_failover(directory: str, port: int, race) -> bool:
+    """Gate 4: a SIGKILLed replica's live session fails over byte-identically."""
+    client = ForecastClient(port=port, retry=RETRY)
+    entry, _ = _worker_entry(client)
+    if entry is None or entry["state"] != "live":
+        print(f"FAIL: worker-mode gateway reports no live replica: {entry}")
+        return False
+    pid_before = entry["pid"]
+
+    session = client.open_session(
+        MODEL_NAME, event=race.event, year=race.year, delay=4, **_SESSION
+    )
+    streamed: List[Tuple[int, dict]] = []
+    for lap, records in race.iter_laps():
+        streamed.extend(session.lap(lap, records))
+    streamed.extend(session.close())
+
+    live = LiveRaceForecaster(
+        ArtifactStore(directory).load_model(MODEL_NAME),
+        horizon=_SESSION["horizon"],
+        n_samples=_SESSION["n_samples"],
+        min_history=_SESSION["min_history"],
+        rng=_SESSION["rng"],
+    )
+    reference = list(live.stream(race, start=_SESSION["start"], stop=_SESSION["stop"]))
+    if not _emissions_equal(streamed, reference):
+        print("FAIL: session forecasts across the worker kill differ from the clean run")
+        return False
+
+    entry, health = _worker_entry(client)
+    if entry is None or entry["state"] != "live" or entry["restarts"] < 1:
+        print(f"FAIL: the killed replica never restarted: {entry}")
+        return False
+    if entry["pid"] == pid_before:
+        print(f"FAIL: replica pid {pid_before} survived its own SIGKILL")
+        return False
+    if health.get("sessions_recovered", 0) < 1 or health.get("recovery_errors"):
+        print(f"FAIL: the live session was not journal-failed-over: {health}")
+        return False
+    leftovers = [
+        name
+        for name in os.listdir(journal_dir(directory))
+        if name.endswith(JOURNAL_SUFFIX)
+    ]
+    if leftovers:
+        print(f"FAIL: clean close left journals behind: {leftovers}")
+        return False
+    cars = sum(len(forecasts) for _, forecasts in streamed)
+    print(
+        f"OK: worker SIGKILLed at lap {KILL_AT_LAP} (pid {pid_before} -> "
+        f"{entry['pid']}), session failed over and streamed {len(streamed)} "
+        f"origins ({cars} car-forecasts) byte-identically"
+    )
+    return True
+
+
+def _gate_worker_hang_heartbeat(directory: str, port: int, series) -> bool:
+    """Gate 5: a SIGSTOPped replica misses heartbeats, is killed, and recovers."""
+    service = ForecastService(ArtifactStore(directory))
+    forecaster = service.load(MODEL_NAME).forecaster
+    reference = service.submit(_named_batch(forecaster, series))
+
+    client = ForecastClient(port=port, retry=RETRY)
+    got = client.forecast(_named_batch(forecaster, series))  # ordinal 0: SIGSTOP lands
+    if len(got) != len(reference) or any(
+        not np.array_equal(got_one, expected)
+        for got_one, expected in zip(got, reference)
+    ):
+        print("FAIL: forecast through the hang window differs from in-process submit")
+        return False
+    entry, health = _worker_entry(client)
+    kills = (health.get("worker_pool") or {}).get("heartbeat_kills", 0)
+    if kills < 1:
+        print(f"FAIL: the heartbeat monitor never killed the hung replica: {health}")
+        return False
+    if entry is None or entry["state"] != "live":
+        print(f"FAIL: the hung replica never came back: {entry}")
+        return False
+    print(
+        f"OK: SIGSTOPped replica missed its heartbeat deadline, was killed "
+        f"(heartbeat_kills={kills}) and the retried forecast returned "
+        f"{len(got)} bitwise-equal results"
+    )
+    return True
+
+
+def _run_core(args, race, series) -> int:
     config_path = _write_config(args.dir)
-
     print("starting repro-serve under the fault plan...", flush=True)
     process, port = _spawn(config_path)
     try:
@@ -287,6 +420,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         process.kill()
         process.wait()
+
+
+def _run_workers(args, race, series) -> int:
+    config_path = _write_worker_config(args.dir)
+    print("starting repro-serve with a supervised worker pool...", flush=True)
+    process, port = _spawn(config_path)
+    try:
+        if not _gate_worker_kill_failover(args.dir, port, race):
+            return 1
+        if not _gate_worker_hang_heartbeat(args.dir, port, series[0]):
+            return 1
+        print("chaos harness (workers profile): all gates passed")
+        return 0
+    finally:
+        process.kill()
+        process.wait()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Serving-tier chaos harness")
+    parser.add_argument("--dir", required=True, help="scratch directory for store + config")
+    parser.add_argument(
+        "--profile",
+        choices=("core", "workers"),
+        default="core",
+        help="gate set: 'core' (retry/crash/overload) or 'workers' "
+        "(worker-kill failover + hang detection); default core",
+    )
+    parser.add_argument(
+        "--overload-workers",
+        type=int,
+        default=6,
+        help="concurrent callers for the overload gate (default 6)",
+    )
+    args = parser.parse_args(argv)
+    os.makedirs(args.dir, exist_ok=True)
+
+    print("fitting the chaos model into a scratch artifact store...", flush=True)
+    race, series = _fit_store(args.dir)
+    if args.profile == "workers":
+        return _run_workers(args, race, series)
+    return _run_core(args, race, series)
 
 
 if __name__ == "__main__":  # pragma: no cover

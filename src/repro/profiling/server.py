@@ -44,9 +44,17 @@ from ..serving import ForecastClient, ForecastService
 from ..serving.server import ForecastServer, ServerConfig
 from ..simulation import RaceSimulator, track_for_year
 
-__all__ = ["ServeMeasurement", "gateway_benchmark", "build_serving_fixture"]
+__all__ = [
+    "ServeMeasurement",
+    "gateway_benchmark",
+    "build_serving_fixture",
+    "isolation_benchmark",
+]
 
 MODEL_NAME = "bench-deepar"
+#: sweep-capable model for the isolation benchmark (the strategy
+#: optimizer needs a forecaster conditioned on race-status covariates)
+SWEEP_MODEL_NAME = "bench-ranknet"
 
 
 @dataclass
@@ -214,6 +222,100 @@ def gateway_benchmark(
         return measurements
 
 
+def isolation_benchmark(
+    root: Optional[str] = None,
+    n_probe: int = 12,
+    sweep_origins: int = 16,
+    sweep_samples: int = 384,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Cross-model isolation: a slow sweep on model A must not block model B.
+
+    Runs the gateway in **worker mode** — one supervised subprocess per
+    model — and measures single-request forecast latency on model B (the
+    DeepAR) while model A (a sweep-capable RankNet oracle) grinds through
+    a long strategy sweep.  Under the old global gateway lock a B probe
+    arriving mid-sweep waited out the entire sweep (``blocking_ratio``
+    ~= 1); with per-model replicas the probe only pays CPU contention.
+    The benchmark gate holds ``blocking_ratio`` — the worst B probe as a
+    fraction of the sweep wall-clock — under 0.5.
+    """
+    from ..models import RankNetForecaster
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store_root = root or scratch
+        _, series, _ = build_serving_fixture(store_root, seed=seed + 5)
+        sweeper_model = RankNetForecaster(
+            variant="oracle",
+            encoder_length=12,
+            decoder_length=2,
+            hidden_dim=16,
+            num_layers=1,
+            epochs=1,
+            batch_size=32,
+            max_train_windows=200,
+            seed=seed + 6,
+        )
+        sweeper_model.fit(series[:5])
+        ArtifactStore(store_root).save_model(SWEEP_MODEL_NAME, sweeper_model)
+        service = ForecastService(ArtifactStore(store_root))
+        forecaster = service.load(MODEL_NAME).forecaster
+
+        def probe_request():
+            return _request_batch(forecaster, series[0], 1, 5, 2)[0]
+
+        config = ServerConfig(
+            store=store_root,
+            port=0,
+            capacity=2,
+            preload=[MODEL_NAME, SWEEP_MODEL_NAME],
+            batch_window_ms=0.0,
+            workers=True,
+        )
+        with ForecastServer(config) as server:
+            client = ForecastClient(port=server.port, timeout_s=600.0)
+            client.forecast([probe_request()])  # warm B's replica + connection
+
+            baseline = [
+                _timed(lambda: client.forecast([probe_request()]))
+                for _ in range(n_probe)
+            ]
+
+            sweep_wall: Dict[str, float] = {}
+
+            def run_sweep() -> None:
+                own = ForecastClient(port=server.port, timeout_s=600.0)
+                started = time.perf_counter()
+                own.sweep(
+                    SWEEP_MODEL_NAME,
+                    series[0],
+                    origins=[16 + i for i in range(sweep_origins)],
+                    horizon=2,
+                    rng=7,
+                    n_samples=sweep_samples,
+                )
+                sweep_wall["wall_s"] = time.perf_counter() - started
+
+            sweeper = threading.Thread(target=run_sweep)
+            sweeper.start()
+            during: List[float] = []
+            while True:  # at least one probe even against a fast sweep
+                during.append(_timed(lambda: client.forecast([probe_request()])))
+                if not sweeper.is_alive():
+                    break
+            sweeper.join()
+
+        wall = sweep_wall["wall_s"]
+        return {
+            "sweep_wall_s": wall,
+            "probes_during_sweep": float(len(during)),
+            "b_baseline_median_s": float(np.median(baseline)),
+            "b_during_median_s": float(np.median(during)),
+            "b_during_max_s": float(max(during)),
+            "blocking_ratio": float(max(during) / wall),
+        }
+
+
 def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
     rows = [m.as_row() for m in gateway_benchmark()]
     print(
@@ -226,6 +328,14 @@ def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
             f"{row['path']:<20}{row['clients']:>8}{row['window_ms']:>11.1f}"
             f"{row['wall_s']:>9.3f}{row['ms_per_request']:>8.2f}"
         )
+    isolation = isolation_benchmark()
+    print()
+    print(
+        "Cross-model isolation (worker mode: sweep on A vs single-request "
+        "forecasts on B)"
+    )
+    for key, value in isolation.items():
+        print(f"  {key:<22}{value:.4f}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,12 @@ This sub-package batches that workload:
   requests from concurrent connections into shared fleet passes and
   :class:`~repro.serving.sessions.RaceSession` holding live-race state
   server-side so timing-feed clients stream laps instead of histories;
+* :class:`~repro.serving.supervisor.WorkerSupervisor` shards the service
+  across supervised worker *processes* — one crash-tolerant replica per
+  model, with heartbeat liveness, budgeted exponential-backoff restarts
+  and journal-replay session failover (``workers: true`` in the server
+  config; callers racing a restart see a structured
+  :class:`~repro.serving.supervisor.WorkerRestartingError`);
 * :class:`~repro.serving.client.ForecastClient` is the stdlib reference
   client of that API.
 
@@ -52,6 +58,7 @@ from .requests import ForecastRequest, NamedForecastRequest, spawn_request_rngs
 from .scheduler import MicroBatchScheduler
 from .service import ForecastService, ModelHandle
 from .sessions import RaceSession, SessionManager
+from .supervisor import WorkerRestartingError, WorkerSupervisor
 from .wire import WIRE_SCHEMA_VERSION, WireError
 
 __all__ = [
@@ -69,5 +76,7 @@ __all__ = [
     "WarmupStateCache",
     "WireError",
     "WIRE_SCHEMA_VERSION",
+    "WorkerRestartingError",
+    "WorkerSupervisor",
     "spawn_request_rngs",
 ]

@@ -19,8 +19,10 @@ half of the fault-tolerance story —
   structured failure, not a hang;
 * a :class:`~repro.serving.resilience.RetryPolicy` retries connection
   failures and retryable server envelopes (``overloaded``,
-  ``circuit_open``, 5xx) on a *seeded* backoff schedule, honouring the
-  server's ``retry_after_ms`` hints;
+  ``circuit_open``, ``worker_restarting`` — a model replica mid-respawn
+  after a crash — and other 5xx) on a *seeded* backoff schedule,
+  honouring the server's ``retry_after_ms`` hints, so a worker restart
+  is a short stall on the client, never an error surfaced to the caller;
 * retried POSTs carry ``idempotency_key``s, so a request whose response
   was lost (not its execution) is answered from the server's replay cache
   — the retried result is byte-identical to the single-send result;
@@ -307,8 +309,11 @@ class ForecastClient:
             deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
         )
         document = self._call("POST", "/v1/forecast", payload)
+        entries = self._retry_failed_entries(
+            requests, list(wire.results_from_wire(document)), deadline_ms
+        )
         outcomes: List[Union[np.ndarray, ServerError]] = []
-        for entry in wire.results_from_wire(document):
+        for entry in entries:
             if isinstance(entry, WireError):
                 error = ServerError.from_wire_error(entry)
                 if raise_errors:
@@ -317,6 +322,49 @@ class ForecastClient:
             else:
                 outcomes.append(entry)
         return outcomes
+
+    def _retry_failed_entries(self, requests, entries, deadline_ms):
+        """Re-submit retryable per-request failures on the seeded schedule.
+
+        Entry-level errors — ``worker_restarting`` while the supervisor
+        respawns a crashed replica, ``overloaded`` from a full worker
+        queue — come back *inside* a 200 results envelope, so the
+        transport-level retry in :meth:`_call` never sees them.  The
+        failed slots are re-sent as a fresh batch under a fresh
+        idempotency key (the original key would just replay the cached
+        errors), honouring the largest ``retry_after_ms`` hint.  Safe by
+        the RNG-transport contract: a re-submission returns exactly the
+        bytes the first attempt would have.
+        """
+        if self.retry is None:
+            return entries
+        for delay in sleep_schedule(self.retry):
+            failed = [
+                index
+                for index, entry in enumerate(entries)
+                if isinstance(entry, WireError)
+                and RetryPolicy.retryable_status(entry.status, entry.code)
+            ]
+            if not failed:
+                break
+            hints = [
+                entries[index].detail["retry_after_ms"]
+                for index in failed
+                if isinstance(entries[index].detail, dict)
+                and "retry_after_ms" in entries[index].detail
+            ]
+            if hints:
+                delay = max(delay, min(max(hints) / 1e3, self.retry.max_delay_s))
+            time.sleep(delay)
+            payload = wire.forecast_batch_to_wire(
+                [requests[index] for index in failed],
+                idempotency_key=self.next_idempotency_key("forecast"),
+                deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+            )
+            document = self._call("POST", "/v1/forecast", payload)
+            for slot, entry in zip(failed, wire.results_from_wire(document)):
+                entries[slot] = entry
+        return entries
 
     # ------------------------------------------------------------------
     # what-if scenarios (streamed)
@@ -567,18 +615,9 @@ class ForecastClient:
         return LiveSessionClient(self, document["session"], info=document, timeout_s=timeout_s)
 
 
-def _lap_record_to_wire(record) -> dict:
-    if isinstance(record, dict):
-        return record
-    # LapRecord-style objects
-    return {
-        "car_id": int(record.car_id),
-        "rank": int(record.rank),
-        "lap_time": float(record.lap_time),
-        "time_behind_leader": float(record.time_behind_leader),
-        "pit": bool(record.is_pit),
-        "caution": bool(record.is_caution),
-    }
+# canonical encoder lives in the wire module; kept under the old private
+# name because session tooling imports it from here
+_lap_record_to_wire = wire.lap_record_to_wire
 
 
 class LiveSessionClient:

@@ -29,6 +29,16 @@ Fault kinds
     Arm the gateway so the next engine submit raises ``RuntimeError``
     (what trips the per-model circuit breaker), instead of failing at the
     HTTP layer.
+``kill_worker``
+    Worker-pool gateways only: SIGKILL the live worker subprocess serving
+    ``model`` (default: the least-recently-started worker) *before* the
+    matched request is dispatched — a real process death, exercising the
+    supervisor's crash detection, restart backoff and journal failover.
+``hang_worker``
+    Worker-pool gateways only: SIGSTOP the worker subprocess so it stops
+    answering heartbeats without exiting — the hung-replica case.  The
+    supervisor's heartbeat deadline detects it and escalates to SIGKILL +
+    restart.
 
 Matching is by route — ``"METHOD /path"`` substring or regex — and by the
 0-based ordinal of matching requests (``at``), with ``count`` consecutive
@@ -48,7 +58,15 @@ import numpy as np
 
 __all__ = ["FaultSpec", "FaultPlan"]
 
-FAULT_KINDS = ("drop", "delay", "error", "truncate", "engine_error")
+FAULT_KINDS = (
+    "drop",
+    "delay",
+    "error",
+    "truncate",
+    "engine_error",
+    "kill_worker",
+    "hang_worker",
+)
 
 
 @dataclass
@@ -64,6 +82,7 @@ class FaultSpec:
     status: int = 503  # error only
     after_events: int = 1  # truncate only: events to let through first
     message: str = "injected fault"
+    model: str = ""  # kill_worker/hang_worker only: target replica ("" = any)
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -78,6 +97,7 @@ class FaultSpec:
         self.delay_s = float(self.delay_s)
         self.status = int(self.status)
         self.after_events = int(self.after_events)
+        self.model = str(self.model)
         if self.at < 0:
             raise ValueError("fault 'at' ordinal must be >= 0")
         if self.count < 1:
@@ -100,6 +120,7 @@ class FaultSpec:
             "status": self.status,
             "after_events": self.after_events,
             "message": self.message,
+            "model": self.model,
         }
 
     @classmethod
@@ -108,7 +129,7 @@ class FaultSpec:
             raise ValueError("fault spec must be a JSON object")
         known = {
             "kind", "route", "at", "count", "when", "delay_s", "status",
-            "after_events", "message",
+            "after_events", "message", "model",
         }
         unknown = sorted(set(document) - known)
         if unknown:

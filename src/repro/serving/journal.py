@@ -37,7 +37,13 @@ import os
 from dataclasses import dataclass, field
 from typing import IO, List, Optional
 
-__all__ = ["SessionJournal", "RecoveredSession", "recover_sessions", "journal_dir"]
+__all__ = [
+    "SessionJournal",
+    "RecoveredSession",
+    "recover_sessions",
+    "load_session",
+    "journal_dir",
+]
 
 JOURNAL_DIRNAME = "_session_journal"
 JOURNAL_SUFFIX = ".journal.ndjson"
@@ -49,13 +55,32 @@ def journal_dir(store_root: str) -> str:
 
 
 class SessionJournal:
-    """Append-only WAL of one live session (open record + lap records)."""
+    """Append-only WAL of one live session (open record + lap records).
 
-    def __init__(self, directory: str, session_id: str) -> None:
+    ``compact_every`` (laps) turns on periodic compaction: every N lap
+    appends the journal is rewritten atomically as its ``open`` record plus
+    one batched ``laps`` record, shedding per-line framing, duplicates and
+    any torn tail so a season-length session's WAL stays proportional to
+    its telemetry instead of its append history.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        session_id: str,
+        compact_every: Optional[int] = None,
+    ) -> None:
         self.directory = str(directory)
         self.session_id = str(session_id)
         self.path = os.path.join(self.directory, f"{self.session_id}{JOURNAL_SUFFIX}")
         self._fh: Optional[IO[str]] = None
+        if compact_every is not None:
+            compact_every = int(compact_every)
+            if compact_every < 1:
+                raise ValueError("compact_every must be >= 1 lap")
+        self.compact_every = compact_every
+        self._laps_since_compact = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # writing
@@ -80,6 +105,60 @@ class SessionJournal:
     def record_lap(self, lap: int, records: list) -> None:
         """Journal one applied lap — call *before* acknowledging it."""
         self._append({"kind": "lap", "lap": int(lap), "records": records})
+        self._laps_since_compact += 1
+        if self.compact_every is not None and self._laps_since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal as ``open`` + one batched ``laps`` record.
+
+        The rewrite is atomic (tmp file, fsync, ``os.replace``, directory
+        fsync): at every instant the on-disk path holds either the old
+        journal or the compacted one, never a torn mix, so a crash during
+        compaction recovers exactly like a crash before it.  The compacted
+        form replays byte-identically — laps are irreducible inputs to the
+        feature builder, so compaction dedupes and re-frames them but never
+        summarises them away.
+        """
+        recovered = load_session(self.directory, self.session_id)
+        if recovered is None:
+            return
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        seen = set()
+        laps = []
+        for record in recovered.laps:
+            lap = int(record["lap"])
+            if lap in seen:
+                continue
+            seen.add(lap)
+            laps.append([lap, record["records"]])
+        tmp = f"{self.path}.compact"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "open",
+                        "session": self.session_id,
+                        "open": recovered.open_document,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            if laps:
+                fh.write(json.dumps({"kind": "laps", "laps": laps}, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        dir_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self._laps_since_compact = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -148,10 +227,34 @@ def _read_journal(path: str, session_id: str) -> Optional[RecoveredSession]:
         kind = record.get("kind")
         if kind == "lap":
             recovered.laps.append(record)
+        elif kind == "laps":
+            # a compacted batch: one record carrying [lap, records] pairs
+            pairs = record.get("laps")
+            if not isinstance(pairs, list):
+                raise ValueError(f"journal {path!r} carries a malformed 'laps' batch")
+            for pair in pairs:
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise ValueError(f"journal {path!r} carries a malformed 'laps' batch")
+                recovered.laps.append(
+                    {"kind": "lap", "lap": int(pair[0]), "records": pair[1]}
+                )
         elif kind == "open":
             raise ValueError(f"journal {path!r} carries a second 'open' record")
         # unknown kinds are skipped: a newer build may add record kinds
     return recovered
+
+
+def load_session(directory: str, session_id: str) -> Optional[RecoveredSession]:
+    """Read one session's journal by id (``None`` when no journal exists).
+
+    The single-session flavour of :func:`recover_sessions` — used by the
+    worker supervisor to fail a *live* session over to a restarted replica
+    without scanning the whole directory.
+    """
+    path = os.path.join(str(directory), f"{session_id}{JOURNAL_SUFFIX}")
+    if not os.path.isfile(path):
+        return None
+    return _read_journal(path, str(session_id))
 
 
 def recover_sessions(directory: str) -> List[RecoveredSession]:

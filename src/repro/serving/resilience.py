@@ -50,11 +50,12 @@ __all__ = [
     "IdempotencyCache",
     "OverloadedError",
     "RetryPolicy",
+    "WorkerRestartingError",
 ]
 
 
 # ----------------------------------------------------------------------
-# the three structured failures the resilience layer introduces
+# the structured failures the resilience layer introduces
 # ----------------------------------------------------------------------
 class OverloadedError(WireError):
     """Admission control shed this request; retry after ``retry_after_ms``."""
@@ -89,13 +90,40 @@ class CircuitOpenError(WireError):
         self.retry_after_ms = int(retry_after_ms)
 
 
+class WorkerRestartingError(WireError):
+    """The model's worker replica is down and being restarted by the supervisor.
+
+    Raised instead of queueing behind a dead process: the request was never
+    executed, so a retry after ``retry_after_ms`` (sized from the
+    supervisor's backoff) is always safe.  Subclassing :class:`WireError`
+    keeps the restart window out of the circuit breaker's failure counts —
+    the supervisor already knows the replica is down; tripping the breaker
+    on top would only delay recovery visibility.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 250) -> None:
+        super().__init__(
+            "worker_restarting",
+            message,
+            status=503,
+            detail={"retry_after_ms": int(retry_after_ms)},
+        )
+        self.retry_after_ms = int(retry_after_ms)
+
+
 # ----------------------------------------------------------------------
 # retry policy (seeded backoff-with-jitter)
 # ----------------------------------------------------------------------
 #: error codes a client may retry without changing the outcome: the server
 #: either never executed the request, or idempotency keys dedupe the replay
 RETRYABLE_CODES = frozenset(
-    {"overloaded", "circuit_open", "injected_fault", "internal_error"}
+    {
+        "overloaded",
+        "circuit_open",
+        "injected_fault",
+        "internal_error",
+        "worker_restarting",
+    }
 )
 
 

@@ -120,6 +120,15 @@ class MicroBatchScheduler:
         self, requests: Sequence[NamedForecastRequest]
     ) -> List[Union[np.ndarray, BaseException]]:
         """Like :meth:`submit`, but failures come back as values per request."""
+        return self.collect(self.enqueue(requests))
+
+    def enqueue(self, requests: Sequence[NamedForecastRequest]) -> List[_Pending]:
+        """Enqueue without waiting; pair with :meth:`collect`.
+
+        The split exists for the gateway's per-model routing: one incoming
+        batch is fanned out to several schedulers (one per model) and only
+        then collected, so model A's flush never waits on model B's.
+        """
         requests = list(requests)
         if not requests:
             return []
@@ -133,6 +142,11 @@ class MicroBatchScheduler:
             self._pending.extend(entries)
             self._stats["requests"] += len(entries)
             self._cond.notify_all()
+        return entries
+
+    @staticmethod
+    def collect(entries: Sequence[_Pending]) -> List[Union[np.ndarray, BaseException]]:
+        """Wait for enqueued entries (possibly from *different* schedulers)."""
         for entry in entries:
             entry.done.wait()
         return [

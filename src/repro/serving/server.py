@@ -37,9 +37,17 @@ models to preload, and the process exposes the versioned wire API
     holding its carried states.
 
 Every response is a versioned wire document; failures are structured
-error envelopes, never tracebacks.  All model/engine work is serialized
-behind one gateway lock (the engines share preallocated buffers and this
-host is single-core anyway); the HTTP threads only pay for parsing.
+error envelopes, never tracebacks.
+
+Concurrency: there is **no global gateway lock**.  Engine work serializes
+*per model* — each model gets its own micro-batch scheduler, and behind it
+either a per-model lock around the shared in-process service (default) or,
+with ``"workers": true``, a dedicated supervised worker subprocess
+(:mod:`repro.serving.supervisor`).  A slow sweep on model A never blocks a
+forecast on model B, health always answers, and in worker mode a crashed
+replica is restarted with exponential backoff while its live sessions fail
+over by journal replay — byte-identical to an uncrashed run.  One meta
+lock guards only cheap registries (breakers, schedulers, armed faults).
 """
 
 from __future__ import annotations
@@ -59,7 +67,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..artifacts import ArtifactNotFoundError, ArtifactStore
 from . import wire
 from .faults import FaultPlan
-from .journal import SessionJournal, journal_dir, recover_sessions
+from .journal import SessionJournal, journal_dir, load_session, recover_sessions
 from .resilience import (
     AdmissionController,
     CircuitBreaker,
@@ -70,8 +78,10 @@ from .resilience import (
 )
 from .scheduler import MicroBatchScheduler
 from .service import ForecastService
-from .sessions import RaceSession, SessionManager
+from .sessions import SessionManager, build_live_session
+from .supervisor import RaceSessionProxy, WorkerSupervisor
 from .wire import WireError
+from .workers import execute_sweep
 
 __all__ = ["ServerConfig", "ForecastGateway", "ForecastServer", "main"]
 
@@ -95,8 +105,15 @@ CONFIG_KEYS = {
     "breaker_threshold": "consecutive engine failures before a model's circuit opens (default 5)",
     "breaker_cooldown_s": "seconds an open circuit waits before a half-open probe (default 30)",
     "journal": "crash-safe session write-ahead journal on/off (default true)",
+    "journal_compact_laps": "laps between session journal compactions; null disables (default 50)",
     "fault_plan": "deterministic fault-injection plan: inline object or JSON file path (default none)",
     "drain_grace_s": "seconds a SIGTERM drain waits for in-flight work (default 10)",
+    "workers": "serve each model from a supervised worker subprocess (default false)",
+    "worker_queue": "per-worker bounded queue depth before shedding overloaded (default 8)",
+    "worker_restart_budget": "rapid consecutive worker restarts allowed before the replica is failed (default 3)",
+    "worker_backoff_s": "base of the exponential backoff between worker restarts (default 0.05)",
+    "heartbeat_interval_s": "worker heartbeat ping period in seconds (default 0.25)",
+    "heartbeat_timeout_s": "missed-heartbeat deadline before a worker counts as hung (default 2.0)",
 }
 
 
@@ -119,8 +136,15 @@ class ServerConfig:
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 30.0
     journal: bool = True
+    journal_compact_laps: Optional[int] = 50
     fault_plan: Optional[object] = None
     drain_grace_s: float = 10.0
+    workers: bool = False
+    worker_queue: int = 8
+    worker_restart_budget: int = 3
+    worker_backoff_s: float = 0.05
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
 
     def __post_init__(self) -> None:
         self.store = str(self.store)
@@ -141,7 +165,27 @@ class ServerConfig:
         self.breaker_threshold = int(self.breaker_threshold)
         self.breaker_cooldown_s = float(self.breaker_cooldown_s)
         self.journal = bool(self.journal)
+        if self.journal_compact_laps is not None:
+            self.journal_compact_laps = int(self.journal_compact_laps)
+            if self.journal_compact_laps < 1:
+                raise ValueError("journal_compact_laps must be >= 1 when set")
         self.drain_grace_s = float(self.drain_grace_s)
+        self.workers = bool(self.workers)
+        self.worker_queue = int(self.worker_queue)
+        self.worker_restart_budget = int(self.worker_restart_budget)
+        self.worker_backoff_s = float(self.worker_backoff_s)
+        self.heartbeat_interval_s = float(self.heartbeat_interval_s)
+        self.heartbeat_timeout_s = float(self.heartbeat_timeout_s)
+        if self.worker_queue < 1:
+            raise ValueError("worker_queue must be >= 1")
+        if self.worker_restart_budget < 1:
+            raise ValueError("worker_restart_budget must be >= 1")
+        if self.worker_backoff_s < 0:
+            raise ValueError("worker_backoff_s must be >= 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be > 0")
         if self.batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
         if self.max_inflight < 1:
@@ -226,18 +270,33 @@ class ForecastGateway:
 
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
+        self.started_at = time.monotonic()
         self.store = ArtifactStore(config.store)
         self.service = ForecastService(
             self.store, capacity=config.capacity, mode=config.mode, verify=config.verify
         )
-        # one lock serializes every model/engine touch; the scheduler's
-        # worker is the only caller of service.submit
-        self._lock = threading.RLock()
-        self.scheduler = MicroBatchScheduler(
-            self._locked_submit,
-            window=config.batch_window_ms / 1e3,
-            max_batch=config.max_batch,
-        )
+        # No global gateway lock.  Engine work serializes per model — a
+        # per-model lock around the shared service in-process, a per-model
+        # worker subprocess in worker mode — so cross-model traffic runs
+        # concurrently.  This meta lock guards only the cheap registries
+        # below (breakers, schedulers, locks, the armed-fault counter).
+        self._meta_lock = threading.RLock()
+        self._model_locks: Dict[str, threading.RLock] = {}
+        self._schedulers: Dict[str, MicroBatchScheduler] = {}
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if config.workers:
+            self.supervisor = WorkerSupervisor(
+                config.store,
+                capacity=config.capacity,
+                mode=config.mode,
+                verify=config.verify,
+                queue_limit=config.worker_queue,
+                restart_budget=config.worker_restart_budget,
+                backoff_base_s=config.worker_backoff_s,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                heartbeat_timeout_s=config.heartbeat_timeout_s,
+                on_worker_restarted=self._failover_sessions,
+            )
         self.sessions = SessionManager(limit=config.max_sessions)
         # ---- resilience state ------------------------------------------
         self.admission = AdmissionController(limit=config.max_inflight)
@@ -252,84 +311,177 @@ class ForecastGateway:
         self.sessions_recovered = 0
         self.recovery_errors: List[str] = []
         for name in config.preload:
-            self.service.load(name)
+            if self.supervisor is not None:
+                self.supervisor.ensure(name)
+            else:
+                self.service.load(name)
         self._recover_journaled_sessions()
 
-    def _locked_submit(self, requests):
-        """The scheduler's downstream: breaker + deadline guards, then the engines.
+    # ------------------------------------------------------------------
+    # per-model routing
+    # ------------------------------------------------------------------
+    def _model_lock(self, name: str) -> threading.RLock:
+        """The lock serializing in-process engine work on one model."""
+        with self._meta_lock:
+            lock = self._model_locks.get(name)
+            if lock is None:
+                lock = self._model_locks[name] = threading.RLock()
+            return lock
 
-        Raising here fails the *coalesced* batch; the scheduler then
-        isolates by retrying each request alone, so every guard below also
-        fires with single-request precision on the retry pass.
-        """
-        models = []
-        for named in requests:
-            if named.model not in models:
-                models.append(named.model)
-        # fail fast while a named model's circuit is open — no queueing
-        # behind an engine that is known-broken
-        for name in models:
-            breaker = self._breakers.get(name)
-            if breaker is not None and not breaker.allow():
-                raise CircuitOpenError(
-                    f"model {name!r} circuit is open after repeated engine "
-                    f"failures; retry after cooldown",
-                    retry_after_ms=breaker.retry_after_ms() or 1000,
+    def _scheduler(self, model: str) -> MicroBatchScheduler:
+        """The micro-batch scheduler owning one model's engine passes."""
+        with self._meta_lock:
+            scheduler = self._schedulers.get(model)
+            if scheduler is None:
+                scheduler = self._schedulers[model] = MicroBatchScheduler(
+                    lambda requests, name=model: self._submit_model(name, requests),
+                    window=self.config.batch_window_ms / 1e3,
+                    max_batch=self.config.max_batch,
                 )
+            return scheduler
+
+    def scheduler_stats(self) -> Dict[str, int]:
+        """Micro-batch counters summed over the per-model schedulers."""
+        with self._meta_lock:
+            schedulers = list(self._schedulers.values())
+        totals: Dict[str, int] = {}
+        for scheduler in schedulers:
+            for key, value in scheduler.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def submit_settled(self, requests):
+        """Fan a mixed-model batch out to the per-model schedulers.
+
+        Each named model has its own scheduler (created on first sight),
+        so model A's flush — or its crashed worker — never blocks model
+        B's; collection spans the per-model entries, preserving the
+        submission-order contract of ``MicroBatchScheduler.submit_settled``.
+        Requests naming unregistered models settle immediately instead of
+        growing the scheduler registry.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        outcomes: List[object] = [None] * len(requests)
+        groups: Dict[str, List[int]] = {}
+        for index, named in enumerate(requests):
+            groups.setdefault(named.model, []).append(index)
+        waiting = []
+        for model, indices in groups.items():
+            if model not in self._schedulers and model not in self.store:
+                error = ArtifactNotFoundError(
+                    f"artifact {model!r} is not registered in {self.store.root}"
+                )
+                for index in indices:
+                    outcomes[index] = error
+                continue
+            entries = self._scheduler(model).enqueue([requests[i] for i in indices])
+            waiting.extend(zip(indices, entries))
+        if waiting:
+            settled = MicroBatchScheduler.collect([entry for _, entry in waiting])
+            for (index, _), outcome in zip(waiting, settled):
+                outcomes[index] = outcome
+        return outcomes
+
+    def _submit_model(self, model: str, requests):
+        """One model's scheduler downstream: guards, then its engine.
+
+        Runs only on that model's scheduler worker thread.  Raising here
+        fails the *coalesced* batch; the scheduler then isolates by
+        retrying each request alone, so every guard below also fires with
+        single-request precision on the retry pass.
+        """
+        with self._meta_lock:
+            breaker = self._breakers.get(model)
+        # fail fast while the model's circuit is open — no queueing behind
+        # an engine that is known-broken
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"model {model!r} circuit is open after repeated engine "
+                f"failures; retry after cooldown",
+                retry_after_ms=breaker.retry_after_ms() or 1000,
+            )
         # shed queued work whose budget ran out while it waited
+        deadlines = []
         for named in requests:
             if named.deadline is not None:
-                named.deadline.check(f"forecast for model {named.model!r}")
-        with self._lock:
-            if self._armed_engine_errors > 0:
+                named.deadline.check(f"forecast for model {model!r}")
+                deadlines.append(named.deadline)
+        with self._meta_lock:
+            armed = self._armed_engine_errors > 0
+            if armed:
                 self._armed_engine_errors -= 1
-                for name in models:
-                    self._breaker(name).record_failure()
-                raise RuntimeError("injected engine failure (fault plan)")
-            try:
-                results = self.service.submit(requests)
-            except Exception as exc:
-                # engine failures feed the breaker; request-shaped failures
-                # (unknown model, malformed arrays) do not — they say
-                # nothing about the engine's health.  Only single-model
-                # batches attribute cleanly; mixed batches are settled by
-                # the scheduler's per-request isolation retries, which land
-                # back here one model at a time.
-                if len(models) == 1 and not isinstance(
-                    exc, (WireError, ArtifactNotFoundError, TypeError, ValueError)
-                ):
-                    self._breaker(models[0]).record_failure()
-                raise
-            for name in models:
-                breaker = self._breakers.get(name)
-                if breaker is not None:
-                    breaker.record_success()
-            return results
+        if armed:
+            self._breaker(model).record_failure()
+            raise RuntimeError("injected engine failure (fault plan)")
+        try:
+            if self.supervisor is not None:
+                timeout_s = None
+                if deadlines:
+                    timeout_s = max(min(d.remaining() for d in deadlines), 1e-3)
+                results = self.supervisor.submit(model, requests, timeout_s=timeout_s)
+            else:
+                with self._model_lock(model):
+                    results = self.service.submit(requests)
+        except Exception as exc:
+            # engine failures feed the breaker; request-shaped failures
+            # (unknown model, malformed arrays) and structured wire errors
+            # (worker_restarting, an overloaded worker queue) do not —
+            # they say nothing about the engine's health
+            if not isinstance(
+                exc, (WireError, ArtifactNotFoundError, TypeError, ValueError)
+            ):
+                self._breaker(model).record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return results
 
     def _breaker(self, name: str) -> CircuitBreaker:
-        breaker = self._breakers.get(name)
-        if breaker is None:
-            breaker = self._breakers[name] = CircuitBreaker(
-                threshold=self.config.breaker_threshold,
-                cooldown_s=self.config.breaker_cooldown_s,
-                clock=lambda: self.breaker_clock(),
-            )
-        return breaker
+        with self._meta_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                    clock=lambda: self.breaker_clock(),
+                )
+            return breaker
 
     def arm_engine_errors(self, count: int) -> None:
         """Make the next ``count`` engine submits raise (fault injection)."""
-        with self._lock:
+        with self._meta_lock:
             self._armed_engine_errors += int(count)
 
+    def inject_worker_fault(self, kind: str, model: str = "") -> Optional[int]:
+        """Execute a ``kill_worker``/``hang_worker`` fault; returns the pid hit.
+
+        A no-op (``None``) on gateways without a worker pool — the fault
+        kinds are only meaningful against real replica subprocesses.
+        """
+        if self.supervisor is None:
+            return None
+        if kind == "kill_worker":
+            return self.supervisor.kill_worker(model)
+        return self.supervisor.hang_worker(model)
+
     def close(self) -> None:
-        self.scheduler.close()
+        with self._meta_lock:
+            schedulers = list(self._schedulers.values())
+        for scheduler in schedulers:
+            scheduler.close()
         for managed in self.sessions.close_all():
             # keep the journal: a session open at shutdown is exactly what
             # the next boot must recover
             if managed.journal is not None:
                 managed.journal.close(remove=False)
-            with self._lock:
+            if self.supervisor is not None:
+                self.supervisor.unpin(managed.model)
+            else:
                 self.service.unpin(managed.model)
+        if self.supervisor is not None:
+            self.supervisor.close()
 
     # ------------------------------------------------------------------
     # session journal recovery (runs once, at boot)
@@ -360,6 +512,60 @@ class ForecastGateway:
                 self.sessions_recovered += 1
             except Exception as exc:
                 self.recovery_errors.append(f"{recovered.session_id}: {exc}")
+
+    def _failover_sessions(self, model: str) -> None:
+        """Replay journaled live sessions into a freshly restarted worker.
+
+        Runs on the supervisor's restart thread *before* the replacement
+        replica is marked live, so no client op can interleave with the
+        replay.  The journal's open document and lap records rebuild the
+        worker-side session through the exact construction the dead worker
+        ran — RNG transport included — so every forecast after the
+        failover is byte-identical to an uncrashed worker's.  A session
+        that cannot fail over (journaling off, or a replay error) is
+        closed and reported in ``recovery_errors`` rather than silently
+        served from a blank replica.
+        """
+        if self.supervisor is None:
+            return
+        for managed in self.sessions.snapshot():
+            if managed.model != model:
+                continue
+            with managed.lock:
+                if managed.closed:
+                    continue
+                try:
+                    recovered = (
+                        load_session(self.journal_dir, managed.session_id)
+                        if self.journal_dir is not None
+                        else None
+                    )
+                    if recovered is None:
+                        raise RuntimeError("no journal to fail over from")
+                    self.supervisor.session_open(
+                        model, managed.session_id, recovered.open_document, internal=True
+                    )
+                    for record in recovered.laps:
+                        # re-applying repopulates the worker-side emission
+                        # log too, so a duplicate lap posted after the
+                        # failover still replays its original forecasts
+                        managed.session.apply_lap(
+                            record["lap"], record["records"], internal=True
+                        )
+                    managed.recovered = True
+                    self.sessions_recovered += 1
+                except Exception as exc:
+                    self.recovery_errors.append(
+                        f"{managed.session_id}: worker failover failed: {exc}"
+                    )
+                    managed.closed = True
+                    try:
+                        self.sessions.close(managed.session_id)
+                    except KeyError:
+                        pass
+                    self.supervisor.unpin(model)
+                    if managed.journal is not None:
+                        managed.journal.close(remove=False)
 
     # ------------------------------------------------------------------
     #: handlers that do engine/session work and therefore pass admission
@@ -441,55 +647,86 @@ class ForecastGateway:
     # models
     # ------------------------------------------------------------------
     def _handle_health(self, body, **_) -> dict:
-        with self._lock:
+        # deliberately lock-light: health must keep answering — with
+        # uptime and per-model breaker state — even while an engine pass
+        # holds a model lock or a worker replica is mid-restart
+        with self._meta_lock:
             breakers = {name: b.describe() for name, b in sorted(self._breakers.items())}
+        if self.supervisor is not None:
+            models_loaded = len(self.supervisor.models())
+            workers = self.supervisor.describe()
+            worker_pool = self.supervisor.stats
+        else:
+            models_loaded = len(self.service.loaded())
+            workers = []
+            worker_pool = None
         return wire.envelope(
             "health",
             status="draining" if self.draining else "ok",
+            uptime_s=round(time.monotonic() - self.started_at, 3),
             models_available=len(self.store),
-            models_loaded=len(self.service.loaded()),
+            models_loaded=models_loaded,
             sessions_open=len(self.sessions),
             in_flight=self.admission.in_flight,
             queue_depth=self.admission.queue_depth,
             admission=self.admission.describe(),
             breakers=breakers,
+            workers=workers,
+            worker_pool=worker_pool,
             idempotency=self.idempotency.stats,
             sessions_recovered=self.sessions_recovered,
             recovery_errors=list(self.recovery_errors),
         )
 
     def _handle_models_list(self, body, **_) -> dict:
-        with self._lock:
-            loaded = set(self.service.loaded())
+        if self.supervisor is not None:
+            loaded_list = self.supervisor.models()
+            pinned = set(self.supervisor.pinned())
+            stats = self.supervisor.stats
+        else:
+            loaded_list = self.service.loaded()
             pinned = set(self.service.pinned())
-            models = [
-                {**entry, "loaded": entry["name"] in loaded, "pinned": entry["name"] in pinned}
-                for entry in self.store.catalog()
-            ]
-            return wire.envelope(
-                "model-catalog",
-                models=models,
-                loaded=self.service.loaded(),
-                stats=self.service.stats,
-            )
+            stats = self.service.stats
+        loaded = set(loaded_list)
+        models = [
+            {**entry, "loaded": entry["name"] in loaded, "pinned": entry["name"] in pinned}
+            for entry in self.store.catalog()
+        ]
+        return wire.envelope(
+            "model-catalog", models=models, loaded=loaded_list, stats=stats
+        )
 
     def _handle_model_load(self, body, name: str) -> dict:
-        with self._lock:
+        if self.supervisor is not None:
+            if name not in self.store:
+                raise ArtifactNotFoundError(
+                    f"artifact {name!r} is not registered in {self.store.root}"
+                )
+            entry = self.store.entry(name)
             try:
-                handle = self.service.load(name)
+                self.supervisor.ensure(name)
             except ValueError as exc:  # capacity exhausted by pins
                 raise WireError("capacity_exhausted", str(exc), status=409) from exc
             return wire.envelope(
-                "model-loaded", name=handle.name, family=handle.family, entry=handle.entry
+                "model-loaded", name=name, family=str(entry.get("family", "")), entry=entry
             )
+        try:
+            handle = self.service.load(name)
+        except ValueError as exc:  # capacity exhausted by pins
+            raise WireError("capacity_exhausted", str(exc), status=409) from exc
+        return wire.envelope(
+            "model-loaded", name=handle.name, family=handle.family, entry=handle.entry
+        )
 
     def _handle_model_unload(self, body, name: str) -> dict:
-        with self._lock:
-            try:
+        try:
+            if self.supervisor is not None:
+                unloaded = self.supervisor.stop(name)
+            else:
                 unloaded = self.service.unload(name)
-            except ValueError as exc:  # pinned by an open session
-                raise WireError("model_pinned", str(exc), status=409) from exc
-            return wire.envelope("model-unloaded", name=name, unloaded=unloaded)
+        except ValueError as exc:  # pinned by an open session
+            raise WireError("model_pinned", str(exc), status=409) from exc
+        return wire.envelope("model-unloaded", name=name, unloaded=unloaded)
 
     # ------------------------------------------------------------------
     # forecasting
@@ -503,7 +740,7 @@ class ForecastGateway:
             deadline.check("forecast batch")  # cheap pre-flight
             for request in named:
                 request.deadline = deadline
-        settled = self.scheduler.submit_settled(named)
+        settled = self.submit_settled(named)
         return wire.results_to_wire(
             [self._classify_failure(outcome) for outcome in settled]
         )
@@ -525,9 +762,9 @@ class ForecastGateway:
         Validation errors raise *before* the iterator exists, so the HTTP
         layer can still answer with a plain error status; failures during
         the run are emitted as a trailing error envelope on the stream.
-        The simulation runs outside the gateway lock — only model
-        resolution and the coalesced fleet passes (through the scheduler,
-        like any other client's traffic) serialize on the engine.
+        The simulation itself never holds an engine lock — only model
+        resolution and the coalesced fleet passes (through the per-model
+        schedulers, like any other client's traffic) serialize per model.
         """
         self._check_draining()
         spec, seed = wire.scenario_request_from_wire(body)
@@ -536,7 +773,7 @@ class ForecastGateway:
         from ..scenarios.engine import ScenarioEngine, ScenarioRaceResult
 
         engine = ScenarioEngine(
-            resolve=self._resolve_forecaster, submit=self.scheduler.submit_settled
+            resolve=self._resolve_forecaster, submit=self.submit_settled
         )
         total = len(spec.jobs())
         # the stream occupies one admission slot for its whole lifetime —
@@ -578,8 +815,12 @@ class ForecastGateway:
         return _events()
 
     def _resolve_forecaster(self, name: str):
-        with self._lock:
-            return self.service.load(name).forecaster
+        # the service registry is thread-safe; the scenario engine needs
+        # the forecaster only to *shape* requests — every engine pass
+        # routes through submit_settled like any other client's traffic.
+        # (In worker mode this keeps a read-only gateway-side copy of the
+        # model for request construction; the passes still hit the worker.)
+        return self.service.load(name).forecaster
 
     def _handle_scenarios(self, body, **_) -> dict:
         """Non-streaming fallback: the whole event list in one document."""
@@ -589,39 +830,21 @@ class ForecastGateway:
     def _handle_strategy_sweep(self, body, **_) -> dict:
         parsed = wire.sweep_request_from_wire(body)
         deadline = self._deadline_from(body)
-        # imported lazily: the optimizer pulls in the full deep-model stack
-        from ..strategy.optimizer import PitStrategyOptimizer
-
-        with self._lock:
-            # shed a sweep whose budget ran out while it queued for the lock
+        model = parsed["model"]
+        if self.supervisor is not None:
             if deadline is not None:
-                deadline.check(f"strategy sweep for model {parsed['model']!r}")
-            forecaster = self.service.load(parsed["model"]).forecaster
-            try:
-                optimizer = PitStrategyOptimizer(
-                    forecaster,
-                    n_samples=parsed["n_samples"],
-                    field_size=parsed["field_size"],
-                )
-            except (TypeError, ValueError) as exc:
-                raise WireError(
-                    "unsupported_family",
-                    f"model {parsed['model']!r} cannot drive the strategy "
-                    f"optimizer: {exc}",
-                ) from exc
-            try:
-                points = optimizer.sweep(
-                    parsed["series"],
-                    parsed["origins"],
-                    parsed["horizon"],
-                    earliest=parsed["earliest"],
-                    latest=parsed["latest"],
-                    step=parsed["step"],
-                    mode=parsed["mode"],
-                    rng=parsed["rng"],
-                )
-            except (TypeError, ValueError, IndexError) as exc:
-                raise WireError("invalid_request", f"sweep failed: {exc}") from exc
+                deadline.check(f"strategy sweep for model {model!r}")
+            timeout_s = None if deadline is None else max(deadline.remaining(), 1e-3)
+            # the worker re-parses the same wire document and runs the
+            # shared execute_sweep, so failures map onto identical errors
+            return self.supervisor.sweep(model, body, timeout_s=timeout_s)
+        with self._model_lock(model):
+            # shed a sweep whose budget ran out while it queued for the
+            # model's lock; a sweep on model A no longer delays model B
+            if deadline is not None:
+                deadline.check(f"strategy sweep for model {model!r}")
+            forecaster = self.service.load(model).forecaster
+            points = execute_sweep(forecaster, parsed)
         return wire.sweep_points_to_wire(points)
 
     # ------------------------------------------------------------------
@@ -656,49 +879,66 @@ class ForecastGateway:
             raise WireError(
                 "malformed_request", f"unknown session-open field(s): {', '.join(unknown)}"
             )
-        # imported lazily (simulation.live imports the serving package)
-        from ..simulation.live import LiveRaceForecaster
-
-        with self._lock:
-            try:
-                handle = self.service.pin(model)
-            except ValueError as exc:
-                raise WireError("capacity_exhausted", str(exc), status=409) from exc
-            try:
-                live = LiveRaceForecaster(
-                    handle.forecaster,
-                    horizon=int(document.get("horizon", 2)),
-                    n_samples=int(document.get("n_samples", 50)),
-                    min_history=int(document.get("min_history", 10)),
-                    # required: the session's forecasts must be reproducible
-                    # regardless of transport, same contract as /v1/forecast
-                    rng=wire.rng_from_wire(document.get("rng"), required=True),
-                )
-                session = RaceSession(
-                    live,
-                    event=str(document.get("event", "live")),
-                    year=int(document.get("year", 0)),
-                    delay=document.get("delay"),
-                    start=document.get("start"),
-                    stop=document.get("stop"),
-                    stride=int(document.get("stride", 1)),
-                )
-                managed = self.sessions.open(session, model=model, session_id=session_id)
-            except Exception as exc:
-                self.service.unpin(model)
-                if isinstance(exc, WireError):
-                    raise
-                if isinstance(exc, RuntimeError):  # session limit
-                    raise WireError("too_many_sessions", str(exc), status=429) from exc
-                raise WireError("invalid_request", f"cannot open session: {exc}") from exc
+        if self.supervisor is not None:
+            managed = self._open_worker_session(document, model, session_id)
+        else:
+            managed = self._open_local_session(document, model, session_id)
         if self.journal_dir is not None:
-            journal = SessionJournal(self.journal_dir, managed.session_id)
+            journal = SessionJournal(
+                self.journal_dir,
+                managed.session_id,
+                compact_every=self.config.journal_compact_laps,
+            )
             if session_id is None:
                 # WAL: the open document hits disk before the open is
                 # acknowledged; a recovered session's file already has it
                 journal.record_open(document)
             managed.journal = journal
         return managed
+
+    def _open_local_session(self, document, model, session_id):
+        try:
+            handle = self.service.pin(model)
+        except ValueError as exc:
+            raise WireError("capacity_exhausted", str(exc), status=409) from exc
+        try:
+            # the RNG transport is required: the session's forecasts must
+            # be reproducible regardless of transport, same contract as
+            # /v1/forecast (build_live_session enforces it)
+            session = build_live_session(document, handle.forecaster)
+            return self.sessions.open(session, model=model, session_id=session_id)
+        except Exception as exc:
+            self.service.unpin(model)
+            if isinstance(exc, WireError):
+                raise
+            if isinstance(exc, RuntimeError):  # session limit
+                raise WireError("too_many_sessions", str(exc), status=429) from exc
+            raise WireError("invalid_request", f"cannot open session: {exc}") from exc
+
+    def _open_worker_session(self, document, model, session_id):
+        # the id is allocated before the worker op so a registration
+        # failure can roll the worker-side session back by that id
+        sid = session_id if session_id is not None else self.sessions.allocate_id()
+        try:
+            self.supervisor.pin(model)
+        except ValueError as exc:
+            raise WireError("capacity_exhausted", str(exc), status=409) from exc
+        try:
+            info = self.supervisor.session_open(model, sid, document)
+        except BaseException:
+            # WireErrors (invalid document, worker_restarting) pass through
+            # structured; a worker death surfaces as the generic envelope
+            self.supervisor.unpin(model)
+            raise
+        try:
+            proxy = RaceSessionProxy(self.supervisor, model, sid, info)
+            return self.sessions.open(proxy, model=model, session_id=sid)
+        except Exception as exc:
+            self.supervisor.session_drop(model, sid)
+            self.supervisor.unpin(model)
+            if isinstance(exc, RuntimeError):  # session limit
+                raise WireError("too_many_sessions", str(exc), status=429) from exc
+            raise
 
     def _get_session(self, sid: str):
         try:
@@ -715,8 +955,10 @@ class ForecastGateway:
             raise WireError("malformed_request", "session-lap needs an integer 'lap'")
         if not isinstance(records, list):
             raise WireError("malformed_request", "session-lap needs a 'records' array")
+        # normalise LapRecord-style objects from in-process callers: the
+        # journal and the worker pipes both require JSON-clean records
+        records = [wire.lap_record_to_wire(record) for record in records]
         deadline = self._deadline_from(document)
-        replayed = False
         with managed.lock:
             if managed.closed:  # lost a race against DELETE on this session
                 raise WireError(
@@ -724,35 +966,47 @@ class ForecastGateway:
                 )
             if deadline is not None:
                 deadline.check(f"lap {lap} for session {sid!r}")
-            if lap <= managed.session.latest_lap:
-                # a duplicate: the retry of a lap whose response was lost
-                # (torn connection, or a crash after the WAL append).  The
-                # per-lap emission log returns the original forecasts
-                # byte-identically without running the engine again.
-                try:
-                    emitted = managed.session.replay_lap(lap)
-                    replayed = True
-                except KeyError as exc:
-                    raise WireError(
-                        "invalid_request",
-                        f"lap {lap} is not newer than lap {managed.session.latest_lap} "
-                        f"and was never observed by session {sid!r}",
-                    ) from exc
-            else:
-                with self._lock:
-                    # keep the session's model MRU while it is actively serving
-                    self.service.touch(managed.model)
-                    try:
-                        emitted = managed.session.observe_lap(lap, records)
-                    except ValueError as exc:
-                        raise WireError("invalid_request", str(exc)) from exc
-                    if managed.journal is not None:
-                        # journaled after a successful apply, fsynced before
-                        # the response: an acknowledged lap is always on
-                        # disk, a rejected lap never poisons the journal,
-                        # and a lap lost in the crash window is simply
-                        # re-applied (deterministically) by the retry
-                        managed.journal.record_lap(lap, records)
+            # the session itself decides duplicate-vs-new (apply_lap): a
+            # duplicate — the retry of a lap whose response was lost (torn
+            # connection, or a crash after the WAL append) — replays the
+            # original forecasts byte-identically from the emission log
+            # without running the engine again; and after a worker
+            # failover only the rebuilt worker-side session knows where
+            # its journal replay left off
+            try:
+                if self.supervisor is not None:
+                    timeout_s = (
+                        None if deadline is None else max(deadline.remaining(), 1e-3)
+                    )
+                    self.supervisor.touch(managed.model)
+                    emitted, replayed = managed.session.apply_lap(
+                        lap, records, timeout_s=timeout_s
+                    )
+                else:
+                    with self._model_lock(managed.model):
+                        # keep the session's model MRU while actively serving
+                        self.service.touch(managed.model)
+                        emitted, replayed = managed.session.apply_lap(lap, records)
+            except WireError:
+                # already structured (worker_restarting, overloaded, ...);
+                # WireError subclasses ValueError, so this must come first
+                raise
+            except ValueError as exc:
+                raise WireError("invalid_request", str(exc)) from exc
+            except RuntimeError:
+                # a worker death mid-lap: count it against the model's
+                # breaker and surface the (retryable) internal error — the
+                # supervisor's restart + journal failover brings the
+                # session back for the retry
+                self._breaker(managed.model).record_failure()
+                raise
+            if managed.journal is not None and not replayed:
+                # journaled after a successful apply, fsynced before the
+                # response: an acknowledged lap is always on disk, a
+                # rejected lap never poisons the journal, and a lap lost
+                # in the crash window is simply re-applied
+                # (deterministically) by the retry
+                managed.journal.record_lap(lap, records)
         document = self._emitted_to_wire(emitted)
         document["replayed"] = replayed
         return document
@@ -781,12 +1035,20 @@ class ForecastGateway:
         # the feed is over: by default flush the origins still held back by
         # the finality delay ({"drain": false} skips the flush)
         drain = True if body is None else bool(body.get("drain", True))
-        # same lock order as a lap (session lock, then gateway lock)
+        # same lock order as a lap (session lock, then the model's lock)
         with managed.lock:
             managed.closed = True
-            with self._lock:
-                remaining = managed.session.finish() if drain else []
-                self.service.unpin(managed.model)
+            try:
+                if self.supervisor is not None:
+                    remaining = managed.session.finish(drain=drain)
+                else:
+                    with self._model_lock(managed.model):
+                        remaining = managed.session.finish() if drain else []
+            finally:
+                if self.supervisor is not None:
+                    self.supervisor.unpin(managed.model)
+                else:
+                    self.service.unpin(managed.model)
             if managed.journal is not None:
                 # a clean close deletes the journal: nothing left to recover
                 managed.journal.close(remove=True)
@@ -838,6 +1100,12 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         if fault.kind == "engine_error":
             # the fault surfaces downstream, when the engine submit raises
             self.gateway.arm_engine_errors(1)
+            return False, None
+        if fault.kind in ("kill_worker", "hang_worker"):
+            # a real SIGKILL/SIGSTOP lands on the worker subprocess before
+            # this request dispatches; the request then proceeds into the
+            # degraded gateway (worker_restarting, breaker, failover)
+            self.gateway.inject_worker_fault(fault.kind, fault.model)
             return False, None
         if fault.kind == "error":
             status, document = wire.error_to_wire(

@@ -32,6 +32,7 @@ to its model's engine.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -89,6 +90,12 @@ class ForecastService:
         self.verify = bool(verify)
         self._resident: "OrderedDict[str, ModelHandle]" = OrderedDict()
         self._pins: Dict[str, int] = {}
+        # guards the registry (residency, pins, LRU order, stats) — not the
+        # engine passes themselves, which run outside it so that different
+        # models can forecast concurrently.  Callers running *the same*
+        # model concurrently must serialize externally (the gateway holds a
+        # per-model lock / routes through a per-model worker).
+        self._registry_lock = threading.RLock()
         self._stats: Dict[str, int] = {
             "loads": 0,
             "hits": 0,
@@ -105,32 +112,33 @@ class ForecastService:
         A resident model is promoted to most-recently-used; loading beyond
         ``capacity`` unloads the least-recently-used model first.
         """
-        handle = self._resident.get(name)
-        if handle is not None:
-            self._resident.move_to_end(name)
-            self._stats["hits"] += 1
-            return handle
-        if len(self._pins) >= self.capacity:
-            raise ValueError(
-                f"cannot load {name!r}: all {self.capacity} capacity slots are "
-                f"held by pinned models {sorted(self._pins)}; raise the capacity "
-                "or close the sessions pinning them"
+        with self._registry_lock:
+            handle = self._resident.get(name)
+            if handle is not None:
+                self._resident.move_to_end(name)
+                self._stats["hits"] += 1
+                return handle
+            if len(self._pins) >= self.capacity:
+                raise ValueError(
+                    f"cannot load {name!r}: all {self.capacity} capacity slots are "
+                    f"held by pinned models {sorted(self._pins)}; raise the capacity "
+                    "or close the sessions pinning them"
+                )
+            forecaster = self.store.load_model(name, verify=self.verify)
+            handle = ModelHandle(
+                name=name,
+                forecaster=forecaster,
+                entry=self.store.entry(name),
             )
-        forecaster = self.store.load_model(name, verify=self.verify)
-        handle = ModelHandle(
-            name=name,
-            forecaster=forecaster,
-            entry=self.store.entry(name),
-        )
-        self._resident[name] = handle
-        self._stats["loads"] += 1
-        while len(self._resident) > self.capacity:
-            victim = next((n for n in self._resident if n not in self._pins), None)
-            if victim is None:  # unreachable given the pre-load pin guard
-                break
-            del self._resident[victim]
-            self._stats["evictions"] += 1
-        return handle
+            self._resident[name] = handle
+            self._stats["loads"] += 1
+            while len(self._resident) > self.capacity:
+                victim = next((n for n in self._resident if n not in self._pins), None)
+                if victim is None:  # unreachable given the pre-load pin guard
+                    break
+                del self._resident[victim]
+                self._stats["evictions"] += 1
+            return handle
 
     def touch(self, name: str) -> bool:
         """Mark a resident model most-recently-used without reloading it.
@@ -141,11 +149,12 @@ class ForecastService:
         evicted by unrelated loads.  Returns whether the model was
         resident.
         """
-        if name not in self._resident:
-            return False
-        self._resident.move_to_end(name)
-        self._stats["touches"] += 1
-        return True
+        with self._registry_lock:
+            if name not in self._resident:
+                return False
+            self._resident.move_to_end(name)
+            self._stats["touches"] += 1
+            return True
 
     def pin(self, name: str) -> ModelHandle:
         """Load the named model and exclude it from LRU eviction.
@@ -155,24 +164,27 @@ class ForecastService:
         mode consumers: their warm-up states live on the resident engine
         instance, so a silent evict-and-reload would reset them.
         """
-        handle = self.load(name)
-        self._pins[name] = self._pins.get(name, 0) + 1
-        return handle
+        with self._registry_lock:
+            handle = self.load(name)
+            self._pins[name] = self._pins.get(name, 0) + 1
+            return handle
 
     def unpin(self, name: str) -> bool:
         """Release one pin on the named model; returns whether it was pinned."""
-        count = self._pins.get(name)
-        if count is None:
-            return False
-        if count <= 1:
-            del self._pins[name]
-        else:
-            self._pins[name] = count - 1
-        return True
+        with self._registry_lock:
+            count = self._pins.get(name)
+            if count is None:
+                return False
+            if count <= 1:
+                del self._pins[name]
+            else:
+                self._pins[name] = count - 1
+            return True
 
     def pinned(self) -> List[str]:
         """Names currently excluded from eviction, sorted."""
-        return sorted(self._pins)
+        with self._registry_lock:
+            return sorted(self._pins)
 
     def unload(self, name: str) -> bool:
         """Drop the named model from memory; returns whether it was resident.
@@ -180,16 +192,18 @@ class ForecastService:
         Pinned models refuse to unload — a live session still depends on
         the resident instance and its carried states.
         """
-        if name in self._pins:
-            raise ValueError(
-                f"model {name!r} is pinned by {self._pins[name]} active consumer(s) "
-                "and cannot be unloaded"
-            )
-        return self._resident.pop(name, None) is not None
+        with self._registry_lock:
+            if name in self._pins:
+                raise ValueError(
+                    f"model {name!r} is pinned by {self._pins[name]} active consumer(s) "
+                    "and cannot be unloaded"
+                )
+            return self._resident.pop(name, None) is not None
 
     def loaded(self) -> List[str]:
         """Resident model names, least-recently-used first."""
-        return list(self._resident)
+        with self._registry_lock:
+            return list(self._resident)
 
     def available(self) -> List[str]:
         """Every artifact name the underlying store can serve."""
@@ -197,7 +211,8 @@ class ForecastService:
 
     @property
     def stats(self) -> Dict[str, int]:
-        return dict(self._stats)
+        with self._registry_lock:
+            return dict(self._stats)
 
     # ------------------------------------------------------------------
     # forecasting
@@ -231,16 +246,17 @@ class ForecastService:
                     f"submit expects NamedForecastRequest, got {type(named).__name__}"
                 )
             order.setdefault(named.model, []).append(i)
-        # slots held by pinned models outside this batch are not available —
-        # loading past them would evict a batch-mate mid-flight instead
-        reserved = sum(1 for name in self._pins if name not in order)
-        if len(order) > self.capacity - reserved:
-            raise ValueError(
-                f"batch names {len(order)} distinct models, but only "
-                f"{self.capacity - reserved} of {self.capacity} slots are free "
-                f"({reserved} pinned); raise the capacity or split the batch"
-            )
-        handles = {name: self.load(name) for name in order}
+        with self._registry_lock:
+            # slots held by pinned models outside this batch are not available —
+            # loading past them would evict a batch-mate mid-flight instead
+            reserved = sum(1 for name in self._pins if name not in order)
+            if len(order) > self.capacity - reserved:
+                raise ValueError(
+                    f"batch names {len(order)} distinct models, but only "
+                    f"{self.capacity - reserved} of {self.capacity} slots are free "
+                    f"({reserved} pinned); raise the capacity or split the batch"
+                )
+            handles = {name: self.load(name) for name in order}
         outputs: List[Optional[np.ndarray]] = [None] * len(requests)
         for name, indices in order.items():
             engine = handles[name].engine(self.mode)

@@ -42,7 +42,7 @@ import numpy as np
 
 from ..data.features import DEFAULT_MIN_LAPS, DEFAULT_SHIFT_LAG, LiveFeatureBuilder
 
-__all__ = ["RaceSession", "SessionManager", "ManagedSession"]
+__all__ = ["RaceSession", "SessionManager", "ManagedSession", "build_live_session"]
 
 
 class RaceSession:
@@ -144,6 +144,31 @@ class RaceSession:
         """
         return self._emitted_by_lap[int(lap)]
 
+    def apply_lap(
+        self, lap: int, records
+    ) -> Tuple[List[Tuple[int, Dict[int, np.ndarray]]], bool]:
+        """Observe a new lap, or replay a duplicate idempotently.
+
+        Returns ``(emitted, replayed)``.  Keeping the new-vs-duplicate
+        decision *inside* the session (rather than in the gateway) is what
+        makes failover safe: after a worker restart the replacement session
+        is rebuilt from the journal, so the gateway's view of ``latest_lap``
+        can be stale — the session itself is the only authority on whether
+        a lap is a duplicate.  Raises :class:`ValueError` for a lap that is
+        neither newer than ``latest_lap`` nor a known duplicate (genuinely
+        out of order).
+        """
+        lap = int(lap)
+        if lap <= self.latest_lap:
+            try:
+                return self.replay_lap(lap), True
+            except KeyError:
+                raise ValueError(
+                    f"lap {lap} is not newer than lap {self.latest_lap} "
+                    f"and was never observed by this session"
+                ) from None
+        return self.observe_lap(lap, records), False
+
     def finish(self) -> List[Tuple[int, Dict[int, np.ndarray]]]:
         """Flush the origins still held back by ``delay`` at end of feed.
 
@@ -230,6 +255,17 @@ class SessionManager:
         self._sessions: Dict[str, ManagedSession] = {}
         self._counter = 0
 
+    def allocate_id(self) -> str:
+        """Reserve the next ``sess-NNNNNN`` id without registering anything.
+
+        The worker-mode gateway opens the session inside the worker
+        process *before* registering it here (so a registration failure
+        can roll the worker back by id) — the id must exist first.
+        """
+        with self._lock:
+            self._counter += 1
+            return f"sess-{self._counter:06d}"
+
     def open(
         self, session: RaceSession, model: str, session_id: Optional[str] = None
     ) -> ManagedSession:
@@ -288,6 +324,42 @@ class SessionManager:
             managed = list(self._sessions.values())
         return [m.describe() for m in managed]
 
+    def snapshot(self) -> List[ManagedSession]:
+        """The open :class:`ManagedSession` objects (supervision/failover)."""
+        with self._lock:
+            return list(self._sessions.values())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
+
+
+def build_live_session(document: dict, forecaster) -> RaceSession:
+    """Construct a :class:`RaceSession` from a validated ``session-open`` doc.
+
+    Shared by the gateway's in-process path, the worker processes, and
+    journal failover — all three must build *identical* sessions from the
+    same wire document or the byte-identity contract across a worker
+    restart breaks.  ``document`` is assumed envelope-checked; field
+    coercion errors surface as ``ValueError``/``TypeError`` for the caller
+    to map onto wire errors.
+    """
+    from ..simulation.live import LiveRaceForecaster
+    from . import wire
+
+    live = LiveRaceForecaster(
+        forecaster,
+        horizon=int(document.get("horizon", 2)),
+        n_samples=int(document.get("n_samples", 50)),
+        min_history=int(document.get("min_history", 10)),
+        rng=wire.rng_from_wire(document.get("rng"), required=True),
+    )
+    return RaceSession(
+        live,
+        event=str(document.get("event", "live")),
+        year=int(document.get("year", 0)),
+        delay=document.get("delay"),
+        start=document.get("start"),
+        stop=document.get("stop"),
+        stride=int(document.get("stride", 1)),
+    )

@@ -46,6 +46,7 @@ __all__ = [
     "error_to_wire",
     "forecast_batch_from_wire",
     "forecast_batch_to_wire",
+    "lap_record_to_wire",
     "named_request_from_wire",
     "named_request_to_wire",
     "raise_for_error",
@@ -79,7 +80,11 @@ __all__ = [
 #: envelopes, ``resume_from`` on scenario-request, and the structured
 #: ``overloaded`` / ``deadline_exceeded`` / ``circuit_open`` error codes
 #: (429/504/503) with ``detail.retry_after_ms``.
-WIRE_SCHEMA_VERSION = 3
+#: v4 added the supervised worker pool: the ``worker_restarting`` error
+#: code (503, ``detail.retry_after_ms``) raised while a crashed model
+#: replica is being respawned, and the per-worker health fields
+#: (``workers``, ``worker_pool``, ``uptime_s``) on ``/v1/health``.
+WIRE_SCHEMA_VERSION = 4
 
 
 class WireError(ValueError):
@@ -310,6 +315,27 @@ def named_request_from_wire(document, require_rng: bool = False) -> NamedForecas
         model=model,
         request=request_from_wire(_require(document, "request", "named request"), require_rng),
     )
+
+
+def lap_record_to_wire(record) -> dict:
+    """Encode one live lap record for a ``session-lap`` document.
+
+    Accepts either an already-JSON mapping (passed through untouched so a
+    relayed document stays byte-identical) or a ``LapRecord``-style object
+    from the data layer.  The gateway applies the same encoding before a
+    lap crosses a worker pipe, so in-process callers may hand over raw
+    ``LapRecord`` objects in worker mode too.
+    """
+    if isinstance(record, dict):
+        return record
+    return {
+        "car_id": int(record.car_id),
+        "rank": int(record.rank),
+        "lap_time": float(record.lap_time),
+        "time_behind_leader": float(record.time_behind_leader),
+        "pit": bool(record.is_pit),
+        "caution": bool(record.is_caution),
+    }
 
 
 def forecast_batch_to_wire(

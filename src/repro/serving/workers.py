@@ -1,0 +1,310 @@
+"""Worker-process side of the supervised model pool.
+
+One worker process serves exactly one model replica: it owns a private
+single-slot :class:`~repro.serving.service.ForecastService` (its own
+fleet engine, warm-up caches and live sessions), and speaks length-framed
+JSON over two ``multiprocessing`` pipes back to the gateway:
+
+* the **work pipe** carries one op frame at a time —
+  ``{"id": n, "op": name, "body": {...}}`` in, ``{"id": n, "ok": true,
+  "body": {...}}`` (or a structured error) out.  Payloads ride the
+  existing wire codecs (:mod:`repro.serving.wire`): named forecast
+  requests with explicit RNG transport, base64 sample arrays, verbatim
+  ``session-open`` documents.  Because the codecs and the engines are
+  deterministic, a forecast through a worker is byte-identical to the
+  in-process path — which is what lets the supervisor fail sessions over
+  to a *replacement* process by journal replay.
+* the **control pipe** answers heartbeat pings from a dedicated daemon
+  thread, so a worker grinding through a long sweep still proves it is
+  alive — only a genuinely stuck process (SIGSTOP, a wedged allocator)
+  misses the supervisor's heartbeat deadline.
+
+Error replies carry an ``engine_failure`` flag mirroring the gateway's
+breaker attribution: request-shaped failures (unknown model, malformed
+arrays, wire errors) say nothing about the replica's health, while
+anything else counts against the model's circuit breaker gateway-side.
+
+The module is transport only — no supervision state lives here.  The
+gateway-side :class:`~repro.serving.supervisor.WorkerSupervisor` owns
+spawning, heartbeat deadlines, restarts and failover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..artifacts import ArtifactNotFoundError
+from . import wire
+from .service import ForecastService
+from .sessions import RaceSession, build_live_session
+from .wire import WireError
+
+__all__ = [
+    "worker_main",
+    "execute_sweep",
+    "emitted_to_wire",
+    "emitted_from_wire",
+]
+
+
+# ----------------------------------------------------------------------
+# helpers shared with the gateway's in-process path
+# ----------------------------------------------------------------------
+def execute_sweep(forecaster, parsed: dict):
+    """Run one parsed strategy sweep; shared by gateway and workers.
+
+    ``parsed`` is the output of :func:`wire.sweep_request_from_wire`.
+    Both execution paths must map optimizer failures onto the same wire
+    errors, or worker mode would change the protocol.
+    """
+    # imported lazily: the optimizer pulls in the full deep-model stack
+    from ..strategy.optimizer import PitStrategyOptimizer
+
+    try:
+        optimizer = PitStrategyOptimizer(
+            forecaster,
+            n_samples=parsed["n_samples"],
+            field_size=parsed["field_size"],
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireError(
+            "unsupported_family",
+            f"model {parsed['model']!r} cannot drive the strategy optimizer: {exc}",
+        ) from exc
+    try:
+        return optimizer.sweep(
+            parsed["series"],
+            parsed["origins"],
+            parsed["horizon"],
+            earliest=parsed["earliest"],
+            latest=parsed["latest"],
+            step=parsed["step"],
+            mode=parsed["mode"],
+            rng=parsed["rng"],
+        )
+    except (TypeError, ValueError, IndexError) as exc:
+        raise WireError("invalid_request", f"sweep failed: {exc}") from exc
+
+
+def emitted_to_wire(emitted) -> List[dict]:
+    """Encode a session drain (``[(origin, {car: samples})]``) for the pipe."""
+    return [
+        {
+            "origin": int(origin),
+            "forecasts": [
+                {"car_id": int(car_id), "samples": wire.encode_array(samples)}
+                for car_id, samples in forecasts.items()
+            ],
+        }
+        for origin, forecasts in emitted
+    ]
+
+
+def emitted_from_wire(items: List[dict]) -> List[Tuple[int, Dict[int, np.ndarray]]]:
+    """Decode :func:`emitted_to_wire` back into session-drain structure."""
+    return [
+        (
+            int(item["origin"]),
+            {
+                int(entry["car_id"]): wire.decode_array(entry["samples"])
+                for entry in item["forecasts"]
+            },
+        )
+        for item in items
+    ]
+
+
+# ----------------------------------------------------------------------
+# pipe framing
+# ----------------------------------------------------------------------
+def _send(conn, frame: dict) -> bool:
+    try:
+        conn.send_bytes(json.dumps(frame).encode("utf-8"))
+        return True
+    except (OSError, ValueError, BrokenPipeError):
+        return False
+
+
+def _recv(conn) -> Optional[dict]:
+    try:
+        return json.loads(conn.recv_bytes().decode("utf-8"))
+    except (EOFError, OSError):
+        return None
+
+
+def _serve_control(control) -> None:
+    """Answer heartbeat pings until the gateway hangs up.
+
+    Runs on a daemon thread so a long engine pass on the main loop never
+    reads as a missed heartbeat — only a process that is truly stuck
+    (stopped, wedged) stops answering.
+    """
+    while True:
+        frame = _recv(control)
+        if frame is None:
+            return
+        if not _send(control, {"id": frame.get("id"), "op": "pong", "pid": os.getpid()}):
+            return
+
+
+# ----------------------------------------------------------------------
+# the worker process entry point
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """One worker's model handle plus its resident live sessions."""
+
+    def __init__(self, store_root: str, model: str, options: dict) -> None:
+        self.model = str(model)
+        self.service = ForecastService(
+            store_root,
+            capacity=1,
+            mode=str(options.get("mode", "exact")),
+            verify=bool(options.get("verify", True)),
+        )
+        self.handle = self.service.load(self.model)
+        self.sessions: Dict[str, RaceSession] = {}
+
+    # ------------------------------------------------------------------
+    def _session(self, session_id: str) -> RaceSession:
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise WireError(
+                "unknown_session",
+                f"worker for model {self.model!r} holds no session {session_id!r}",
+                status=404,
+            )
+        return session
+
+    @staticmethod
+    def _describe(session: RaceSession) -> dict:
+        return {
+            "latest_lap": session.latest_lap,
+            "next_origin": session.next_origin,
+            "laps_observed": session.laps_observed,
+            "forecasts_emitted": session.forecasts_emitted,
+            "cars": session.num_cars,
+        }
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def op_forecast(self, body: dict) -> dict:
+        named = [wire.named_request_from_wire(item) for item in body.get("requests", [])]
+        results = self.service.submit(named)
+        return {"results": [wire.encode_array(samples) for samples in results]}
+
+    def op_sweep(self, body: dict) -> dict:
+        # the raw sweep-request wire document, forwarded verbatim by the
+        # gateway; parse and execute exactly like the in-process path
+        parsed = wire.sweep_request_from_wire(body.get("document"))
+        points = execute_sweep(self.handle.forecaster, parsed)
+        return {"document": wire.sweep_points_to_wire(points)}
+
+    def op_session_open(self, body: dict) -> dict:
+        session_id = str(body.get("session_id"))
+        if session_id in self.sessions:
+            raise WireError(
+                "invalid_request",
+                f"worker already holds session {session_id!r}",
+            )
+        document = body.get("document")
+        if not isinstance(document, dict):
+            raise WireError("malformed_request", "session_open needs a 'document'")
+        try:
+            session = build_live_session(document, self.handle.forecaster)
+        except WireError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise WireError("invalid_request", f"cannot open session: {exc}") from exc
+        self.sessions[session_id] = session
+        return self._describe(session)
+
+    def op_session_lap(self, body: dict) -> dict:
+        session = self._session(str(body.get("session_id")))
+        try:
+            emitted, replayed = session.apply_lap(body.get("lap"), body.get("records"))
+        except WireError:
+            raise  # WireError subclasses ValueError: keep it structured
+        except ValueError as exc:
+            raise WireError("invalid_request", str(exc)) from exc
+        return {
+            "results": emitted_to_wire(emitted),
+            "replayed": bool(replayed),
+            **self._describe(session),
+        }
+
+    def op_session_finish(self, body: dict) -> dict:
+        session_id = str(body.get("session_id"))
+        session = self._session(session_id)
+        remaining = session.finish() if bool(body.get("drain", True)) else []
+        del self.sessions[session_id]
+        return {"results": emitted_to_wire(remaining), **self._describe(session)}
+
+    def op_session_drop(self, body: dict) -> dict:
+        # rollback path (the gateway-side registration failed): discard
+        # quietly, dropping an unknown id is not an error
+        dropped = self.sessions.pop(str(body.get("session_id")), None) is not None
+        return {"dropped": dropped}
+
+
+def _error_reply(frame_id, exc: BaseException) -> dict:
+    status, document = wire.error_to_wire(exc)
+    engine_failure = not isinstance(
+        exc, (WireError, ArtifactNotFoundError, TypeError, ValueError)
+    )
+    return {
+        "id": frame_id,
+        "ok": False,
+        "error": document["error"],
+        "status": int(status),
+        "engine_failure": engine_failure,
+    }
+
+
+def worker_main(work, control, store_root: str, model: str, options: Optional[dict] = None) -> None:
+    """Serve one model replica over the given pipes until the gateway hangs up.
+
+    Runs as the target of a forked ``multiprocessing.Process``; any
+    exception during model load is fatal (the supervisor's readiness
+    deadline catches the death and applies its restart budget).
+    """
+    options = dict(options or {})
+    # the forked child inherits the parent's signal dispositions (the CLI
+    # installs a SIGTERM drain handler); workers must die plainly instead
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    threading.Thread(
+        target=_serve_control, args=(control,), name="worker-heartbeat", daemon=True
+    ).start()
+    state = _WorkerState(store_root, model, options)
+    handlers = {
+        "forecast": state.op_forecast,
+        "sweep": state.op_sweep,
+        "session_open": state.op_session_open,
+        "session_lap": state.op_session_lap,
+        "session_finish": state.op_session_finish,
+        "session_drop": state.op_session_drop,
+    }
+    while True:
+        frame = _recv(work)
+        if frame is None:  # gateway is gone; nothing to serve for
+            return
+        frame_id = frame.get("id")
+        handler = handlers.get(frame.get("op"))
+        if handler is None:
+            reply = _error_reply(
+                frame_id, WireError("invalid_request", f"unknown worker op {frame.get('op')!r}")
+            )
+        else:
+            try:
+                reply = {"id": frame_id, "ok": True, "body": handler(frame.get("body") or {})}
+            except BaseException as exc:  # noqa: BLE001 - every failure crosses the pipe structured
+                reply = _error_reply(frame_id, exc)
+        if not _send(work, reply):
+            return

@@ -128,3 +128,74 @@ def test_records_are_fsynced_compact_json(tmp_path):
     assert len(lines) == 2
     assert json.loads(lines[1]) == {"kind": "lap", "lap": 3, "records": [{"car_id": 2}]}
     journal.close()
+
+# ----------------------------------------------------------------------
+# compaction
+# ----------------------------------------------------------------------
+def test_compaction_rewrites_the_journal_but_recovery_is_identical(tmp_path):
+    directory = str(tmp_path)
+    laps = [(lap, [{"car_id": 1, "lap_time": 40.0 + lap}]) for lap in range(1, 13)]
+
+    plain = SessionJournal(directory, "sess-plain")
+    plain.record_open(OPEN_DOC)
+    compacted = SessionJournal(directory, "sess-compact", compact_every=5)
+    compacted.record_open(OPEN_DOC)
+    for lap, records in laps:
+        plain.record_lap(lap, records)
+        compacted.record_lap(lap, records)
+    assert plain.compactions == 0 and compacted.compactions == 2
+
+    # the compacted file is 1 open + 1 batch + the 2 laps since compaction;
+    # the plain one has one line per lap
+    with open(compacted.path, encoding="utf-8") as fh:
+        compacted_lines = fh.read().splitlines()
+    with open(plain.path, encoding="utf-8") as fh:
+        plain_lines = fh.read().splitlines()
+    assert len(compacted_lines) == 4 < len(plain_lines) == 13
+    assert json.loads(compacted_lines[1])["kind"] == "laps"
+
+    plain.close(remove=False)
+    compacted.close(remove=False)
+    recovered = {s.session_id: s for s in recover_sessions(directory)}
+    assert recovered["sess-plain"].open_document == recovered["sess-compact"].open_document
+    assert recovered["sess-plain"].laps == recovered["sess-compact"].laps
+
+
+def test_compacted_journal_is_removed_on_clean_close(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000010", compact_every=2)
+    journal.record_open(OPEN_DOC)
+    for lap in range(1, 6):
+        journal.record_lap(lap, [])
+    assert journal.compactions == 2
+    journal.close(remove=True)
+    assert not os.path.exists(journal.path)
+    assert recover_sessions(str(tmp_path)) == []
+
+
+def test_torn_tail_after_a_compaction_only_loses_the_torn_lap(tmp_path):
+    journal = SessionJournal(str(tmp_path), "sess-000011", compact_every=3)
+    journal.record_open(OPEN_DOC)
+    for lap in range(1, 5):
+        journal.record_lap(lap, [{"car_id": 2, "lap_time": 39.5}])
+    journal.close(remove=False)
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "lap", "lap": 5, "rec')  # SIGKILL mid-append
+
+    [session] = recover_sessions(str(tmp_path))
+    assert [record["lap"] for record in session.laps] == [1, 2, 3, 4]
+    assert session.torn_records == 1
+
+
+def test_load_session_reads_one_journal_by_id(tmp_path):
+    directory = str(tmp_path)
+    journal = SessionJournal(directory, "sess-000012")
+    journal.record_open(OPEN_DOC)
+    journal.record_lap(1, [{"car_id": 3}])
+    journal.close(remove=False)
+
+    from repro.serving.journal import load_session
+
+    session = load_session(directory, "sess-000012")
+    assert session is not None and session.session_id == "sess-000012"
+    assert [record["lap"] for record in session.laps] == [1]
+    assert load_session(directory, "sess-missing") is None

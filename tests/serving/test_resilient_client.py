@@ -316,3 +316,39 @@ def _assert_emitted_equal(got, expected):
         assert set(cars_a) == set(cars_b)
         for car_id in cars_a:
             np.testing.assert_array_equal(cars_a[car_id], cars_b[car_id])
+
+
+def test_worker_restart_window_is_retried_transparently(store_root, tiny_series):
+    """Satellite gate: ``worker_restarting`` rides the seeded retry schedule.
+
+    The model's worker replica is SIGKILLed; the very next forecast meets
+    either the death itself or the ``worker_restarting`` window.  A client
+    with a retry policy absorbs both and still returns bytes identical to
+    the in-process submission; a client without one surfaces the
+    structured envelope.
+    """
+    retry = RetryPolicy(max_attempts=10, base_delay_s=0.05, max_delay_s=0.5, seed=3)
+    with _server(
+        store_root,
+        workers=True,
+        preload=["deepar"],
+        worker_backoff_s=0.05,
+        heartbeat_interval_s=0.1,
+        heartbeat_timeout_s=1.0,
+    ) as server:
+        client = ForecastClient(port=server.port, retry=retry)
+        expected = server.gateway.service.submit(_batch(server, tiny_series[0], seeds=(31, 32)))
+
+        server.gateway.inject_worker_fault("kill_worker", "deepar")
+        got = client.forecast(_batch(server, tiny_series[0], seeds=(31, 32)))
+        for got_one, expected_one in zip(got, expected):
+            np.testing.assert_array_equal(got_one, expected_one)
+
+        # without a retry policy the restart window surfaces structured
+        server.gateway.inject_worker_fault("kill_worker", "deepar")
+        plain = ForecastClient(port=server.port)
+        with pytest.raises(ServerError) as excinfo:
+            for _ in range(20):  # the window is short; hit it before recovery
+                plain.forecast(_batch(server, tiny_series[0], seeds=(33,)))
+        assert excinfo.value.code in ("worker_restarting", "internal_error")
+        assert excinfo.value.status in (500, 503)
