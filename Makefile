@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test test-fast lint format bench-smoke bench bench-train bench-decode bench-serve bench-scenarios bench-chaos chaos chaos-workers scenarios docs-check smoke-artifacts smoke-serve clean
+.PHONY: help test test-fast lint format bench-smoke bench bench-train bench-decode bench-precision bench-serve bench-scenarios bench-chaos chaos chaos-workers scenarios docs-check smoke-artifacts smoke-serve clean
 
 help:
 	@echo "Targets:"
@@ -16,6 +16,7 @@ help:
 	@echo "  bench-smoke     quick table5 experiment profile"
 	@echo "  bench-train     training-throughput profile"
 	@echo "  bench-decode    decode-throughput profile"
+	@echo "  bench-precision float32/int8 precision tiers: speedup + parity profile"
 	@echo "  bench-serve     serving-gateway overhead/isolation benchmark"
 	@echo "  bench-scenarios scenario-engine throughput profile"
 	@echo "  chaos           serving chaos gates: retries, SIGKILL+journal recovery, overload"
@@ -47,6 +48,9 @@ bench-train:
 
 bench-decode:
 	$(PYTHON) -m repro.profiling.decode
+
+bench-precision:
+	$(PYTHON) -m repro.profiling.precision
 
 bench-serve:
 	$(PYTHON) -m repro.profiling.server

@@ -1,0 +1,116 @@
+"""Low-precision compute tier: speedup floors and error-bounded parity.
+
+Gates the precision knob threaded through the kernels, the fleet engine
+and the wire protocol (``precision="float64" | "float32" | "int8"``):
+
+* **speedup** — the float32 tier's fused decode phase is at least
+  :data:`MIN_F32_SPEEDUP` faster than the float64 reference on the
+  decode-heavy Fig. 9 shape (33 cars x 100 samples, horizon 10), and the
+  int8 tier is no slower than float32 (int8 is a *storage* format:
+  weights dequantize once into float32 GEMM operands, so its runtime
+  tracks the float32 tier within timing noise);
+* **error-bounded parity** — the low tiers are explicitly NOT
+  byte-identical to float64; instead every tier consumes identical RNG
+  streams (the noise term is drawn in float64 everywhere), so
+  trajectories line up one-to-one and both the worst-case per-trajectory
+  rank deviation and the worst-case deviation of per-request sample
+  means are gated against the documented per-family tolerances below.
+
+Measured medians on this host: float32 ~1.9-2.1x across all three
+workload shapes (the BLAS-bound GEMMs move half the bytes), int8 within
+noise of float32; parity max|Δrank| ~6e-6 (float32) and ~3e-2 (int8).
+The gates are conservative floors/ceilings of those numbers so they stay
+robust on noisy runners.  The breakdown is written to
+``benchmarks/results/precision.txt`` and the machine-readable sidecar to
+``benchmarks/results/BENCH_precision.json``.
+"""
+
+import pathlib
+
+from repro.profiling.precision import precision_breakdown
+from repro.profiling.report import write_bench_json
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FIG9 = "fig9   33x100 h10"
+
+# speedup floors (conservative: measured float32 medians sit near 2x)
+MIN_F32_SPEEDUP = 1.30
+# int8 dequantizes into the same float32 GEMMs — allow timing noise only
+MIN_INT8_VS_F32 = 0.85
+
+# documented per-family parity tolerances (ranks) vs. the float64 tier,
+# on the profiling model family (2x40 LSTM, untuned weights, fused decode)
+TOLERANCES = {
+    # (max per-trajectory |Δrank|, max per-request |Δ sample mean|)
+    "float64": (0.0, 0.0),  # byte-identical by contract
+    "float32": (1e-3, 1e-4),
+    "int8": (0.5, 0.25),
+}
+
+
+def test_bench_precision_speedup_and_parity(benchmark):
+    """Measured precision-tier breakdown + speedup floors + parity gates."""
+    rows = [
+        m.as_row()
+        for m in benchmark.pedantic(
+            precision_breakdown, kwargs=dict(repeats=3), rounds=1, iterations=1
+        )
+    ]
+
+    lines = [
+        "Precision tiers (2x40 LSTM, encoder 60; fused decode phase, "
+        "median of 3 interleaved runs)",
+        "float64 is the byte-identical reference; float32/int8 are "
+        "error-bounded (identical RNG streams, no byte-identity claim)",
+        f"{'workload':<20}{'precision':<10}{'wall_ms':>9}{'speedup':>9}"
+        f"{'max|drank|':>12}{'max|dmean|':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<20}{row['precision']:<10}{row['wall_ms']:>9.1f}"
+            f"{row['speedup']:>9.2f}{row['max_abs_rank_diff']:>12.2e}"
+            f"{row['max_mean_rank_diff']:>12.2e}"
+        )
+    lines.append(
+        "note: int8 is a storage format (per-output-channel symmetric scales, "
+        "dequantized once into float32 GEMM operands), so its decode runtime "
+        "tracks the float32 tier; its parity budget is wider because the "
+        "weights themselves are rounded."
+    )
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "precision.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    write_bench_json("precision", rows, extra={"decode": "fused"})
+
+    by_key = {(row["workload"], row["precision"]): row for row in rows}
+
+    # --- speedup floors on the decode-heavy Fig. 9 shape ---------------
+    f32_speedup = by_key[(FIG9, "float32")]["speedup"]
+    assert f32_speedup >= MIN_F32_SPEEDUP, (
+        f"float32 decode only {f32_speedup:.2f}x float64 on {FIG9!r} "
+        f"(gate {MIN_F32_SPEEDUP}x)"
+    )
+    int8_vs_f32 = (
+        by_key[(FIG9, "float32")]["wall_ms"] / by_key[(FIG9, "int8")]["wall_ms"]
+    )
+    assert int8_vs_f32 >= MIN_INT8_VS_F32, (
+        f"int8 decode {int8_vs_f32:.2f}x float32 on {FIG9!r} "
+        f"(gate {MIN_INT8_VS_F32}x; int8 shares the float32 GEMMs)"
+    )
+
+    # --- error-bounded parity on every workload shape ------------------
+    for row in rows:
+        max_traj, max_mean = TOLERANCES[row["precision"]]
+        assert row["max_abs_rank_diff"] <= max_traj, (
+            f"{row['precision']} per-trajectory deviation "
+            f"{row['max_abs_rank_diff']:.2e} ranks exceeds the documented "
+            f"{max_traj} tolerance on {row['workload']!r}"
+        )
+        assert row["max_mean_rank_diff"] <= max_mean, (
+            f"{row['precision']} sample-mean deviation "
+            f"{row['max_mean_rank_diff']:.2e} ranks exceeds the documented "
+            f"{max_mean} tolerance on {row['workload']!r}"
+        )

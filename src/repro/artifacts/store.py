@@ -248,9 +248,22 @@ class ArtifactStore:
 
         return from_artifact(self.load(name, verify=verify))
 
-    def save_model(self, name: str, model, data_fingerprint: str = "") -> dict:
-        """Convenience: snapshot ``model`` via ``to_artifact`` and save it."""
-        return self.save(name, model.to_artifact(), data_fingerprint=data_fingerprint)
+    def save_model(
+        self,
+        name: str,
+        model,
+        data_fingerprint: str = "",
+        precision: str = "float64",
+    ) -> dict:
+        """Convenience: snapshot ``model`` via ``to_artifact`` and save it.
+
+        ``precision`` selects the stored weight format (``"float64"`` —
+        the unchanged v1 layout, ``"float32"`` or ``"int8"``; see
+        :meth:`repro.models.base.RankForecaster.to_artifact`).
+        """
+        return self.save(
+            name, model.to_artifact(precision=precision), data_fingerprint=data_fingerprint
+        )
 
     # ------------------------------------------------------------------
     # listing / maintenance

@@ -36,8 +36,15 @@ __all__ = [
     "clip_rank",
 ]
 
-#: bump when the artifact layout of any forecaster family changes
-ARTIFACT_SCHEMA_VERSION = 1
+#: bump when the artifact layout of any forecaster family changes.
+#: v2 added the low-precision payloads: ``state["precision"]`` plus, for
+#: ``int8``, per-weight ``<name>::q`` / ``<name>::scale`` array pairs
+#: (per-output-channel symmetric, see :mod:`repro.nn.precision`).  Plain
+#: float64 artifacts still write schema version 1 — their layout is
+#: unchanged, so older builds keep loading them; only artifacts actually
+#: carrying a low-precision payload are stamped v2 and refused by stores
+#: that predate the scheme.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Indy500 field size (the paper's races start 33 cars).  The single shared
 #: fallback for every rank clip in the code base — the evaluators and the
@@ -50,6 +57,13 @@ DEFAULT_FIELD_SIZE = 33
 def clip_rank(values: np.ndarray, num_cars: int = DEFAULT_FIELD_SIZE) -> np.ndarray:
     """Clip forecasts into the physically valid rank range ``[1, num_cars]``."""
     return np.clip(values, 1.0, float(num_cars))
+
+
+def _dequantized_f64(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Float64 view of an int8 payload, for exact staleness comparison."""
+    from ..nn.precision import dequantize_int8
+
+    return np.asarray(dequantize_int8(q, scale), dtype=np.float64)
 
 
 @dataclass
@@ -133,6 +147,9 @@ class RankForecaster(abc.ABC):
     #: field size observed in the training data (``None`` until a fit
     #: records one); consumers fall back to :data:`DEFAULT_FIELD_SIZE`
     field_size: Optional[int] = None
+    #: weight format of the artifact this instance was loaded from
+    #: (``"float64"`` for freshly-fit models; see :meth:`from_artifact`)
+    loaded_precision: str = "float64"
 
     def record_field_size(self, train_series: Sequence[CarFeatureSeries]) -> None:
         """Remember the largest rank seen at fit time as the field size."""
@@ -211,27 +228,84 @@ class RankForecaster(abc.ABC):
         """Hook converting JSON config values back to constructor types."""
         return dict(config)
 
-    def to_artifact(self) -> ModelArtifact:
+    def to_artifact(self, precision: str = "float64") -> ModelArtifact:
         """Snapshot this (fitted) forecaster as a :class:`ModelArtifact`.
 
         The snapshot captures everything forecasting depends on — fitted
         parameters, scalers, feature configuration, ``field_size`` and the
         forecast RNG stream — so ``from_artifact(to_artifact(m))`` yields a
         model whose ``forecast`` output is byte-identical to ``m``'s.
+
+        ``precision`` selects the stored weight format (see
+        :mod:`repro.nn.precision`): ``"float64"`` writes the unchanged v1
+        layout; ``"float32"`` casts the floating weight arrays down;
+        ``"int8"`` stores the symmetric per-output-channel quantisation
+        payload (``<name>::q`` int8 codes + ``<name>::scale`` float32
+        scales).  A forecaster that was itself loaded from an int8
+        artifact re-emits that payload bit-exactly (re-quantising the
+        dequantised weights is not guaranteed to reproduce the original
+        codes); the cached payload is dropped automatically whenever the
+        weights no longer match it (re-fit, fine-tune).
         """
+        from ..nn.precision import normalize_precision, quantize_int8
+
+        precision = normalize_precision(precision)
         state, arrays = self._artifact_state()
         state = dict(state)
         state["field_size"] = self.field_size
+        if precision == "float64":
+            # unchanged layout — stamped v1 so pre-precision builds and
+            # stores keep loading the reference artifacts byte-identically
+            return ModelArtifact(
+                family=type(self).__name__,
+                config=self._artifact_config(),
+                state=state,
+                arrays=arrays,
+                schema_version=1,
+            )
+        state["precision"] = precision
+        encoded: Dict[str, np.ndarray] = {}
+        cached = getattr(self, "_int8_payload", None)
+        for name, array in arrays.items():
+            array = np.asarray(array)
+            if not np.issubdtype(array.dtype, np.floating):
+                encoded[name] = array
+                continue
+            if precision == "float32":
+                encoded[name] = array.astype(np.float32)
+                continue
+            pair = None
+            if cached is not None and name in cached:
+                q, scale = cached[name]
+                if q.shape == array.shape and np.array_equal(
+                    _dequantized_f64(q, scale), np.asarray(array, dtype=np.float64)
+                ):
+                    pair = (q, scale)
+            if pair is None:
+                pair = quantize_int8(array)
+            encoded[name + "::q"], encoded[name + "::scale"] = pair
         return ModelArtifact(
             family=type(self).__name__,
             config=self._artifact_config(),
             state=state,
-            arrays=arrays,
+            arrays=encoded,
+            schema_version=ARTIFACT_SCHEMA_VERSION,
         )
 
     @classmethod
     def from_artifact(cls, artifact: ModelArtifact) -> "RankForecaster":
-        """Rebuild a fitted forecaster from a :class:`ModelArtifact`."""
+        """Rebuild a fitted forecaster from a :class:`ModelArtifact`.
+
+        Low-precision artifacts (schema v2, ``state["precision"]``) load
+        into the ordinary float64 parameter storage: float32 weights are
+        exactly representable there, and int8 payloads are dequantised
+        once (``q * scale`` in float32) on the way in.  The decoded
+        payload is kept on the instance so ``to_artifact("int8")`` round
+        trips bit-exactly, and the loaded tier is recorded as
+        ``loaded_precision``.
+        """
+        from ..nn.precision import PRECISIONS, dequantize_int8
+
         if artifact.family != cls.__name__:
             raise ValueError(
                 f"artifact family {artifact.family!r} does not match {cls.__name__!r}"
@@ -245,7 +319,36 @@ class RankForecaster(abc.ABC):
         state = dict(artifact.state)
         size = state.pop("field_size", None)
         model.field_size = None if size is None else int(size)
-        model._load_artifact_state(state, artifact.arrays)
+        precision = state.pop("precision", "float64")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"artifact carries unknown precision {precision!r}; "
+                f"this build reads {', '.join(PRECISIONS)}"
+            )
+        arrays = artifact.arrays
+        payload: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        if precision == "int8":
+            decoded: Dict[str, np.ndarray] = {}
+            for key, value in arrays.items():
+                if key.endswith("::q"):
+                    name = key[: -len("::q")]
+                    scale_key = name + "::scale"
+                    if scale_key not in arrays:
+                        raise ValueError(
+                            f"int8 artifact array {name!r} has codes but no "
+                            f"{scale_key!r} scales"
+                        )
+                    q = np.asarray(value, dtype=np.int8)
+                    scale = np.asarray(arrays[scale_key], dtype=np.float32)
+                    decoded[name] = dequantize_int8(q, scale)
+                    payload[name] = (q, scale)
+                elif not key.endswith("::scale"):
+                    decoded[key] = value
+            arrays = decoded
+        model._load_artifact_state(state, arrays)
+        if payload:
+            model._int8_payload = payload
+        model.loaded_precision = precision
         return model
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -36,6 +36,7 @@ import numpy as np
 from ...data.scaling import MeanScaler
 from ...nn import Module, MultiGaussianOutput, StackedGRU, StackedLSTM
 from ...nn.losses import gaussian_nll_seq
+from ...nn.precision import normalize_precision
 from ...serving.engine import FleetForecaster
 from ...serving.requests import ForecastRequest
 
@@ -97,7 +98,7 @@ class RankSeqModel(Module):
         self.head = MultiGaussianOutput(hidden_dim, target_dim, rng=rng, name="head")
         self.scaler = MeanScaler()
         self.rng = rng
-        self._fleet_engine: Optional[FleetForecaster] = None
+        self._fleet_engines: Dict[str, "FleetForecaster"] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -227,11 +228,19 @@ class RankSeqModel(Module):
     # ------------------------------------------------------------------
     # forecasting (Algorithm 2)
     # ------------------------------------------------------------------
-    def fleet_engine(self) -> "FleetForecaster":
-        """Lazily constructed single-model fleet engine (shared weights)."""
-        if self._fleet_engine is None:
-            self._fleet_engine = FleetForecaster(self, mode="exact")
-        return self._fleet_engine
+    def fleet_engine(self, precision: Optional[str] = None) -> "FleetForecaster":
+        """Lazily constructed single-model fleet engine (shared weights).
+
+        One engine is kept per precision tier; the float64 engine shares
+        the training weights, lower tiers run a converted replica (see
+        :mod:`repro.nn.precision`).
+        """
+        precision = normalize_precision(precision)
+        engine = self._fleet_engines.get(precision)
+        if engine is None:
+            engine = FleetForecaster(self, mode="exact", precision=precision)
+            self._fleet_engines[precision] = engine
+        return engine
 
     def forecast_samples(
         self,

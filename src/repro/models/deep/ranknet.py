@@ -31,6 +31,7 @@ from ...data.schema import ALL_COVARIATES, FeatureSpec
 from ...data.windows import make_windows
 from ...nn import Adam, Trainer, TrainingHistory
 from ...nn.checkpoint import restore_rng, rng_state
+from ...nn.precision import DEFAULT_PRECISION, normalize_precision
 from ...serving.engine import FleetForecaster
 from ...serving.requests import ForecastRequest, spawn_request_rngs
 from ..base import ProbabilisticForecast, RankForecaster, clip_rank
@@ -86,7 +87,7 @@ class DeepForecasterBase(RankForecaster):
         self.name = name
         self.rng = np.random.default_rng(seed)
         self.model = None
-        self._fleet_engines: Dict[str, FleetForecaster] = {}
+        self._fleet_engines: Dict[Tuple[str, str], FleetForecaster] = {}
         self.history_: Optional[TrainingHistory] = None
         self.uses_race_status = self.feature_spec.num_covariates > 0
 
@@ -313,22 +314,29 @@ class DeepForecasterBase(RankForecaster):
     # ------------------------------------------------------------------
     # fleet-batched forecasting
     # ------------------------------------------------------------------
-    def fleet_engine(self, mode: Optional[str] = None) -> FleetForecaster:
+    def fleet_engine(
+        self, mode: Optional[str] = None, precision: Optional[str] = None
+    ) -> FleetForecaster:
         """The batch scheduler all fleet forecasts of this model go through.
 
-        One engine is kept per mode and bound to the current ``self.model``:
-        re-fitting drops them (a fresh engine is built on next use) and
-        :meth:`fine_tune` resets their carried warm-up states, so consumers
-        should resolve the engine through this method on every use instead
-        of holding on to the returned instance across re-training.
+        One engine is kept per ``(mode, precision)`` replica and bound to
+        the current ``self.model``: re-fitting drops them (a fresh engine
+        is built on next use) and :meth:`fine_tune` resets their carried
+        warm-up states, so consumers should resolve the engine through
+        this method on every use instead of holding on to the returned
+        instance across re-training.  Low-precision replicas convert the
+        weights lazily on first use (see :mod:`repro.nn.precision`); the
+        float64 replica shares the training weights directly.
         """
         if self.model is None:
             raise RuntimeError(f"{self.name} must be fit before forecasting")
         mode = mode if mode is not None else self.fleet_mode
-        engine = self._fleet_engines.get(mode)
+        precision = normalize_precision(precision, default=DEFAULT_PRECISION)
+        key = (mode, precision)
+        engine = self._fleet_engines.get(key)
         if engine is None:
-            engine = FleetForecaster(self.model, mode=mode)
-            self._fleet_engines[mode] = engine
+            engine = FleetForecaster(self.model, mode=mode, precision=precision)
+            self._fleet_engines[key] = engine
         return engine
 
     def _fleet_request(

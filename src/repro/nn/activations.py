@@ -33,8 +33,16 @@ __all__ = [
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic sigmoid.
+
+    Dtype-preserving on the float dtypes the precision tiers run
+    (float32 stays float32); everything else computes in the float64
+    reference precision, bitwise as before.
+    """
+    x = np.asarray(x)
+    if x.dtype != np.float32:
+        x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     expx = np.exp(x[~pos])
@@ -58,10 +66,14 @@ def sigmoid_dense(
     the masked fancy indexing with dense passes makes this ~3-5x faster on
     large arrays, which is why the byte-identity-gated decode kernels use
     it.  ``out`` may alias ``x``; ``scratch``, if given, must be two
-    float64 arrays of ``x``'s shape (none may alias ``x`` or ``out``) and
-    makes the call allocation-free.
+    arrays of ``x``'s shape and compute dtype (none may alias ``x`` or
+    ``out``) and makes the call allocation-free.  Like :func:`sigmoid`,
+    float32 input stays float32 (the low-precision decode tier); any other
+    dtype computes in the float64 reference precision, bitwise as before.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
+    if x.dtype != np.float32:
+        x = np.asarray(x, dtype=np.float64)
     if out is None:
         out = np.empty_like(x)
     if scratch is None:

@@ -41,21 +41,22 @@ class GRUDecodeContext:
     running hidden state and the per-step scratch tensors.
     """
 
-    __slots__ = ("h", "gates", "hw", "h_proj", "n", "t1", "t2", "sg_scratch")
+    __slots__ = ("h", "gates", "hw", "h_proj", "n", "t1", "t2", "sg_scratch", "dtype")
 
-    def __init__(self, cell: "GRUCell", h0: np.ndarray) -> None:
-        self.h = np.array(h0, dtype=np.float64, copy=True, order="C")
+    def __init__(self, cell: "GRUCell", h0: np.ndarray, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self.h = np.array(h0, dtype=self.dtype, copy=True, order="C")
         batch = self.h.shape[0]
         hd = cell.hidden_dim
-        self.gates = np.empty((batch, 2 * hd), dtype=np.float64)
-        self.hw = np.empty((batch, 2 * hd), dtype=np.float64)
-        self.h_proj = np.empty((batch, hd), dtype=np.float64)
-        self.n = np.empty((batch, hd), dtype=np.float64)
-        self.t1 = np.empty((batch, hd), dtype=np.float64)
-        self.t2 = np.empty((batch, hd), dtype=np.float64)
+        self.gates = np.empty((batch, 2 * hd), dtype=self.dtype)
+        self.hw = np.empty((batch, 2 * hd), dtype=self.dtype)
+        self.h_proj = np.empty((batch, hd), dtype=self.dtype)
+        self.n = np.empty((batch, hd), dtype=self.dtype)
+        self.t1 = np.empty((batch, hd), dtype=self.dtype)
+        self.t2 = np.empty((batch, hd), dtype=self.dtype)
         self.sg_scratch = (
-            np.empty((batch, 2 * hd), dtype=np.float64),
-            np.empty((batch, 2 * hd), dtype=np.float64),
+            np.empty((batch, 2 * hd), dtype=self.dtype),
+            np.empty((batch, 2 * hd), dtype=self.dtype),
         )
 
 
@@ -92,8 +93,8 @@ class GRUCell(Module):
         self._seq_cache: List[tuple] = []
         self._dgates_buf: Optional[np.ndarray] = None
 
-    def zero_state(self, batch_size: int) -> np.ndarray:
-        return np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
+    def zero_state(self, batch_size: int, dtype=np.float64) -> np.ndarray:
+        return np.zeros((batch_size, self.hidden_dim), dtype=dtype)
 
     # ------------------------------------------------------------------
     def step(self, x: np.ndarray, h_prev: np.ndarray) -> np.ndarray:
@@ -153,9 +154,9 @@ class GRUCell(Module):
         self._seq_cache.clear()
 
     # fused decode path -------------------------------------------------
-    def begin_decode(self, h0: np.ndarray) -> GRUDecodeContext:
+    def begin_decode(self, h0: np.ndarray, dtype=np.float64) -> GRUDecodeContext:
         """Open an allocation-free decode session starting from ``h0``."""
-        return GRUDecodeContext(self, h0)
+        return GRUDecodeContext(self, h0, dtype=dtype)
 
     def step_decode(self, x: np.ndarray, ctx: GRUDecodeContext) -> np.ndarray:
         """One decode step, byte-identical to the serving ``step`` kernel.
@@ -374,8 +375,8 @@ class StackedGRU(Module):
             for layer in range(num_layers)
         ]
 
-    def zero_state(self, batch_size: int) -> List[np.ndarray]:
-        return [cell.zero_state(batch_size) for cell in self.cells]
+    def zero_state(self, batch_size: int, dtype=np.float64) -> List[np.ndarray]:
+        return [cell.zero_state(batch_size, dtype=dtype) for cell in self.cells]
 
     def step(self, x: np.ndarray, states: Sequence[np.ndarray]) -> Tuple[np.ndarray, List[np.ndarray]]:
         if len(states) != self.num_layers:
@@ -405,14 +406,19 @@ class StackedGRU(Module):
     # batched state save / restore (mirrors ``StackedLSTM``)
     # ------------------------------------------------------------------
     def export_state(self, states: Sequence[np.ndarray]) -> np.ndarray:
-        """Pack per-layer hidden vectors into one ``(L, B, H)`` array."""
+        """Pack per-layer hidden vectors into one ``(L, B, H)`` array.
+
+        Dtype-preserving (like ``StackedLSTM.export_state``): the carry-mode
+        warm-up cache holds packed states in whatever compute dtype the
+        owning engine runs.
+        """
         if len(states) != self.num_layers:
             raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
-        return np.stack([np.asarray(h, dtype=np.float64) for h in states])
+        return np.stack([np.asarray(h) for h in states])
 
-    def import_state(self, packed: np.ndarray) -> List[np.ndarray]:
+    def import_state(self, packed: np.ndarray, dtype=np.float64) -> List[np.ndarray]:
         """Inverse of :meth:`export_state`; returns fresh per-layer copies."""
-        packed = np.asarray(packed, dtype=np.float64)
+        packed = np.asarray(packed, dtype=dtype)
         if packed.ndim != 3 or packed.shape[0] != self.num_layers:
             raise ValueError(
                 f"expected shape ({self.num_layers}, B, {self.hidden_dim}), got {packed.shape}"
@@ -424,11 +430,13 @@ class StackedGRU(Module):
     # ------------------------------------------------------------------
     # fused decode path (mirrors ``StackedLSTM``)
     # ------------------------------------------------------------------
-    def begin_decode(self, states: Sequence[np.ndarray]) -> List[GRUDecodeContext]:
+    def begin_decode(
+        self, states: Sequence[np.ndarray], dtype=np.float64
+    ) -> List[GRUDecodeContext]:
         """Per-layer decode contexts starting from ``states`` (copied in)."""
         if len(states) != self.num_layers:
             raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
-        return [cell.begin_decode(h) for cell, h in zip(self.cells, states)]
+        return [cell.begin_decode(h, dtype=dtype) for cell, h in zip(self.cells, states)]
 
     def step_decode(
         self, x: np.ndarray, ctxs: Sequence[GRUDecodeContext]

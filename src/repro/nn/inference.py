@@ -29,6 +29,7 @@ from .distributions import GaussianOutput
 from .gru import StackedGRU
 from .kernels import STABLE_CHUNK_ROWS, stable_matmul
 from .layers import MultiGaussianOutput
+from .precision import working_array, working_empty
 from .recurrent import StackedLSTM
 
 __all__ = [
@@ -93,21 +94,27 @@ class LSTMStackInference:
 
     Shares the stack's parameters by reference; safe to use concurrently
     with training as long as steps and weight updates do not interleave.
+
+    ``dtype`` is the compute precision (default: the float64 reference).
+    A non-default dtype expects a stack whose parameters were converted to
+    that dtype (:func:`repro.nn.precision.convert_module`) so no kernel
+    silently upcasts.
     """
 
-    def __init__(self, stack: StackedLSTM) -> None:
+    def __init__(self, stack: StackedLSTM, dtype=np.float64) -> None:
         self.stack = stack
+        self.dtype = np.dtype(dtype)
 
     def zero_state(self, batch_size: int) -> List[Tuple[np.ndarray, np.ndarray]]:
-        return self.stack.zero_state(batch_size)
+        return self.stack.zero_state(batch_size, dtype=self.dtype)
 
     def step(self, x: np.ndarray, states: Sequence[Tuple[np.ndarray, np.ndarray]]):
-        h = np.asarray(x, dtype=np.float64)
+        h = working_array(x, dtype=self.dtype)
         new_states: List[Tuple[np.ndarray, np.ndarray]] = []
         for cell, (h_prev, c_prev) in zip(self.stack.cells, states):
             gates = (
-                stable_matmul(h, cell.w_x.data)
-                + stable_matmul(h_prev, cell.w_h.data)
+                stable_matmul(h, cell.w_x.data, dtype=self.dtype)
+                + stable_matmul(h_prev, cell.w_h.data, dtype=self.dtype)
                 + cell.bias.data
             )
             hd = cell.hidden_dim
@@ -134,7 +141,7 @@ class LSTMStackInference:
         stepping the sequence through :meth:`step` one lap at a time.
         Returns the top-layer hidden sequence and the final states.
         """
-        h_seq = np.asarray(x, dtype=np.float64)
+        h_seq = working_array(x, dtype=self.dtype)
         batch, steps, _ = h_seq.shape
         if states is None:
             states = self.zero_state(batch)
@@ -142,11 +149,15 @@ class LSTMStackInference:
         for cell, (h, c) in zip(self.stack.cells, states):
             hd = cell.hidden_dim
             x_proj = stable_matmul(
-                h_seq.reshape(batch * steps, h_seq.shape[-1]), cell.w_x.data
+                h_seq.reshape(batch * steps, h_seq.shape[-1]), cell.w_x.data, dtype=self.dtype
             ).reshape(batch, steps, 4 * hd)
-            out = np.empty((batch, steps, hd), dtype=np.float64)
+            out = working_empty((batch, steps, hd), dtype=self.dtype)
             for t in range(steps):
-                gates = x_proj[:, t, :] + stable_matmul(h, cell.w_h.data) + cell.bias.data
+                gates = (
+                    x_proj[:, t, :]
+                    + stable_matmul(h, cell.w_h.data, dtype=self.dtype)
+                    + cell.bias.data
+                )
                 i = sigmoid(gates[:, 0 * hd : 1 * hd])
                 f = sigmoid(gates[:, 1 * hd : 2 * hd])
                 g = np.tanh(gates[:, 2 * hd : 3 * hd])
@@ -160,28 +171,37 @@ class LSTMStackInference:
 
 
 class GRUStackInference:
-    """Cache-free forward stepping over a :class:`StackedGRU`."""
+    """Cache-free forward stepping over a :class:`StackedGRU`.
 
-    def __init__(self, stack: StackedGRU) -> None:
+    ``dtype`` selects the compute precision, exactly as in
+    :class:`LSTMStackInference`.
+    """
+
+    def __init__(self, stack: StackedGRU, dtype=np.float64) -> None:
         self.stack = stack
+        self.dtype = np.dtype(dtype)
 
     def zero_state(self, batch_size: int) -> List[np.ndarray]:
-        return self.stack.zero_state(batch_size)
+        return self.stack.zero_state(batch_size, dtype=self.dtype)
 
     def step(self, x: np.ndarray, states: Sequence[np.ndarray]):
-        h = np.asarray(x, dtype=np.float64)
+        h = working_array(x, dtype=self.dtype)
         new_states: List[np.ndarray] = []
         for cell, h_prev in zip(self.stack.cells, states):
             gates = (
-                stable_matmul(h, cell.w_x_gates.data)
-                + stable_matmul(h_prev, cell.w_h_gates.data)
+                stable_matmul(h, cell.w_x_gates.data, dtype=self.dtype)
+                + stable_matmul(h_prev, cell.w_h_gates.data, dtype=self.dtype)
                 + cell.b_gates.data
             )
             hd = cell.hidden_dim
             r = sigmoid(gates[:, :hd])
             u = sigmoid(gates[:, hd:])
-            h_proj = stable_matmul(h_prev, cell.w_h_cand.data)
-            n = np.tanh(stable_matmul(h, cell.w_x_cand.data) + r * h_proj + cell.b_cand.data)
+            h_proj = stable_matmul(h_prev, cell.w_h_cand.data, dtype=self.dtype)
+            n = np.tanh(
+                stable_matmul(h, cell.w_x_cand.data, dtype=self.dtype)
+                + r * h_proj
+                + cell.b_cand.data
+            )
             h = (1.0 - u) * n + u * h_prev
             new_states.append(h)
         return h, new_states
@@ -190,7 +210,7 @@ class GRUStackInference:
         self, x: np.ndarray, states: Optional[Sequence[np.ndarray]] = None
     ) -> Tuple[np.ndarray, List[np.ndarray]]:
         """Fused teacher-forced pass (see ``LSTMStackInference.forward_sequence``)."""
-        h_seq = np.asarray(x, dtype=np.float64)
+        h_seq = working_array(x, dtype=self.dtype)
         batch, steps, _ = h_seq.shape
         if states is None:
             states = self.zero_state(batch)
@@ -198,14 +218,22 @@ class GRUStackInference:
         for cell, h in zip(self.stack.cells, states):
             hd = cell.hidden_dim
             flat = h_seq.reshape(batch * steps, h_seq.shape[-1])
-            gates_x = stable_matmul(flat, cell.w_x_gates.data).reshape(batch, steps, 2 * hd)
-            cand_x = stable_matmul(flat, cell.w_x_cand.data).reshape(batch, steps, hd)
-            out = np.empty((batch, steps, hd), dtype=np.float64)
+            gates_x = stable_matmul(flat, cell.w_x_gates.data, dtype=self.dtype).reshape(
+                batch, steps, 2 * hd
+            )
+            cand_x = stable_matmul(flat, cell.w_x_cand.data, dtype=self.dtype).reshape(
+                batch, steps, hd
+            )
+            out = working_empty((batch, steps, hd), dtype=self.dtype)
             for t in range(steps):
-                gates = gates_x[:, t, :] + stable_matmul(h, cell.w_h_gates.data) + cell.b_gates.data
+                gates = (
+                    gates_x[:, t, :]
+                    + stable_matmul(h, cell.w_h_gates.data, dtype=self.dtype)
+                    + cell.b_gates.data
+                )
                 r = sigmoid(gates[:, :hd])
                 u = sigmoid(gates[:, hd:])
-                h_proj = stable_matmul(h, cell.w_h_cand.data)
+                h_proj = stable_matmul(h, cell.w_h_cand.data, dtype=self.dtype)
                 n = np.tanh(cand_x[:, t, :] + r * h_proj + cell.b_cand.data)
                 h = (1.0 - u) * n + u * h
                 out[:, t, :] = h
@@ -214,25 +242,32 @@ class GRUStackInference:
         return h_seq, new_states
 
 
-def recurrent_inference(stack) -> Union[LSTMStackInference, GRUStackInference]:
+def recurrent_inference(stack, dtype=np.float64) -> Union[LSTMStackInference, GRUStackInference]:
     """Build the matching cache-free stepper for a recurrent stack."""
     if isinstance(stack, StackedLSTM):
-        return LSTMStackInference(stack)
+        return LSTMStackInference(stack, dtype=dtype)
     if isinstance(stack, StackedGRU):
-        return GRUStackInference(stack)
+        return GRUStackInference(stack, dtype=dtype)
     raise TypeError(f"unsupported recurrent stack: {type(stack).__name__}")
 
 
 class GaussianHeadInference:
     """Cache-free ``(mu, sigma)`` projection sharing a head's parameters."""
 
-    def __init__(self, head: GaussianOutput) -> None:
+    def __init__(self, head: GaussianOutput, dtype=np.float64) -> None:
         self.head = head
+        self.dtype = np.dtype(dtype)
 
     def __call__(self, h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         head = self.head
-        mu = stable_matmul(h, head.mu_head.weight.data)[:, 0] + head.mu_head.bias.data[0]
-        pre = stable_matmul(h, head.sigma_head.weight.data)[:, 0] + head.sigma_head.bias.data[0]
+        mu = (
+            stable_matmul(h, head.mu_head.weight.data, dtype=self.dtype)[:, 0]
+            + head.mu_head.bias.data[0]
+        )
+        pre = (
+            stable_matmul(h, head.sigma_head.weight.data, dtype=self.dtype)[:, 0]
+            + head.sigma_head.bias.data[0]
+        )
         sigma = softplus(pre) + head.sigma_floor
         return mu, sigma
 
@@ -244,22 +279,23 @@ class MultiGaussianHeadInference:
     arrays covering every target dimension at once.
     """
 
-    def __init__(self, head: MultiGaussianOutput) -> None:
+    def __init__(self, head: MultiGaussianOutput, dtype=np.float64) -> None:
         self.head = head
+        self.dtype = np.dtype(dtype)
 
     def __call__(self, h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         head = self.head
-        out = stable_matmul(h, head.weight.data) + head.bias.data
+        out = stable_matmul(h, head.weight.data, dtype=self.dtype) + head.bias.data
         d = head.target_dim
         mu = out[:, :d]
         sigma = softplus(out[:, d:]) + head.sigma_floor
         return mu, sigma
 
 
-def head_inference(head) -> Union[GaussianHeadInference, MultiGaussianHeadInference]:
+def head_inference(head, dtype=np.float64) -> Union[GaussianHeadInference, MultiGaussianHeadInference]:
     """Build the matching cache-free projection for a Gaussian head module."""
     if isinstance(head, MultiGaussianOutput):
-        return MultiGaussianHeadInference(head)
+        return MultiGaussianHeadInference(head, dtype=dtype)
     if isinstance(head, GaussianOutput):
-        return GaussianHeadInference(head)
+        return GaussianHeadInference(head, dtype=dtype)
     raise TypeError(f"unsupported Gaussian head: {type(head).__name__}")

@@ -24,6 +24,7 @@ def stable_matmul(
     w: np.ndarray,
     chunk: int = STABLE_CHUNK_ROWS,
     out: np.ndarray | None = None,
+    dtype: np.dtype | type | None = None,
 ) -> np.ndarray:
     """``x @ w`` with batch-size-invariant per-row results.
 
@@ -32,24 +33,32 @@ def stable_matmul(
     depends only on that row and ``w`` — not on how many other rows happen
     to share the batch.
 
-    ``out`` (optional, ``(n, w.shape[1])`` C-contiguous float64) receives
-    the result without allocating: full blocks are written by ``np.matmul``
-    directly into the output slice, which is bitwise identical to computing
-    the block product into a temporary and copying it.  The decode engine
-    uses this to keep its per-step gate buffers allocation-free.
+    ``out`` (optional, ``(n, w.shape[1])`` C-contiguous, compute dtype)
+    receives the result without allocating: full blocks are written by
+    ``np.matmul`` directly into the output slice, which is bitwise identical
+    to computing the block product into a temporary and copying it.  The
+    decode engine uses this to keep its per-step gate buffers
+    allocation-free.
+
+    ``dtype`` selects the compute precision: explicit argument first, then
+    ``out.dtype``, then the float64 reference — so every existing call site
+    is bitwise unchanged while the low-precision tier runs the same kernel
+    in float32 with no silent upcast.
     """
-    x = np.ascontiguousarray(x, dtype=np.float64)
-    w = np.asarray(w, dtype=np.float64)
+    if dtype is None:
+        dtype = np.float64 if out is None else out.dtype
+    x = np.ascontiguousarray(x, dtype=dtype)
+    w = np.asarray(w, dtype=dtype)
     n = x.shape[0]
     if out is None:
-        out = np.empty((n, w.shape[1]), dtype=np.float64)
+        out = np.empty((n, w.shape[1]), dtype=dtype)
     for start in range(0, n, chunk):
         block = x[start : start + chunk]
         rows = block.shape[0]
         if rows == chunk:
             np.matmul(block, w, out=out[start : start + chunk])
         else:
-            padded = np.zeros((chunk, x.shape[1]), dtype=np.float64)
+            padded = np.zeros((chunk, x.shape[1]), dtype=dtype)
             padded[:rows] = block
             out[start : start + rows] = (padded @ w)[:rows]
     return out

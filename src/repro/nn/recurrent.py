@@ -42,25 +42,26 @@ class LSTMDecodeContext:
     allocates nothing.
     """
 
-    __slots__ = ("w_x", "w_h", "bias", "h", "c", "gates", "hw", "ig", "tanh_c", "sg_scratch")
+    __slots__ = ("w_x", "w_h", "bias", "h", "c", "gates", "hw", "ig", "tanh_c", "sg_scratch", "dtype")
 
-    def __init__(self, cell: "LSTMCell", state: LSTMState) -> None:
+    def __init__(self, cell: "LSTMCell", state: LSTMState, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         perm = cell._gate_perm
-        self.w_x = np.ascontiguousarray(cell.w_x.data[:, perm])
-        self.w_h = np.ascontiguousarray(cell.w_h.data[:, perm])
-        self.bias = np.ascontiguousarray(cell.bias.data[perm])
+        self.w_x = np.ascontiguousarray(cell.w_x.data[:, perm], dtype=self.dtype)
+        self.w_h = np.ascontiguousarray(cell.w_h.data[:, perm], dtype=self.dtype)
+        self.bias = np.ascontiguousarray(cell.bias.data[perm], dtype=self.dtype)
         h0, c0 = state
-        self.h = np.array(h0, dtype=np.float64, copy=True, order="C")
-        self.c = np.array(c0, dtype=np.float64, copy=True, order="C")
+        self.h = np.array(h0, dtype=self.dtype, copy=True, order="C")
+        self.c = np.array(c0, dtype=self.dtype, copy=True, order="C")
         batch = self.h.shape[0]
         hd = cell.hidden_dim
-        self.gates = np.empty((batch, 4 * hd), dtype=np.float64)
-        self.hw = np.empty((batch, 4 * hd), dtype=np.float64)
-        self.ig = np.empty((batch, hd), dtype=np.float64)
-        self.tanh_c = np.empty((batch, hd), dtype=np.float64)
+        self.gates = np.empty((batch, 4 * hd), dtype=self.dtype)
+        self.hw = np.empty((batch, 4 * hd), dtype=self.dtype)
+        self.ig = np.empty((batch, hd), dtype=self.dtype)
+        self.tanh_c = np.empty((batch, hd), dtype=self.dtype)
         self.sg_scratch = (
-            np.empty((batch, 3 * hd), dtype=np.float64),
-            np.empty((batch, 3 * hd), dtype=np.float64),
+            np.empty((batch, 3 * hd), dtype=self.dtype),
+            np.empty((batch, 3 * hd), dtype=self.dtype),
         )
 
 
@@ -123,9 +124,9 @@ class LSTMCell(Module):
         )
 
     # ------------------------------------------------------------------
-    def zero_state(self, batch_size: int) -> LSTMState:
-        h = np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
-        c = np.zeros((batch_size, self.hidden_dim), dtype=np.float64)
+    def zero_state(self, batch_size: int, dtype=np.float64) -> LSTMState:
+        h = np.zeros((batch_size, self.hidden_dim), dtype=dtype)
+        c = np.zeros((batch_size, self.hidden_dim), dtype=dtype)
         return h, c
 
     def step(self, x: np.ndarray, state: LSTMState) -> Tuple[np.ndarray, LSTMState]:
@@ -204,15 +205,16 @@ class LSTMCell(Module):
         self._seq_cache.clear()
 
     # fused decode path -------------------------------------------------
-    def begin_decode(self, state: LSTMState) -> LSTMDecodeContext:
+    def begin_decode(self, state: LSTMState, dtype=np.float64) -> LSTMDecodeContext:
         """Open an allocation-free decode session starting from ``state``.
 
         Copies the initial ``(h, c)`` into context-owned buffers and builds
         the ``[i, f, o, g]``-permuted weight copies, so every subsequent
         :meth:`step_decode` runs without allocating.  The copies are tiny
         and rebuilt per session, so weight updates are always picked up.
+        ``dtype`` selects the compute precision of the whole session.
         """
-        return LSTMDecodeContext(self, state)
+        return LSTMDecodeContext(self, state, dtype=dtype)
 
     def step_decode(self, x: np.ndarray, ctx: LSTMDecodeContext) -> np.ndarray:
         """One decode step, byte-identical to the serving ``step`` kernel.
@@ -504,8 +506,8 @@ class StackedLSTM(Module):
         self._seq_dropout_cache: List[Optional[np.ndarray]] = []
 
     # ------------------------------------------------------------------
-    def zero_state(self, batch_size: int) -> List[LSTMState]:
-        return [cell.zero_state(batch_size) for cell in self.cells]
+    def zero_state(self, batch_size: int, dtype=np.float64) -> List[LSTMState]:
+        return [cell.zero_state(batch_size, dtype=dtype) for cell in self.cells]
 
     def step(
         self, x: np.ndarray, states: Sequence[LSTMState]
@@ -588,9 +590,9 @@ class StackedLSTM(Module):
             raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
         return np.stack([np.stack([h, c]) for h, c in states])
 
-    def import_state(self, packed: np.ndarray) -> List[LSTMState]:
+    def import_state(self, packed: np.ndarray, dtype=np.float64) -> List[LSTMState]:
         """Inverse of :meth:`export_state`; returns fresh per-layer copies."""
-        packed = np.asarray(packed, dtype=np.float64)
+        packed = np.asarray(packed, dtype=dtype)
         if packed.ndim != 4 or packed.shape[0] != self.num_layers or packed.shape[1] != 2:
             raise ValueError(
                 f"expected shape ({self.num_layers}, 2, B, {self.hidden_dim}), "
@@ -603,11 +605,13 @@ class StackedLSTM(Module):
     # ------------------------------------------------------------------
     # fused decode path (used by the serving engine's Monte-Carlo loop)
     # ------------------------------------------------------------------
-    def begin_decode(self, states: Sequence[LSTMState]) -> List[LSTMDecodeContext]:
+    def begin_decode(
+        self, states: Sequence[LSTMState], dtype=np.float64
+    ) -> List[LSTMDecodeContext]:
         """Per-layer decode contexts starting from ``states`` (copied in)."""
         if len(states) != self.num_layers:
             raise ValueError(f"expected {self.num_layers} states, got {len(states)}")
-        return [cell.begin_decode(state) for cell, state in zip(self.cells, states)]
+        return [cell.begin_decode(state, dtype=dtype) for cell, state in zip(self.cells, states)]
 
     def step_decode(
         self, x: np.ndarray, ctxs: Sequence[LSTMDecodeContext]

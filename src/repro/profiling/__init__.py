@@ -8,6 +8,8 @@ from .batchscaling import (
 )
 from .breakdown import BreakdownEntry, cpu_kernel_shares, hybrid_breakdown, offload_fraction_for_batch
 from .decode import DECODE_WORKLOADS, DecodeMeasurement, decode_breakdown
+from .precision import PrecisionMeasurement, precision_breakdown
+from .report import bench_output_dir, host_fingerprint, write_bench_json
 from .devices import DEVICES, DeviceModel, TABLE8_SPECS
 from .inference import InferenceMeasurement, fleet_inference_breakdown
 from .kernels import (
@@ -39,6 +41,11 @@ __all__ = [
     "DECODE_WORKLOADS",
     "DecodeMeasurement",
     "decode_breakdown",
+    "PrecisionMeasurement",
+    "precision_breakdown",
+    "bench_output_dir",
+    "host_fingerprint",
+    "write_bench_json",
     "DEVICES",
     "DeviceModel",
     "TABLE8_SPECS",

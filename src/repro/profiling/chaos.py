@@ -458,10 +458,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     os.makedirs(args.dir, exist_ok=True)
 
     print("fitting the chaos model into a scratch artifact store...", flush=True)
+    start = time.perf_counter()
     race, series = _fit_store(args.dir)
     if args.profile == "workers":
-        return _run_workers(args, race, series)
-    return _run_core(args, race, series)
+        rc = _run_workers(args, race, series)
+    else:
+        rc = _run_core(args, race, series)
+    from .report import write_bench_json
+
+    wall_ms = round(1e3 * (time.perf_counter() - start), 2)
+    rows = [
+        {
+            "workload": f"chaos-{args.profile}",
+            "wall_ms": wall_ms,
+            "speedup": None,
+            "passed": rc == 0,
+        }
+    ]
+    print(f"wrote {write_bench_json(f'chaos_{args.profile}', rows)}")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

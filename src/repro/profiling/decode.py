@@ -169,7 +169,12 @@ def decode_breakdown(
 
 
 def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
-    rows = [m.as_row() for m in decode_breakdown()]
+    from .report import write_bench_json
+
+    rows = [
+        {**m.as_row(), "wall_ms": round(m.decode_ms, 2), "speedup": round(m.speedup_vs_stepwise, 2)}
+        for m in decode_breakdown()
+    ]
     print("Decode breakdown (2x40 LSTM, encoder 60; decode phase only, median of 3)")
     print(f"{'workload':<20}{'decode':<10}{'warmup_ms':>11}{'decode_ms':>11}{'speedup':>9}")
     for row in rows:
@@ -177,6 +182,7 @@ def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
             f"{row['workload']:<20}{row['decode']:<10}{row['warmup_ms']:>11.1f}"
             f"{row['decode_ms']:>11.1f}{row['speedup_vs_stepwise']:>9.2f}"
         )
+    print(f"wrote {write_bench_json('decode', rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

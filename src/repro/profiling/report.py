@@ -1,0 +1,84 @@
+"""Machine-readable sidecars for the profiling runners.
+
+Every ``python -m repro.profiling.<runner>`` invocation prints a
+human-readable table; this module gives each of them a uniform JSON
+sidecar — ``BENCH_<name>.json`` — written next to the text results in
+``benchmarks/results/`` so CI (and cross-host comparisons) can consume
+the numbers without screen-scraping the tables.
+
+A sidecar document has three parts:
+
+* ``bench`` / ``generated_at`` — which runner produced it and when;
+* ``host`` — a fingerprint of the machine (platform, python, numpy,
+  CPU count) so numbers from different hosts are never compared blind;
+* ``rows`` — the runner's measurement rows, verbatim (each row carries
+  its workload label, wall-clock milliseconds and speedup columns).
+
+The output directory resolves, in order: the ``REPRO_BENCH_DIR``
+environment variable, an existing ``benchmarks/results/`` under the
+current directory, else the current directory itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["bench_output_dir", "host_fingerprint", "write_bench_json"]
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """Identity of the measuring host, recorded alongside every sidecar."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_output_dir() -> str:
+    """Where ``BENCH_<name>.json`` sidecars land (see module docstring)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        os.makedirs(override, exist_ok=True)
+        return override
+    candidate = os.path.join(os.getcwd(), "benchmarks", "results")
+    if os.path.isdir(candidate):
+        return candidate
+    return os.getcwd()
+
+
+def write_bench_json(
+    name: str,
+    rows: List[Dict[str, object]],
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``rows`` is the runner's list of measurement dicts (``as_row()``
+    output); ``extra`` merges runner-specific metadata (model shape,
+    repeat count, gate outcomes) into the top level of the document.
+    """
+    document: Dict[str, object] = {
+        "bench": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": host_fingerprint(),
+        "rows": rows,
+    }
+    if extra:
+        document.update(extra)
+    path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp_path, path)
+    return path

@@ -138,14 +138,23 @@ def scenario_benchmark(
 
 
 def main() -> int:
+    from .report import write_bench_json
+
     measurements, identical = scenario_benchmark()
+    rows = [m.as_row() for m in measurements]
     print(
         format_table(
-            [m.as_row() for m in measurements],
+            rows,
             title="Scenario engine: sweep throughput and streaming latency",
         )
     )
+    baseline_s = rows[0]["wall_s"] if rows else 0.0
+    for row in rows:
+        row["workload"] = row["path"]
+        row["wall_ms"] = round(1e3 * row["wall_s"], 2)
+        row["speedup"] = round(baseline_s / row["wall_s"], 2) if row["wall_s"] else None
     print(f"\nin-process vs http per-race documents byte-identical: {identical}")
+    print(f"wrote {write_bench_json('scenarios', rows, extra={'byte_identical': identical})}")
     return 0 if identical else 1
 
 

@@ -317,7 +317,14 @@ def isolation_benchmark(
 
 
 def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
+    from .report import write_bench_json
+
     rows = [m.as_row() for m in gateway_benchmark()]
+    baseline_s = rows[0]["wall_s"] if rows else 0.0
+    for row in rows:
+        row["workload"] = row["path"]
+        row["wall_ms"] = round(1e3 * row["wall_s"], 2)
+        row["speedup"] = round(baseline_s / row["wall_s"], 2) if row["wall_s"] else None
     print(
         "Serving gateway benchmark (tiny DeepAR, 48 seeded single-car requests, "
         "20 samples, h2; median of 3)"
@@ -336,6 +343,7 @@ def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
     )
     for key, value in isolation.items():
         print(f"  {key:<22}{value:.4f}")
+    print(f"wrote {write_bench_json('server', rows, extra={'isolation': isolation})}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -146,7 +146,12 @@ def training_breakdown(
 
 
 def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
-    rows = [m.as_row() for m in training_breakdown()]
+    from .report import write_bench_json
+
+    rows = [
+        {**m.as_row(), "workload": m.strategy, "speedup": round(m.speedup_vs_stepwise, 2)}
+        for m in training_breakdown()
+    ]
     header = f"{'strategy':<12}{'wall_ms':>10}{'inst/s':>10}{'speedup':>9}"
     print("Training breakdown (Table IV config: 2x40 LSTM, encoder 60, decoder 2)")
     print(header)
@@ -155,6 +160,7 @@ def _main() -> None:  # pragma: no cover - exercised by the CI bench smoke job
             f"{row['strategy']:<12}{row['wall_ms']:>10.1f}"
             f"{row['instances_per_s']:>10.1f}{row['speedup_vs_stepwise']:>9.2f}"
         )
+    print(f"wrote {write_bench_json('training', rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -314,6 +314,7 @@ class ScenarioEngine:
                 requests.append(
                     NamedForecastRequest(
                         model=fc.model,
+                        precision=fc.precision,
                         request=ForecastRequest(
                             history_target=forecaster._history_target(series, origin),
                             history_covariates=forecaster._history_covariates(series, origin),
@@ -342,6 +343,7 @@ class ScenarioEngine:
             "model": fc.model,
             "horizon": int(fc.horizon),
             "n_samples": int(fc.n_samples),
+            "precision": fc.precision,
             "origins": [int(o) for o in origins],
             "cars": [len(per_origin[o]) for o in origins],
             "mae": mae,

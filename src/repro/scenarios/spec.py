@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.precision import PRECISIONS
 from ..simulation.track import EVENT_YEARS, TRACKS
 
 __all__ = [
@@ -109,7 +110,7 @@ _SPEC_KEYS = {
     "forecast": "score a served model on every simulated race",
 }
 
-_FORECAST_KEYS = {"model", "origins", "horizon", "n_samples", "min_history"}
+_FORECAST_KEYS = {"model", "origins", "horizon", "n_samples", "min_history", "precision"}
 
 
 class ScenarioError(ValueError):
@@ -173,6 +174,8 @@ class ForecastSpec:
     horizon: int = 2
     n_samples: int = 20
     min_history: int = 10
+    #: compute tier the scored forecasts run on (see ``repro.nn.precision``)
+    precision: str = "float64"
 
 
 @dataclass
@@ -331,6 +334,13 @@ def _parse_forecast(name: str, raw) -> ForecastSpec:
         origins = tuple(int(o) for o in origins_raw)
     else:
         raise _fail(name, "forecast needs 'origins': an array or {start, stop, stride}")
+    precision = raw.get("precision", "float64")
+    if not isinstance(precision, str) or precision not in PRECISIONS:
+        raise _fail(
+            name,
+            f"unknown forecast precision {precision!r}; "
+            f"supported: {', '.join(PRECISIONS)}",
+        )
     try:
         spec = ForecastSpec(
             model=model,
@@ -338,6 +348,7 @@ def _parse_forecast(name: str, raw) -> ForecastSpec:
             horizon=int(raw.get("horizon", 2)),
             n_samples=int(raw.get("n_samples", 20)),
             min_history=int(raw.get("min_history", 10)),
+            precision=precision,
         )
     except (TypeError, ValueError) as exc:
         raise _fail(name, f"invalid forecast block: {exc}")

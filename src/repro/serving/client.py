@@ -268,8 +268,14 @@ class ForecastClient:
         rng: Union[np.random.Generator, int, None] = None,
         key=None,
         origin: Optional[int] = None,
+        precision: str = "float64",
     ) -> NamedForecastRequest:
-        """Build one named request (``rng`` seed/stream is mandatory)."""
+        """Build one named request (``rng`` seed/stream is mandatory).
+
+        ``precision`` picks the compute tier (``"float64"`` — the exact
+        reference, ``"float32"`` or ``"int8"``; see
+        :mod:`repro.nn.precision`).
+        """
         if rng is None:
             raise ValueError(
                 "a per-request rng (integer seed or numpy Generator) is required: "
@@ -278,6 +284,7 @@ class ForecastClient:
             )
         return NamedForecastRequest(
             model=model,
+            precision=precision,
             request=ForecastRequest(
                 history_target=history_target,
                 history_covariates=history_covariates,
@@ -553,7 +560,8 @@ class ForecastClient:
         """Run ``PitStrategyOptimizer.sweep`` on the served model.
 
         ``options`` forwards ``earliest``/``latest``/``step``/``mode``/
-        ``n_samples``/``field_size``.  Returns ``StrategySweepPoint``
+        ``n_samples``/``field_size``/``precision`` (compute tier; the
+        default ``"float64"`` sweep stays bitwise).  Returns ``StrategySweepPoint``
         objects bitwise equal to the in-process sweep seeded with the same
         ``rng``.
         """
@@ -588,9 +596,15 @@ class ForecastClient:
         stride: int = 1,
         event: str = "live",
         year: int = 0,
+        precision: str = "float64",
         timeout_s: Optional[float] = None,
     ) -> "LiveSessionClient":
-        """Open a server-side race session and return its streaming handle."""
+        """Open a server-side race session and return its streaming handle.
+
+        ``precision`` picks the compute tier every lap-streamed forecast of
+        this session runs on (the default ``"float64"`` keeps the session
+        byte-identical to previous protocol revisions).
+        """
         if rng is None:
             raise ValueError(
                 "a session rng (integer seed or numpy Generator) is required: "
@@ -609,6 +623,7 @@ class ForecastClient:
             stride=int(stride),
             event=str(event),
             year=int(year),
+            precision=str(precision),
         )
         payload["idempotency_key"] = self.next_idempotency_key("open")
         document = self._call("POST", "/v1/sessions", payload)

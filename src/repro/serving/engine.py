@@ -71,6 +71,14 @@ from ..nn.inference import (
     slice_states,
     tile_states,
 )
+from ..nn.precision import (
+    DEFAULT_PRECISION,
+    assert_dtype,
+    compute_dtype,
+    convert_module,
+    normalize_precision,
+    working_empty,
+)
 from .cache import CachedWarmup, WarmupStateCache
 from .requests import ForecastRequest
 
@@ -132,6 +140,20 @@ class FleetForecaster:
         The two are byte-identical (gated in the benchmark suite); the
         knob exists for benchmarking and bisection.  Transformer
         backbones ignore it (no step-wise recurrent state).
+    precision:
+        ``"float64"`` (default) is the exact reference tier — bitwise
+        unchanged behaviour.  ``"float32"`` runs the whole warm-up and
+        decode in single precision on a converted weight replica;
+        ``"int8"`` additionally quantises the replica's weights
+        per-output-channel to int8 and dequantises them once into the f32
+        GEMM operands.  Low-precision tiers require a recurrent backbone
+        and the fused decode engine; their contract is *error-bounded*
+        rank-forecast parity against the float64 reference (gated in
+        ``benchmarks/test_bench_precision.py``), not byte identity.
+        Returned sample arrays are always float64 — the tier changes the
+        arithmetic, not the wire/result dtype.  The replica's weights are
+        snapshotted at construction; refitting the model requires a fresh
+        engine (the deep forecasters rebuild their engine caches on fit).
     """
 
     def __init__(
@@ -141,11 +163,19 @@ class FleetForecaster:
         cache_size: int = 512,
         max_batch_rows: int = 8192,
         decode: str = "fused",
+        precision: str = DEFAULT_PRECISION,
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if decode not in _DECODES:
             raise ValueError(f"decode must be one of {_DECODES}, got {decode!r}")
+        self.precision = normalize_precision(precision)
+        self.dtype = compute_dtype(self.precision)
+        if self.precision != "float64" and decode != "fused":
+            raise ValueError(
+                "decode='stepwise' is the float64 byte-identity reference; "
+                f"precision={self.precision!r} runs the fused engine only"
+            )
         self.model = model
         self.mode = mode
         self.decode = decode
@@ -154,6 +184,12 @@ class FleetForecaster:
         if hasattr(model, "lstm"):
             self._backend = _RecurrentBackend(self)
         elif hasattr(model, "_encode") and hasattr(model, "_decode"):
+            if self.precision != "float64":
+                raise ValueError(
+                    f"precision={self.precision!r} is not available for the "
+                    "Transformer backbone: it decodes through the float64 "
+                    "training modules; request the float64 reference tier"
+                )
             self._backend = _TransformerBackend(self)
         else:
             raise TypeError(
@@ -248,14 +284,24 @@ class _RecurrentBackend:
     def __init__(self, engine: FleetForecaster) -> None:
         self.engine = engine
         self.model = engine.model
-        self.stack = recurrent_inference(self.model.lstm)
+        self.dtype = engine.dtype
+        # low-precision tiers run on a converted weight replica (float32
+        # cast, or int8-quantised-then-dequantised); the float64 reference
+        # shares the training parameters by reference, exactly as before
+        self.stack_module = convert_module(self.model.lstm, engine.precision)
+        self.stack = recurrent_inference(self.stack_module, dtype=self.dtype)
         # fused multi-dim head (RankSeqModel) or per-dimension head list
         if hasattr(self.model, "head"):
-            self.head = head_inference(self.model.head)
+            self.head = head_inference(
+                convert_module(self.model.head, engine.precision), dtype=self.dtype
+            )
             self.heads = None
         else:
             self.head = None
-            self.heads = [head_inference(head) for head in self.model.heads]
+            self.heads = [
+                head_inference(convert_module(head, engine.precision), dtype=self.dtype)
+                for head in self.model.heads
+            ]
 
     # -- validation ----------------------------------------------------
     def validate(self, request: ForecastRequest) -> None:
@@ -299,7 +345,7 @@ class _RecurrentBackend:
         """Warm-up that carries cached states between consecutive origins."""
         owners, uniques = _dedupe_warmups(requests, self.engine._stats)
         cache = self.engine.cache
-        stack_module = self.model.lstm
+        stack_module = self.stack_module
 
         # order cache-keyed slots per key by origin, so several origins of
         # the same car inside one submit advance the state sequentially
@@ -331,7 +377,9 @@ class _RecurrentBackend:
         # state is written straight into its batch column (the batch axis of
         # ``export_state`` is -2 for both backbones), replacing the old
         # per-slot list + final ``np.concatenate`` assembly
-        packed_all = stack_module.export_state(stack_module.zero_state(n_slots))
+        packed_all = stack_module.export_state(
+            stack_module.zero_state(n_slots, dtype=self.dtype)
+        )
 
         for round_slots in rounds:
             full: List[int] = []
@@ -385,7 +433,9 @@ class _RecurrentBackend:
                 # np.concatenate over per-entry arrays
                 frozen = np.empty((k, target_dim), dtype=np.float64)
                 z_prev = np.empty((k, target_dim), dtype=np.float64)
-                adv_packed = stack_module.export_state(stack_module.zero_state(k))
+                adv_packed = stack_module.export_state(
+                    stack_module.zero_state(k, dtype=self.dtype)
+                )
                 # step j consumes [z_{j-1}, cov_j]; fuse the delta new laps
                 x = np.empty((k, delta, target_dim + num_cov), dtype=np.float64)
                 for row, (slot, entry) in enumerate(slot_entries):
@@ -399,7 +449,7 @@ class _RecurrentBackend:
                         )
                     x[row, :, target_dim:] = request.history_covariates[-delta:]
                     z_prev[row] = request.target[-1] / entry.scale
-                states = stack_module.import_state(adv_packed)
+                states = stack_module.import_state(adv_packed, dtype=self.dtype)
                 _, states = self.stack.forward_sequence(x, states)
                 self.engine._stats["warmup_steps"] += delta
                 cache.carries += len(slots)
@@ -419,7 +469,7 @@ class _RecurrentBackend:
                         ),
                     )
 
-        return owners, scales, stack_module.import_state(packed_all), z_last
+        return owners, scales, stack_module.import_state(packed_all, dtype=self.dtype), z_last
 
     # -- decode --------------------------------------------------------
     def run_group(self, requests: Sequence[ForecastRequest]) -> List[np.ndarray]:
@@ -521,26 +571,43 @@ class _RecurrentBackend:
         ``benchmarks/test_bench_decode.py``).
         """
         target_dim = self.model.target_dim
+        dtype = self.dtype
+        guarded = dtype != np.float64  # assert-guard the low-precision tiers
         noise = self._block_noise(rngs, counts, offsets, horizon, target_dim, total)
+        if guarded:
+            # noise is always drawn float64 so every tier consumes the RNG
+            # streams identically; only the arithmetic downcasts
+            noise = noise.astype(dtype)
         # future covariates expanded once: (horizon, total, C), contiguous
         # per-step slices — replaces one np.repeat per lap
-        cov_all = np.ascontiguousarray(np.repeat(future, counts, axis=0).transpose(1, 0, 2))
-        ctxs = self.model.lstm.begin_decode(states)
-        x_buf = np.empty((total, target_dim + cov_all.shape[2]), dtype=np.float64)
-        z = np.ascontiguousarray(z_prev)
+        cov_all = np.ascontiguousarray(
+            np.repeat(future, counts, axis=0).transpose(1, 0, 2), dtype=dtype
+        )
+        ctxs = self.stack_module.begin_decode(states, dtype=dtype)
+        x_buf = working_empty((total, target_dim + cov_all.shape[2]), dtype=dtype)
+        z = np.ascontiguousarray(z_prev, dtype=dtype)
         samples = np.empty((total, horizon), dtype=np.float64)
         for h in range(horizon):
             x_buf[:, :target_dim] = z
             x_buf[:, target_dim:] = cov_all[h]
-            h_t = self.model.lstm.step_decode(x_buf, ctxs)
+            h_t = self.stack_module.step_decode(x_buf, ctxs)
+            if guarded:
+                assert_dtype(h_t, dtype, "decode hidden state")
             if self.head is not None:
                 mu_all, sigma_all = self.head(h_t)  # one (H, 2D) GEMM for all dims
+                if guarded:
+                    assert_dtype(mu_all, dtype, "head mu")
+                    assert_dtype(sigma_all, dtype, "head sigma")
                 np.multiply(sigma_all, noise[h], out=z)
                 z += mu_all
             else:
                 for d, head in enumerate(self.heads):
                     mu, sigma = head(h_t)
+                    if guarded:
+                        assert_dtype(mu, dtype, "head mu")
+                        assert_dtype(sigma, dtype, "head sigma")
                     z[:, d] = mu + sigma * noise[h, :, d]
+            # samples stay float64 on every tier (the result contract)
             np.multiply(z[:, 0], scale0_rows, out=samples[:, h])
         return samples
 

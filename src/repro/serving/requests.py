@@ -107,13 +107,18 @@ class NamedForecastRequest:
     """A :class:`ForecastRequest` addressed to a named served model.
 
     The :class:`~repro.serving.service.ForecastService` routes batches of
-    these: requests naming the same model are grouped and dispatched to
-    that model's fleet engine in one submit, so a mixed-model batch costs
-    one engine pass per distinct model rather than one per request.
+    these: requests naming the same ``(model, precision)`` pair are grouped
+    and dispatched to that replica's fleet engine in one submit, so a
+    mixed-model batch costs one engine pass per distinct replica rather
+    than one per request.
     """
 
     model: str
     request: ForecastRequest
+    #: compute tier the forecast runs on: ``"float64"`` (the exact
+    #: reference, default), ``"float32"`` or ``"int8"`` — see
+    #: :mod:`repro.nn.precision`
+    precision: str = "float64"
     #: optional server-side time budget (a ``repro.serving.resilience.Deadline``)
     #: the gateway attaches from the envelope's ``deadline_ms``; checked by
     #: the submit path so queued work past budget is shed, not executed
@@ -125,6 +130,11 @@ class NamedForecastRequest:
             raise TypeError(
                 f"request must be a ForecastRequest, got {type(self.request).__name__}"
             )
+        # validated eagerly so a bad tier fails at construction, not inside
+        # an engine pass half-way through a batch
+        from ..nn.precision import normalize_precision
+
+        self.precision = normalize_precision(self.precision)
 
 
 def spawn_request_rngs(root: np.random.Generator, n: int) -> List[np.random.Generator]:

@@ -872,7 +872,7 @@ class ForecastGateway:
         known = {
             "schema_version", "kind", "model", "horizon", "n_samples", "min_history",
             "delay", "start", "stop", "stride", "event", "year", "rng",
-            "idempotency_key", "deadline_ms",
+            "idempotency_key", "deadline_ms", "precision",
         }
         unknown = sorted(set(document) - known)
         if unknown:

@@ -58,15 +58,28 @@ class ModelHandle:
     def family(self) -> str:
         return str(self.entry.get("family", type(self.forecaster).__name__))
 
-    def engine(self, mode: Optional[str] = None) -> FleetForecaster:
-        """The model's fleet engine (deep forecaster families only)."""
+    def engine(
+        self, mode: Optional[str] = None, precision: Optional[str] = None
+    ) -> FleetForecaster:
+        """The model's fleet engine (deep forecaster families only).
+
+        ``precision`` selects the compute tier the engine runs on (see
+        :mod:`repro.nn.precision`); each ``(mode, precision)`` pair is a
+        separate cached engine on the forecaster, so low-precision traffic
+        never perturbs the byte-identical float64 reference replica.
+        """
         fleet_engine = getattr(self.forecaster, "fleet_engine", None)
         if fleet_engine is None:
             raise TypeError(
                 f"model {self.name!r} ({self.family}) has no fleet engine; "
                 "use forecast()/forecast_fleet() for non-deep families"
             )
-        return fleet_engine(mode) if mode is not None else fleet_engine()
+        kwargs = {}
+        if mode is not None:
+            kwargs["mode"] = mode
+        if precision is not None:
+            kwargs["precision"] = precision
+        return fleet_engine(**kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ModelHandle(name={self.name!r}, family={self.family!r})"
@@ -230,36 +243,37 @@ class ForecastService:
     def submit(self, requests: Sequence[NamedForecastRequest]) -> List[np.ndarray]:
         """Route a mixed-model batch of named requests to the fleet engines.
 
-        Requests are grouped by model name (one engine submit per distinct
-        model); the returned sample arrays line up with the submission
-        order.  All named models are loaded first — so a batch naming more
-        distinct models than ``capacity`` raises rather than thrashing the
-        LRU mid-flight.
+        Requests are grouped by ``(model, precision)`` (one engine submit
+        per distinct replica); the returned sample arrays line up with the
+        submission order.  All named models are loaded first — so a batch
+        naming more distinct models than ``capacity`` raises rather than
+        thrashing the LRU mid-flight.
         """
         requests = list(requests)
         if not requests:
             return []
-        order: "OrderedDict[str, List[int]]" = OrderedDict()
+        order: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
         for i, named in enumerate(requests):
             if not isinstance(named, NamedForecastRequest):
                 raise TypeError(
                     f"submit expects NamedForecastRequest, got {type(named).__name__}"
                 )
-            order.setdefault(named.model, []).append(i)
+            order.setdefault((named.model, named.precision), []).append(i)
+        names = OrderedDict((model, None) for model, _ in order)
         with self._registry_lock:
             # slots held by pinned models outside this batch are not available —
             # loading past them would evict a batch-mate mid-flight instead
-            reserved = sum(1 for name in self._pins if name not in order)
-            if len(order) > self.capacity - reserved:
+            reserved = sum(1 for name in self._pins if name not in names)
+            if len(names) > self.capacity - reserved:
                 raise ValueError(
-                    f"batch names {len(order)} distinct models, but only "
+                    f"batch names {len(names)} distinct models, but only "
                     f"{self.capacity - reserved} of {self.capacity} slots are free "
                     f"({reserved} pinned); raise the capacity or split the batch"
                 )
-            handles = {name: self.load(name) for name in order}
+            handles = {name: self.load(name) for name in names}
         outputs: List[Optional[np.ndarray]] = [None] * len(requests)
-        for name, indices in order.items():
-            engine = handles[name].engine(self.mode)
+        for (name, precision), indices in order.items():
+            engine = handles[name].engine(self.mode, precision)
             results = engine.submit([requests[i].request for i in indices])
             for i, samples in zip(indices, results):
                 outputs[i] = samples

@@ -353,6 +353,7 @@ def build_live_session(document: dict, forecaster) -> RaceSession:
         n_samples=int(document.get("n_samples", 50)),
         min_history=int(document.get("min_history", 10)),
         rng=wire.rng_from_wire(document.get("rng"), required=True),
+        precision=wire.precision_from_wire(document, kind="session-open"),
     )
     return RaceSession(
         live,

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..data.features import CarFeatureSeries
 from ..nn.checkpoint import rng_from_state, rng_state
+from ..nn.precision import DEFAULT_PRECISION, PRECISIONS
 from .requests import ForecastRequest, NamedForecastRequest
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "lap_record_to_wire",
     "named_request_from_wire",
     "named_request_to_wire",
+    "precision_from_wire",
     "raise_for_error",
     "request_from_wire",
     "request_to_wire",
@@ -84,7 +86,13 @@ __all__ = [
 #: code (503, ``detail.retry_after_ms``) raised while a crashed model
 #: replica is being respawned, and the per-worker health fields
 #: (``workers``, ``worker_pool``, ``uptime_s``) on ``/v1/health``.
-WIRE_SCHEMA_VERSION = 4
+#: v5 added the low-precision compute tier: an optional ``precision``
+#: field (``"float64"`` | ``"float32"`` | ``"int8"``, absent means
+#: ``"float64"``) on named forecast requests, sweep requests and
+#: session-open documents, and the ``unsupported_precision`` error code
+#: (400) for any other value.  ``"float64"`` traffic stays byte-identical
+#: to v4; the lower tiers are error-bounded (see ``repro.nn.precision``).
+WIRE_SCHEMA_VERSION = 5
 
 
 class WireError(ValueError):
@@ -301,8 +309,36 @@ def request_from_wire(document, require_rng: bool = False) -> ForecastRequest:
         raise WireError("malformed_request", f"invalid forecast request: {exc}") from exc
 
 
+def precision_from_wire(document, kind: str = "request") -> str:
+    """Validate a wire document's optional ``precision`` field (v5).
+
+    Absent (or ``null``) means the exact float64 reference tier — which is
+    also why v4 documents keep decoding unchanged.  Any value outside
+    :data:`repro.nn.precision.PRECISIONS` is refused with the structured
+    ``unsupported_precision`` code rather than a bare ``ValueError`` deep
+    inside an engine pass.
+    """
+    value = document.get("precision") if isinstance(document, dict) else None
+    if value is None:
+        return DEFAULT_PRECISION
+    if not isinstance(value, str) or value not in PRECISIONS:
+        raise WireError(
+            "unsupported_precision",
+            f"{kind} names precision {value!r}; this build serves "
+            f"{', '.join(PRECISIONS)}",
+            status=400,
+            detail={"precision": value if isinstance(value, str) else str(value),
+                    "supported": list(PRECISIONS)},
+        )
+    return value
+
+
 def named_request_to_wire(named: NamedForecastRequest) -> dict:
-    return {"model": named.model, "request": request_to_wire(named.request)}
+    return {
+        "model": named.model,
+        "request": request_to_wire(named.request),
+        "precision": named.precision,
+    }
 
 
 def named_request_from_wire(document, require_rng: bool = False) -> NamedForecastRequest:
@@ -314,6 +350,7 @@ def named_request_from_wire(document, require_rng: bool = False) -> NamedForecas
     return NamedForecastRequest(
         model=model,
         request=request_from_wire(_require(document, "request", "named request"), require_rng),
+        precision=precision_from_wire(document, kind="named request"),
     )
 
 
@@ -461,6 +498,7 @@ def sweep_request_to_wire(
     n_samples: int = 100,
     field_size: Optional[int] = None,
     rng: Union[np.random.Generator, int, None] = None,
+    precision: str = DEFAULT_PRECISION,
     idempotency_key: Optional[str] = None,
     deadline_ms: Optional[float] = None,
 ) -> dict:
@@ -478,6 +516,7 @@ def sweep_request_to_wire(
         n_samples=int(n_samples),
         field_size=None if field_size is None else int(field_size),
         rng=rng_to_wire(rng),
+        precision=str(precision),
     )
     if idempotency_key is not None:
         document["idempotency_key"] = str(idempotency_key)
@@ -510,6 +549,7 @@ def sweep_request_from_wire(document) -> dict:
                 None if document.get("field_size") is None else int(document["field_size"])
             ),
             "rng": rng_from_wire(document.get("rng"), required=True),
+            "precision": precision_from_wire(document, kind="sweep request"),
         }
     except WireError:
         raise

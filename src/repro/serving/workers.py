@@ -71,6 +71,7 @@ def execute_sweep(forecaster, parsed: dict):
             forecaster,
             n_samples=parsed["n_samples"],
             field_size=parsed["field_size"],
+            precision=parsed.get("precision", "float64"),
         )
     except (TypeError, ValueError) as exc:
         raise WireError(

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..data.features import DEFAULT_MIN_LAPS, DEFAULT_SHIFT_LAG, CarFeatureSeries
+from ..nn.precision import normalize_precision
 from ..serving.engine import FleetForecaster
 from ..serving.requests import ForecastRequest, spawn_request_rngs
 from ..serving.sessions import RaceSession
@@ -45,6 +46,7 @@ class LiveRaceForecaster:
         n_samples: int = 50,
         min_history: int = 10,
         rng: np.random.Generator | int | None = None,
+        precision: str = "float64",
     ) -> None:
         if getattr(forecaster, "model", None) is None:
             raise ValueError("the forecaster must be fitted before live serving")
@@ -53,6 +55,7 @@ class LiveRaceForecaster:
         self.n_samples = int(n_samples)
         self.min_history = int(min_history)
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.precision = normalize_precision(precision)
         self._own_engine: Optional[FleetForecaster] = None
 
     @property
@@ -60,9 +63,11 @@ class LiveRaceForecaster:
         """The carry-mode engine, resolved through the forecaster on every
         access so a re-fit or fine-tune never leaves stale weights/states."""
         if hasattr(self.forecaster, "fleet_engine"):
-            return self.forecaster.fleet_engine(mode="carry")
+            return self.forecaster.fleet_engine(mode="carry", precision=self.precision)
         if self._own_engine is None:
-            self._own_engine = FleetForecaster(self.forecaster.model, mode="carry")
+            self._own_engine = FleetForecaster(
+                self.forecaster.model, mode="carry", precision=self.precision
+            )
         return self._own_engine
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ import numpy as np
 from ..data.features import CarFeatureSeries
 from ..models.base import DEFAULT_FIELD_SIZE, clip_rank
 from ..models.deep.ranknet import DeepForecasterBase
+from ..nn.precision import normalize_precision
 from ..serving.engine import FleetForecaster
 from ..serving.requests import ForecastRequest, spawn_request_rngs
 from .plans import candidate_single_stop_plans
@@ -97,6 +98,7 @@ class PitStrategyOptimizer:
         forecaster: DeepForecasterBase,
         n_samples: int = 100,
         field_size: Optional[int] = None,
+        precision: str = "float64",
     ) -> None:
         if not isinstance(forecaster, DeepForecasterBase):
             raise TypeError("the strategy optimizer needs a covariate-conditioned deep forecaster")
@@ -109,6 +111,7 @@ class PitStrategyOptimizer:
             )
         self.forecaster = forecaster
         self.n_samples = int(n_samples)
+        self.precision = normalize_precision(precision)
         if field_size is not None:
             self.field_size = int(field_size)
         else:
@@ -122,7 +125,7 @@ class PitStrategyOptimizer:
         mode and rebinds it on refit) instead of being constructed per
         call, so rolling sweeps keep hitting the same warm-up state cache.
         """
-        return self.forecaster.fleet_engine(mode)
+        return self.forecaster.fleet_engine(mode, precision=self.precision)
 
     def _plan_request(
         self,

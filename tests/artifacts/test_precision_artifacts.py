@@ -1,0 +1,108 @@
+"""Artifact round trips at every precision tier (schema v2).
+
+* ``precision="float64"`` keeps writing the unchanged schema-v1 layout —
+  byte-identical on disk, loadable by pre-v2 builds;
+* ``float32`` / ``int8`` artifacts are stamped schema v2, round-trip
+  bit-exactly (the int8 quantisation payload is re-emitted verbatim on a
+  save/load/save cycle), and are refused with a clear error by a build
+  whose reader predates v2.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.models.base as models_base
+from repro.artifacts import ArtifactStore
+from repro.artifacts.store import ArtifactSchemaError
+from repro.data import build_race_features
+from repro.models import DeepARForecaster, from_artifact
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=200,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    track = replace(track_for_year("Indy500", 2018), total_laps=60, num_cars=8)
+    race = RaceSimulator(track, event="Indy500", year=2019, seed=3).run()
+    series = build_race_features(race)
+    return DeepARForecaster(seed=5, **DEEP_KWARGS).fit(series[:4])
+
+
+def test_float64_artifact_keeps_schema_v1(fitted):
+    artifact = fitted.to_artifact()
+    assert artifact.schema_version == 1
+    assert "precision" not in artifact.state
+    restored = from_artifact(artifact)
+    assert restored.loaded_precision == "float64"
+    for name, array in fitted.to_artifact().arrays.items():
+        np.testing.assert_array_equal(array, artifact.arrays[name])
+
+
+def test_float32_artifact_round_trips_bit_exactly(fitted):
+    artifact = fitted.to_artifact(precision="float32")
+    assert artifact.schema_version == 2
+    assert artifact.state["precision"] == "float32"
+    for array in artifact.arrays.values():
+        assert array.dtype != np.float64
+    restored = from_artifact(artifact)
+    assert restored.loaded_precision == "float32"
+    again = restored.to_artifact(precision="float32")
+    for name, array in artifact.arrays.items():
+        np.testing.assert_array_equal(array, again.arrays[name])
+
+
+def test_int8_artifact_round_trips_payload_bit_exactly(fitted):
+    artifact = fitted.to_artifact(precision="int8")
+    assert artifact.schema_version == 2
+    assert artifact.state["precision"] == "int8"
+    q_names = [n for n in artifact.arrays if n.endswith("::q")]
+    assert q_names, "int8 artifact must carry quantisation payload pairs"
+    for name in q_names:
+        assert artifact.arrays[name].dtype == np.int8
+        assert artifact.arrays[name[:-3] + "::scale"].dtype == np.float32
+    restored = from_artifact(artifact)
+    assert restored.loaded_precision == "int8"
+    # a save/load/save cycle re-emits the cached payload verbatim
+    again = restored.to_artifact(precision="int8")
+    assert set(again.arrays) == set(artifact.arrays)
+    for name, array in artifact.arrays.items():
+        np.testing.assert_array_equal(array, again.arrays[name])
+
+
+@pytest.mark.parametrize("precision", ["float64", "float32", "int8"])
+def test_store_round_trip_preserves_forecasts(tmp_path, fitted, precision):
+    store = ArtifactStore(str(tmp_path))
+    store.save_model("deepar", fitted, precision=precision)
+    entry = store.entry("deepar")
+    assert entry["schema_version"] == (1 if precision == "float64" else 2)
+    restored = store.load_model("deepar")
+    assert restored.loaded_precision == precision
+    # reloading is deterministic: a second load produces the same weights
+    twice = store.load_model("deepar")
+    a, b = restored.to_artifact(precision=precision), twice.to_artifact(precision=precision)
+    for name, array in a.arrays.items():
+        np.testing.assert_array_equal(array, b.arrays[name])
+
+
+def test_low_precision_artifact_refused_by_older_store(tmp_path, fitted, monkeypatch):
+    store = ArtifactStore(str(tmp_path))
+    store.save_model("deepar", fitted, precision="float32")
+    # a pre-v2 build: its reader only understands schema 1
+    monkeypatch.setattr(models_base, "ARTIFACT_SCHEMA_VERSION", 1)
+    with pytest.raises(ArtifactSchemaError, match="schema version 2.*reads <= 1"):
+        ArtifactStore(str(tmp_path)).load("deepar")
+    # float64 artifacts keep loading on that same older build
+    store64 = ArtifactStore(str(tmp_path / "v1"))
+    store64.save_model("naive64", fitted)
+    assert store64.load_model("naive64").loaded_precision == "float64"

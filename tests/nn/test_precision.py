@@ -1,0 +1,122 @@
+"""The dtype-policy choke point: tiers, quantisation, module conversion."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.precision import (
+    DEFAULT_PRECISION,
+    PRECISIONS,
+    assert_dtype,
+    compute_dtype,
+    convert_array,
+    convert_module,
+    dequantize_int8,
+    normalize_precision,
+    quantize_int8,
+    working_array,
+    working_empty,
+    working_zeros,
+)
+from repro.nn.recurrent import StackedLSTM
+
+
+# ----------------------------------------------------------------------
+# tier names and dtype mapping
+# ----------------------------------------------------------------------
+def test_tier_registry():
+    assert PRECISIONS == ("float64", "float32", "int8")
+    assert DEFAULT_PRECISION == "float64"
+
+
+def test_normalize_precision():
+    assert normalize_precision(None) == "float64"
+    assert normalize_precision(None, default="float32") == "float32"
+    for tier in PRECISIONS:
+        assert normalize_precision(tier) == tier
+    with pytest.raises(ValueError, match="unknown precision 'float16'"):
+        normalize_precision("float16")
+
+
+def test_compute_dtype_int8_runs_in_float32():
+    assert compute_dtype("float64") == np.float64
+    assert compute_dtype("float32") == np.float32
+    assert compute_dtype("int8") == np.float32
+
+
+def test_working_helpers_and_assert_guard():
+    x = [[1.0, 2.0], [3.0, 4.0]]
+    assert working_array(x, dtype=np.float32).dtype == np.float32
+    assert working_array(x, dtype=np.float32, contiguous=True).flags["C_CONTIGUOUS"]
+    assert working_empty((2, 3), dtype=np.float32).shape == (2, 3)
+    z = working_zeros((4,), dtype=np.float32)
+    assert z.dtype == np.float32 and not z.any()
+    assert_dtype(z, np.float32, "buffer")
+    with pytest.raises(AssertionError, match="silently changed dtype"):
+        assert_dtype(z.astype(np.float64), np.float32, "buffer")
+
+
+# ----------------------------------------------------------------------
+# int8 quantisation properties
+# ----------------------------------------------------------------------
+def test_quantize_int8_per_output_channel():
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(16, 6)) * np.array([1.0, 0.1, 10.0, 1e-4, 3.0, 2.0])
+    q, scale = quantize_int8(w)
+    assert q.dtype == np.int8 and scale.dtype == np.float32
+    assert q.shape == w.shape and scale.shape == (6,)
+    # symmetric: the -128 code is never used
+    assert q.min() >= -127
+    # each column's max code hits full range (its absmax maps to ±127)
+    assert (np.abs(q).max(axis=0) == 127).all()
+    # reconstruction error bounded by half a quantisation step per channel
+    err = np.abs(dequantize_int8(q, scale).astype(np.float64) - w)
+    assert (err <= 0.5 * scale.astype(np.float64) + 1e-12).all()
+
+
+def test_quantize_int8_zero_column_and_vectors():
+    w = np.zeros((4, 2))
+    w[:, 1] = [1.0, -2.0, 0.5, 2.0]
+    q, scale = quantize_int8(w)
+    assert scale[0] == 1.0 and (q[:, 0] == 0).all()
+    v = np.array([0.0, 3.0, -1.5])
+    qv, sv = quantize_int8(v)
+    # 1-D quantises per element: every nonzero entry inverts exactly
+    assert np.allclose(dequantize_int8(qv, sv), v, atol=1e-6)
+
+
+def test_convert_array_tiers():
+    w = np.random.default_rng(1).normal(size=(8, 3))
+    assert convert_array(w, "float64") is w  # reference tier: no copy
+    assert convert_array(w, "float64").dtype == np.float64
+    f32 = convert_array(w, "float32")
+    assert f32.dtype == np.float32
+    np.testing.assert_array_equal(f32, w.astype(np.float32))
+    i8 = convert_array(w, "int8")
+    assert i8.dtype == np.float32
+    assert np.abs(i8.astype(np.float64) - w).max() <= np.abs(w).max() / 127.0
+
+
+# ----------------------------------------------------------------------
+# module conversion
+# ----------------------------------------------------------------------
+def test_convert_module_float64_is_identity():
+    stack = StackedLSTM(input_dim=4, hidden_dim=6, num_layers=1, rng=0)
+    assert convert_module(stack, "float64") is stack
+
+
+@pytest.mark.parametrize("precision", ["float32", "int8"])
+def test_convert_module_low_tiers_leave_original_untouched(precision):
+    stack = StackedLSTM(input_dim=4, hidden_dim=6, num_layers=1, rng=0)
+    before = {name: p.data.copy() for name, p in stack.named_parameters()}
+    replica = convert_module(stack, precision)
+    assert replica is not stack
+    for name, param in stack.named_parameters():
+        assert param.data.dtype == np.float64
+        np.testing.assert_array_equal(param.data, before[name])
+    for name, param in replica.named_parameters():
+        assert param.data.dtype == np.float32
+        assert isinstance(param, Parameter)
+        np.testing.assert_array_equal(
+            param.data, convert_array(before[name], precision)
+        )
