@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test test-fast lint format bench-smoke bench bench-train bench-decode bench-precision bench-serve bench-scenarios bench-chaos chaos chaos-workers scenarios docs-check smoke-artifacts smoke-serve clean
+.PHONY: help test test-fast lint format bench-smoke bench bench-train bench-decode bench-precision bench-serve bench-scenarios bench-learn bench-chaos chaos chaos-workers scenarios docs-check smoke-artifacts smoke-serve smoke-learn clean
 
 help:
 	@echo "Targets:"
@@ -19,12 +19,14 @@ help:
 	@echo "  bench-precision float32/int8 precision tiers: speedup + parity profile"
 	@echo "  bench-serve     serving-gateway overhead/isolation benchmark"
 	@echo "  bench-scenarios scenario-engine throughput profile"
+	@echo "  bench-learn     continuous-learning loop stage timings"
 	@echo "  chaos           serving chaos gates: retries, SIGKILL+journal recovery, overload"
 	@echo "  chaos-workers   worker-pool chaos gates: replica kill failover, hang detection"
 	@echo "  scenarios       validate the shipped what-if workload matrix"
 	@echo "  docs-check      markdown link check + scenario matrix validation"
 	@echo "  smoke-artifacts cross-process artifact store round trip"
 	@echo "  smoke-serve     repro-serve subprocess byte-identity smoke"
+	@echo "  smoke-learn     repro-learn loop: retrain, shadow-eval, promote, rollback"
 	@echo "  clean           remove caches and benchmark results"
 
 test:
@@ -57,6 +59,9 @@ bench-serve:
 
 bench-scenarios:
 	$(PYTHON) -m repro.profiling.scenarios
+
+bench-learn:
+	$(PYTHON) -m repro.profiling.learning
 
 # run the shipped what-if workload matrix in-process (results under
 # benchmarks/results/scenarios/); forecast scoring needs --store
@@ -99,6 +104,13 @@ smoke-artifacts:
 smoke-serve:
 	rm -rf /tmp/repro-serve-smoke
 	$(PYTHON) -m repro.serving.smoke --dir /tmp/repro-serve-smoke
+
+# the whole continuous-learning loop as repro-learn subprocesses: accumulate,
+# retrain with a mid-job kill (resume must be bit-exact), shadow-eval, then
+# promote/rollback over a live gateway (rollback must be byte-identical)
+smoke-learn:
+	rm -rf /tmp/repro-learn-smoke
+	$(PYTHON) -m repro.learning.smoke --dir /tmp/repro-learn-smoke
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results

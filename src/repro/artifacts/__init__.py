@@ -20,6 +20,7 @@ Downstream consumers:
 """
 
 from .store import (
+    ArtifactAliasError,
     ArtifactError,
     ArtifactIntegrityError,
     ArtifactNotFoundError,
@@ -30,6 +31,7 @@ from .store import (
 )
 
 __all__ = [
+    "ArtifactAliasError",
     "ArtifactError",
     "ArtifactIntegrityError",
     "ArtifactNotFoundError",

@@ -12,6 +12,7 @@ Layout of a store directory::
 
     <root>/
         manifest.json          # index: name -> family, hashes, checksum
+        aliases.json           # mutable alias -> artifact-name pointers
         <name>.npz             # one npz+meta payload per artifact
 
 Every artifact file goes through the shared npz+meta checkpoint format
@@ -25,6 +26,15 @@ Cache keys — :meth:`ArtifactStore.key_for` — combine
 ``family + config hash + data fingerprint`` so the experiment runner's
 ``--artifacts-dir`` caching is invalidated automatically whenever the model
 configuration *or* the training data changes.
+
+Aliases — :meth:`ArtifactStore.set_alias` / :meth:`ArtifactStore.resolve` —
+are mutable pointers (``champion`` -> ``deepar-abc123``) stored in
+``aliases.json`` next to the manifest.  They are what the continuous-learning
+promotion manager flips: serving traffic addressed to an alias is resolved to
+its current target at submit time, so promoting a challenger or rolling back
+to the previous champion never rewrites an artifact.  Deleting or unloading
+an artifact that an alias still points at is a structured
+:class:`ArtifactAliasError` rather than a silently dangling pointer.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..models.base import ModelArtifact
 
 __all__ = [
+    "ArtifactAliasError",
     "ArtifactError",
     "ArtifactIntegrityError",
     "ArtifactNotFoundError",
@@ -70,6 +81,16 @@ class ArtifactIntegrityError(ArtifactError):
 
 class ArtifactSchemaError(ArtifactError):
     """The artifact was written by a newer, incompatible schema."""
+
+
+class ArtifactAliasError(ArtifactError):
+    """An alias operation would corrupt the catalog.
+
+    Raised when an alias would shadow an artifact name, chain onto another
+    alias, or when deleting/unloading an artifact that an alias still
+    points at — every case where continuing silently would leave serving
+    traffic bound to a stale or dangling handle.
+    """
 
 
 def fingerprint_series(series_list: Sequence, extra: Optional[Sequence] = None) -> str:
@@ -111,12 +132,16 @@ class ArtifactStore:
 
     MANIFEST_NAME = "manifest.json"
     MANIFEST_SCHEMA_VERSION = 1
+    ALIASES_NAME = "aliases.json"
 
     def __init__(self, root: str) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self._manifest: Dict[str, dict] = {}
+        self._aliases: Dict[str, dict] = {}
+        self._aliases_mtime: Optional[float] = None
         self._read_manifest()
+        self._read_aliases()
 
     # ------------------------------------------------------------------
     # manifest bookkeeping
@@ -151,6 +176,117 @@ class ArtifactStore:
         os.replace(tmp_path, self.manifest_path)
 
     # ------------------------------------------------------------------
+    # aliases
+    # ------------------------------------------------------------------
+    @property
+    def aliases_path(self) -> str:
+        return os.path.join(self.root, self.ALIASES_NAME)
+
+    def _read_aliases(self) -> None:
+        if not os.path.exists(self.aliases_path):
+            self._aliases = {}
+            self._aliases_mtime = None
+            return
+        with open(self.aliases_path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        self._aliases = dict(document.get("aliases", {}))
+        self._aliases_mtime = os.path.getmtime(self.aliases_path)
+
+    def _write_aliases(self) -> None:
+        document = {"aliases": self._aliases}
+        tmp_path = self.aliases_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_path, self.aliases_path)
+        self._aliases_mtime = os.path.getmtime(self.aliases_path)
+
+    def _refresh_aliases(self) -> None:
+        # promotions land from other processes (the repro-learn CLI flips an
+        # alias while repro-serve holds the store open); pick them up on the
+        # cheap mtime signal instead of re-reading on every resolve
+        try:
+            mtime = os.path.getmtime(self.aliases_path)
+        except OSError:
+            mtime = None
+        if mtime != self._aliases_mtime:
+            self._read_aliases()
+
+    def aliases(self) -> Dict[str, str]:
+        """All aliases as ``{alias: target artifact name}`` (a copy)."""
+        self._refresh_aliases()
+        return {alias: entry["target"] for alias, entry in sorted(self._aliases.items())}
+
+    def alias_entry(self, alias: str) -> dict:
+        """The full alias record ({} when unregistered)."""
+        self._refresh_aliases()
+        return dict(self._aliases.get(alias, {}))
+
+    def is_alias(self, name: str) -> bool:
+        self._refresh_aliases()
+        return name in self._aliases
+
+    def aliases_for(self, name: str) -> List[str]:
+        """Every alias currently pointing at artifact ``name``."""
+        self._refresh_aliases()
+        return sorted(a for a, entry in self._aliases.items() if entry["target"] == name)
+
+    def set_alias(self, alias: str, target: str) -> dict:
+        """Point ``alias`` at artifact ``target`` (creating or re-pointing).
+
+        The target must be a registered artifact — aliases never chain onto
+        other aliases and never shadow an artifact name, so ``resolve`` is a
+        single deterministic hop.
+        """
+        alias = self._check_name(alias)
+        self._refresh_aliases()
+        if alias in self._manifest:
+            raise ArtifactAliasError(
+                f"alias {alias!r} would shadow a registered artifact of the same name"
+            )
+        if target in self._aliases:
+            raise ArtifactAliasError(
+                f"alias target {target!r} is itself an alias; aliases must "
+                "point directly at an artifact"
+            )
+        if target not in self._manifest:
+            raise ArtifactNotFoundError(
+                f"alias target {target!r} is not registered in {self.root}"
+            )
+        entry = {"target": target, "updated_at": time.time()}
+        self._aliases[alias] = entry
+        self._write_aliases()
+        return dict(entry)
+
+    def delete_alias(self, alias: str) -> None:
+        self._refresh_aliases()
+        if alias not in self._aliases:
+            raise ArtifactNotFoundError(f"alias {alias!r} is not registered")
+        del self._aliases[alias]
+        self._write_aliases()
+
+    def resolve(self, name: str) -> str:
+        """Resolve ``name`` through the alias table to an artifact name.
+
+        Artifact names resolve to themselves (even if an alias of the same
+        name could exist — it can't, ``set_alias`` forbids shadowing).
+        Unknown names pass through unchanged so callers keep their existing
+        not-found handling.
+        """
+        if name in self._manifest:
+            return name
+        self._refresh_aliases()
+        entry = self._aliases.get(name)
+        if entry is None:
+            return name
+        target = entry["target"]
+        if target not in self._manifest:
+            raise ArtifactNotFoundError(
+                f"alias {name!r} points at {target!r}, which is no longer registered"
+            )
+        return target
+
+    # ------------------------------------------------------------------
     # naming
     # ------------------------------------------------------------------
     @staticmethod
@@ -180,6 +316,11 @@ class ArtifactStore:
     ) -> dict:
         """Write ``artifact`` under ``name`` and register it in the manifest."""
         name = self._check_name(name)
+        if self.is_alias(name):
+            raise ArtifactAliasError(
+                f"{name!r} is an alias; save artifacts under their own name "
+                "and re-point the alias with set_alias"
+            )
         path = self._payload_path(name)
         # write-then-rename so an interrupted overwrite can never leave a
         # truncated payload behind a manifest entry that still validates it
@@ -209,7 +350,11 @@ class ArtifactStore:
         return dict(entry)
 
     def load(self, name: str, verify: bool = True) -> ModelArtifact:
-        """Read the named artifact back; verifies integrity by default."""
+        """Read the named artifact back; verifies integrity by default.
+
+        Accepts an alias — it is resolved to its current target first.
+        """
+        name = self.resolve(name)
         entry = self._manifest.get(name)
         if entry is None:
             raise ArtifactNotFoundError(
@@ -295,6 +440,17 @@ class ArtifactStore:
         return len(self._manifest)
 
     def delete(self, name: str) -> None:
+        if self.is_alias(name):
+            raise ArtifactAliasError(
+                f"{name!r} is an alias; use delete_alias to remove it"
+            )
+        referencing = self.aliases_for(name)
+        if referencing:
+            raise ArtifactAliasError(
+                f"artifact {name!r} is the target of alias(es) "
+                f"{', '.join(repr(a) for a in referencing)}; re-point or delete "
+                "them first"
+            )
         entry = self._manifest.pop(name, None)
         if entry is None:
             raise ArtifactNotFoundError(f"artifact {name!r} is not registered")

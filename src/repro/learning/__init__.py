@@ -1,0 +1,41 @@
+"""Continuous learning: telemetry -> retrain -> shadow-eval -> promote.
+
+The serving stack streams live races (:mod:`repro.serving.sessions`) and
+serves durable model artifacts (:mod:`repro.artifacts`); this package
+closes the loop so the deployed forecaster improves from the races it
+serves:
+
+* :class:`TelemetryAccumulator` drains completed live sessions and offline
+  :class:`~repro.simulation.telemetry.RaceTelemetry` files into versioned,
+  content-fingerprinted training windows (:class:`TrainingWindow`);
+* :class:`RetrainJob` fits (or fine-tunes) a forecaster family on a window
+  through the resumable :class:`~repro.nn.Trainer` checkpoints, so a job
+  killed mid-training resumes *bit-exactly* — the finished candidate
+  artifact is byte-identical to an uninterrupted run's;
+* :class:`ShadowEvaluator` replays a window's held-out races through both
+  the candidate and the live champion via
+  :class:`~repro.serving.ForecastService`, scoring rank-forecast accuracy
+  deltas under deterministic seeded RNG;
+* :class:`PromotionManager` flips champion/challenger *aliases* in the
+  artifact catalog (wire schema v6 exposes them on ``/v1/models``), with a
+  journal of every decision and one-call rollback to the previous champion
+  — byte-identical to never having promoted.
+
+``repro-learn`` (:mod:`repro.learning.cli`) drives each stage from the
+command line; ``python -m repro.learning.smoke`` runs the whole loop as
+real subprocesses against a scratch store (the CI gate).
+"""
+
+from .promote import PromotionManager
+from .retrain import RetrainJob
+from .shadow import ShadowEvaluator, ShadowReport
+from .windows import TelemetryAccumulator, TrainingWindow
+
+__all__ = [
+    "PromotionManager",
+    "RetrainJob",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "TelemetryAccumulator",
+    "TrainingWindow",
+]

@@ -1,0 +1,250 @@
+"""``repro-learn`` — drive the continuous-learning loop from the shell.
+
+One subcommand per loop stage, each runnable in its own process against
+shared on-disk state (the telemetry accumulator directory and the artifact
+store), so the stages compose into pipelines and the smoke gate can
+exercise each as a real subprocess::
+
+    repro-learn simulate --accumulator ACC --event Indy500 --year 2019 --seed 3
+    repro-learn window   --accumulator ACC --holdout 1
+    repro-learn retrain  --accumulator ACC --window win-... --store STORE \\
+                         --name cand-a --family deepar --job-dir JOB
+    repro-learn shadow   --accumulator ACC --window win-... --store STORE \\
+                         --candidate cand-a --champion champ --seed 7 --json
+    repro-learn promote  --store STORE --alias champion --target cand-a
+    repro-learn rollback --store STORE --alias champion
+
+``retrain --stop-after N`` truncates the job after ``N`` epochs (exit code
+3, no artifact) to simulate a crash; re-running with ``--resume`` and the
+same ``--job-dir`` completes it bit-exactly from the trainer checkpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+#: exit code of a deliberately truncated (interrupted) retrain job
+EXIT_INTERRUPTED = 3
+
+
+def _print_doc(document: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return
+    for key, value in document.items():
+        print(f"{key}: {value}")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    from dataclasses import replace
+
+    from ..simulation.race import RaceSimulator
+    from ..simulation.track import track_for_year
+    from .windows import TelemetryAccumulator
+
+    track = track_for_year(args.event, args.base_year)
+    if args.laps or args.cars:
+        track = replace(
+            track,
+            total_laps=args.laps or track.total_laps,
+            num_cars=args.cars or track.num_cars,
+        )
+    race = RaceSimulator(
+        track, event=args.event, year=args.year, seed=args.seed
+    ).run()
+    entry = TelemetryAccumulator(args.accumulator).add_race(
+        race, source=f"simulate(seed={args.seed})"
+    )
+    _print_doc(entry, args.json)
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from .windows import TelemetryAccumulator
+
+    accumulator = TelemetryAccumulator(args.accumulator)
+    for path in args.files:
+        entry = accumulator.add_file(path)
+        _print_doc(entry, args.json)
+    return 0
+
+
+def _cmd_window(args) -> int:
+    from .windows import TelemetryAccumulator
+
+    window = TelemetryAccumulator(args.accumulator).build_window(holdout=args.holdout)
+    _print_doc(window.describe(), args.json)
+    return 0
+
+
+def _cmd_retrain(args) -> int:
+    from ..artifacts import ArtifactStore
+    from .retrain import RetrainJob
+    from .windows import TelemetryAccumulator
+
+    config = json.loads(args.config) if args.config else {}
+    job = RetrainJob(
+        store=ArtifactStore(args.store),
+        accumulator=TelemetryAccumulator(args.accumulator),
+        window_id=args.window,
+        name=args.name,
+        family=args.family,
+        config=config,
+        base=args.base,
+        job_dir=args.job_dir,
+        resume=args.resume,
+    )
+    record = job.run(stop_after_epochs=args.stop_after)
+    _print_doc(record, args.json)
+    return EXIT_INTERRUPTED if record["status"] == "interrupted" else 0
+
+
+def _cmd_shadow(args) -> int:
+    from ..artifacts import ArtifactStore
+    from .shadow import ShadowEvaluator
+    from .windows import TelemetryAccumulator
+
+    window = TelemetryAccumulator(args.accumulator).window(args.window)
+    evaluator = ShadowEvaluator(
+        ArtifactStore(args.store),
+        horizon=args.horizon,
+        n_samples=args.samples,
+        min_history=args.min_history,
+        stride=args.stride,
+    )
+    report = evaluator.evaluate(
+        args.candidate, args.champion, window.holdout_races(), seed=args.seed
+    )
+    _print_doc(report.to_doc(), args.json)
+    return 0
+
+
+def _cmd_promote(args) -> int:
+    from ..artifacts import ArtifactStore
+    from .promote import PromotionManager
+
+    record = PromotionManager(ArtifactStore(args.store)).promote(
+        args.alias, args.target, note=args.note
+    )
+    _print_doc(record, args.json)
+    return 0
+
+
+def _cmd_rollback(args) -> int:
+    from ..artifacts import ArtifactStore
+    from .promote import PromotionManager
+
+    record = PromotionManager(ArtifactStore(args.store)).rollback(args.alias)
+    _print_doc(record, args.json)
+    return 0
+
+
+def _cmd_aliases(args) -> int:
+    from ..artifacts import ArtifactStore
+    from .promote import PromotionManager
+
+    store = ArtifactStore(args.store)
+    document = {"aliases": store.aliases()}
+    if args.history:
+        document["history"] = PromotionManager(store).history(args.alias)
+    _print_doc(document, args.json)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument wiring
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    from .retrain import FAMILY_CHOICES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-learn",
+        description="telemetry -> retrain -> shadow-eval -> promote, one stage per call",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add(name, func, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+        p.add_argument("--json", action="store_true", help="print the result as JSON")
+        return p
+
+    p = _add("simulate", _cmd_simulate, "simulate one race into the accumulator")
+    p.add_argument("--accumulator", required=True)
+    p.add_argument("--event", default="Indy500")
+    p.add_argument("--year", type=int, default=2019)
+    p.add_argument("--base-year", type=int, default=2018, help="season whose track spec to use")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--laps", type=int, default=0, help="override the track's lap count")
+    p.add_argument("--cars", type=int, default=0, help="override the field size")
+
+    p = _add("ingest", _cmd_ingest, "ingest telemetry files (npz or textual log)")
+    p.add_argument("--accumulator", required=True)
+    p.add_argument("files", nargs="+")
+
+    p = _add("window", _cmd_window, "build/register a training window")
+    p.add_argument("--accumulator", required=True)
+    p.add_argument("--holdout", type=int, default=1, help="races held out for shadow eval")
+
+    p = _add("retrain", _cmd_retrain, "train a candidate artifact on a window")
+    p.add_argument("--accumulator", required=True)
+    p.add_argument("--window", required=True)
+    p.add_argument("--store", required=True)
+    p.add_argument("--name", required=True, help="candidate artifact name")
+    p.add_argument("--family", default="deepar", choices=FAMILY_CHOICES)
+    p.add_argument("--base", default=None, help="fine-tune from this registered artifact")
+    p.add_argument("--config", default=None, help="JSON constructor overrides")
+    p.add_argument("--job-dir", default=None, help="checkpoint directory (resumable)")
+    p.add_argument("--resume", action="store_true", help="resume from --job-dir's checkpoint")
+    p.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help=f"truncate after N epochs (exit {EXIT_INTERRUPTED}, no artifact)",
+    )
+
+    p = _add("shadow", _cmd_shadow, "score candidate vs champion on held-out races")
+    p.add_argument("--accumulator", required=True)
+    p.add_argument("--window", required=True)
+    p.add_argument("--store", required=True)
+    p.add_argument("--candidate", required=True)
+    p.add_argument("--champion", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--horizon", type=int, default=2)
+    p.add_argument("--samples", type=int, default=50)
+    p.add_argument("--min-history", type=int, default=10)
+    p.add_argument("--stride", type=int, default=1)
+
+    p = _add("promote", _cmd_promote, "point an alias at a new champion (journaled)")
+    p.add_argument("--store", required=True)
+    p.add_argument("--alias", required=True)
+    p.add_argument("--target", required=True)
+    p.add_argument("--note", default="")
+
+    p = _add("rollback", _cmd_rollback, "revert an alias to the previous champion")
+    p.add_argument("--store", required=True)
+    p.add_argument("--alias", required=True)
+
+    p = _add("aliases", _cmd_aliases, "list aliases (and the promotion journal)")
+    p.add_argument("--store", required=True)
+    p.add_argument("--history", action="store_true")
+    p.add_argument("--alias", default=None, help="limit --history to one alias")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    sys.exit(main())

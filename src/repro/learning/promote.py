@@ -1,0 +1,132 @@
+"""Champion/challenger promotion over artifact-catalog aliases.
+
+The :class:`PromotionManager` is the decision ledger of the learning loop.
+A *promotion* re-points a mutable alias (``champion``) at a new target
+artifact; a *rollback* re-points it at whatever it targeted before the
+last promotion.  Neither ever rewrites an artifact — the previous champion
+stays on disk byte-for-byte, which is what makes rollback *byte-identical*
+to never having promoted: the alias resolves back to the exact payload
+(same manifest ``sha256``) that served before.
+
+Every decision is appended to ``promotions.jsonl`` in the store root —
+one JSON record per line with the alias, the new target, the previous
+target and an optional note — so the full promotion history of a store is
+replayable and auditable, and ``rollback`` needs no extra state: the
+previous champion is read from the journal's last promotion record.
+
+This module deliberately imports only :mod:`repro.artifacts` — the serving
+gateway imports it lazily from its ``/v1/models/aliases`` handlers, so a
+serving-layer import here would be circular.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional
+
+from ..artifacts import ArtifactStore
+
+__all__ = ["PromotionManager"]
+
+
+class PromotionManager:
+    """Journaled champion/challenger flips over a store's alias table."""
+
+    JOURNAL_NAME = "promotions.jsonl"
+
+    def __init__(self, store) -> None:
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.store.root, self.JOURNAL_NAME)
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> dict:
+        line = json.dumps(record, sort_keys=True)
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+    def history(self, alias: Optional[str] = None) -> List[dict]:
+        """Every journaled decision, oldest first (optionally one alias's)."""
+        if not os.path.exists(self.journal_path):
+            return []
+        records = []
+        with open(self.journal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if alias is None or record.get("alias") == alias:
+                    records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def promote(self, alias: str, target: str, note: str = "") -> dict:
+        """Point ``alias`` at ``target``; journals the decision.
+
+        The first promotion of an alias creates it (``previous`` is
+        ``None``).  Promoting the current target again is refused — a
+        no-op promotion would put a rollback-to-itself record in the
+        journal and make the next rollback silently do nothing.
+        """
+        previous = self.store.aliases().get(alias)
+        if previous == target:
+            raise ValueError(
+                f"alias {alias!r} already points at {target!r}; nothing to promote"
+            )
+        # validates the target (registered, not itself an alias) and the
+        # alias name (no artifact shadowing) before anything is journaled
+        self.store.set_alias(alias, target)
+        return self._append(
+            {
+                "at": time.time(),
+                "action": "promote",
+                "alias": alias,
+                "target": target,
+                "previous": previous,
+                "note": str(note),
+            }
+        )
+
+    def rollback(self, alias: str) -> dict:
+        """One-call revert of ``alias`` to the champion before its last flip.
+
+        Reads the journal's most recent record for the alias and re-points
+        at that record's ``previous`` target.  Rolling back past the first
+        promotion (``previous`` is ``None``) is refused — there is no
+        earlier champion to serve.
+        """
+        records = self.history(alias)
+        if not records:
+            raise ValueError(
+                f"alias {alias!r} has no journaled promotions to roll back"
+            )
+        current = records[-1]["target"]
+        previous = records[-1]["previous"]
+        if previous is None:
+            raise ValueError(
+                f"alias {alias!r} has no previous champion (its first promotion "
+                f"created it); delete the alias instead"
+            )
+        self.store.set_alias(alias, previous)
+        return self._append(
+            {
+                "at": time.time(),
+                "action": "rollback",
+                "alias": alias,
+                "target": previous,
+                "previous": current,
+                "note": "",
+            }
+        )

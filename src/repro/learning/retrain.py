@@ -1,0 +1,253 @@
+"""Resumable retraining jobs: a training window in, a candidate artifact out.
+
+A :class:`RetrainJob` is the middle stage of the continuous-learning loop.
+It replicates the deep forecasters' ``fit()`` / ``fine_tune()`` sequence
+exactly — dataset assembly, model construction, field-size recording, the
+post-fit hooks — but routes the epoch loop through
+``Trainer(checkpoint_dir=, resume=)`` (:mod:`repro.nn.trainer`), so a job
+killed mid-training resumes **bit-exactly**:
+
+* the deterministic prelude (window subsampling, shuffle-loader setup,
+  weight initialisation) replays identically from the family's seed on a
+  fresh process;
+* the trainer checkpoint then restores weights, ADAM moments, scheduler /
+  early-stopping counters and the data-order RNG *in place* — into the
+  same generator the batch loader draws from — so the resumed epochs
+  consume the exact random stream the uninterrupted run would have.
+
+The finished candidate lands in the :class:`~repro.artifacts.ArtifactStore`
+under the job's name with the window's content fingerprint as its
+``data_fingerprint`` — so the byte-identity gate is simply comparing the
+manifest's ``sha256`` between an interrupted-then-resumed job and an
+uninterrupted one.
+
+Job state is journaled to ``<job_dir>/job.json`` (``running`` ->
+``interrupted`` -> ``completed``), which is what the CLI's ``--resume``
+flag checks before re-entering a job directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+from ..artifacts import ArtifactStore
+from ..nn import Adam, Trainer
+from .windows import TelemetryAccumulator, TrainingWindow
+
+__all__ = ["RetrainJob", "make_forecaster", "FAMILY_CHOICES"]
+
+#: CLI-friendly family names -> constructor resolution
+FAMILY_CHOICES = (
+    "deepar",
+    "ranknet-mlp",
+    "ranknet-oracle",
+    "ranknet-joint",
+    "transformer-mlp",
+    "transformer-oracle",
+)
+
+
+def make_forecaster(family: str, config: Optional[dict] = None):
+    """Instantiate a deep forecaster family from its CLI name.
+
+    ``config`` passes through to the constructor (epochs, hidden_dim,
+    seed, ...).  Imported lazily — ``repro.models`` pulls in the serving
+    layer at import time.
+    """
+    from ..models import DeepARForecaster, RankNetForecaster, TransformerForecaster
+
+    config = dict(config or {})
+    family = str(family).lower()
+    if family == "deepar":
+        return DeepARForecaster(**config)
+    backbone, _, variant = family.partition("-")
+    variant = variant or "mlp"
+    if backbone == "ranknet":
+        return RankNetForecaster(variant=variant, **config)
+    if backbone == "transformer":
+        return TransformerForecaster(variant=variant, **config)
+    raise ValueError(
+        f"unknown forecaster family {family!r}; choices: {', '.join(FAMILY_CHOICES)}"
+    )
+
+
+class RetrainJob:
+    """One retraining (or fine-tuning) job over a training window."""
+
+    JOB_STATE_NAME = "job.json"
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        accumulator: TelemetryAccumulator,
+        window_id: str,
+        name: str,
+        family: str = "deepar",
+        config: Optional[dict] = None,
+        base: Optional[str] = None,
+        job_dir: Optional[str] = None,
+        resume: bool = False,
+    ) -> None:
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.accumulator = (
+            accumulator
+            if isinstance(accumulator, TelemetryAccumulator)
+            else TelemetryAccumulator(accumulator)
+        )
+        self.window: TrainingWindow = self.accumulator.window(window_id)
+        self.name = str(name)
+        self.family = str(family)
+        self.config = dict(config or {})
+        self.base = base
+        self.job_dir = job_dir
+        self.resume = bool(resume)
+        if self.resume and self.job_dir is None:
+            raise ValueError("resume=True requires a job_dir holding the checkpoint")
+
+    # ------------------------------------------------------------------
+    # job-state journal
+    # ------------------------------------------------------------------
+    @property
+    def state_path(self) -> Optional[str]:
+        if self.job_dir is None:
+            return None
+        return os.path.join(self.job_dir, self.JOB_STATE_NAME)
+
+    def _write_state(self, status: str, **extra) -> None:
+        if self.state_path is None:
+            return
+        os.makedirs(self.job_dir, exist_ok=True)
+        document = {
+            "status": status,
+            "name": self.name,
+            "family": self.family,
+            "window": self.window.window_id,
+            "data_fingerprint": self.window.fingerprint,
+            "base": self.base,
+            "config": self.config,
+            "updated_at": time.time(),
+            **extra,
+        }
+        tmp_path = self.state_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp_path, self.state_path)
+
+    def state(self) -> dict:
+        if self.state_path is None or not os.path.exists(self.state_path):
+            return {}
+        with open(self.state_path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _build_forecaster(self):
+        if self.base is not None:
+            # fine-tune mode: warm-start from a registered artifact.  The
+            # loaded forecaster's RNG is restored to its saved position, so
+            # both an interrupted and an uninterrupted job replay the same
+            # prelude draws from the same starting point.
+            forecaster = self.store.load_model(self.base)
+            leftover = sorted(set(self.config) - {"epochs"})
+            if leftover:
+                raise ValueError(
+                    "only 'epochs' may be configured on a fine-tune job — the "
+                    f"base artifact fixes the architecture; got {', '.join(leftover)}"
+                )
+            return forecaster
+        return make_forecaster(self.family, self.config)
+
+    def run(self, stop_after_epochs: Optional[int] = None) -> dict:
+        """Train the candidate; returns the job record.
+
+        ``stop_after_epochs`` truncates the epoch loop early — the
+        simulated interruption used by the tests and the smoke gate.  A
+        truncated job writes no artifact; re-running with ``resume=True``
+        (same ``job_dir``) completes it bit-exactly.
+        """
+        forecaster = self._build_forecaster()
+        fine_tune = self.base is not None
+        if fine_tune:
+            # fine_tune's default epoch budget, overridable via config
+            total_epochs = int(self.config.get("epochs", 5))
+        else:
+            total_epochs = int(forecaster.epochs)
+        max_epochs = total_epochs
+        interrupted = False
+        if stop_after_epochs is not None and int(stop_after_epochs) < total_epochs:
+            max_epochs = int(stop_after_epochs)
+            interrupted = True
+        self._write_state("running", epochs=total_epochs, max_epochs=max_epochs)
+
+        train_series = self.window.train_series()
+        if fine_tune:
+            # mirror DeepForecasterBase.fine_tune: drop carried warm-up
+            # states, re-target the field, then assemble the loaders
+            for engine in forecaster._fleet_engines.values():
+                engine.reset_cache()
+            if train_series:
+                forecaster.record_field_size(train_series)
+            _, train_loader = forecaster._make_batches(train_series, shuffle=True)
+            optimizer = Adam(forecaster.model.parameters(), lr=forecaster.lr * 0.3)
+            # patience windows sized to the *total* job length, exactly as
+            # fine_tune sizes them — and identical between a truncated run
+            # and its resumed continuation, or the checkpoints diverge
+            lr_patience = max(total_epochs, 1)
+            stop_patience = max(total_epochs, 1)
+        else:
+            # mirror DeepForecasterBase.fit: loaders first (they consume
+            # subsample draws from the family RNG), then the model build
+            _, train_loader = forecaster._make_batches(train_series, shuffle=True)
+            forecaster.model = forecaster._build_model(
+                forecaster.feature_spec.num_covariates
+            )
+            forecaster._fleet_engines = {}
+            forecaster.record_field_size(train_series)
+            optimizer = Adam(forecaster.model.parameters(), lr=forecaster.lr)
+            lr_patience = 10
+            stop_patience = max(total_epochs, 10)
+
+        trainer = Trainer(
+            forecaster.model,
+            optimizer=optimizer,
+            max_epochs=max_epochs,
+            lr_patience=lr_patience,
+            early_stopping_patience=stop_patience,
+            checkpoint_dir=self.job_dir,
+            resume=self.resume,
+            checkpoint_every=1,
+            checkpoint_rng=forecaster.rng,
+        )
+        forecaster.history_ = trainer.fit(forecaster._wrap_loader(train_loader))
+
+        if interrupted:
+            record = {
+                "status": "interrupted",
+                "name": self.name,
+                "window": self.window.window_id,
+                "epochs_completed": max_epochs,
+                "epochs_total": total_epochs,
+            }
+            self._write_state("interrupted", epochs=total_epochs, max_epochs=max_epochs)
+            return record
+
+        if not fine_tune:
+            forecaster._post_fit(train_series)
+        entry = self.store.save_model(
+            self.name, forecaster, data_fingerprint=self.window.fingerprint
+        )
+        record = {
+            "status": "completed",
+            "name": self.name,
+            "window": self.window.window_id,
+            "data_fingerprint": self.window.fingerprint,
+            "sha256": entry["sha256"],
+            "epochs_total": total_epochs,
+        }
+        self._write_state("completed", sha256=entry["sha256"], epochs=total_epochs)
+        return record

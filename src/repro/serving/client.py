@@ -256,6 +256,29 @@ class ForecastClient:
         return bool(self._call("POST", f"/v1/models/{name}/unload")["unloaded"])
 
     # ------------------------------------------------------------------
+    # champion/challenger aliases (wire schema v6)
+    # ------------------------------------------------------------------
+    def aliases(self) -> Dict[str, str]:
+        """All catalog aliases as ``{alias: target artifact name}``."""
+        document = self._call("GET", "/v1/models/aliases")
+        return {entry["alias"]: entry["target"] for entry in document["aliases"]}
+
+    def resolve(self, alias: str) -> str:
+        """The artifact name ``alias`` currently points at."""
+        return str(self._call("GET", f"/v1/models/aliases/{alias}")["target"])
+
+    def promote(self, alias: str, target: str, note: str = "") -> dict:
+        """Point ``alias`` at ``target`` (journaled; warms the new replica)."""
+        payload = wire.envelope("alias-promote", target=target)
+        if note:
+            payload["note"] = note
+        return self._call("POST", f"/v1/models/aliases/{alias}/promote", payload)
+
+    def rollback(self, alias: str) -> dict:
+        """One-call revert of ``alias`` to the previous champion."""
+        return self._call("POST", f"/v1/models/aliases/{alias}/rollback")
+
+    # ------------------------------------------------------------------
     # forecasting
     # ------------------------------------------------------------------
     @staticmethod

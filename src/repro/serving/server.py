@@ -64,7 +64,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..artifacts import ArtifactNotFoundError, ArtifactStore
+from ..artifacts import ArtifactAliasError, ArtifactNotFoundError, ArtifactStore
 from . import wire
 from .faults import FaultPlan
 from .journal import SessionJournal, journal_dir, load_session, recover_sessions
@@ -253,6 +253,12 @@ class ServerConfig:
 _ROUTES = (
     ("GET", re.compile(r"^/v1/health$"), "health"),
     ("GET", re.compile(r"^/v1/models$"), "models_list"),
+    # alias routes come before the per-model ones: ``/v1/models/aliases/x``
+    # must dispatch as an alias operation, never as model name "aliases"
+    ("GET", re.compile(r"^/v1/models/aliases$"), "alias_list"),
+    ("GET", re.compile(r"^/v1/models/aliases/(?P<alias>[^/]+)$"), "alias_resolve"),
+    ("POST", re.compile(r"^/v1/models/aliases/(?P<alias>[^/]+)/promote$"), "alias_promote"),
+    ("POST", re.compile(r"^/v1/models/aliases/(?P<alias>[^/]+)/rollback$"), "alias_rollback"),
     ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/load$"), "model_load"),
     ("POST", re.compile(r"^/v1/models/(?P<name>[^/]+)/unload$"), "model_unload"),
     ("POST", re.compile(r"^/v1/forecast$"), "forecast"),
@@ -365,8 +371,22 @@ class ForecastGateway:
             return []
         outcomes: List[object] = [None] * len(requests)
         groups: Dict[str, List[int]] = {}
+        resolved: Dict[str, object] = {}
         for index, named in enumerate(requests):
-            groups.setdefault(named.model, []).append(index)
+            # alias targets resolve here, at submit time: requests naming
+            # ``champion`` and its target artifact share one scheduler (and
+            # therefore one coalesced engine pass), and a promotion landing
+            # mid-flight never splits a batch across two targets
+            if named.model not in resolved:
+                try:
+                    resolved[named.model] = self.store.resolve(named.model)
+                except ArtifactNotFoundError as exc:  # dangling alias
+                    resolved[named.model] = exc
+            model = resolved[named.model]
+            if isinstance(model, ArtifactNotFoundError):
+                outcomes[index] = model
+                continue
+            groups.setdefault(model, []).append(index)
         waiting = []
         for model, indices in groups.items():
             if model not in self._schedulers and model not in self.store:
@@ -688,15 +708,26 @@ class ForecastGateway:
             pinned = set(self.service.pinned())
             stats = self.service.stats
         loaded = set(loaded_list)
+        aliases = self.store.aliases()
         models = [
-            {**entry, "loaded": entry["name"] in loaded, "pinned": entry["name"] in pinned}
+            {
+                **entry,
+                "loaded": entry["name"] in loaded,
+                "pinned": entry["name"] in pinned,
+                "aliases": sorted(a for a, t in aliases.items() if t == entry["name"]),
+            }
             for entry in self.store.catalog()
         ]
         return wire.envelope(
-            "model-catalog", models=models, loaded=loaded_list, stats=stats
+            "model-catalog",
+            models=models,
+            loaded=loaded_list,
+            aliases=[{"alias": a, "target": t} for a, t in sorted(aliases.items())],
+            stats=stats,
         )
 
     def _handle_model_load(self, body, name: str) -> dict:
+        name = self.store.resolve(name)
         if self.supervisor is not None:
             if name not in self.store:
                 raise ArtifactNotFoundError(
@@ -719,14 +750,118 @@ class ForecastGateway:
         )
 
     def _handle_model_unload(self, body, name: str) -> dict:
+        # alias guards live at the gateway so both serving modes refuse
+        # identically: unloading an alias name, or a model an alias still
+        # points at, would leave aliased traffic on a stale/cold handle
+        if self.store.is_alias(name):
+            raise WireError(
+                "model_aliased",
+                f"{name!r} is an alias; unload its target or delete the alias",
+                status=409,
+            )
+        referencing = self.store.aliases_for(name)
+        if referencing:
+            raise WireError(
+                "model_aliased",
+                f"model {name!r} is the target of alias(es) "
+                f"{', '.join(repr(a) for a in referencing)} and cannot be unloaded",
+                status=409,
+                detail={"aliases": referencing},
+            )
         try:
             if self.supervisor is not None:
                 unloaded = self.supervisor.stop(name)
             else:
                 unloaded = self.service.unload(name)
+        except ArtifactAliasError as exc:  # raced with a concurrent promotion
+            raise WireError("model_aliased", str(exc), status=409) from exc
         except ValueError as exc:  # pinned by an open session
             raise WireError("model_pinned", str(exc), status=409) from exc
         return wire.envelope("model-unloaded", name=name, unloaded=unloaded)
+
+    # ------------------------------------------------------------------
+    # champion/challenger aliases (wire schema v6)
+    # ------------------------------------------------------------------
+    def _handle_alias_list(self, body, **_) -> dict:
+        return wire.envelope(
+            "alias-list",
+            aliases=[
+                {"alias": alias, "target": target}
+                for alias, target in sorted(self.store.aliases().items())
+            ],
+        )
+
+    def _handle_alias_resolve(self, body, alias: str) -> dict:
+        if not self.store.is_alias(alias):
+            raise WireError(
+                "unknown_alias", f"alias {alias!r} is not registered", status=404
+            )
+        target = self.store.resolve(alias)
+        return wire.envelope(
+            "alias-resolved", alias=alias, target=target, entry=self.store.entry(target)
+        )
+
+    def _handle_alias_promote(self, body, alias: str) -> dict:
+        document = wire.check_envelope(body, kind="alias-promote")
+        target = document.get("target")
+        if not isinstance(target, str) or not target:
+            raise WireError("malformed_request", "alias-promote needs a 'target' model name")
+        note = document.get("note", "")
+        # imported lazily: repro.learning is a consumer of the serving
+        # stack; importing it at module load would be circular
+        from ..learning.promote import PromotionManager
+
+        try:
+            record = PromotionManager(self.store).promote(alias, target, note=str(note))
+        except ArtifactAliasError as exc:
+            raise WireError("invalid_alias", str(exc), status=400) from exc
+        except ValueError as exc:  # no-op promotion (target already champion)
+            raise WireError("invalid_alias", str(exc), status=400) from exc
+        # warm the promoted replica so the first aliased request after a
+        # promotion doesn't pay a cold load; in worker mode this (re)spawns
+        # the target's worker subprocess
+        warmed = True
+        try:
+            if self.supervisor is not None:
+                self.supervisor.ensure(target)
+            else:
+                self.service.load(target)
+        except ValueError:  # capacity held by pins — promotion still stands
+            warmed = False
+        return wire.envelope(
+            "alias-promoted",
+            alias=alias,
+            target=record["target"],
+            previous=record["previous"],
+            warmed=warmed,
+        )
+
+    def _handle_alias_rollback(self, body, alias: str) -> dict:
+        if not self.store.is_alias(alias):
+            raise WireError(
+                "unknown_alias", f"alias {alias!r} is not registered", status=404
+            )
+        from ..learning.promote import PromotionManager
+
+        try:
+            record = PromotionManager(self.store).rollback(alias)
+        except ValueError as exc:  # no previous champion recorded
+            raise WireError("invalid_alias", str(exc), status=400) from exc
+        warmed = True
+        try:
+            if self.supervisor is not None:
+                self.supervisor.ensure(record["target"])
+            else:
+                self.service.load(record["target"])
+        except ValueError:
+            warmed = False
+        return wire.envelope(
+            "alias-rolled-back",
+            alias=alias,
+            target=record["target"],
+            previous=record["previous"],
+            warmed=warmed,
+        )
 
     # ------------------------------------------------------------------
     # forecasting
@@ -830,7 +965,9 @@ class ForecastGateway:
     def _handle_strategy_sweep(self, body, **_) -> dict:
         parsed = wire.sweep_request_from_wire(body)
         deadline = self._deadline_from(body)
-        model = parsed["model"]
+        # resolve an alias to its target so aliased and direct sweeps
+        # serialize on the same per-model lock / worker
+        model = self.store.resolve(parsed["model"])
         if self.supervisor is not None:
             if deadline is not None:
                 deadline.check(f"strategy sweep for model {model!r}")
@@ -869,6 +1006,13 @@ class ForecastGateway:
         model = document.get("model")
         if not isinstance(model, str) or not model:
             raise WireError("malformed_request", "session-open needs a 'model' name")
+        # sessions bind to the *resolved* target for their whole lifetime:
+        # the pinned handle carries warm-up states, so a promotion landing
+        # mid-race must not re-point laps of an already-open session.  (A
+        # journal-recovered session re-resolves at recovery time — the
+        # replayed laps rebuild deterministically on the then-current
+        # champion.)
+        model = self.store.resolve(model)
         known = {
             "schema_version", "kind", "model", "horizon", "n_samples", "min_history",
             "delay", "start", "stop", "stride", "event", "year", "rng",

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..artifacts import ArtifactStore
+from ..artifacts import ArtifactAliasError, ArtifactStore
 from .engine import FleetForecaster
 from .requests import NamedForecastRequest
 
@@ -124,8 +124,15 @@ class ForecastService:
 
         A resident model is promoted to most-recently-used; loading beyond
         ``capacity`` unloads the least-recently-used model first.
+
+        Aliases resolve to their current target *here*, at load time, and
+        the handle is cached under the target's own name — so traffic
+        addressed to ``champion`` and to the target artifact directly share
+        one resident instance, and re-pointing the alias can never leave a
+        stale handle cached under the alias name.
         """
         with self._registry_lock:
+            name = self.store.resolve(name)
             handle = self._resident.get(name)
             if handle is not None:
                 self._resident.move_to_end(name)
@@ -163,6 +170,7 @@ class ForecastService:
         resident.
         """
         with self._registry_lock:
+            name = self.store.resolve(name)
             if name not in self._resident:
                 return False
             self._resident.move_to_end(name)
@@ -178,6 +186,7 @@ class ForecastService:
         instance, so a silent evict-and-reload would reset them.
         """
         with self._registry_lock:
+            name = self.store.resolve(name)
             handle = self.load(name)
             self._pins[name] = self._pins.get(name, 0) + 1
             return handle
@@ -185,6 +194,7 @@ class ForecastService:
     def unpin(self, name: str) -> bool:
         """Release one pin on the named model; returns whether it was pinned."""
         with self._registry_lock:
+            name = self.store.resolve(name)
             count = self._pins.get(name)
             if count is None:
                 return False
@@ -203,9 +213,26 @@ class ForecastService:
         """Drop the named model from memory; returns whether it was resident.
 
         Pinned models refuse to unload — a live session still depends on
-        the resident instance and its carried states.
+        the resident instance and its carried states.  So do models an
+        alias points at (and alias names themselves): silently dropping
+        the target of ``champion`` would turn the next aliased request
+        into a surprise cold load — or, worse, a stale handle — so the
+        caller must re-point or delete the alias first
+        (:class:`~repro.artifacts.ArtifactAliasError`).
         """
         with self._registry_lock:
+            if self.store.is_alias(name):
+                raise ArtifactAliasError(
+                    f"{name!r} is an alias; unload its target or delete the "
+                    "alias instead"
+                )
+            referencing = self.store.aliases_for(name)
+            if referencing:
+                raise ArtifactAliasError(
+                    f"model {name!r} is the target of alias(es) "
+                    f"{', '.join(repr(a) for a in referencing)} and cannot be "
+                    "unloaded while they point at it"
+                )
             if name in self._pins:
                 raise ValueError(
                     f"model {name!r} is pinned by {self._pins[name]} active consumer(s) "
@@ -248,17 +275,25 @@ class ForecastService:
         submission order.  All named models are loaded first — so a batch
         naming more distinct models than ``capacity`` raises rather than
         thrashing the LRU mid-flight.
+
+        Alias targets are resolved here, at submit time — a batch mixing
+        ``champion`` and its target artifact by name routes through a
+        single engine pass, and every request in one batch sees the same
+        resolution even if a promotion lands mid-flight.
         """
         requests = list(requests)
         if not requests:
             return []
+        resolved: Dict[str, str] = {}
         order: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
         for i, named in enumerate(requests):
             if not isinstance(named, NamedForecastRequest):
                 raise TypeError(
                     f"submit expects NamedForecastRequest, got {type(named).__name__}"
                 )
-            order.setdefault((named.model, named.precision), []).append(i)
+            if named.model not in resolved:
+                resolved[named.model] = self.store.resolve(named.model)
+            order.setdefault((resolved[named.model], named.precision), []).append(i)
         names = OrderedDict((model, None) for model, _ in order)
         with self._registry_lock:
             # slots held by pinned models outside this batch are not available —

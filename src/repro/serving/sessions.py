@@ -107,6 +107,12 @@ class RaceSession:
         # byte-identical, without the engine running (or the RNG
         # advancing) a second time.
         self._emitted_by_lap: Dict[int, List[Tuple[int, Dict[int, np.ndarray]]]] = {}
+        # raw telemetry retained in arrival order, ``(lap, records)`` per
+        # observed lap.  This is the continuous-learning tap: when the
+        # session closes, the telemetry accumulator drains the exact laps
+        # the race streamed (repro.learning.windows) instead of requiring
+        # a separate offline telemetry export.
+        self.lap_log: List[Tuple[int, list]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -131,6 +137,7 @@ class RaceSession:
         """
         self._builder.observe_lap(lap, records)
         self.laps_observed += 1
+        self.lap_log.append((int(lap), list(records)))
         emitted = self._drain(final=False)
         self._emitted_by_lap[int(lap)] = emitted
         return emitted

@@ -92,7 +92,16 @@ __all__ = [
 #: session-open documents, and the ``unsupported_precision`` error code
 #: (400) for any other value.  ``"float64"`` traffic stays byte-identical
 #: to v4; the lower tiers are error-bounded (see ``repro.nn.precision``).
-WIRE_SCHEMA_VERSION = 5
+#: v6 added champion/challenger aliases for the continuous-learning loop:
+#: the ``/v1/models/aliases`` routes (list, resolve, promote, rollback)
+#: with their ``alias-list`` / ``alias-resolved`` / ``alias-promote`` /
+#: ``alias-promoted`` / ``alias-rolled-back`` envelope kinds, alias
+#: annotations on the ``/v1/models`` catalog, and the structured
+#: ``unknown_alias`` (404) / ``model_aliased`` (409) / ``invalid_alias``
+#: (400) error codes.  Forecast, sweep and session documents may name an
+#: alias wherever they name a model; the gateway resolves it to the
+#: current target artifact at submit time.
+WIRE_SCHEMA_VERSION = 6
 
 
 class WireError(ValueError):

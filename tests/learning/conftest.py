@@ -1,0 +1,30 @@
+"""Shared fixtures for the continuous-learning subsystem tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.learning import TelemetryAccumulator
+from repro.simulation import RaceSimulator, track_for_year
+
+
+@pytest.fixture(scope="session")
+def learn_races():
+    track = replace(track_for_year("Indy500", 2018), total_laps=45, num_cars=8)
+    return [
+        RaceSimulator(track, event="Indy500", year=2019, seed=seed).run()
+        for seed in (3, 4, 5)
+    ]
+
+
+@pytest.fixture(scope="session")
+def accumulator(tmp_path_factory, learn_races):
+    acc = TelemetryAccumulator(str(tmp_path_factory.mktemp("learn-acc")))
+    for race in learn_races:
+        acc.add_race(race, source="test")
+    return acc
+
+
+@pytest.fixture(scope="session")
+def window(accumulator):
+    return accumulator.build_window(holdout=1)

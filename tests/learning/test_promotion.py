@@ -1,0 +1,132 @@
+"""Catalog aliases and the journaled champion/challenger promotion cycle."""
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactAliasError,
+    ArtifactNotFoundError,
+    ArtifactStore,
+)
+from repro.data import build_race_features
+from repro.learning import PromotionManager
+from repro.models import ArimaForecaster
+
+
+@pytest.fixture
+def store(tmp_path, learn_races):
+    store = ArtifactStore(str(tmp_path / "store"))
+    series = build_race_features(learn_races[0])
+    store.save_model("champ", ArimaForecaster(seed=1).fit(series[:3]))
+    store.save_model("cand", ArimaForecaster(seed=2).fit(series[:3]))
+    return store
+
+
+# ----------------------------------------------------------------------
+# alias layer (ArtifactStore)
+# ----------------------------------------------------------------------
+def test_alias_round_trip_and_resolution(store):
+    entry = store.set_alias("champion", "champ")
+    assert entry["target"] == "champ"
+    assert store.aliases() == {"champion": "champ"}
+    assert store.is_alias("champion") and not store.is_alias("champ")
+    assert store.resolve("champion") == "champ"
+    assert store.resolve("champ") == "champ"  # artifact names pass through
+    assert store.resolve("unknown") == "unknown"  # unknown names untouched
+    assert store.aliases_for("champ") == ["champion"]
+    # loading through the alias loads the target artifact
+    assert store.load_model("champion") is not None
+
+
+def test_alias_guards(store):
+    with pytest.raises(ArtifactNotFoundError):
+        store.set_alias("champion", "no-such-model")
+    with pytest.raises(ArtifactAliasError, match="shadow"):
+        store.set_alias("champ", "cand")  # may not shadow an artifact
+    store.set_alias("champion", "champ")
+    with pytest.raises(ArtifactAliasError):
+        store.set_alias("champion2", "champion")  # no alias chains
+    with pytest.raises(ArtifactAliasError):
+        store.save_model("champion", store.load_model("cand"))  # name is taken
+
+
+def test_delete_refuses_aliased_targets(store):
+    store.set_alias("champion", "champ")
+    with pytest.raises(ArtifactAliasError):
+        store.delete("champion")  # aliases are not deletable artifacts
+    with pytest.raises(ArtifactAliasError, match="champion"):
+        store.delete("champ")  # still referenced by the alias
+    store.delete_alias("champion")
+    store.delete("champ")
+    assert "champ" not in store
+
+
+def test_alias_changes_are_visible_across_instances(store):
+    store.set_alias("champion", "champ")
+    other = ArtifactStore(store.root)
+    assert other.resolve("champion") == "champ"
+    # a promotion in one process is picked up by the other via the
+    # aliases-file mtime, without re-opening the store
+    import os
+    import time
+
+    store.set_alias("champion", "cand")
+    future = time.time() + 2
+    os.utime(store.aliases_path, (future, future))
+    assert other.resolve("champion") == "cand"
+
+
+# ----------------------------------------------------------------------
+# unload guards (ForecastService)
+# ----------------------------------------------------------------------
+def test_unloading_an_aliased_model_is_a_structured_error(store):
+    from repro.serving import ForecastService
+
+    service = ForecastService(store)
+    PromotionManager(store).promote("champion", "champ")
+    handle = service.load("champion")
+    assert handle.name == "champ"  # cached under the resolved target
+    with pytest.raises(ArtifactAliasError):
+        service.unload("champion")  # an alias is not an unloadable model
+    with pytest.raises(ArtifactAliasError, match="champion"):
+        service.unload("champ")  # the target is pinned by the alias
+    # re-pointing the alias frees the previous target
+    PromotionManager(store).promote("champion", "cand")
+    assert service.unload("champ") is True
+
+
+# ----------------------------------------------------------------------
+# promotion manager
+# ----------------------------------------------------------------------
+def test_promote_rollback_cycle_is_journaled(store):
+    manager = PromotionManager(store)
+    first = manager.promote("champion", "champ", note="bootstrap")
+    assert first["previous"] is None and first["target"] == "champ"
+
+    second = manager.promote("champion", "cand", note="shadow winner")
+    assert second["previous"] == "champ"
+    assert store.resolve("champion") == "cand"
+
+    rolled = manager.rollback("champion")
+    assert rolled["action"] == "rollback"
+    assert rolled["target"] == "champ" and rolled["previous"] == "cand"
+    assert store.resolve("champion") == "champ"
+
+    actions = [record["action"] for record in manager.history("champion")]
+    assert actions == ["promote", "promote", "rollback"]
+    # the journal survives a fresh manager on the same store
+    assert len(PromotionManager(store.root).history("champion")) == 3
+
+
+def test_promotion_guards(store):
+    manager = PromotionManager(store)
+    with pytest.raises(ValueError, match="no journaled promotions"):
+        manager.rollback("champion")
+    manager.promote("champion", "champ")
+    with pytest.raises(ValueError, match="nothing to promote"):
+        manager.promote("champion", "champ")  # no-op flip refused
+    with pytest.raises(ValueError, match="no previous champion"):
+        manager.rollback("champion")  # nothing before the first promotion
+    with pytest.raises(ArtifactNotFoundError):
+        manager.promote("champion", "ghost")  # target must be registered
+    # the failed promotion was not journaled
+    assert len(manager.history("champion")) == 1

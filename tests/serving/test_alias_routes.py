@@ -1,0 +1,175 @@
+"""Wire-v6 alias routes: promote -> serve -> rollback over HTTP, both modes.
+
+The acceptance gate of the continuous-learning PR: forecasting through the
+``champion`` alias is byte-identical to addressing the target directly,
+promotion re-points live traffic, and a one-call rollback serves the
+previous champion byte-for-byte — in the single-process gateway and the
+supervised worker-pool gateway alike.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.data import build_race_features
+from repro.models import DeepARForecaster
+from repro.serving import ForecastClient
+from repro.serving.client import ServerError
+from repro.serving.server import ForecastServer, ServerConfig
+from repro.simulation import RaceSimulator, track_for_year
+
+DEEP_KWARGS = dict(
+    encoder_length=12,
+    decoder_length=2,
+    hidden_dim=8,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_train_windows=150,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_series():
+    track = replace(track_for_year("Indy500", 2018), total_laps=45, num_cars=8)
+    race = RaceSimulator(track, event="Indy500", year=2019, seed=3).run()
+    return build_race_features(race)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_series):
+    return {
+        "champ": DeepARForecaster(seed=5, **DEEP_KWARGS).fit(tiny_series[:4]),
+        "cand": DeepARForecaster(seed=6, **DEEP_KWARGS).fit(tiny_series[:4]),
+    }
+
+
+def _config(store_root, workers):
+    options = dict(store=store_root, port=0, capacity=4, batch_window_ms=2.0)
+    if workers:
+        options.update(
+            workers=True,
+            preload=["champ"],
+            heartbeat_interval_s=0.1,
+            heartbeat_timeout_s=1.0,
+            worker_backoff_s=0.02,
+        )
+    return ServerConfig(**options)
+
+
+@pytest.fixture(scope="module", params=["in-process", "workers"])
+def stack(request, tmp_path_factory, fitted):
+    """A live gateway (per mode) over a fresh store holding both models."""
+    root = str(tmp_path_factory.mktemp(f"alias-store-{request.param}"))
+    store = ArtifactStore(root)
+    for name, model in fitted.items():
+        store.save_model(name, model)
+    with ForecastServer(_config(root, request.param == "workers")) as server:
+        yield server, root
+
+
+@pytest.fixture()
+def client(stack):
+    return ForecastClient(port=stack[0].port)
+
+
+def _batch(forecaster, series, model):
+    return [
+        ForecastClient.request(
+            model,
+            forecaster._history_target(series, 20 + i),
+            forecaster._history_covariates(series, 20 + i),
+            forecaster._future_covariates(series, 20 + i, 2),
+            n_samples=7,
+            rng=11 + i,
+            key=(series.race_id, series.car_id),
+            origin=20 + i,
+        )
+        for i in range(3)
+    ]
+
+
+def test_promote_serve_rollback_round_trip(client, tiny_series, fitted):
+    series = tiny_series[0]
+    champ = fitted["champ"]
+
+    promoted = client.promote("champion", "champ", note="bootstrap")
+    assert promoted["previous"] is None and promoted["target"] == "champ"
+    assert client.resolve("champion") == "champ"
+    assert client.aliases() == {"champion": "champ"}
+
+    # the alias resolves at submit time: byte-identical to direct addressing
+    baseline = client.forecast(_batch(champ, series, "champion"))
+    direct = client.forecast(_batch(champ, series, "champ"))
+    for via_alias, expected in zip(baseline, direct):
+        np.testing.assert_array_equal(via_alias, expected)
+
+    # the model catalog annotates the aliased target
+    models = {entry["name"]: entry for entry in client.models()}
+    assert models["champ"]["aliases"] == ["champion"]
+    assert models["cand"]["aliases"] == []
+
+    # promotion re-points live traffic at the candidate
+    promoted = client.promote("champion", "cand", note="shadow winner")
+    assert promoted["previous"] == "champ"
+    challenger = client.forecast(_batch(champ, series, "champion"))
+    direct = client.forecast(_batch(champ, series, "cand"))
+    for via_alias, expected in zip(challenger, direct):
+        np.testing.assert_array_equal(via_alias, expected)
+    assert any(
+        not np.array_equal(a, b) for a, b in zip(challenger, baseline)
+    ), "candidate and champion forecasts should differ"
+
+    # the aliased target refuses to unload, structured
+    with pytest.raises(ServerError) as err:
+        client.unload("cand")
+    assert err.value.code == "model_aliased"
+    assert err.value.status == 409
+    with pytest.raises(ServerError) as err:
+        client.unload("champion")
+    assert err.value.code == "model_aliased"
+
+    # one-call rollback: byte-identical to the pre-promotion champion
+    rolled = client.rollback("champion")
+    assert rolled["target"] == "champ" and rolled["previous"] == "cand"
+    after = client.forecast(_batch(champ, series, "champion"))
+    for got, expected in zip(after, baseline):
+        np.testing.assert_array_equal(got, expected)
+
+
+def test_alias_error_envelopes(client):
+    with pytest.raises(ServerError) as err:
+        client.resolve("no-such-alias")
+    assert err.value.code == "unknown_alias" and err.value.status == 404
+
+    with pytest.raises(ServerError) as err:
+        client.promote("err-alias", "no-such-model")
+    assert err.value.code == "unknown_model" and err.value.status == 404
+
+    with pytest.raises(ServerError) as err:
+        client.promote("champ", "cand")  # alias may not shadow an artifact
+    assert err.value.code == "invalid_alias" and err.value.status == 400
+
+    with pytest.raises(ServerError) as err:
+        client.rollback("never-promoted")
+    assert err.value.code == "unknown_alias" and err.value.status == 404
+
+    # the round-trip test left champion -> champ: a no-op flip is refused
+    with pytest.raises(ServerError) as err:
+        client.promote("champion", "champ")
+    assert err.value.code == "invalid_alias" and err.value.status == 400
+
+
+def test_sessions_bind_to_the_resolved_target(stack, client):
+    """A live session opened via the alias is served by the target replica
+    and keeps it pinned until close."""
+    server, root = stack
+    session = client.open_session(
+        "champion", horizon=2, n_samples=5, min_history=12, rng=0,
+        start=14, stop=18, delay=2, event="Indy500", year=2019,
+    )
+    sessions = {doc["session"]: doc for doc in client.sessions()}
+    assert sessions[session.session_id]["model"] == "champ"
+    session.close()

@@ -15,7 +15,6 @@ Contract under test (wire schema v5):
   only exist as the float64 reference.
 """
 
-import json
 from dataclasses import replace
 
 import numpy as np
@@ -150,8 +149,8 @@ def test_wire_rejects_unknown_precision():
     assert err.detail["supported"] == ["float64", "float32", "int8"]
 
 
-def test_wire_schema_is_v5():
-    assert wire.WIRE_SCHEMA_VERSION == 5
+def test_wire_schema_is_v6():
+    assert wire.WIRE_SCHEMA_VERSION == 6
 
 
 # ----------------------------------------------------------------------
